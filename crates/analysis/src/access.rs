@@ -1,0 +1,336 @@
+//! Memory-access pattern analysis: *stream* classification and access
+//! footprints (Fig. 2d ②③).
+//!
+//! For every `load`/`store`, the flat element address is expressed as a
+//! [`LinExpr`] over loop iteration counters. An access is a **stream** with
+//! respect to a region when its address sequence is statically computable
+//! there: the expression is affine and every opaque symbol is defined
+//! *outside* the region. The **footprint** is the number of distinct
+//! addresses touched per region entry — the scratchpad sizing input.
+
+use crate::ctx::FuncCtx;
+use crate::profile::Profile;
+use crate::scev::{LinExpr, Scev};
+use crate::wpst::Wpst;
+use cayman_ir::instr::Instr;
+use cayman_ir::loops::LoopId;
+use cayman_ir::{ArrayId, BlockId, FuncId, Function, InstrId, Module};
+
+/// Analysis record for one memory access instruction.
+#[derive(Debug, Clone)]
+pub struct AccessInfo {
+    /// The access instruction.
+    pub instr: InstrId,
+    /// Its containing block.
+    pub block: BlockId,
+    /// Accessed array.
+    pub array: ArrayId,
+    /// Whether this is a store.
+    pub is_store: bool,
+    /// Flat element address as a linear expression (`None` when the gep
+    /// itself could not be resolved — e.g. pointer passed across calls).
+    pub addr: Option<LinExpr>,
+    /// Defining block of each opaque symbol appearing in `addr`, in the
+    /// symbols' iteration order. Lets consumers check stream-ness without
+    /// re-running SCEV.
+    pub sym_defs: Vec<BlockId>,
+}
+
+impl AccessInfo {
+    /// Whether the address is affine with all symbols defined outside the
+    /// given block set — i.e. the access is a *stream* within that region
+    /// (its address sequence is statically computable there, §III-B).
+    pub fn is_stream_within(&self, region_blocks: &[BlockId]) -> bool {
+        self.addr.is_some() && self.sym_defs.iter().all(|b| !region_blocks.contains(b))
+    }
+}
+
+/// All memory accesses of one function, with address expressions.
+#[derive(Debug)]
+pub struct AccessAnalysis {
+    /// One record per load/store, in instruction order.
+    pub accesses: Vec<AccessInfo>,
+}
+
+impl AccessAnalysis {
+    /// Analyses every memory access of `func`.
+    pub fn run(module: &Module, func: &Function, ctx: &FuncCtx, scev: &mut Scev<'_>) -> Self {
+        let mut accesses = Vec::new();
+        for b in func.block_ids() {
+            if !ctx.cfg.is_reachable(b) {
+                continue;
+            }
+            for &iid in &func.block(b).instrs {
+                let (ptr, is_store) = match func.instr(iid) {
+                    Instr::Load { ptr, .. } => (*ptr, false),
+                    Instr::Store { ptr, .. } => (*ptr, true),
+                    _ => continue,
+                };
+                // Resolve the pointer to a gep.
+                let gep = ptr.as_value().and_then(|v| {
+                    match func.values[v.index()] {
+                        cayman_ir::module::ValueDef::Instr(g) => match func.instr(g) {
+                            Instr::Gep { array, indices } => Some((*array, indices.clone())),
+                            _ => None,
+                        },
+                        _ => None,
+                    }
+                });
+                let Some((array, indices)) = gep else {
+                    continue;
+                };
+                let decl = module.array(array);
+                let strides = decl.strides();
+                let mut addr = Some(LinExpr::constant(0));
+                for (k, idx) in indices.iter().enumerate() {
+                    match (addr.take(), scev.analyse_operand(*idx)) {
+                        (Some(acc), Some(e)) => {
+                            addr = Some(acc.add(&e.scale(strides[k] as i64)));
+                        }
+                        _ => {
+                            addr = None;
+                            break;
+                        }
+                    }
+                }
+                let sym_defs = addr
+                    .as_ref()
+                    .map(|e| e.symbols.keys().map(|&s| scev.def_block_of(s)).collect())
+                    .unwrap_or_default();
+                accesses.push(AccessInfo {
+                    instr: iid,
+                    block: b,
+                    array,
+                    is_store,
+                    addr,
+                    sym_defs,
+                });
+            }
+        }
+        AccessAnalysis { accesses }
+    }
+
+    /// Accesses whose block is inside `region_blocks`.
+    pub fn within<'a>(
+        &'a self,
+        region_blocks: &'a [BlockId],
+    ) -> impl Iterator<Item = &'a AccessInfo> + 'a {
+        self.accesses
+            .iter()
+            .filter(move |a| region_blocks.contains(&a.block))
+    }
+
+    /// The access record for a given instruction.
+    pub fn of_instr(&self, i: InstrId) -> Option<&AccessInfo> {
+        self.accesses.iter().find(|a| a.instr == i)
+    }
+}
+
+/// Trip count of a loop: static if the bounds are constants, else the
+/// profiled average, else `None`.
+pub fn trip_count(
+    wpst: &Wpst,
+    profile: &Profile,
+    func: &Function,
+    f: FuncId,
+    l: LoopId,
+) -> Option<f64> {
+    static_trip_count(func, &wpst.func_ctxs[f.index()], l)
+        .map(|t| t as f64)
+        .or_else(|| profile.avg_trip(wpst, f, l))
+}
+
+/// Statically determined trip count for canonical counted loops
+/// (`phi = [start]; cmp lt/gt phi, end; step const`).
+pub fn static_trip_count(func: &Function, ctx: &FuncCtx, l: LoopId) -> Option<u64> {
+    use cayman_ir::instr::{CmpPred, Imm, Operand, Terminator};
+    let lp = ctx.forest.get(l);
+    let header = func.block(lp.header);
+    let Terminator::CondBr { cond, .. } = header.terminator() else {
+        return None;
+    };
+    let cv = cond.as_value()?;
+    let cayman_ir::module::ValueDef::Instr(ci) = func.values[cv.index()] else {
+        return None;
+    };
+    let Instr::Cmp { pred, lhs, rhs, .. } = func.instr(ci) else {
+        return None;
+    };
+    // lhs must be an IV phi with constant start/step; rhs a constant.
+    let (start, step) = iv_const_parts(func, ctx, l, *lhs)?;
+    let end = match rhs {
+        Operand::Const(Imm::Int(e)) => *e,
+        _ => return None,
+    };
+    let trips = match (pred, step > 0) {
+        (CmpPred::Lt, true) => (end - start + step - 1) / step,
+        (CmpPred::Le, true) => (end - start) / step + 1,
+        (CmpPred::Gt, false) => (start - end + (-step) - 1) / (-step),
+        (CmpPred::Ge, false) => (start - end) / (-step) + 1,
+        _ => return None,
+    };
+    (trips > 0).then_some(trips as u64)
+}
+
+fn iv_const_parts(
+    func: &Function,
+    ctx: &FuncCtx,
+    l: LoopId,
+    op: cayman_ir::Operand,
+) -> Option<(i64, i64)> {
+    use cayman_ir::instr::{Imm, Operand};
+    let v = op.as_value()?;
+    let scev = Scev::new(func, ctx);
+    let (lid, step) = scev.iv_of(v)?;
+    if lid != l {
+        return None;
+    }
+    // start: non-latch incoming must be a constant.
+    let cayman_ir::module::ValueDef::Instr(iid) = func.values[v.index()] else {
+        return None;
+    };
+    let Instr::Phi { incomings, .. } = func.instr(iid) else {
+        return None;
+    };
+    let lp = ctx.forest.get(l);
+    let start = incomings
+        .iter()
+        .find(|(b, _)| !lp.latches.contains(b))
+        .map(|(_, o)| *o)?;
+    match start {
+        Operand::Const(Imm::Int(s)) => Some((s, step)),
+        _ => None,
+    }
+}
+
+/// Footprint: distinct flat addresses per entry of a region, for one access.
+///
+/// Computed as the product of trip counts of the loops *inside the region*
+/// that the address actually varies with (Fig. 2d ③: `ld A`/`ld B` have
+/// footprint `M` inside the `dot_product` loop, `ld z`/`st z` footprint 1).
+/// Overlapping strides are ignored (upper bound), which is the safe direction
+/// for scratchpad sizing. Returns `None` when the address is not a stream
+/// within the region or a needed trip count is unavailable.
+pub fn footprint(
+    access: &AccessInfo,
+    region_blocks: &[BlockId],
+    loops_in_region: &[(LoopId, f64)],
+) -> Option<f64> {
+    let addr = access.addr.as_ref()?;
+    if !access.is_stream_within(region_blocks) {
+        return None;
+    }
+    let mut fp = 1.0;
+    for &(l, trips) in loops_in_region {
+        if addr.varies_with(l) {
+            fp *= trips.max(1.0);
+        }
+    }
+    Some(fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::{FuncId, Type};
+
+    /// The paper's Fig. 2 dot-product loop: `z[i] += A[i][j] * B[i][j]`.
+    fn dot_product_module(n: usize, m: usize) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[n, m]);
+        let b = mb.array("B", Type::F64, &[n, m]);
+        let z = mb.array("z", Type::F64, &[n]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, n as i64, 1, |fb, i| {
+                fb.counted_loop(0, m as i64, 1, |fb, j| {
+                    let av = fb.load_idx(a, &[i, j]);
+                    let bv = fb.load_idx(b, &[i, j]);
+                    let p = fb.fmul(av, bv);
+                    let zv = fb.load_idx(z, &[i]);
+                    let s = fb.fadd(zv, p);
+                    fb.store_idx(z, &[i], s);
+                });
+            });
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn fig2d_footprints() {
+        let m = dot_product_module(16, 8);
+        let f = m.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        let mut scev = Scev::new(f, &ctx);
+        let aa = AccessAnalysis::run(&m, f, &ctx, &mut scev);
+        assert_eq!(aa.accesses.len(), 4); // ld A, ld B, ld z, st z
+
+        let inner = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 2)
+            .expect("inner");
+        let inner_blocks = ctx.forest.get(inner).blocks.clone();
+        let loops = vec![(inner, static_trip_count(f, &ctx, inner).expect("static") as f64)];
+
+        // All four accesses are streams within the inner loop.
+        for a in &aa.accesses {
+            assert!(a.is_stream_within(&inner_blocks), "{a:?}");
+        }
+        // ld A / ld B footprint = M = 8; ld z / st z footprint = 1.
+        let fps: Vec<f64> = aa
+            .accesses
+            .iter()
+            .map(|a| footprint(a, &inner_blocks, &loops).expect("stream"))
+            .collect();
+        assert_eq!(fps, vec![8.0, 8.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn static_trip_counts() {
+        let m = dot_product_module(16, 8);
+        let f = m.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        let outer = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 1)
+            .expect("outer");
+        let inner = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 2)
+            .expect("inner");
+        assert_eq!(static_trip_count(f, &ctx, outer), Some(16));
+        assert_eq!(static_trip_count(f, &ctx, inner), Some(8));
+    }
+
+    #[test]
+    fn indirect_access_is_not_a_stream() {
+        let mut mb = ModuleBuilder::new("t");
+        let idx = mb.array("idx", Type::I64, &[8]);
+        let x = mb.array("x", Type::F64, &[8]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                let k = fb.load_idx_ty(idx, &[i], Type::I64);
+                let v = fb.load_idx(x, &[k]);
+                fb.store_idx(x, &[k], v);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let f = m.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        let mut scev = Scev::new(f, &ctx);
+        let aa = AccessAnalysis::run(&m, f, &ctx, &mut scev);
+        let l = ctx.forest.ids().next().expect("loop");
+        let blocks = ctx.forest.get(l).blocks.clone();
+        // idx[i] is a stream; x[k] is not (k defined inside the loop by a load).
+        let idx_access = &aa.accesses[0];
+        let x_load = &aa.accesses[1];
+        assert!(idx_access.is_stream_within(&blocks));
+        assert!(!x_load.is_stream_within(&blocks));
+        assert!(footprint(x_load, &blocks, &[(l, 8.0)]).is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Per-function analysis bundle shared by every pass in this crate.
+
+use cayman_ir::cfg::Cfg;
+use cayman_ir::dom::DomTree;
+use cayman_ir::loops::LoopForest;
+use cayman_ir::{BlockId, Function, InstrId};
+use std::collections::HashMap;
+
+/// CFG + dominators + post-dominators + loop forest for one function, plus an
+/// instruction→block map.
+#[derive(Debug)]
+pub struct FuncCtx {
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dom: DomTree,
+    /// Post-dominator tree.
+    pub pdom: DomTree,
+    /// Natural-loop forest.
+    pub forest: LoopForest,
+    block_of_instr: HashMap<InstrId, BlockId>,
+}
+
+impl FuncCtx {
+    /// Computes all CFG-level analyses for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::dominators(func, &cfg);
+        let pdom = DomTree::post_dominators(func, &cfg);
+        let forest = LoopForest::compute(func, &cfg, &dom);
+        let mut block_of_instr = HashMap::new();
+        for b in func.block_ids() {
+            for &iid in &func.block(b).instrs {
+                block_of_instr.insert(iid, b);
+            }
+        }
+        FuncCtx {
+            cfg,
+            dom,
+            pdom,
+            forest,
+            block_of_instr,
+        }
+    }
+
+    /// The block containing `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not attached to any block (malformed function).
+    pub fn block_of(&self, i: InstrId) -> BlockId {
+        self.block_of_instr[&i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::{FuncId, Type};
+
+    #[test]
+    fn bundles_all_analyses() {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[4]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 4, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                fb.store_idx(x, &[i], v);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let f = m.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        assert_eq!(ctx.forest.loops.len(), 1);
+        // every instruction maps to a block
+        for b in f.block_ids() {
+            for &iid in &f.block(b).instrs {
+                assert_eq!(ctx.block_of(iid), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Region-level profiling aggregation (Fig. 2d ①).
+//!
+//! The interpreter yields dynamic per-block execution counts; this module
+//! folds them onto wPST vertices: per-region *entry counts* and *durations*
+//! (CPU cycles), plus loop trip counts. These are the `R` inputs of
+//! Algorithm 1 — `prune` keys off the duration share and the accelerator
+//! model keys off entry and trip counts.
+
+use crate::wpst::{Wpst, WpstKind, WpstNodeId};
+use cayman_ir::cpu_model::block_cycles;
+use cayman_ir::interp::ExecProfile;
+use cayman_ir::loops::LoopId;
+use cayman_ir::{FuncId, Module};
+
+/// Profiling data for one wPST vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionProfile {
+    /// Number of times the region was entered.
+    pub entries: u64,
+    /// Total CPU cycles spent inside the region (including nested regions).
+    pub cycles: u64,
+}
+
+/// Region-level profile for the whole application.
+#[derive(Debug)]
+pub struct Profile {
+    per_node: Vec<RegionProfile>,
+    /// `block_count[f][b]`: dynamic executions per block.
+    pub block_counts: Vec<Vec<u64>>,
+    /// Total program CPU cycles (`T_all` numerator basis of Eq. (1)).
+    pub total_cycles: u64,
+}
+
+impl Profile {
+    /// Aggregates an interpreter run onto the wPST.
+    pub fn aggregate(module: &Module, wpst: &Wpst, exec: &ExecProfile) -> Self {
+        // Static per-block cycles.
+        let static_cycles: Vec<Vec<u64>> = module
+            .functions
+            .iter()
+            .map(|f| f.block_ids().map(|b| block_cycles(f, b)).collect())
+            .collect();
+
+        let count = |f: FuncId, b: cayman_ir::BlockId| exec.block_counts[f.index()][b.index()];
+
+        let mut per_node = Vec::with_capacity(wpst.nodes.len());
+        for id in wpst.ids() {
+            let node = wpst.node(id);
+            let rp = match node.kind {
+                WpstKind::Root => RegionProfile {
+                    entries: 1,
+                    cycles: exec.total_cycles,
+                },
+                WpstKind::Func(f) => {
+                    let func = module.function(f);
+                    let cycles = func
+                        .block_ids()
+                        .map(|b| count(f, b) * static_cycles[f.index()][b.index()])
+                        .sum();
+                    RegionProfile {
+                        entries: count(f, func.entry()),
+                        cycles,
+                    }
+                }
+                WpstKind::Region { func: f, region } => {
+                    let tree = &wpst.region_trees[f.index()];
+                    let ctx = &wpst.func_ctxs[f.index()];
+                    let reg = tree.get(region);
+                    let cycles = reg
+                        .blocks
+                        .iter()
+                        .map(|&b| count(f, b) * static_cycles[f.index()][b.index()])
+                        .sum();
+                    let entries = match reg.kind {
+                        crate::regions::RegionKind::Bb(b) => count(f, b),
+                        crate::regions::RegionKind::Cond { head, .. } => count(f, head),
+                        crate::regions::RegionKind::Loop(l) => {
+                            let lp = ctx.forest.get(l);
+                            let back: u64 =
+                                lp.latches.iter().map(|&b| count(f, b)).sum();
+                            count(f, lp.header).saturating_sub(back)
+                        }
+                    };
+                    RegionProfile { entries, cycles }
+                }
+            };
+            per_node.push(rp);
+        }
+
+        Profile {
+            per_node,
+            block_counts: exec.block_counts.clone(),
+            total_cycles: exec.total_cycles,
+        }
+    }
+
+    /// Profile of one vertex.
+    pub fn of(&self, id: WpstNodeId) -> RegionProfile {
+        self.per_node[id.index()]
+    }
+
+    /// Fraction of total program time spent in a vertex.
+    pub fn share(&self, id: WpstNodeId) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.of(id).cycles as f64 / self.total_cycles as f64
+    }
+
+    /// Dynamic execution count of one block.
+    pub fn block_count(&self, f: FuncId, b: cayman_ir::BlockId) -> u64 {
+        self.block_counts[f.index()][b.index()]
+    }
+
+    /// Average trip count of a loop: body entries per loop entry.
+    ///
+    /// Returns `None` if the loop never ran.
+    pub fn avg_trip(&self, wpst: &Wpst, f: FuncId, l: LoopId) -> Option<f64> {
+        let ctx = &wpst.func_ctxs[f.index()];
+        let lp = ctx.forest.get(l);
+        let back: u64 = lp.latches.iter().map(|&b| self.block_count(f, b)).sum();
+        let header = self.block_count(f, lp.header);
+        let entries = header.saturating_sub(back);
+        if entries == 0 {
+            None
+        } else {
+            // iterations = back-edge traversals + ... for a rotated loop the
+            // body runs `back + 0..entries` times; header-tested loops run
+            // the body exactly `back` times... the body count equals total
+            // iterations:
+            Some(back as f64 / entries as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wpst::Wpst;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::interp::Interp;
+    use cayman_ir::Type;
+
+    fn run(module: &Module) -> ExecProfile {
+        let mut interp = Interp::new(module);
+        interp.run(&[]).expect("program runs")
+    }
+
+    #[test]
+    fn loop_entries_and_trip_counts() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[6, 4]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, 6, 1, |fb, i| {
+                fb.counted_loop(0, 4, 1, |fb, j| {
+                    let v = fb.load_idx(a, &[i, j]);
+                    fb.store_idx(a, &[i, j], v);
+                });
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let wpst = Wpst::build(&m);
+        let prof = Profile::aggregate(&m, &wpst, &run(&m));
+
+        let f = cayman_ir::FuncId(0);
+        let ctx = &wpst.func_ctxs[0];
+        let outer = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 1)
+            .expect("outer");
+        let inner = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 2)
+            .expect("inner");
+        assert_eq!(prof.avg_trip(&wpst, f, outer), Some(6.0));
+        assert_eq!(prof.avg_trip(&wpst, f, inner), Some(4.0));
+
+        // Loop region entries: outer entered once, inner 6 times.
+        let tree = &wpst.region_trees[0];
+        let outer_r = tree.loop_region(outer).expect("region");
+        let inner_r = tree.loop_region(inner).expect("region");
+        let outer_node = wpst
+            .ids()
+            .find(|&n| {
+                wpst.node(n).kind
+                    == WpstKind::Region {
+                        func: f,
+                        region: outer_r,
+                    }
+            })
+            .expect("node");
+        let inner_node = wpst
+            .ids()
+            .find(|&n| {
+                wpst.node(n).kind
+                    == WpstKind::Region {
+                        func: f,
+                        region: inner_r,
+                    }
+            })
+            .expect("node");
+        assert_eq!(prof.of(outer_node).entries, 1);
+        assert_eq!(prof.of(inner_node).entries, 6);
+        // the nest dominates program time
+        assert!(prof.share(outer_node) > 0.8, "{}", prof.share(outer_node));
+        assert!(prof.of(outer_node).cycles > prof.of(inner_node).cycles);
+        // root accounts for everything
+        assert_eq!(prof.of(wpst.root()).cycles, prof.total_cycles);
+    }
+}

@@ -1,0 +1,450 @@
+//! SCEV-lite: affine scalar evolution over loop induction variables.
+//!
+//! The paper runs LLVM's `ScalarEvolution` to analyse access footprints and a
+//! custom pass to identify *stream* patterns (address sequences that can be
+//! computed statically, §III-B). This module reproduces the needed fragment:
+//! every analysable value is a **linear expression**
+//!
+//! ```text
+//!   c0 + Σ c_L · ι_L + Σ c_s · sym_s
+//! ```
+//!
+//! where `ι_L` is the canonical iteration counter of loop `L` (0,1,2,… per
+//! entry) and `sym_s` are opaque-but-single-assignment SSA values (function
+//! parameters, unanalysable phis, loads used as indices, …).
+
+use crate::ctx::FuncCtx;
+use cayman_ir::instr::{BinOp, Imm, Instr, Operand, UnaryOp};
+use cayman_ir::loops::LoopId;
+use cayman_ir::module::ValueDef;
+use cayman_ir::{BlockId, Function, ValueId};
+use std::collections::{BTreeMap, HashMap};
+
+/// A linear expression over loop iteration counters and opaque symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Constant term.
+    pub constant: i64,
+    /// Coefficient per loop iteration counter (absent = 0).
+    pub iv_coeffs: BTreeMap<LoopId, i64>,
+    /// Coefficient per opaque symbol (absent = 0).
+    pub symbols: BTreeMap<ValueId, i64>,
+}
+
+impl LinExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        LinExpr {
+            constant: c,
+            ..Default::default()
+        }
+    }
+
+    /// The opaque symbol `v`.
+    pub fn symbol(v: ValueId) -> Self {
+        let mut symbols = BTreeMap::new();
+        symbols.insert(v, 1);
+        LinExpr {
+            constant: 0,
+            iv_coeffs: BTreeMap::new(),
+            symbols,
+        }
+    }
+
+    /// The iteration counter of loop `l` scaled by `c`.
+    pub fn iv(l: LoopId, c: i64) -> Self {
+        let mut iv_coeffs = BTreeMap::new();
+        iv_coeffs.insert(l, c);
+        LinExpr {
+            constant: 0,
+            iv_coeffs,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Sum of two expressions.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut r = self.clone();
+        r.constant += other.constant;
+        for (&l, &c) in &other.iv_coeffs {
+            *r.iv_coeffs.entry(l).or_insert(0) += c;
+        }
+        for (&s, &c) in &other.symbols {
+            *r.symbols.entry(s).or_insert(0) += c;
+        }
+        r.normalise();
+        r
+    }
+
+    /// Difference of two expressions.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        let mut r = self.clone();
+        r.constant *= k;
+        for c in r.iv_coeffs.values_mut() {
+            *c *= k;
+        }
+        for c in r.symbols.values_mut() {
+            *c *= k;
+        }
+        r.normalise();
+        r
+    }
+
+    fn normalise(&mut self) {
+        self.iv_coeffs.retain(|_, c| *c != 0);
+        self.symbols.retain(|_, c| *c != 0);
+    }
+
+    /// Coefficient of loop `l`'s iteration counter.
+    pub fn coeff(&self, l: LoopId) -> i64 {
+        self.iv_coeffs.get(&l).copied().unwrap_or(0)
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.iv_coeffs.is_empty() && self.symbols.is_empty()
+    }
+
+    /// Whether the expression varies with loop `l`.
+    pub fn varies_with(&self, l: LoopId) -> bool {
+        self.coeff(l) != 0
+    }
+}
+
+/// Affine scalar-evolution analysis for one function.
+#[derive(Debug)]
+pub struct Scev<'f> {
+    func: &'f Function,
+    cache: HashMap<ValueId, Option<LinExpr>>,
+    /// Header-phi → (loop, step, latch blocks) for recognised induction
+    /// variables.
+    iv_info: HashMap<ValueId, (LoopId, i64, Vec<BlockId>)>,
+    /// Defining block per value (params → entry).
+    def_block: Vec<BlockId>,
+}
+
+impl<'f> Scev<'f> {
+    /// Prepares the analysis (recognises induction variables eagerly).
+    pub fn new(func: &'f Function, ctx: &FuncCtx) -> Self {
+        let mut def_block = vec![func.entry(); func.values.len()];
+        for b in func.block_ids() {
+            for &iid in &func.block(b).instrs {
+                if let Some(v) = func.result_of(iid) {
+                    def_block[v.index()] = b;
+                }
+            }
+        }
+
+        // Recognise induction variables: a phi in a loop header whose
+        // latch incoming is `phi ± const`.
+        let mut iv_info = HashMap::new();
+        for lid in ctx.forest.ids() {
+            let l = ctx.forest.get(lid);
+            for &iid in &func.block(l.header).instrs {
+                let Instr::Phi { incomings, .. } = func.instr(iid) else {
+                    break;
+                };
+                let Some(phi_val) = func.result_of(iid) else {
+                    continue;
+                };
+                // Find the latch incoming(s); single-latch loops only.
+                let latch_in: Vec<&Operand> = incomings
+                    .iter()
+                    .filter(|(b, _)| l.latches.contains(b))
+                    .map(|(_, v)| v)
+                    .collect();
+                let next = match latch_in.as_slice() {
+                    [Operand::Value(v)] => *v,
+                    _ => continue,
+                };
+                let ValueDef::Instr(next_i) = func.values[next.index()] else {
+                    continue;
+                };
+                let step = match func.instr(next_i) {
+                    Instr::Binary {
+                        op: BinOp::Add,
+                        lhs,
+                        rhs,
+                        ..
+                    } => match (lhs, rhs) {
+                        (Operand::Value(v), Operand::Const(Imm::Int(c))) if *v == phi_val => {
+                            Some(*c)
+                        }
+                        (Operand::Const(Imm::Int(c)), Operand::Value(v)) if *v == phi_val => {
+                            Some(*c)
+                        }
+                        _ => None,
+                    },
+                    Instr::Binary {
+                        op: BinOp::Sub,
+                        lhs: Operand::Value(v),
+                        rhs: Operand::Const(Imm::Int(c)),
+                        ..
+                    } if *v == phi_val => Some(-*c),
+                    _ => None,
+                };
+                if let Some(step) = step {
+                    iv_info.insert(phi_val, (lid, step, l.latches.clone()));
+                }
+            }
+        }
+
+        Scev {
+            func,
+            cache: HashMap::new(),
+            iv_info,
+            def_block,
+        }
+    }
+
+    /// Whether `v` is a recognised induction variable, and for which loop
+    /// (with its constant step).
+    pub fn iv_of(&self, v: ValueId) -> Option<(LoopId, i64)> {
+        self.iv_info.get(&v).map(|(l, s, _)| (*l, *s))
+    }
+
+    /// The defining block of a value.
+    pub fn def_block_of(&self, v: ValueId) -> BlockId {
+        self.def_block[v.index()]
+    }
+
+    /// The linear expression of an operand, or `None` if not affine.
+    pub fn analyse_operand(&mut self, op: Operand) -> Option<LinExpr> {
+        match op {
+            Operand::Const(Imm::Int(c)) => Some(LinExpr::constant(c)),
+            Operand::Const(_) => None,
+            Operand::Value(v) => self.analyse(v),
+        }
+    }
+
+    /// The linear expression of a value, or `None` if not affine.
+    ///
+    /// Unanalysable values become opaque symbols *of themselves* — the
+    /// expression still counts as affine; stream-ness is then decided by
+    /// where those symbols are defined relative to the candidate region.
+    pub fn analyse(&mut self, v: ValueId) -> Option<LinExpr> {
+        if let Some(hit) = self.cache.get(&v) {
+            return hit.clone();
+        }
+        // Seed with a symbol to break recursion cycles (recurrences through
+        // non-IV phis resolve to opaque symbols).
+        self.cache.insert(v, Some(LinExpr::symbol(v)));
+        let result = self.analyse_uncached(v);
+        self.cache.insert(v, result.clone());
+        result
+    }
+
+    fn analyse_uncached(&mut self, v: ValueId) -> Option<LinExpr> {
+        // Induction variable: start + step·ι.
+        if let Some((l, step, latches)) = self.iv_info.get(&v).cloned() {
+            let ValueDef::Instr(iid) = self.func.values[v.index()] else {
+                return Some(LinExpr::symbol(v));
+            };
+            let Instr::Phi { incomings, .. } = self.func.instr(iid).clone() else {
+                return Some(LinExpr::symbol(v));
+            };
+            // start = the non-latch incoming
+            let start = incomings
+                .iter()
+                .find(|(b, _)| !latches.contains(b))
+                .map(|(_, o)| *o)?;
+            let start_expr = self
+                .analyse_operand(start)
+                .unwrap_or_else(|| match start {
+                    Operand::Value(sv) => LinExpr::symbol(sv),
+                    _ => LinExpr::constant(0),
+                });
+            return Some(start_expr.add(&LinExpr::iv(l, step)));
+        }
+
+        let def = self.func.values[v.index()];
+        let ValueDef::Instr(iid) = def else {
+            // Parameter: loop-invariant symbol.
+            return Some(LinExpr::symbol(v));
+        };
+        match self.func.instr(iid).clone() {
+            Instr::Binary { op, lhs, rhs, .. } => {
+                let l = self.analyse_operand(lhs);
+                let r = self.analyse_operand(rhs);
+                match (op, l, r) {
+                    (BinOp::Add, Some(a), Some(b)) => Some(a.add(&b)),
+                    (BinOp::Sub, Some(a), Some(b)) => Some(a.sub(&b)),
+                    (BinOp::Mul, Some(a), Some(b)) => {
+                        if a.is_constant() {
+                            Some(b.scale(a.constant))
+                        } else if b.is_constant() {
+                            Some(a.scale(b.constant))
+                        } else {
+                            Some(LinExpr::symbol(v))
+                        }
+                    }
+                    (BinOp::Shl, Some(a), Some(b)) if b.is_constant() && b.constant < 32 => {
+                        Some(a.scale(1 << b.constant))
+                    }
+                    _ => Some(LinExpr::symbol(v)),
+                }
+            }
+            Instr::Unary {
+                op: UnaryOp::Neg,
+                val,
+                ..
+            } => self.analyse_operand(val).map(|e| e.scale(-1)),
+            // Everything else (loads, selects, calls, float maths, non-IV
+            // phis) is an opaque symbol.
+            _ => Some(LinExpr::symbol(v)),
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::{FuncId, Type};
+
+    fn analyse_last_gep(m: &cayman_ir::Module) -> (Option<LinExpr>, FuncCtx) {
+        let f = m.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        let mut scev = Scev::new(f, &ctx);
+        // find the last gep and analyse its flat index manually via indices
+        let mut expr = None;
+        for b in f.block_ids() {
+            for &iid in &f.block(b).instrs {
+                if let Instr::Gep { array, indices } = f.instr(iid) {
+                    let decl = m.array(*array);
+                    let strides = decl.strides();
+                    let mut acc = LinExpr::constant(0);
+                    let mut ok = true;
+                    for (k, idx) in indices.iter().enumerate() {
+                        match scev.analyse_operand(*idx) {
+                            Some(e) => acc = acc.add(&e.scale(strides[k] as i64)),
+                            None => ok = false,
+                        }
+                    }
+                    expr = if ok { Some(acc) } else { None };
+                }
+            }
+        }
+        (expr, ctx)
+    }
+
+    #[test]
+    fn iv_recognised_with_stride() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[8, 4]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                fb.counted_loop(0, 4, 1, |fb, j| {
+                    let v = fb.load_idx(a, &[i, j]);
+                    fb.store_idx(a, &[i, j], v);
+                });
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let (expr, ctx) = analyse_last_gep(&m);
+        let e = expr.expect("gep index is affine");
+        // A[i][j] row-major with dims (8,4): flat = 4·i + j.
+        let outer = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 1)
+            .expect("outer");
+        let inner = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 2)
+            .expect("inner");
+        assert_eq!(e.coeff(outer), 4, "{e:?}");
+        assert_eq!(e.coeff(inner), 1, "{e:?}");
+        assert!(e.symbols.is_empty(), "{e:?}");
+        assert_eq!(e.constant, 0);
+    }
+
+    #[test]
+    fn loop_invariant_index_has_zero_coeff() {
+        let mut mb = ModuleBuilder::new("t");
+        let z = mb.array("z", Type::F64, &[8]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                fb.counted_loop(0, 4, 1, |fb, _j| {
+                    // z[i] inside the j loop: invariant w.r.t. j
+                    let v = fb.load_idx(z, &[i]);
+                    fb.store_idx(z, &[i], v);
+                });
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let (expr, ctx) = analyse_last_gep(&m);
+        let e = expr.expect("affine");
+        let inner = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 2)
+            .expect("inner");
+        assert_eq!(e.coeff(inner), 0);
+        assert!(!e.varies_with(inner));
+    }
+
+    #[test]
+    fn scaled_and_offset_indices() {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[64]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                // x[3*i + 5]
+                let three = fb.iconst(3);
+                let five = fb.iconst(5);
+                let t = fb.mul(three, i);
+                let idx = fb.add(t, five);
+                let v = fb.load_idx(x, &[idx]);
+                fb.store_idx(x, &[idx], v);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let (expr, ctx) = analyse_last_gep(&m);
+        let e = expr.expect("affine");
+        let l = ctx.forest.ids().next().expect("loop");
+        assert_eq!(e.coeff(l), 3);
+        assert_eq!(e.constant, 5);
+    }
+
+    #[test]
+    fn indirect_index_becomes_symbol() {
+        let mut mb = ModuleBuilder::new("t");
+        let idx = mb.array("idx", Type::I64, &[8]);
+        let x = mb.array("x", Type::F64, &[8]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                let k = fb.load_idx_ty(idx, &[i], Type::I64);
+                let v = fb.load_idx(x, &[k]);
+                fb.store_idx(x, &[k], v);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let (expr, _ctx) = analyse_last_gep(&m);
+        let e = expr.expect("still representable");
+        // the loaded index is an opaque symbol, not an IV term
+        assert!(!e.symbols.is_empty());
+    }
+
+    #[test]
+    fn linexpr_algebra() {
+        let a = LinExpr::constant(3).add(&LinExpr::iv(LoopId(0), 2));
+        let b = LinExpr::constant(1).add(&LinExpr::iv(LoopId(0), 2));
+        let d = a.sub(&b);
+        assert_eq!(d, LinExpr::constant(2));
+        assert!(d.is_constant());
+        let s = a.scale(0);
+        assert_eq!(s, LinExpr::constant(0));
+    }
+}

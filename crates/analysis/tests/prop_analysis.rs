@@ -1,0 +1,118 @@
+//! Property-based tests for the analysis layer: LinExpr algebra, SCEV on
+//! generated loop nests, and trip-count agreement between static analysis and
+//! profiling.
+
+use cayman_analysis::access::{static_trip_count, AccessAnalysis};
+use cayman_analysis::ctx::FuncCtx;
+use cayman_analysis::scev::{LinExpr, Scev};
+use cayman_ir::builder::ModuleBuilder;
+use cayman_ir::interp::Interp;
+use cayman_ir::loops::LoopId;
+use cayman_ir::{FuncId, Type};
+use proptest::prelude::*;
+
+fn linexpr_strategy() -> impl Strategy<Value = LinExpr> {
+    (
+        -1000i64..1000,
+        prop::collection::btree_map(0u32..5, -50i64..50, 0..4),
+    )
+        .prop_map(|(c, ivs)| {
+            let mut e = LinExpr::constant(c);
+            for (l, k) in ivs {
+                e = e.add(&LinExpr::iv(LoopId(l), k));
+            }
+            e
+        })
+}
+
+proptest! {
+    /// LinExpr forms a commutative group under `add` with `scale`
+    /// distributing — the algebra SCEV composition relies on.
+    #[test]
+    fn linexpr_ring_axioms(
+        a in linexpr_strategy(),
+        b in linexpr_strategy(),
+        c in linexpr_strategy(),
+        k in -20i64..20,
+    ) {
+        // commutativity and associativity
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        // identity and inverse
+        let zero = LinExpr::constant(0);
+        prop_assert_eq!(a.add(&zero), a.clone());
+        prop_assert_eq!(a.sub(&a), zero.clone());
+        // scaling distributes over addition
+        prop_assert_eq!(a.add(&b).scale(k), a.scale(k).add(&b.scale(k)));
+        // scale by zero annihilates
+        prop_assert_eq!(a.scale(0), zero);
+    }
+
+    /// For arbitrary rectangular loop nests, SCEV recovers the exact
+    /// per-loop stride of a row-major access and the static trip counts
+    /// match the loop bounds.
+    #[test]
+    fn scev_strides_on_generated_nests(n in 2usize..12, m in 2usize..12, stride in 1i64..4) {
+        let mut mb = ModuleBuilder::new("prop");
+        // allocate generously so strided accesses stay in bounds
+        let rows = n * stride as usize + 1;
+        let a = mb.array("A", Type::F64, &[rows, m]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, n as i64, 1, |fb, i| {
+                fb.counted_loop(0, m as i64, 1, |fb, j| {
+                    let s = fb.iconst(stride);
+                    let si = fb.mul(i, s);
+                    let v = fb.load_idx(a, &[si, j]);
+                    fb.store_idx(a, &[si, j], v);
+                });
+            });
+            fb.ret(None);
+        });
+        let module = mb.finish();
+        module.verify().expect("verifies");
+        let f = module.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        let mut scev = Scev::new(f, &ctx);
+        let aa = AccessAnalysis::run(&module, f, &ctx, &mut scev);
+
+        let outer = ctx.forest.ids().find(|&l| ctx.forest.get(l).depth == 1).expect("outer");
+        let inner = ctx.forest.ids().find(|&l| ctx.forest.get(l).depth == 2).expect("inner");
+        prop_assert_eq!(static_trip_count(f, &ctx, outer), Some(n as u64));
+        prop_assert_eq!(static_trip_count(f, &ctx, inner), Some(m as u64));
+
+        for acc in &aa.accesses {
+            let addr = acc.addr.as_ref().expect("affine");
+            // row-major: coefficient of outer IV = stride·m, inner IV = 1
+            prop_assert_eq!(addr.coeff(outer), stride * m as i64);
+            prop_assert_eq!(addr.coeff(inner), 1);
+            prop_assert!(acc.is_stream_within(&ctx.forest.get(outer).blocks));
+        }
+    }
+
+    /// The interpreter's profiled average trip count agrees with the static
+    /// trip count on counted loops — the two sources `trip_count` arbitrates
+    /// between must never disagree.
+    #[test]
+    fn static_and_profiled_trips_agree(n in 1i64..30) {
+        let mut mb = ModuleBuilder::new("prop");
+        let x = mb.array("x", Type::F64, &[30]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, n, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                fb.store_idx(x, &[i], v);
+            });
+            fb.ret(None);
+        });
+        let module = mb.finish();
+        module.verify().expect("verifies");
+        let wpst = cayman_analysis::wpst::Wpst::build(&module);
+        let exec = Interp::new(&module).run(&[]).expect("runs");
+        let profile = cayman_analysis::profile::Profile::aggregate(&module, &wpst, &exec);
+        let f = FuncId(0);
+        let ctx = &wpst.func_ctxs[0];
+        let l = ctx.forest.ids().next().expect("loop");
+        let stat = static_trip_count(module.function(f), ctx, l).expect("static");
+        let prof = profile.avg_trip(&wpst, f, l).expect("profiled");
+        prop_assert_eq!(stat as f64, prof);
+    }
+}

@@ -1,0 +1,91 @@
+//! Criterion benches for the accelerator model (§III-C):
+//!
+//! * `fig4_model` — the interface-impact computation behind Fig. 4
+//!   (pipeline II + latency under each interface),
+//! * `design_generation/*` — `accel(v, R)` cost per candidate, with a
+//!   β-sweep ablation of the scratchpad heuristic,
+//! * `merging` — the greedy §III-E merge on a multi-kernel solution (3mm).
+
+use cayman::hls::design::generate_designs;
+use cayman::hls::inputs::Candidate;
+use cayman::hls::interface::{InterfaceKind, ModelOptions};
+use cayman::hls::pipeline::pipeline_loop;
+use cayman::ir::builder::ModuleBuilder;
+use cayman::ir::{FuncId, InstrId, Type};
+use cayman::{Framework, SelectOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn saxpy(n: i64) -> cayman::ir::Module {
+    let mut mb = ModuleBuilder::new("saxpy");
+    let x = mb.array("x", Type::F64, &[n as usize]);
+    let y = mb.array("y", Type::F64, &[n as usize]);
+    mb.function("main", &[], None, |fb| {
+        fb.counted_loop(0, n, 1, |fb, i| {
+            let xv = fb.load_idx(x, &[i]);
+            let t = fb.fmul(fb.fconst(3.0), xv);
+            let v = fb.fadd(t, fb.fconst(1.0));
+            fb.store_idx(y, &[i], v);
+        });
+        fb.ret(None);
+    });
+    mb.finish()
+}
+
+fn bench_fig4_model(c: &mut Criterion) {
+    let fw = Framework::from_module(saxpy(256)).expect("analyses");
+    let inputs = fw.app.inputs();
+    let inp = &inputs[0];
+    let l = fw.app.wpst.func_ctxs[0].forest.ids().next().expect("loop");
+    let dec = |_: InstrId| Some(InterfaceKind::Decoupled);
+    c.bench_function("fig4_model", |b| {
+        b.iter(|| pipeline_loop(inp, l, 2, &dec));
+    });
+}
+
+fn bench_design_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("design_generation");
+    let fw = Framework::from_module(saxpy(256)).expect("analyses");
+    let inputs = fw.app.inputs();
+    let inp = &inputs[0];
+    let ctx = &fw.app.wpst.func_ctxs[0];
+    let l = ctx.forest.ids().next().expect("loop");
+    let cand = Candidate {
+        func: FuncId(0),
+        blocks: ctx.forest.get(l).blocks.clone(),
+        entries: 1,
+        cpu_cycles: fw.app.total_cycles(),
+        is_bb: false,
+    };
+    for beta in [2.0f64, 4.0, 8.0] {
+        let opts = ModelOptions {
+            beta,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("beta", format!("{beta}")),
+            &beta,
+            |b, _| {
+                b.iter(|| generate_designs(inp, &cand, &opts));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_merging(c: &mut Criterion) {
+    let w = cayman::workloads::by_name("3mm").expect("exists");
+    let fw = Framework::from_workload(&w).expect("analyses");
+    let res = fw.select(&SelectOptions::default());
+    let sol = res.pareto.last().expect("solutions").clone();
+    c.bench_function("merging_3mm", |b| {
+        b.iter(|| fw.merge(&sol));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_model,
+    bench_design_generation,
+    bench_merging
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches for the selection DP (Algorithm 1):
+//!
+//! * `selection_scaling/*` — selection time vs application size (the
+//!   α-filter keeps per-node Pareto sequences logarithmic, so growth should
+//!   be near-linear in the number of wPST vertices),
+//! * `alpha_sweep/*` — the ablation for the `filter` spacing parameter,
+//! * `workload/*` — end-to-end selection on representative real benchmarks.
+
+use cayman::ir::builder::ModuleBuilder;
+use cayman::ir::Type;
+use cayman::{Framework, SelectOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// An application with `k` independent streaming kernels (scales the wPST).
+fn synthetic_app(k: usize) -> cayman::ir::Module {
+    let mut mb = ModuleBuilder::new(format!("synth{k}"));
+    let mut funcs = Vec::new();
+    for i in 0..k {
+        let x = mb.array(format!("x{i}"), Type::F64, &[64]);
+        let y = mb.array(format!("y{i}"), Type::F64, &[64]);
+        let f = mb.function(format!("k{i}"), &[], None, |fb| {
+            fb.counted_loop(0, 64, 1, |fb, ii| {
+                let xv = fb.load_idx(x, &[ii]);
+                let t = fb.fmul(xv, fb.fconst(1.5 + i as f64));
+                let v = fb.fadd(t, fb.fconst(1.0));
+                fb.store_idx(y, &[ii], v);
+            });
+            fb.ret(None);
+        });
+        funcs.push(f);
+    }
+    mb.function("main", &[], None, |fb| {
+        for &f in &funcs {
+            fb.call(f, &[], None);
+        }
+        fb.ret(None);
+    });
+    mb.finish()
+}
+
+fn bench_selection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection_scaling");
+    group.sample_size(10);
+    for k in [2usize, 4, 8, 16] {
+        let fw = Framework::from_module(synthetic_app(k)).expect("analyses");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| fw.select(&SelectOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha_sweep");
+    group.sample_size(10);
+    let fw = Framework::from_module(synthetic_app(8)).expect("analyses");
+    for alpha in [1.01f64, 1.05, 1.1, 1.3, 2.0] {
+        let opts = SelectOptions {
+            alpha,
+            ..Default::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{alpha}")),
+            &alpha,
+            |b, _| {
+                b.iter(|| fw.select(&opts));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_real_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_selection");
+    group.sample_size(10);
+    for name in ["trisolv", "bicg", "spmv"] {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        group.bench_function(name, |b| {
+            b.iter(|| fw.select(&SelectOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection_scaling,
+    bench_alpha_sweep,
+    bench_real_workloads
+);
+criterion_main!(benches);

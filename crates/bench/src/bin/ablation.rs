@@ -1,0 +1,70 @@
+//! Ablation study: how much each of Cayman's mechanisms contributes.
+//!
+//! For a representative benchmark per suite, the 65%-budget speedup is
+//! reported with mechanisms removed one at a time:
+//!
+//! * **full** — the complete model,
+//! * **−interfaces** — coupled-only (the paper's own Fig. 6 ablation),
+//! * **−unroll** — unroll factors restricted to {1} (no partial-sum
+//!   reductions, no inner unrolling),
+//! * **−duplication** — duplication factors restricted to {1} (no parallel
+//!   pipeline instances from outer-loop unrolling),
+//! * **−merging** — area saving set aside (speedup unchanged; reported as
+//!   the area delta instead).
+//!
+//! ```text
+//! cargo run --release -p cayman-bench --bin ablation
+//! ```
+
+use cayman::{Framework, ModelOptions, SelectOptions, CVA6_TILE_AREA};
+
+const PICKS: [&str; 6] = ["3mm", "atax", "jacobi-2d", "spmv", "epic", "nnet-test"];
+
+fn speedup_with(fw: &Framework, model: ModelOptions) -> f64 {
+    let opts = SelectOptions {
+        model,
+        ..Default::default()
+    };
+    let sel = fw.select(&opts);
+    fw.speedup(sel.best_under(0.65 * CVA6_TILE_AREA))
+}
+
+fn main() {
+    println!(
+        "{:<12} | {:>8} {:>8} {:>8} {:>8} | {:>10}",
+        "benchmark", "full", "-iface", "-unroll", "-dup", "merge-save"
+    );
+    println!("{}", "-".repeat(66));
+    for name in PICKS {
+        let w = cayman::workloads::by_name(name).expect("benchmark exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+
+        let full = speedup_with(&fw, ModelOptions::default());
+        let no_iface = speedup_with(&fw, ModelOptions::coupled_only());
+        let no_unroll = speedup_with(
+            &fw,
+            ModelOptions {
+                unroll_factors: vec![1],
+                ..Default::default()
+            },
+        );
+        let no_dup = speedup_with(
+            &fw,
+            ModelOptions {
+                duplication_factors: vec![1],
+                ..Default::default()
+            },
+        );
+        let sel = fw.select(&SelectOptions::default());
+        let merge_save = fw.report(&sel, 0.65).area_saving_pct;
+
+        println!(
+            "{:<12} | {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x | {:>9.0}%",
+            name, full, no_iface, no_unroll, no_dup, merge_save
+        );
+    }
+    println!();
+    println!("-iface  : all accesses forced to the coupled interface");
+    println!("-unroll : no inner-loop unrolling / partial-sum reductions");
+    println!("-dup    : no parallel pipeline instances (outer-loop unrolling)");
+}

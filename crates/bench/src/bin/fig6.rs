@@ -1,0 +1,48 @@
+//! Regenerates **Fig. 6**: speedup (y) vs area (x) of the Pareto-optimal
+//! solutions of NOVIA, QsCores, coupled-only Cayman and full Cayman on one
+//! benchmark per suite: `3mm` (PolyBench), `fft` (MachSuite), `cjpeg`
+//! (MediaBench) and `loops-all-mid-10k-sp` (CoreMark-Pro).
+//!
+//! Output is one CSV-like block per benchmark (series, area_frac, speedup) —
+//! plottable directly.
+//!
+//! ```text
+//! cargo run --release -p cayman-bench --bin fig6
+//! ```
+
+use cayman_bench::fig6_series;
+
+const BENCHMARKS: [&str; 4] = ["3mm", "fft", "cjpeg", "loops-all-mid-10k-sp"];
+
+fn main() {
+    println!("Fig. 6 — Pareto fronts (speedup vs area fraction of a CVA6 tile)");
+    for name in BENCHMARKS {
+        let w = cayman::workloads::by_name(name).expect("benchmark exists");
+        let s = fig6_series(&w);
+        println!("\n=== {} ===", s.name);
+        println!("series,area_frac,speedup");
+        for (label, front) in [
+            ("novia", &s.novia),
+            ("qscores", &s.qscores),
+            ("cayman-coupled", &s.cayman_coupled),
+            ("cayman-full", &s.cayman_full),
+        ] {
+            for p in front {
+                println!("{label},{:.4},{:.3}", p.area_frac, p.speedup);
+            }
+        }
+        // Headline check per the paper: full Cayman dominates; NOVIA sits in
+        // the lower-left; QsCores scales worse with area.
+        let best = |f: &[cayman_bench::ParetoPoint]| {
+            f.last().map(|p| (p.area_frac, p.speedup)).unwrap_or((0.0, 1.0))
+        };
+        let (na, ns) = best(&s.novia);
+        let (qa, qs) = best(&s.qscores);
+        let (_, cs) = best(&s.cayman_coupled);
+        let (fa, fs) = best(&s.cayman_full);
+        println!(
+            "# summary: novia best ({na:.3},{ns:.2}) qscores best ({qa:.3},{qs:.2}) \
+             coupled-only best {cs:.2} full best ({fa:.3},{fs:.2})"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Table II**: results under the 25% and 65% area budgets for
+//! all 28 benchmarks — Cayman's speedup over NOVIA and QsCores, selected
+//! kernel configuration counts (#SB, #PR), interface counts (#C, #D, #S),
+//! accelerator-merging area savings, and selection runtime.
+//!
+//! ```text
+//! cargo run --release -p cayman-bench --bin table2
+//! ```
+
+use cayman_bench::{average_row, table2_row, Table2Row};
+
+fn print_row(r: &Table2Row) {
+    let b0 = &r.budgets[0];
+    let b1 = &r.budgets[1];
+    println!(
+        "{:<6} {:<26} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>8.2}",
+        r.suite,
+        r.name,
+        b0.over_novia,
+        b0.over_qscores,
+        b0.cayman_speedup,
+        b0.sb,
+        b0.pr,
+        b0.c,
+        b0.d,
+        b0.s,
+        b0.area_saving_pct,
+        b1.over_novia,
+        b1.over_qscores,
+        b1.cayman_speedup,
+        b1.sb,
+        b1.pr,
+        b1.c,
+        b1.d,
+        b1.s,
+        b1.area_saving_pct,
+        r.runtime_s * 1e3,
+    );
+}
+
+fn main() {
+    println!("Table II — results under two area budgets (25% and 65% of a CVA6 tile)");
+    println!(
+        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8}",
+        "Suite", "Benchmark",
+        "ovN25", "ovQ25", "spd25", "#SB", "#PR", "#C", "#D", "#S", "sav%",
+        "ovN65", "ovQ65", "spd65", "#SB", "#PR", "#C", "#D", "#S", "sav%",
+        "time(ms)"
+    );
+    println!("{}", "-".repeat(160));
+
+    let mut rows = Vec::new();
+    for w in cayman::workloads::all() {
+        let row = table2_row(&w);
+        print_row(&row);
+        rows.push(row);
+    }
+    println!("{}", "-".repeat(160));
+    let avg = average_row(&rows);
+    print_row(&avg);
+
+    // The §IV-B merging claims: average regions per reusable accelerator.
+    let avg_regions: f64 = rows
+        .iter()
+        .flat_map(|r| r.budgets.iter())
+        .filter(|b| b.avg_regions_per_reusable > 0.0)
+        .map(|b| b.avg_regions_per_reusable)
+        .sum::<f64>()
+        / rows
+            .iter()
+            .flat_map(|r| r.budgets.iter())
+            .filter(|b| b.avg_regions_per_reusable > 0.0)
+            .count()
+            .max(1) as f64;
+    println!();
+    println!("avg regions per reusable accelerator: {avg_regions:.1} (paper: ~3)");
+}

@@ -1,0 +1,238 @@
+//! Shared machinery for the table/figure regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation (§IV) has a binary in
+//! `src/bin/` that regenerates it:
+//!
+//! * `table2` — Table II (speedups over NOVIA/QsCores at 25%/65% budgets,
+//!   #SB/#PR, #C/#D/#S, merging area savings, selection runtime),
+//! * `fig4`  — Fig. 4 (interface impact on sequential/pipelined/unrolled
+//!   loop latency),
+//! * `fig6`  — Fig. 6 (Pareto fronts for NOVIA, QsCores, coupled-only
+//!   Cayman and full Cayman on four benchmarks).
+//!
+//! Criterion benches in `benches/` cover selection scaling (the α-filter
+//! complexity claim) and the accelerator-model hot paths.
+
+use cayman::workloads::Workload;
+use cayman::{Framework, ModelOptions, SelectOptions, CVA6_TILE_AREA};
+use std::time::Instant;
+
+/// One benchmark's Table II row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Suite label.
+    pub suite: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Per-budget numbers, in `BUDGETS` order.
+    pub budgets: Vec<BudgetNumbers>,
+    /// Cayman selection wall-clock runtime in seconds.
+    pub runtime_s: f64,
+}
+
+/// The per-budget column group of Table II.
+#[derive(Debug, Clone)]
+pub struct BudgetNumbers {
+    /// Budget fraction of a CVA6 tile.
+    pub budget: f64,
+    /// Cayman speedup ÷ NOVIA speedup.
+    pub over_novia: f64,
+    /// Cayman speedup ÷ QsCores speedup.
+    pub over_qscores: f64,
+    /// Cayman's own Eq.-(1) speedup.
+    pub cayman_speedup: f64,
+    /// Sequential basic blocks.
+    pub sb: usize,
+    /// Pipelined regions.
+    pub pr: usize,
+    /// Coupled interfaces.
+    pub c: usize,
+    /// Decoupled interfaces.
+    pub d: usize,
+    /// Scratchpad interfaces.
+    pub s: usize,
+    /// Merging area saving, percent.
+    pub area_saving_pct: f64,
+    /// Average regions per reusable accelerator.
+    pub avg_regions_per_reusable: f64,
+}
+
+/// The paper's two area budgets (§IV-B).
+pub const BUDGETS: [f64; 2] = [0.25, 0.65];
+
+/// Runs the full Table II protocol on one workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to verify or execute (CI runs every
+/// workload; a failure here is a kernel bug).
+pub fn table2_row(w: &Workload) -> Table2Row {
+    let fw = Framework::from_workload(w).expect("workload analyses");
+    let opts = SelectOptions::default();
+
+    let t0 = Instant::now();
+    let cayman = fw.select(&opts);
+    let runtime_s = t0.elapsed().as_secs_f64();
+
+    let novia = fw.select_novia(&opts);
+    let qscores = fw.select_qscores(&opts);
+
+    let budgets = BUDGETS
+        .iter()
+        .map(|&b| {
+            let budget = b * CVA6_TILE_AREA;
+            let rep = fw.report(&cayman, b);
+            let sp_n = fw.speedup(novia.best_under(budget));
+            let sp_q = fw.speedup(qscores.best_under(budget));
+            BudgetNumbers {
+                budget: b,
+                over_novia: rep.speedup / sp_n,
+                over_qscores: rep.speedup / sp_q,
+                cayman_speedup: rep.speedup,
+                sb: rep.sb,
+                pr: rep.pr,
+                c: rep.c,
+                d: rep.d,
+                s: rep.s,
+                area_saving_pct: rep.area_saving_pct,
+                avg_regions_per_reusable: rep.avg_regions_per_reusable,
+            }
+        })
+        .collect();
+
+    Table2Row {
+        suite: w.suite.to_string(),
+        name: w.name.to_string(),
+        budgets,
+        runtime_s,
+    }
+}
+
+/// Computes the arithmetic-mean summary row over a set of rows.
+pub fn average_row(rows: &[Table2Row]) -> Table2Row {
+    let n = rows.len().max(1) as f64;
+    let budgets = (0..BUDGETS.len())
+        .map(|bi| {
+            let get = |f: &dyn Fn(&BudgetNumbers) -> f64| -> f64 {
+                rows.iter().map(|r| f(&r.budgets[bi])).sum::<f64>() / n
+            };
+            BudgetNumbers {
+                budget: BUDGETS[bi],
+                over_novia: get(&|b| b.over_novia),
+                over_qscores: get(&|b| b.over_qscores),
+                cayman_speedup: get(&|b| b.cayman_speedup),
+                sb: (get(&|b| b.sb as f64)).round() as usize,
+                pr: (get(&|b| b.pr as f64)).round() as usize,
+                c: (get(&|b| b.c as f64)).round() as usize,
+                d: (get(&|b| b.d as f64)).round() as usize,
+                s: (get(&|b| b.s as f64)).round() as usize,
+                area_saving_pct: get(&|b| b.area_saving_pct),
+                avg_regions_per_reusable: get(&|b| b.avg_regions_per_reusable),
+            }
+        })
+        .collect();
+    Table2Row {
+        suite: String::new(),
+        name: "average".into(),
+        budgets,
+        runtime_s: rows.iter().map(|r| r.runtime_s).sum::<f64>() / n,
+    }
+}
+
+/// One (area, speedup) Pareto point for Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Area as a fraction of the CVA6 tile.
+    pub area_frac: f64,
+    /// Application speedup.
+    pub speedup: f64,
+}
+
+/// The four Fig. 6 series for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig6Series {
+    /// Benchmark name.
+    pub name: String,
+    /// NOVIA Pareto front.
+    pub novia: Vec<ParetoPoint>,
+    /// QsCores Pareto front.
+    pub qscores: Vec<ParetoPoint>,
+    /// Coupled-only Cayman front (ablation).
+    pub cayman_coupled: Vec<ParetoPoint>,
+    /// Full Cayman front.
+    pub cayman_full: Vec<ParetoPoint>,
+}
+
+/// Computes all four Fig. 6 fronts for one workload.
+///
+/// # Panics
+///
+/// Panics if the workload fails to analyse.
+pub fn fig6_series(w: &Workload) -> Fig6Series {
+    let fw = Framework::from_workload(w).expect("workload analyses");
+    let opts = SelectOptions::default();
+    let coupled_opts = SelectOptions {
+        model: ModelOptions::coupled_only(),
+        ..Default::default()
+    };
+    let front = |res: &cayman::SelectionResult| -> Vec<ParetoPoint> {
+        res.pareto
+            .iter()
+            .map(|s| ParetoPoint {
+                area_frac: s.area / CVA6_TILE_AREA,
+                speedup: fw.speedup(s),
+            })
+            .collect()
+    };
+    Fig6Series {
+        name: w.name.to_string(),
+        novia: front(&fw.select_novia(&opts)),
+        qscores: front(&fw.select_qscores(&opts)),
+        cayman_coupled: front(&fw.select(&coupled_opts)),
+        cayman_full: front(&fw.select(&opts)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_for_a_small_benchmark() {
+        let w = cayman::workloads::by_name("trisolv").expect("exists");
+        let row = table2_row(&w);
+        assert_eq!(row.budgets.len(), 2);
+        for b in &row.budgets {
+            assert!(b.cayman_speedup >= 1.0);
+            assert!(b.over_novia >= 1.0, "cayman ≥ novia: {}", b.over_novia);
+            assert!(b.over_qscores >= 1.0, "cayman ≥ qscores: {}", b.over_qscores);
+        }
+        // 65% budget can never be worse than 25%
+        assert!(row.budgets[1].cayman_speedup >= row.budgets[0].cayman_speedup);
+    }
+
+    #[test]
+    fn fig6_fronts_are_monotone() {
+        let w = cayman::workloads::by_name("bicg").expect("exists");
+        let s = fig6_series(&w);
+        for front in [&s.novia, &s.qscores, &s.cayman_coupled, &s.cayman_full] {
+            for pair in front.windows(2) {
+                assert!(pair[1].area_frac >= pair[0].area_frac);
+                assert!(pair[1].speedup >= pair[0].speedup);
+            }
+        }
+        // full Cayman's best point beats coupled-only's best
+        let best = |f: &[ParetoPoint]| f.last().map(|p| p.speedup).unwrap_or(1.0);
+        assert!(best(&s.cayman_full) >= best(&s.cayman_coupled));
+        assert!(best(&s.cayman_full) > best(&s.novia));
+    }
+
+    #[test]
+    fn average_row_averages() {
+        let w = cayman::workloads::by_name("trisolv").expect("exists");
+        let r = table2_row(&w);
+        let avg = average_row(&[r.clone(), r.clone()]);
+        assert!((avg.budgets[0].cayman_speedup - r.budgets[0].cayman_speedup).abs() < 1e-9);
+        assert_eq!(avg.name, "average");
+    }
+}

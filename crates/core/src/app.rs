@@ -1,0 +1,158 @@
+//! The analysed application: one-stop ownership of everything the selection
+//! and merging stages consume.
+
+use crate::CaymanError;
+use cayman_analysis::access::{trip_count, AccessAnalysis};
+use cayman_analysis::memdep::{analyse_loop_deps, LoopDeps};
+use cayman_analysis::profile::Profile;
+use cayman_analysis::scev::Scev;
+use cayman_analysis::wpst::Wpst;
+use cayman_hls::inputs::FuncInputs;
+use cayman_ir::interp::{ExecProfile, Interp, Memory};
+use cayman_ir::Module;
+
+/// A verified, profiled and analysed application — the paper's "profiling
+/// and analysis results R" plus the wPST, ready for Algorithm 1.
+pub struct Application {
+    /// The program.
+    pub module: Module,
+    /// Whole-application program structure tree.
+    pub wpst: Wpst,
+    /// Region-level profile.
+    pub profile: Profile,
+    /// Raw execution profile (per-block counts, total cycles).
+    pub exec: ExecProfile,
+    /// Per-function memory-access analysis.
+    pub accesses: Vec<AccessAnalysis>,
+    /// Per-function loop-carried dependence analysis.
+    pub deps: Vec<Vec<LoopDeps>>,
+    /// Per-function loop trip counts (static preferred, profiled fallback).
+    pub trips: Vec<Vec<f64>>,
+}
+
+impl std::fmt::Debug for Application {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Application")
+            .field("module", &self.module.name)
+            .field("functions", &self.module.functions.len())
+            .field("wpst_regions", &self.wpst.region_count())
+            .field("total_cycles", &self.profile.total_cycles)
+            .finish()
+    }
+}
+
+impl Application {
+    /// Verifies, profiles (with zeroed memory) and analyses a module.
+    ///
+    /// # Errors
+    ///
+    /// Fails when verification or interpretation fails.
+    pub fn analyse(module: Module) -> Result<Self, CaymanError> {
+        Self::analyse_with_memory(module, None)
+    }
+
+    /// Like [`Application::analyse`] but with a caller-provided input memory
+    /// image (benchmark inputs).
+    ///
+    /// # Errors
+    ///
+    /// Fails when verification or interpretation fails.
+    pub fn analyse_with_memory(
+        module: Module,
+        memory: Option<Memory>,
+    ) -> Result<Self, CaymanError> {
+        module.verify()?;
+        let wpst = Wpst::build(&module);
+        let mut interp = Interp::new(&module);
+        if let Some(mem) = memory {
+            interp.memory = mem;
+        }
+        let exec = interp.run(&[])?;
+        let profile = Profile::aggregate(&module, &wpst, &exec);
+
+        let mut accesses = Vec::new();
+        let mut deps = Vec::new();
+        let mut trips = Vec::new();
+        for f in module.function_ids() {
+            let func = module.function(f);
+            let ctx = &wpst.func_ctxs[f.index()];
+            let mut scev = Scev::new(func, ctx);
+            let aa = AccessAnalysis::run(&module, func, ctx, &mut scev);
+            let dd = analyse_loop_deps(func, ctx, &mut scev, &aa);
+            let tt: Vec<f64> = ctx
+                .forest
+                .ids()
+                .map(|l| trip_count(&wpst, &profile, func, f, l).unwrap_or(1.0))
+                .collect();
+            accesses.push(aa);
+            deps.push(dd);
+            trips.push(tt);
+        }
+
+        Ok(Application {
+            module,
+            wpst,
+            profile,
+            exec,
+            accesses,
+            deps,
+            trips,
+        })
+    }
+
+    /// Per-function model inputs (borrowing this application).
+    pub fn inputs(&self) -> Vec<FuncInputs<'_>> {
+        self.module
+            .function_ids()
+            .map(|f| FuncInputs {
+                module: &self.module,
+                func_id: f,
+                ctx: &self.wpst.func_ctxs[f.index()],
+                accesses: &self.accesses[f.index()],
+                deps: &self.deps[f.index()],
+                trips: self.trips[f.index()].clone(),
+                block_counts: self.profile.block_counts[f.index()].clone(),
+            })
+            .collect()
+    }
+
+    /// Total profiled CPU cycles (`T_all · F_cpu`).
+    pub fn total_cycles(&self) -> u64 {
+        self.profile.total_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::Type;
+
+    #[test]
+    fn analyse_builds_everything() {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[16]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, 16, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                fb.store_idx(x, &[i], v);
+            });
+            fb.ret(None);
+        });
+        let app = Application::analyse(mb.finish()).expect("analyses");
+        assert_eq!(app.accesses.len(), 1);
+        assert_eq!(app.trips[0], vec![16.0]);
+        assert!(app.total_cycles() > 0);
+        assert_eq!(app.inputs().len(), 1);
+    }
+
+    #[test]
+    fn broken_module_is_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.function("main", &[], None, |fb| {
+            fb.new_block("orphan");
+            fb.ret(None);
+        });
+        assert!(Application::analyse(mb.finish()).is_err());
+    }
+}

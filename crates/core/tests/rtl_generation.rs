@@ -1,0 +1,62 @@
+//! End-to-end RTL generation through the facade: every kernel of a selected
+//! solution yields a Verilog module, merged groups yield reusable wrappers.
+
+use cayman::{Framework, SelectOptions, CVA6_TILE_AREA};
+
+#[test]
+fn three_mm_emits_kernels_and_a_reusable_wrapper() {
+    let w = cayman::workloads::by_name("3mm").expect("exists");
+    let fw = Framework::from_workload(&w).expect("analyses");
+    let sel = fw.select(&SelectOptions::default());
+    let sol = sel.best_under(0.25 * CVA6_TILE_AREA);
+    assert!(sol.kernels.len() >= 3, "3mm selects all three kernels");
+
+    let rtl = fw.emit_rtl(sol);
+    // one module per kernel + at least one reusable wrapper
+    assert!(rtl.len() > sol.kernels.len(), "{} modules", rtl.len());
+    let mut saw_reusable = false;
+    for (name, src) in &rtl {
+        assert!(src.contains(&format!("module {}", sanitised(name))), "{name}");
+        assert!(src.trim_end().ends_with("endmodule"), "{name}");
+        // balanced module/endmodule
+        assert_eq!(
+            src.matches("\nmodule ").count() + usize::from(src.starts_with("module ")),
+            src.matches("endmodule").count(),
+            "{name}"
+        );
+        if name.starts_with("reusable") {
+            saw_reusable = true;
+            assert!(src.contains("kernel_sel"), "{name} lacks kernel selector");
+            assert!(src.contains("cfg_in"), "{name} lacks config port");
+        }
+    }
+    assert!(saw_reusable, "merged 3mm must produce a reusable accelerator");
+}
+
+#[test]
+fn rtl_names_are_unique() {
+    let w = cayman::workloads::by_name("cjpeg").expect("exists");
+    let fw = Framework::from_workload(&w).expect("analyses");
+    let sel = fw.select(&SelectOptions::default());
+    let sol = sel.best_under(0.65 * CVA6_TILE_AREA);
+    let rtl = fw.emit_rtl(sol);
+    let mut names: Vec<&String> = rtl.iter().map(|(n, _)| n).collect();
+    let before = names.len();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate module names");
+}
+
+#[test]
+fn empty_solution_emits_nothing() {
+    let w = cayman::workloads::by_name("trisolv").expect("exists");
+    let fw = Framework::from_workload(&w).expect("analyses");
+    let empty = cayman::Solution::empty();
+    assert!(fw.emit_rtl(&empty).is_empty());
+}
+
+fn sanitised(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect()
+}

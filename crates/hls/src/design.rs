@@ -1,0 +1,625 @@
+//! Accelerator configuration generation and performance/area estimation
+//! (§III-C "Accelerator Configuration" and "Performance and Area Estimation").
+//!
+//! Given a [`Candidate`] region, [`generate_designs`] explores the paper's
+//! fast configuration space:
+//!
+//! 1. a **sequential** configuration (no pipelining; functional units are
+//!    time-shared — minimum area),
+//! 2. **pipelined** configurations: innermost loops pipelined, unrolled by
+//!    factors from [`ModelOptions::unroll_factors`] when they carry no
+//!    loop-carried dependence,
+//!
+//! each with heuristic data-access interface assignment: *scratchpad* when
+//! the access count exceeds β × footprint, *decoupled* for stream accesses in
+//! pipelined loops, *coupled* otherwise.
+//!
+//! Estimation decomposes the candidate into pipelined loop regions `P` and
+//! sequential basic blocks `B` (the paper's bottom-up scheme): pipelined
+//! loops contribute `entries · (depth + II·(iters−1))`, sequential blocks
+//! contribute `executions · schedule_length`, and every candidate entry pays
+//! offload synchronisation plus scratchpad DMA fill/drain.
+
+use crate::inputs::{Candidate, FuncInputs};
+use crate::interface::{
+    InterfaceKind, ModelOptions, COUPLED_LSU_AREA, DMA_AREA, DMA_BYTES_PER_CYCLE,
+    SPAD_BANK_OVERHEAD, SPAD_BYTE_AREA,
+};
+use crate::oplib::{
+    dedicated_area, fu_area, fu_class, ACCEL_FREQ_HZ, FSM_STATE_AREA, OFFLOAD_SYNC_CYCLES,
+    REG_AREA,
+};
+use crate::pipeline::{loop_body_instrs, pipeline_loop};
+use crate::schedule::schedule_block;
+use cayman_analysis::access::footprint;
+use cayman_ir::cpu_model::CPU_FREQ_HZ;
+use cayman_ir::instr::Instr;
+use cayman_ir::loops::LoopId;
+use cayman_ir::{BlockId, FuncId, InstrId};
+use std::collections::{BTreeMap, HashMap};
+
+/// One fully configured accelerator design for a candidate region.
+#[derive(Debug, Clone)]
+pub struct AcceleratorDesign {
+    /// Containing function.
+    pub func: FuncId,
+    /// Blocks covered (the candidate region).
+    pub blocks: Vec<BlockId>,
+    /// Unroll factor applied to eligible innermost loops.
+    pub unroll: u32,
+    /// Pipelined loops (`#PR` contribution).
+    pub pipelined: Vec<LoopId>,
+    /// Per pipelined loop: its block set and effective unroll factor —
+    /// consumed by the merging pass to extract datapath units.
+    pub pipelined_detail: Vec<(LoopId, Vec<BlockId>, u32)>,
+    /// Interface assignment per memory access instruction.
+    pub interfaces: Vec<(InstrId, InterfaceKind)>,
+    /// Number of sequential basic blocks synthesised (`#SB` contribution).
+    pub seq_blocks: usize,
+    /// Total accelerator cycles over the program run (`Cycle_cand` share).
+    pub accel_cycles_total: f64,
+    /// Estimated accelerator area.
+    pub area: f64,
+    /// Profiled CPU cycles the candidate replaces.
+    pub cpu_cycles: u64,
+    /// Profiled entries of the candidate.
+    pub entries: u64,
+}
+
+impl AcceleratorDesign {
+    /// Wall-clock seconds saved by offloading (Eq. (1) numerator term):
+    /// `T_cand − Cycle_cand / F`.
+    pub fn saved_seconds(&self) -> f64 {
+        self.cpu_cycles as f64 / CPU_FREQ_HZ - self.accel_cycles_total / ACCEL_FREQ_HZ
+    }
+
+    /// CPU seconds replaced (`T_cand`).
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_cycles as f64 / CPU_FREQ_HZ
+    }
+
+    /// Accelerator seconds spent (`Cycle_cand / F`).
+    pub fn accel_seconds(&self) -> f64 {
+        self.accel_cycles_total / ACCEL_FREQ_HZ
+    }
+
+    /// `(coupled, decoupled, scratchpad)` interface counts (#C, #D, #S).
+    pub fn iface_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for (_, k) in &self.interfaces {
+            match k {
+                InterfaceKind::Coupled => c.0 += 1,
+                InterfaceKind::Decoupled => c.1 += 1,
+                InterfaceKind::Scratchpad => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Generates the candidate's accelerator configurations (the `accel(v, R)`
+/// call of Algorithm 1). Designs that would not save any time are still
+/// returned; Pareto pruning upstream discards them.
+pub fn generate_designs(
+    inputs: &FuncInputs<'_>,
+    cand: &Candidate,
+    opts: &ModelOptions,
+) -> Vec<AcceleratorDesign> {
+    if cand.entries == 0 {
+        return Vec::new();
+    }
+    let innermost = cand.innermost_loops(inputs.ctx);
+    let mut designs = Vec::new();
+
+    // Sequential configuration (always available).
+    designs.push(estimate_design(inputs, cand, opts, &[], 1, 1));
+
+    if !innermost.is_empty() {
+        // Pipelined configurations: inner unroll × outer duplication.
+        let func = inputs.func();
+        let any_unrollable = innermost.iter().any(|&l| {
+            !inputs.deps[l.index()].has_carried()
+                || inputs.deps[l.index()].is_reduction_only(func)
+        });
+        let any_duplicable = innermost
+            .iter()
+            .any(|&l| dup_parent_eligible(inputs, cand, l, 2));
+        for &u in &opts.unroll_factors {
+            if u > 1 && !any_unrollable {
+                break;
+            }
+            for &d in &opts.duplication_factors {
+                if d > 1 && !any_duplicable {
+                    break;
+                }
+                if u.saturating_mul(d) > 16 {
+                    continue;
+                }
+                designs.push(estimate_design(inputs, cand, opts, &innermost, u, d));
+            }
+        }
+    }
+    designs
+}
+
+/// Whether pipelined loop `l` can be duplicated `d`-fold: its parent loop is
+/// inside the candidate, carries no dependence, and iterates at least `d`
+/// times (outer-loop unrolling distributes parent iterations over parallel
+/// pipeline instances).
+fn dup_parent_eligible(inputs: &FuncInputs<'_>, cand: &Candidate, l: LoopId, d: u32) -> bool {
+    let ctx = inputs.ctx;
+    let Some(p) = ctx.forest.get(l).parent else {
+        return false;
+    };
+    let within = ctx
+        .forest
+        .get(p)
+        .blocks
+        .iter()
+        .all(|b| cand.blocks.contains(b));
+    within && !inputs.deps[p.index()].has_carried() && inputs.trip(p) >= f64::from(d)
+}
+
+/// Builds and estimates one configuration.
+fn estimate_design(
+    inputs: &FuncInputs<'_>,
+    cand: &Candidate,
+    opts: &ModelOptions,
+    pipelined: &[LoopId],
+    unroll: u32,
+    dup: u32,
+) -> AcceleratorDesign {
+    let func = inputs.func();
+    let ctx = inputs.ctx;
+
+    // Effective unroll per pipelined loop: 1 when the loop carries a
+    // dependence — except pure scalar reductions, which unroll into partial
+    // sums (throughput scales; the recurrence II is preserved by
+    // `pipeline_loop`).
+    let unroll_of = |l: LoopId| -> u32 {
+        let deps = &inputs.deps[l.index()];
+        if deps.has_carried() && !deps.is_reduction_only(func) {
+            1
+        } else {
+            unroll
+        }
+    };
+
+    // Loops in candidate with trip counts, for footprint computation.
+    let loops_within = cand.loops_within(ctx);
+    let loops_trips: Vec<(LoopId, f64)> =
+        loops_within.iter().map(|&l| (l, inputs.trip(l))).collect();
+
+    // ---- interface assignment ---------------------------------------------
+    let mut iface_map: HashMap<InstrId, InterfaceKind> = HashMap::new();
+    for a in inputs.accesses.within(&cand.blocks) {
+        let kind = if opts.coupled_only {
+            InterfaceKind::Coupled
+        } else {
+            let total_count = inputs.count(a.block) as f64 / cand.entries as f64;
+            let fp = footprint(a, &cand.blocks, &loops_trips);
+            let elem_bytes = inputs.module.array(a.array).elem.byte_width() as f64;
+            let in_pipelined = ctx
+                .forest
+                .innermost_loop(a.block)
+                .map(|l| {
+                    pipelined.contains(&l)
+                        || pipelined.iter().any(|&p| ctx.forest.contains(p, l))
+                })
+                .unwrap_or(false);
+            match fp {
+                Some(fp)
+                    if total_count >= opts.beta * fp
+                        && fp * elem_bytes <= opts.spad_max_bytes =>
+                {
+                    InterfaceKind::Scratchpad
+                }
+                Some(_) if in_pipelined && a.is_stream_within(&cand.blocks) => {
+                    InterfaceKind::Decoupled
+                }
+                _ => InterfaceKind::Coupled,
+            }
+        };
+        iface_map.insert(a.instr, kind);
+    }
+    let iface = |i: InstrId| iface_map.get(&i).copied();
+
+    // Effective duplication per pipelined loop: parallel pipeline instances
+    // fed by unrolling a dependence-free parent loop. Coupled accesses
+    // serialise on the single LSU port, so they veto duplication.
+    let dup_of = |l: LoopId| -> u32 {
+        if dup <= 1 || !dup_parent_eligible(inputs, cand, l, dup) {
+            return 1;
+        }
+        let has_coupled = ctx.forest.get(l).blocks.iter().any(|b| {
+            func.block(*b).instrs.iter().any(|i| {
+                matches!(func.instr(*i), Instr::Load { .. } | Instr::Store { .. })
+                    && iface_map.get(i) == Some(&InterfaceKind::Coupled)
+            })
+        });
+        if has_coupled {
+            1
+        } else {
+            dup
+        }
+    };
+
+    // ---- performance --------------------------------------------------------
+    let mut pipelined_blocks: Vec<BlockId> = Vec::new();
+    let mut pipelined_detail: Vec<(LoopId, Vec<BlockId>, u32)> = Vec::new();
+    for &l in pipelined {
+        let blocks = ctx.forest.get(l).blocks.clone();
+        pipelined_blocks.extend(blocks.iter().copied());
+        pipelined_detail.push((l, blocks, unroll_of(l) * dup_of(l)));
+    }
+
+    let mut accel_cycles = 0.0f64;
+    let mut pipe_area = 0.0f64;
+    for &l in pipelined {
+        let u = unroll_of(l);
+        let d = dup_of(l);
+        let est = pipeline_loop(inputs, l, u, &iface);
+        let lp = ctx.forest.get(l);
+        let back: u64 = lp.latches.iter().map(|&b| inputs.count(b)).sum();
+        let entries = inputs.count(lp.header).saturating_sub(back).max(1);
+        // d parallel instances each take a share of the loop's entries.
+        accel_cycles += entries as f64 * est.cycles_per_entry / f64::from(d);
+        // Fully spatial datapath, duplicated per unroll copy and instance.
+        for i in loop_body_instrs(inputs, l) {
+            pipe_area += dedicated_area(func.instr(i)) * f64::from(u * d);
+        }
+    }
+
+    // Sequential blocks: candidate blocks outside every pipelined loop.
+    let seq: Vec<BlockId> = cand
+        .blocks
+        .iter()
+        .copied()
+        .filter(|b| !pipelined_blocks.contains(b))
+        .collect();
+    let mut seq_states = 0u64;
+    let mut seq_blocks = 0usize;
+    let mut seq_classes: BTreeMap<crate::oplib::FuClass, f64> = BTreeMap::new();
+    let mut seq_reg_area = 0.0f64;
+    for &b in &seq {
+        let sched = schedule_block(func, b, &iface, 1, 2);
+        accel_cycles += inputs.count(b) as f64 * sched.length as f64;
+        seq_states += sched.length;
+        let nontrivial = func
+            .block(b)
+            .instrs
+            .iter()
+            .any(|&i| !matches!(func.instr(i), Instr::Phi { .. }));
+        if nontrivial {
+            seq_blocks += 1;
+        }
+        for &i in &func.block(b).instrs {
+            if let Some(c) = fu_class(func.instr(i)) {
+                let a = fu_area(c);
+                let entry = seq_classes.entry(c).or_insert(0.0);
+                *entry = entry.max(a);
+            }
+            seq_reg_area += REG_AREA;
+        }
+    }
+
+    // ---- interface performance & area costs --------------------------------
+    // Scratchpad groups per array: buffer sized by the max footprint.
+    let mut spad_bytes_per_array: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut spad_fill_bytes = 0.0f64; // loaded arrays: DMA fill
+    let mut spad_drain_bytes = 0.0f64; // stored arrays: DMA drain
+    let mut n_coupled = 0usize;
+    let mut iface_area = 0.0f64;
+    let mut spad_partitions: BTreeMap<u32, u32> = BTreeMap::new();
+    for a in inputs.accesses.within(&cand.blocks) {
+        let Some(kind) = iface_map.get(&a.instr) else {
+            continue;
+        };
+        // The enclosing pipelined loop's duplication factor replicates the
+        // access's interface hardware.
+        let acc_dup = ctx
+            .forest
+            .innermost_loop(a.block)
+            .and_then(|l| {
+                pipelined
+                    .iter()
+                    .find(|&&p| p == l || ctx.forest.contains(p, l))
+                    .copied()
+            })
+            .map(&dup_of)
+            .unwrap_or(1);
+        iface_area += kind.per_access_area() * f64::from(acc_dup);
+        match kind {
+            InterfaceKind::Coupled => n_coupled += 1,
+            InterfaceKind::Decoupled => {}
+            InterfaceKind::Scratchpad => {
+                let fp = footprint(a, &cand.blocks, &loops_trips).unwrap_or(1.0);
+                let bytes = fp * inputs.module.array(a.array).elem.byte_width() as f64;
+                let e = spad_bytes_per_array.entry(a.array.0).or_insert(0.0);
+                *e = e.max(bytes);
+                if a.is_store {
+                    spad_drain_bytes = spad_drain_bytes.max(bytes);
+                } else {
+                    spad_fill_bytes = spad_fill_bytes.max(bytes);
+                }
+                // Partition count: unroll × duplication of the access's
+                // pipelined loop (parallel instances need parallel banks).
+                let p = ctx
+                    .forest
+                    .innermost_loop(a.block)
+                    .filter(|l| pipelined.contains(l))
+                    .map(|l| unroll_of(l) * dup_of(l))
+                    .unwrap_or(1);
+                let e = spad_partitions.entry(a.array.0).or_insert(1);
+                *e = (*e).max(p);
+            }
+        }
+    }
+    let n_spad = iface_map
+        .values()
+        .filter(|k| **k == InterfaceKind::Scratchpad)
+        .count();
+
+    // DMA fill/drain per candidate entry.
+    let dma_cycles_per_entry: f64 = spad_bytes_per_array
+        .values()
+        .map(|b| b / DMA_BYTES_PER_CYCLE)
+        .sum();
+    accel_cycles +=
+        cand.entries as f64 * (OFFLOAD_SYNC_CYCLES + dma_cycles_per_entry);
+
+    // ---- area roll-up --------------------------------------------------------
+    let mut area = pipe_area + seq_classes.values().sum::<f64>() + seq_reg_area + iface_area;
+    area += FSM_STATE_AREA * (seq_states + 3 * pipelined.len() as u64) as f64;
+    if n_coupled > 0 {
+        area += COUPLED_LSU_AREA;
+    }
+    if n_spad > 0 {
+        area += DMA_AREA;
+        for (arr, bytes) in &spad_bytes_per_array {
+            let parts = f64::from(spad_partitions.get(arr).copied().unwrap_or(1));
+            area += bytes * SPAD_BYTE_AREA * (1.0 + SPAD_BANK_OVERHEAD * (parts - 1.0));
+        }
+    }
+
+    AcceleratorDesign {
+        func: cand.func,
+        blocks: cand.blocks.clone(),
+        unroll,
+        pipelined: pipelined.to_vec(),
+        pipelined_detail,
+        interfaces: {
+            let mut v: Vec<(InstrId, InterfaceKind)> = iface_map.into_iter().collect();
+            v.sort_unstable_by_key(|(i, _)| *i);
+            v
+        },
+        seq_blocks,
+        accel_cycles_total: accel_cycles,
+        area,
+        cpu_cycles: cand.cpu_cycles,
+        entries: cand.entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_analysis::access::AccessAnalysis;
+    use cayman_analysis::ctx::FuncCtx;
+    use cayman_analysis::memdep::analyse_loop_deps;
+    use cayman_analysis::scev::Scev;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::interp::Interp;
+    use cayman_ir::{FuncId, Module, Type};
+
+    struct Owned {
+        module: Module,
+        ctx: FuncCtx,
+        accesses: AccessAnalysis,
+        deps: Vec<cayman_analysis::memdep::LoopDeps>,
+        counts: Vec<u64>,
+    }
+
+    fn prepare(module: Module) -> Owned {
+        module.verify().expect("verifies");
+        let mut interp = Interp::new(&module);
+        let exec = interp.run(&[]).expect("runs");
+        let f = module.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        let mut scev = Scev::new(f, &ctx);
+        let accesses = AccessAnalysis::run(&module, f, &ctx, &mut scev);
+        let deps = analyse_loop_deps(f, &ctx, &mut scev, &accesses);
+        let counts = exec.block_counts[0].clone();
+        Owned {
+            ctx,
+            accesses,
+            deps,
+            counts,
+            module,
+        }
+    }
+
+    fn inputs<'a>(o: &'a Owned, trips: Vec<f64>) -> FuncInputs<'a> {
+        FuncInputs {
+            module: &o.module,
+            func_id: FuncId(0),
+            ctx: &o.ctx,
+            accesses: &o.accesses,
+            deps: &o.deps,
+            trips,
+            block_counts: o.counts.clone(),
+        }
+    }
+
+    fn loop_candidate(o: &Owned, inp: &FuncInputs<'_>) -> Candidate {
+        let l = o
+            .ctx
+            .forest
+            .ids()
+            .find(|&l| o.ctx.forest.get(l).depth == 1)
+            .expect("loop");
+        let lp = o.ctx.forest.get(l);
+        let back: u64 = lp.latches.iter().map(|&b| inp.count(b)).sum();
+        let entries = inp.count(lp.header) - back;
+        let cpu: u64 = lp
+            .blocks
+            .iter()
+            .map(|&b| {
+                inp.count(b)
+                    * cayman_ir::cpu_model::block_cycles(inp.func(), b)
+            })
+            .sum();
+        Candidate {
+            func: FuncId(0),
+            blocks: lp.blocks.clone(),
+            entries,
+            cpu_cycles: cpu,
+            is_bb: false,
+        }
+    }
+
+    fn streaming_kernel(n: i64) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[n as usize]);
+        let y = mb.array("y", Type::F64, &[n as usize]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, n, 1, |fb, i| {
+                let xv = fb.load_idx(x, &[i]);
+                let t = fb.fmul(fb.fconst(3.0), xv);
+                let v = fb.fadd(t, fb.fconst(1.0));
+                fb.store_idx(y, &[i], v);
+            });
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn pipelined_designs_beat_sequential() {
+        let o = prepare(streaming_kernel(256));
+        let inp = inputs(&o, vec![256.0]);
+        let cand = loop_candidate(&o, &inp);
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        assert!(designs.len() >= 3, "seq + several unrolls");
+        let seq = &designs[0];
+        let pipe = &designs[1];
+        assert!(seq.pipelined.is_empty());
+        assert!(!pipe.pipelined.is_empty());
+        assert!(
+            pipe.accel_cycles_total < seq.accel_cycles_total,
+            "pipelining helps: {} vs {}",
+            pipe.accel_cycles_total,
+            seq.accel_cycles_total
+        );
+        assert!(pipe.area > seq.area, "pipelining costs area");
+        // streaming loop saves time vs the CPU
+        assert!(pipe.saved_seconds() > 0.0);
+    }
+
+    #[test]
+    fn coupled_only_is_slower() {
+        let o = prepare(streaming_kernel(256));
+        let inp = inputs(&o, vec![256.0]);
+        let cand = loop_candidate(&o, &inp);
+        let full = generate_designs(&inp, &cand, &ModelOptions::default());
+        let coupled = generate_designs(&inp, &cand, &ModelOptions::coupled_only());
+        let best_full = full
+            .iter()
+            .map(|d| d.accel_cycles_total)
+            .fold(f64::INFINITY, f64::min);
+        let best_coupled = coupled
+            .iter()
+            .map(|d| d.accel_cycles_total)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_full < best_coupled,
+            "interface specialisation matters: {best_full} vs {best_coupled}"
+        );
+        // every interface in the ablation is coupled
+        for d in &coupled {
+            let (c, de, s) = d.iface_counts();
+            assert_eq!((de, s), (0, 0));
+            assert!(c > 0);
+        }
+    }
+
+    #[test]
+    fn interfaces_follow_the_heuristic() {
+        let o = prepare(streaming_kernel(256));
+        let inp = inputs(&o, vec![256.0]);
+        let cand = loop_candidate(&o, &inp);
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        // pipelined design: stream accesses with footprint = trip count get
+        // decoupled (count == footprint < β·footprint)
+        let pipe = &designs[1];
+        let (_, d, _) = pipe.iface_counts();
+        assert!(d >= 2, "x load and y store should be decoupled: {pipe:?}");
+    }
+
+    #[test]
+    fn reused_small_array_gets_a_scratchpad() {
+        // w[j] reused across outer iterations: count = N·M accesses over
+        // footprint M → scratchpad.
+        let mut mb = ModuleBuilder::new("t");
+        let w = mb.array("w", Type::F64, &[8]);
+        let x = mb.array("x", Type::F64, &[64]);
+        let y = mb.array("y", Type::F64, &[64]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, 64, 1, |fb, i| {
+                fb.counted_loop(0, 8, 1, |fb, j| {
+                    let wv = fb.load_idx(w, &[j]);
+                    let xv = fb.load_idx(x, &[i]);
+                    let p = fb.fmul(wv, xv);
+                    fb.store_idx(y, &[i], p);
+                });
+            });
+            fb.ret(None);
+        });
+        let o = prepare(mb.finish());
+        let trips: Vec<f64> = o
+            .ctx
+            .forest
+            .ids()
+            .map(|l| if o.ctx.forest.get(l).depth == 1 { 64.0 } else { 8.0 })
+            .collect();
+        let inp = inputs(&o, trips);
+        let cand = loop_candidate(&o, &inp);
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        let any_spad = designs.iter().any(|d| d.iface_counts().2 > 0);
+        assert!(any_spad, "w should be cached in a scratchpad");
+    }
+
+    #[test]
+    fn bb_candidate_yields_one_sequential_design() {
+        let o = prepare(streaming_kernel(64));
+        let inp = inputs(&o, vec![64.0]);
+        // candidate = the loop body block alone
+        let body = cayman_ir::BlockId(2);
+        let cand = Candidate {
+            func: FuncId(0),
+            blocks: vec![body],
+            entries: inp.count(body),
+            cpu_cycles: inp.count(body)
+                * cayman_ir::cpu_model::block_cycles(inp.func(), body),
+            is_bb: true,
+        };
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        assert_eq!(designs.len(), 1);
+        assert!(designs[0].pipelined.is_empty());
+        assert_eq!(designs[0].seq_blocks, 1);
+    }
+
+    #[test]
+    fn zero_entry_candidate_yields_nothing() {
+        let o = prepare(streaming_kernel(64));
+        let inp = inputs(&o, vec![64.0]);
+        let cand = Candidate {
+            func: FuncId(0),
+            blocks: vec![cayman_ir::BlockId(2)],
+            entries: 0,
+            cpu_cycles: 0,
+            is_bb: true,
+        };
+        assert!(generate_designs(&inp, &cand, &ModelOptions::default()).is_empty());
+    }
+}

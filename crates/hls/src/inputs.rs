@@ -1,0 +1,149 @@
+//! Input bundle handed to the accelerator model for one function, plus the
+//! candidate descriptor.
+//!
+//! The driver (the `cayman` facade crate) computes analysis + profiling once
+//! per function and the model consumes these read-only views.
+
+use cayman_analysis::access::AccessAnalysis;
+use cayman_analysis::ctx::FuncCtx;
+use cayman_analysis::memdep::LoopDeps;
+use cayman_ir::loops::LoopId;
+use cayman_ir::{BlockId, FuncId, Function, Module};
+
+/// Everything the model needs to know about one function.
+#[derive(Debug)]
+pub struct FuncInputs<'a> {
+    /// The whole module (for array declarations).
+    pub module: &'a Module,
+    /// The function id.
+    pub func_id: FuncId,
+    /// CFG/dominator/loop analyses.
+    pub ctx: &'a FuncCtx,
+    /// Memory-access analysis.
+    pub accesses: &'a AccessAnalysis,
+    /// Loop-carried dependence analysis, indexed by `LoopId`.
+    pub deps: &'a [LoopDeps],
+    /// Trip count per loop (static when available, else profiled average),
+    /// indexed by `LoopId`.
+    pub trips: Vec<f64>,
+    /// Profiled dynamic execution count per block, indexed by `BlockId`.
+    pub block_counts: Vec<u64>,
+}
+
+impl<'a> FuncInputs<'a> {
+    /// The function itself.
+    pub fn func(&self) -> &'a Function {
+        self.module.function(self.func_id)
+    }
+
+    /// Trip count of a loop.
+    pub fn trip(&self, l: LoopId) -> f64 {
+        self.trips[l.index()]
+    }
+
+    /// Profiled execution count of a block.
+    pub fn count(&self, b: BlockId) -> u64 {
+        self.block_counts[b.index()]
+    }
+}
+
+/// One acceleration candidate: a SESE region plus its profile.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Containing function.
+    pub func: FuncId,
+    /// Blocks spanned by the region.
+    pub blocks: Vec<BlockId>,
+    /// Profiled entries of the region.
+    pub entries: u64,
+    /// Profiled CPU cycles spent inside the region over the whole run
+    /// (`T_cand · F_cpu`).
+    pub cpu_cycles: u64,
+    /// Whether the candidate is a single basic block (*bb* region).
+    pub is_bb: bool,
+}
+
+impl Candidate {
+    /// Loops entirely contained in the candidate.
+    pub fn loops_within(&self, ctx: &FuncCtx) -> Vec<LoopId> {
+        ctx.forest
+            .ids()
+            .filter(|&l| {
+                ctx.forest
+                    .get(l)
+                    .blocks
+                    .iter()
+                    .all(|b| self.blocks.contains(b))
+            })
+            .collect()
+    }
+
+    /// Innermost loops among [`loops_within`](Candidate::loops_within).
+    pub fn innermost_loops(&self, ctx: &FuncCtx) -> Vec<LoopId> {
+        let within = self.loops_within(ctx);
+        within
+            .iter()
+            .copied()
+            .filter(|&l| {
+                ctx.forest
+                    .get(l)
+                    .children
+                    .iter()
+                    .all(|c| !within.contains(c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::Type;
+
+    #[test]
+    fn candidate_loop_queries() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[4, 4]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 4, 1, |fb, i| {
+                fb.counted_loop(0, 4, 1, |fb, j| {
+                    let v = fb.load_idx(a, &[i, j]);
+                    fb.store_idx(a, &[i, j], v);
+                });
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let f = m.function(FuncId(0));
+        let ctx = FuncCtx::compute(f);
+        // candidate = the outer loop region (all loop blocks)
+        let outer = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 1)
+            .expect("outer");
+        let cand = Candidate {
+            func: FuncId(0),
+            blocks: ctx.forest.get(outer).blocks.clone(),
+            entries: 1,
+            cpu_cycles: 1000,
+            is_bb: false,
+        };
+        assert_eq!(cand.loops_within(&ctx).len(), 2);
+        let inner = cand.innermost_loops(&ctx);
+        assert_eq!(inner.len(), 1);
+        assert_eq!(ctx.forest.get(inner[0]).depth, 2);
+
+        // candidate = only the inner loop
+        let cand2 = Candidate {
+            func: FuncId(0),
+            blocks: ctx.forest.get(inner[0]).blocks.clone(),
+            entries: 4,
+            cpu_cycles: 800,
+            is_bb: false,
+        };
+        assert_eq!(cand2.loops_within(&ctx).len(), 1);
+        assert_eq!(cand2.innermost_loops(&ctx).len(), 1);
+    }
+}

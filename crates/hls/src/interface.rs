@@ -1,0 +1,173 @@
+//! Processor–accelerator data-access interfaces (§III-C, Fig. 3).
+//!
+//! Three interface species with distinct latency/area/legality trade-offs:
+//!
+//! * **coupled** — a plain load/store unit; the accelerator stalls for the
+//!   full memory round-trip and all coupled accesses serialise on one port.
+//! * **decoupled** — a dedicated address-generation unit (AGU) + FIFO per
+//!   access; addresses are produced independently of the datapath, so loads
+//!   complete ahead of use and stores drain behind. Only legal for *stream*
+//!   accesses (the AGU must be able to compute the address sequence).
+//! * **scratchpad** — a private buffer caching the access footprint, filled
+//!   and drained by a DMA engine at region entry/exit; single-cycle access
+//!   and bankable for parallelism, at a prominent area cost.
+
+use crate::oplib;
+use std::fmt;
+
+/// Coupled-interface load latency (accelerator cycles): request, memory
+/// round-trip, response.
+pub const COUPLED_LOAD_LATENCY: u64 = 4;
+/// Coupled-interface store latency (posted to the port).
+pub const COUPLED_STORE_LATENCY: u64 = 1;
+/// Decoupled-interface effective latency: data waits in the FIFO.
+pub const DECOUPLED_LATENCY: u64 = 1;
+/// Scratchpad access latency.
+pub const SCRATCHPAD_LATENCY: u64 = 1;
+
+/// Area of the single shared coupled load/store unit.
+pub const COUPLED_LSU_AREA: f64 = 1_500.0;
+pub use crate::oplib::AGU_FIFO_AREA;
+/// Area of the DMA engine (one per accelerator that uses scratchpads).
+pub const DMA_AREA: f64 = 5_000.0;
+/// Scratchpad SRAM area per byte.
+pub const SPAD_BYTE_AREA: f64 = 5.0;
+/// Extra banking overhead per additional scratchpad partition (fraction of
+/// the buffer area).
+pub const SPAD_BANK_OVERHEAD: f64 = 0.10;
+/// Scratchpad ports per partition (dual-ported SRAM).
+pub const SPAD_PORTS_PER_PARTITION: u64 = 2;
+/// DMA transfer bandwidth in bytes per accelerator cycle.
+pub const DMA_BYTES_PER_CYCLE: f64 = 8.0;
+/// Default scratchpad capacity cap in bytes.
+pub const SPAD_MAX_BYTES: f64 = 32.0 * 1024.0;
+
+/// The interface assigned to one memory access operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InterfaceKind {
+    /// Stalling load/store unit.
+    Coupled,
+    /// AGU + FIFO stream interface.
+    Decoupled,
+    /// Private buffer + DMA.
+    Scratchpad,
+}
+
+impl fmt::Display for InterfaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterfaceKind::Coupled => "coupled",
+            InterfaceKind::Decoupled => "decoupled",
+            InterfaceKind::Scratchpad => "scratchpad",
+        };
+        f.write_str(s)
+    }
+}
+
+impl InterfaceKind {
+    /// Datapath-visible latency of a load through this interface.
+    pub fn load_latency(self) -> u64 {
+        match self {
+            InterfaceKind::Coupled => COUPLED_LOAD_LATENCY,
+            InterfaceKind::Decoupled => DECOUPLED_LATENCY,
+            InterfaceKind::Scratchpad => SCRATCHPAD_LATENCY,
+        }
+    }
+
+    /// Datapath-visible latency of a store through this interface.
+    pub fn store_latency(self) -> u64 {
+        match self {
+            InterfaceKind::Coupled => COUPLED_STORE_LATENCY,
+            InterfaceKind::Decoupled => DECOUPLED_LATENCY,
+            InterfaceKind::Scratchpad => SCRATCHPAD_LATENCY,
+        }
+    }
+
+    /// Per-access interface area (buffers are charged separately per array;
+    /// see [`crate::design`]).
+    pub fn per_access_area(self) -> f64 {
+        match self {
+            InterfaceKind::Coupled => oplib::fu_area(oplib::FuClass::Mem),
+            InterfaceKind::Decoupled => AGU_FIFO_AREA,
+            InterfaceKind::Scratchpad => oplib::fu_area(oplib::FuClass::Mem),
+        }
+    }
+}
+
+/// Options steering interface selection and configuration generation.
+#[derive(Debug, Clone)]
+pub struct ModelOptions {
+    /// Scratchpad heuristic threshold β: use a scratchpad when the total
+    /// access count is at least β × footprint (§III-C).
+    pub beta: f64,
+    /// Candidate unroll factors explored for eligible innermost loops.
+    pub unroll_factors: Vec<u32>,
+    /// Candidate duplication factors: parallel pipeline instances created by
+    /// unrolling a dependence-free *outer* loop (§III-C "tries unrolling
+    /// loops without loop-carried dependencies"). Spends area for speedup
+    /// when the inner II is dependence-bound.
+    pub duplication_factors: Vec<u32>,
+    /// Restrict every access to the coupled interface (the paper's
+    /// "coupled-only Cayman" ablation in Fig. 6).
+    pub coupled_only: bool,
+    /// Scratchpad capacity cap in bytes.
+    pub spad_max_bytes: f64,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            beta: 4.0,
+            unroll_factors: vec![1, 2, 4, 8],
+            duplication_factors: vec![1, 2, 4, 8, 16],
+            coupled_only: false,
+            spad_max_bytes: SPAD_MAX_BYTES,
+        }
+    }
+}
+
+impl ModelOptions {
+    /// The coupled-only ablation configuration.
+    pub fn coupled_only() -> Self {
+        ModelOptions {
+            coupled_only: true,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_favor_specialised_interfaces() {
+        assert!(InterfaceKind::Coupled.load_latency() > InterfaceKind::Decoupled.load_latency());
+        assert_eq!(
+            InterfaceKind::Scratchpad.load_latency(),
+            InterfaceKind::Decoupled.load_latency()
+        );
+    }
+
+    #[test]
+    fn areas_favor_coupled() {
+        assert!(
+            InterfaceKind::Decoupled.per_access_area() > InterfaceKind::Coupled.per_access_area()
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(InterfaceKind::Coupled.to_string(), "coupled");
+        assert_eq!(InterfaceKind::Decoupled.to_string(), "decoupled");
+        assert_eq!(InterfaceKind::Scratchpad.to_string(), "scratchpad");
+    }
+
+    #[test]
+    fn default_options() {
+        let o = ModelOptions::default();
+        assert_eq!(o.beta, 4.0);
+        assert!(!o.coupled_only);
+        assert!(ModelOptions::coupled_only().coupled_only);
+    }
+}

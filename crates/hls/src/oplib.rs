@@ -1,0 +1,224 @@
+//! Characterised component library: per-operation latency and area.
+//!
+//! The paper retrieves operation and interface delay/area "by synthesizing
+//! them with OpenROAD targeting the Nangate45 PDK" (§III-F). Synthesis tools
+//! are not available here, so this module is a fixed characterisation table
+//! with Nangate45-flavoured *relative* costs at the paper's 500 MHz target
+//! clock (§IV-A). Areas are abstract µm²-like units; what matters downstream
+//! is their ratios and the normalisation against [`CVA6_TILE_AREA`].
+
+use cayman_ir::instr::{BinOp, Instr, UnaryOp};
+
+/// Accelerator target clock frequency in Hz (paper §IV-A: 500 MHz).
+pub const ACCEL_FREQ_HZ: f64 = 500.0e6;
+
+/// Area of one CVA6 RISC-V tile in library units; accelerator area budgets
+/// are expressed as fractions of this (paper §IV-A, reference \[32\]).
+pub const CVA6_TILE_AREA: f64 = 1_200_000.0;
+
+/// Area of a pipeline/output register per value.
+pub const REG_AREA: f64 = 150.0;
+
+/// Area of one 2:1 multiplexer input leg (merging overhead, §III-E).
+pub const MUX_INPUT_AREA: f64 = 80.0;
+
+/// Area of one AGU + FIFO pair (per decoupled access; re-exported by
+/// `crate::interface`).
+pub const AGU_FIFO_AREA: f64 = 2_500.0;
+
+/// Area of one reconfiguration bit register used by merged datapaths.
+pub const CONFIG_BIT_AREA: f64 = 10.0;
+
+/// Area per FSM state of the sequential controller.
+pub const FSM_STATE_AREA: f64 = 60.0;
+
+/// Fixed offload/synchronisation penalty per accelerator invocation, in
+/// accelerator cycles (driver write, start pulse, completion signal).
+pub const OFFLOAD_SYNC_CYCLES: f64 = 50.0;
+
+/// Latency in accelerator cycles of one *computational* instruction at the
+/// 500 MHz target (memory accesses are interface-dependent and handled by
+/// [`crate::interface`]).
+///
+/// `load`/`store` here return the *coupled*-interface default; schedulers
+/// override per assigned interface.
+pub fn accel_latency(instr: &Instr) -> u64 {
+    match instr {
+        Instr::Binary { op, .. } => match op {
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Shl
+            | BinOp::Shr
+            | BinOp::Min
+            | BinOp::Max => 1,
+            BinOp::Mul => 1,
+            BinOp::Div | BinOp::Rem => 6,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMin | BinOp::FMax => 2,
+            BinOp::FMul => 3,
+            BinOp::FDiv => 10,
+        },
+        Instr::Unary { op, .. } => match op {
+            UnaryOp::Neg | UnaryOp::Not | UnaryOp::FNeg | UnaryOp::FAbs => 1,
+            UnaryOp::Sqrt => 10,
+            UnaryOp::Exp | UnaryOp::Log => 16,
+            UnaryOp::SiToFp | UnaryOp::FpToSi => 1,
+        },
+        Instr::Cmp { .. } | Instr::Select { .. } => 1,
+        Instr::Gep { .. } => 1,
+        Instr::Load { .. } => crate::interface::COUPLED_LOAD_LATENCY,
+        Instr::Store { .. } => 1,
+        Instr::Phi { .. } => 0,
+        // Calls are never inside accelerable candidates; charged defensively.
+        Instr::Call { .. } => 1,
+    }
+}
+
+/// Functional-unit class for sequential resource sharing: ops of the same
+/// class can time-share one unit in a sequential datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuClass {
+    /// Integer ALU (add/sub/logic/shift/min/max/cmp/select/gep).
+    IntAlu,
+    /// Integer multiplier.
+    IntMul,
+    /// Integer divider.
+    IntDiv,
+    /// Floating adder/subtractor (also fmin/fmax).
+    FAdd,
+    /// Floating multiplier.
+    FMul,
+    /// Floating divider / square root.
+    FDivSqrt,
+    /// Transcendental unit (exp/log).
+    FTrans,
+    /// Type converter.
+    Cvt,
+    /// Memory port logic (the per-access datapath side; interface area is
+    /// charged separately).
+    Mem,
+    /// Pipeline/output register (one per operation instance). Mergeable:
+    /// identical datapaths share registers too.
+    Reg,
+    /// Address-generation unit + FIFO (one per decoupled access).
+    AguFifo,
+}
+
+/// Area of one functional unit of each class.
+pub fn fu_area(class: FuClass) -> f64 {
+    match class {
+        FuClass::IntAlu => 500.0,
+        FuClass::IntMul => 3_000.0,
+        FuClass::IntDiv => 8_000.0,
+        FuClass::FAdd => 4_000.0,
+        FuClass::FMul => 6_000.0,
+        FuClass::FDivSqrt => 15_000.0,
+        FuClass::FTrans => 25_000.0,
+        FuClass::Cvt => 800.0,
+        FuClass::Mem => 300.0,
+        FuClass::Reg => REG_AREA,
+        FuClass::AguFifo => AGU_FIFO_AREA,
+    }
+}
+
+/// The functional-unit class implementing an instruction, or `None` for
+/// instructions that need no datapath unit (phi).
+pub fn fu_class(instr: &Instr) -> Option<FuClass> {
+    Some(match instr {
+        Instr::Binary { op, .. } => match op {
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::And
+            | BinOp::Or
+            | BinOp::Xor
+            | BinOp::Shl
+            | BinOp::Shr
+            | BinOp::Min
+            | BinOp::Max => FuClass::IntAlu,
+            BinOp::Mul => FuClass::IntMul,
+            BinOp::Div | BinOp::Rem => FuClass::IntDiv,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMin | BinOp::FMax => FuClass::FAdd,
+            BinOp::FMul => FuClass::FMul,
+            BinOp::FDiv => FuClass::FDivSqrt,
+        },
+        Instr::Unary { op, .. } => match op {
+            UnaryOp::Neg | UnaryOp::Not => FuClass::IntAlu,
+            UnaryOp::FNeg | UnaryOp::FAbs => FuClass::FAdd,
+            UnaryOp::Sqrt => FuClass::FDivSqrt,
+            UnaryOp::Exp | UnaryOp::Log => FuClass::FTrans,
+            UnaryOp::SiToFp | UnaryOp::FpToSi => FuClass::Cvt,
+        },
+        Instr::Cmp { .. } | Instr::Select { .. } | Instr::Gep { .. } => FuClass::IntAlu,
+        Instr::Load { .. } | Instr::Store { .. } => FuClass::Mem,
+        Instr::Phi { .. } => return None,
+        Instr::Call { .. } => FuClass::IntAlu,
+    })
+}
+
+/// Dedicated (fully spatial) area of one instruction instance: its FU plus an
+/// output register. Used for pipelined datapaths where units are not shared.
+pub fn dedicated_area(instr: &Instr) -> f64 {
+    match fu_class(instr) {
+        Some(c) => fu_area(c) + REG_AREA,
+        None => REG_AREA, // phi = a register/mux
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::instr::Operand;
+    use cayman_ir::Type;
+
+    fn bin(op: BinOp) -> Instr {
+        Instr::Binary {
+            op,
+            ty: if op.is_float() { Type::F64 } else { Type::I64 },
+            lhs: Operand::int(0),
+            rhs: Operand::int(0),
+        }
+    }
+
+    #[test]
+    fn latency_ordering_is_sane() {
+        assert!(accel_latency(&bin(BinOp::FDiv)) > accel_latency(&bin(BinOp::FMul)));
+        assert!(accel_latency(&bin(BinOp::FMul)) > accel_latency(&bin(BinOp::FAdd)));
+        assert!(accel_latency(&bin(BinOp::FAdd)) > accel_latency(&bin(BinOp::Add)));
+        assert_eq!(
+            accel_latency(&Instr::Phi {
+                ty: Type::F64,
+                incomings: vec![]
+            }),
+            0
+        );
+    }
+
+    #[test]
+    fn area_ordering_is_sane() {
+        assert!(fu_area(FuClass::FDivSqrt) > fu_area(FuClass::FMul));
+        assert!(fu_area(FuClass::FMul) > fu_area(FuClass::IntAlu));
+        assert!(dedicated_area(&bin(BinOp::FMul)) > fu_area(FuClass::FMul));
+    }
+
+    #[test]
+    fn fu_classification() {
+        assert_eq!(fu_class(&bin(BinOp::Add)), Some(FuClass::IntAlu));
+        assert_eq!(fu_class(&bin(BinOp::FMul)), Some(FuClass::FMul));
+        assert_eq!(
+            fu_class(&Instr::Phi {
+                ty: Type::F64,
+                incomings: vec![]
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn budgets_are_meaningful_fractions() {
+        // A 25% budget should fit a handful of pipelined FP datapaths.
+        let budget = 0.25 * CVA6_TILE_AREA;
+        assert!(budget > 20.0 * fu_area(FuClass::FMul));
+    }
+}

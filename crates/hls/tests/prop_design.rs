@@ -1,0 +1,204 @@
+//! Property-based tests of the accelerator model: for arbitrary rectangular
+//! streaming kernels, generated designs must satisfy the invariants the
+//! selection DP assumes.
+
+use cayman_analysis::access::AccessAnalysis;
+use cayman_analysis::ctx::FuncCtx;
+use cayman_analysis::memdep::{analyse_loop_deps, LoopDeps};
+use cayman_analysis::scev::Scev;
+use cayman_hls::design::generate_designs;
+use cayman_hls::inputs::{Candidate, FuncInputs};
+use cayman_hls::interface::ModelOptions;
+use cayman_ir::builder::ModuleBuilder;
+use cayman_ir::interp::Interp;
+use cayman_ir::{FuncId, Module, Type};
+use proptest::prelude::*;
+
+struct Owned {
+    module: Module,
+    ctx: FuncCtx,
+    accesses: AccessAnalysis,
+    deps: Vec<LoopDeps>,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+/// A parameterised 2-level kernel: outer `n`, inner `m`, with either an
+/// element-wise body or a reduction body.
+fn build(n: i64, m: i64, reduction: bool) -> Owned {
+    let mut mb = ModuleBuilder::new("prop");
+    let a = mb.array("A", Type::F64, &[n as usize, m as usize]);
+    let out = mb.array("out", Type::F64, &[n as usize, m as usize]);
+    let red = mb.array("red", Type::F64, &[n as usize]);
+    mb.function("main", &[], None, move |fb| {
+        fb.counted_loop(0, n, 1, move |fb, i| {
+            if reduction {
+                let zero = fb.fconst(0.0);
+                let acc =
+                    fb.counted_loop_carry(0, m, 1, &[(Type::F64, zero)], |fb, j, c| {
+                        let v = fb.load_idx(a, &[i, j]);
+                        let p = fb.fmul(v, v);
+                        vec![fb.fadd(c[0], p)]
+                    });
+                fb.store_idx(red, &[i], acc[0]);
+            } else {
+                fb.counted_loop(0, m, 1, |fb, j| {
+                    let v = fb.load_idx(a, &[i, j]);
+                    let w = fb.fmul(v, fb.fconst(2.0));
+                    fb.store_idx(out, &[i, j], w);
+                });
+            }
+        });
+        fb.ret(None);
+    });
+    let module = mb.finish();
+    module.verify().expect("verifies");
+    let exec = Interp::new(&module).run(&[]).expect("runs");
+    let f = module.function(FuncId(0));
+    let ctx = FuncCtx::compute(f);
+    let mut scev = Scev::new(f, &ctx);
+    let accesses = AccessAnalysis::run(&module, f, &ctx, &mut scev);
+    let deps = analyse_loop_deps(f, &ctx, &mut scev, &accesses);
+    Owned {
+        ctx,
+        accesses,
+        deps,
+        counts: exec.block_counts[0].clone(),
+        total: exec.total_cycles,
+        module,
+    }
+}
+
+fn candidate(o: &Owned) -> (FuncInputs<'_>, Candidate) {
+    let trips: Vec<f64> = o
+        .ctx
+        .forest
+        .ids()
+        .map(|l| {
+            cayman_analysis::access::static_trip_count(
+                o.module.function(FuncId(0)),
+                &o.ctx,
+                l,
+            )
+            .map(|t| t as f64)
+            .unwrap_or(1.0)
+        })
+        .collect();
+    let inp = FuncInputs {
+        module: &o.module,
+        func_id: FuncId(0),
+        ctx: &o.ctx,
+        accesses: &o.accesses,
+        deps: &o.deps,
+        trips,
+        block_counts: o.counts.clone(),
+    };
+    let outer = o
+        .ctx
+        .forest
+        .ids()
+        .find(|&l| o.ctx.forest.get(l).depth == 1)
+        .expect("outer loop");
+    let lp = o.ctx.forest.get(outer);
+    let cand = Candidate {
+        func: FuncId(0),
+        blocks: lp.blocks.clone(),
+        entries: 1,
+        cpu_cycles: o.total,
+        is_bb: false,
+    };
+    (inp, cand)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated design has positive area and cycles, interface
+    /// assignments covering exactly the candidate's accesses, and the
+    /// sequential configuration is always the smallest.
+    #[test]
+    fn designs_are_well_formed(n in 2i64..16, m in 2i64..16, reduction: bool) {
+        let o = build(n, m, reduction);
+        let (inp, cand) = candidate(&o);
+        let n_accesses = inp.accesses.within(&cand.blocks).count();
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        prop_assert!(!designs.is_empty());
+        let seq = &designs[0];
+        prop_assert!(seq.pipelined.is_empty());
+        for d in &designs {
+            prop_assert!(d.area > 0.0);
+            prop_assert!(d.accel_cycles_total > 0.0);
+            prop_assert!(d.accel_cycles_total.is_finite());
+            prop_assert_eq!(d.interfaces.len(), n_accesses);
+            prop_assert!(d.area >= seq.area - 1e-9, "sequential is minimal area");
+            let (c, de, s) = d.iface_counts();
+            prop_assert_eq!(c + de + s, n_accesses);
+        }
+    }
+
+    /// More unrolling never makes a pipelined configuration slower (the
+    /// paper's area-performance trade-off must be monotone within a
+    /// candidate's configuration family).
+    #[test]
+    fn unrolling_is_monotone(n in 2i64..16, m in 2i64..16, reduction: bool) {
+        let o = build(n, m, reduction);
+        let (inp, cand) = candidate(&o);
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        let mut pipelined: Vec<_> = designs.iter().filter(|d| !d.pipelined.is_empty()).collect();
+        pipelined.sort_by_key(|d| d.unroll);
+        for w in pipelined.windows(2) {
+            if w[0].unroll < w[1].unroll
+                && w[0].pipelined_detail.iter().map(|(_, _, f)| f).sum::<u32>()
+                    < w[1].pipelined_detail.iter().map(|(_, _, f)| f).sum::<u32>()
+            {
+                prop_assert!(
+                    w[1].accel_cycles_total <= w[0].accel_cycles_total + 1e-6,
+                    "unroll {} slower than {}: {} vs {}",
+                    w[1].unroll,
+                    w[0].unroll,
+                    w[1].accel_cycles_total,
+                    w[0].accel_cycles_total
+                );
+            }
+        }
+    }
+
+    /// The coupled-only ablation never beats the full model (it explores a
+    /// strict subset of the interface space).
+    #[test]
+    fn coupled_only_never_wins(n in 2i64..16, m in 2i64..16, reduction: bool) {
+        let o = build(n, m, reduction);
+        let (inp, cand) = candidate(&o);
+        let best = |opts: &ModelOptions| -> f64 {
+            generate_designs(&inp, &cand, opts)
+                .iter()
+                .map(|d| d.accel_cycles_total)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let full = best(&ModelOptions::default());
+        let coupled = best(&ModelOptions::coupled_only());
+        prop_assert!(full <= coupled + 1e-6, "full {full} vs coupled {coupled}");
+    }
+
+    /// Reduction kernels carry a dependence yet still unroll (partial sums);
+    /// element-wise kernels carry none. Either way at least one pipelined
+    /// configuration with unroll > 1 must appear.
+    #[test]
+    fn reduction_unrolling_is_available(n in 2i64..16, m in 4i64..16) {
+        let o = build(n, m, true);
+        let (inp, cand) = candidate(&o);
+        let inner = o
+            .ctx
+            .forest
+            .ids()
+            .find(|&l| o.ctx.forest.get(l).depth == 2)
+            .expect("inner");
+        prop_assert!(o.deps[inner.index()].has_carried());
+        prop_assert!(o.deps[inner.index()].is_reduction_only(o.module.function(FuncId(0))));
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        prop_assert!(
+            designs.iter().any(|d| d.unroll > 1 && !d.pipelined.is_empty()),
+            "partial-sum unrolling missing"
+        );
+    }
+}

@@ -1,0 +1,765 @@
+//! Convenient construction of IR modules.
+//!
+//! Workload kernels (PolyBench & co.) are written against this builder. It
+//! produces well-formed SSA directly: loops are built with header phis,
+//! conditionals as dominance diamonds, so the region analysis in
+//! `cayman-analysis` sees exactly the structured CFGs that LLVM's
+//! `RegionInfoAnalysis` would report for `-O3`-compiled benchmark code.
+
+use crate::instr::{BinOp, CmpPred, Imm, Instr, Operand, Terminator, UnaryOp};
+use crate::module::{
+    ArrayDecl, ArrayId, Block, BlockId, FuncId, Function, InstrId, Module, ValueDef, ValueId,
+};
+use crate::types::Type;
+
+/// Builds a [`Module`]: declare arrays, then build functions in order.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates a builder for a new module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Declares a global array and returns its id.
+    pub fn array(&mut self, name: impl Into<String>, elem: Type, dims: &[usize]) -> ArrayId {
+        assert!(!dims.is_empty(), "array must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be non-zero");
+        let id = ArrayId(self.module.arrays.len() as u32);
+        self.module.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem,
+            dims: dims.to_vec(),
+        });
+        id
+    }
+
+    /// Builds a function with the given parameter and return types. The
+    /// closure receives a [`FunctionBuilder`] positioned in the entry block.
+    ///
+    /// Functions may call any function built *earlier* (no forward
+    /// references), which is sufficient for the benchmark programs where
+    /// `main` is built last.
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        params: &[Type],
+        ret: Option<Type>,
+        build: impl FnOnce(&mut FunctionBuilder),
+    ) -> FuncId {
+        let mut fb = FunctionBuilder::new(name.into(), params, ret);
+        build(&mut fb);
+        let id = FuncId(self.module.functions.len() as u32);
+        self.module.functions.push(fb.finish());
+        id
+    }
+
+    /// Finishes construction and returns the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+
+    /// Read-only view of the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Builds one [`Function`].
+///
+/// The builder maintains a *current block*; instruction-emitting methods
+/// append there. Structured-control-flow helpers ([`counted_loop`],
+/// [`if_then`], ...) manage blocks and phis for you.
+///
+/// [`counted_loop`]: FunctionBuilder::counted_loop
+/// [`if_then`]: FunctionBuilder::if_then
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    fn new(name: String, params: &[Type], ret: Option<Type>) -> Self {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, &ty)| ValueDef::Param(i as u32, ty))
+            .collect();
+        let func = Function {
+            name,
+            params: params.to_vec(),
+            ret,
+            blocks: vec![Block {
+                name: "entry".into(),
+                instrs: Vec::new(),
+                term: None,
+            }],
+            instrs: Vec::new(),
+            values,
+            instr_results: Vec::new(),
+        };
+        FunctionBuilder {
+            func,
+            current: BlockId(0),
+        }
+    }
+
+    fn finish(self) -> Function {
+        self.func
+    }
+
+    /// The `i`-th parameter as an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Operand {
+        assert!(i < self.func.params.len(), "parameter index out of range");
+        Operand::Value(ValueId(i as u32))
+    }
+
+    /// Creates a new (empty, unterminated) block.
+    pub fn new_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(Block {
+            name: name.into(),
+            instrs: Vec::new(),
+            term: None,
+        });
+        id
+    }
+
+    /// Switches the insertion point to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.current = b;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, instr: Instr) -> Option<Operand> {
+        assert!(
+            self.func.blocks[self.current.index()].term.is_none(),
+            "cannot append to a terminated block"
+        );
+        let iid = InstrId(self.func.instrs.len() as u32);
+        let res_ty = instr.result_type();
+        self.func.instrs.push(instr);
+        let result = res_ty.map(|_| {
+            let v = ValueId(self.func.values.len() as u32);
+            self.func.values.push(ValueDef::Instr(iid));
+            v
+        });
+        self.func.instr_results.push(result);
+        self.func.blocks[self.current.index()].instrs.push(iid);
+        result.map(Operand::Value)
+    }
+
+    // ---- constants -------------------------------------------------------
+
+    /// Integer immediate.
+    pub fn iconst(&self, v: i64) -> Operand {
+        Operand::Const(Imm::Int(v))
+    }
+
+    /// Float immediate.
+    pub fn fconst(&self, v: f64) -> Operand {
+        Operand::Const(Imm::Float(v))
+    }
+
+    // ---- arithmetic ------------------------------------------------------
+
+    /// Generic binary instruction.
+    pub fn binary(&mut self, op: BinOp, ty: Type, lhs: Operand, rhs: Operand) -> Operand {
+        self.push(Instr::Binary { op, ty, lhs, rhs }).expect("binary produces a value")
+    }
+
+    /// `i64` addition.
+    pub fn add(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Add, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` subtraction.
+    pub fn sub(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Sub, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` multiplication.
+    pub fn mul(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Mul, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` signed division.
+    pub fn sdiv(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Div, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` signed remainder.
+    pub fn srem(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Rem, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` bitwise and.
+    pub fn and(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::And, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` bitwise xor.
+    pub fn xor(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Xor, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` shift left.
+    pub fn shl(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Shl, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` arithmetic shift right.
+    pub fn shr(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::Shr, Type::I64, lhs, rhs)
+    }
+
+    /// `f64` addition.
+    pub fn fadd(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::FAdd, Type::F64, lhs, rhs)
+    }
+
+    /// `f64` subtraction.
+    pub fn fsub(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::FSub, Type::F64, lhs, rhs)
+    }
+
+    /// `f64` multiplication.
+    pub fn fmul(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::FMul, Type::F64, lhs, rhs)
+    }
+
+    /// `f64` division.
+    pub fn fdiv(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::FDiv, Type::F64, lhs, rhs)
+    }
+
+    /// `f64` maximum.
+    pub fn fmax(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.binary(BinOp::FMax, Type::F64, lhs, rhs)
+    }
+
+    /// Generic unary instruction.
+    pub fn unary(&mut self, op: UnaryOp, ty: Type, val: Operand) -> Operand {
+        self.push(Instr::Unary { op, ty, val }).expect("unary produces a value")
+    }
+
+    /// `f64` square root.
+    pub fn sqrt(&mut self, val: Operand) -> Operand {
+        self.unary(UnaryOp::Sqrt, Type::F64, val)
+    }
+
+    /// `f64` exponential.
+    pub fn exp(&mut self, val: Operand) -> Operand {
+        self.unary(UnaryOp::Exp, Type::F64, val)
+    }
+
+    /// `f64` absolute value.
+    pub fn fabs(&mut self, val: Operand) -> Operand {
+        self.unary(UnaryOp::FAbs, Type::F64, val)
+    }
+
+    /// `i64` → `f64` conversion.
+    pub fn sitofp(&mut self, val: Operand) -> Operand {
+        self.unary(UnaryOp::SiToFp, Type::F64, val)
+    }
+
+    /// `f64` → `i64` conversion (truncating).
+    pub fn fptosi(&mut self, val: Operand) -> Operand {
+        self.unary(UnaryOp::FpToSi, Type::I64, val)
+    }
+
+    /// Comparison producing `i1`.
+    pub fn cmp(&mut self, pred: CmpPred, ty: Type, lhs: Operand, rhs: Operand) -> Operand {
+        self.push(Instr::Cmp { pred, ty, lhs, rhs }).expect("cmp produces a value")
+    }
+
+    /// `i64` less-than.
+    pub fn icmp_lt(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.cmp(CmpPred::Lt, Type::I64, lhs, rhs)
+    }
+
+    /// `i64` equality.
+    pub fn icmp_eq(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.cmp(CmpPred::Eq, Type::I64, lhs, rhs)
+    }
+
+    /// `f64` ordered greater-than.
+    pub fn fcmp_gt(&mut self, lhs: Operand, rhs: Operand) -> Operand {
+        self.cmp(CmpPred::Gt, Type::F64, lhs, rhs)
+    }
+
+    /// Conditional select.
+    pub fn select(&mut self, cond: Operand, ty: Type, t: Operand, e: Operand) -> Operand {
+        self.push(Instr::Select {
+            cond,
+            ty,
+            then_val: t,
+            else_val: e,
+        })
+        .expect("select produces a value")
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Address of `array[indices...]` (one index per dimension).
+    pub fn gep(&mut self, array: ArrayId, indices: &[Operand]) -> Operand {
+        self.push(Instr::Gep {
+            array,
+            indices: indices.to_vec(),
+        })
+        .expect("gep produces a value")
+    }
+
+    /// Load with explicit element type.
+    pub fn load(&mut self, ptr: Operand, ty: Type) -> Operand {
+        self.push(Instr::Load { ptr, ty }).expect("load produces a value")
+    }
+
+    /// Store with explicit element type.
+    pub fn store(&mut self, ptr: Operand, value: Operand, ty: Type) {
+        self.push(Instr::Store { ptr, value, ty });
+    }
+
+    /// Combined gep + load of `array[indices...]` with element type `F64`.
+    ///
+    /// Workload kernels are overwhelmingly `f64`; use [`load_idx_ty`] for
+    /// other element types.
+    ///
+    /// [`load_idx_ty`]: FunctionBuilder::load_idx_ty
+    pub fn load_idx(&mut self, array: ArrayId, indices: &[Operand]) -> Operand {
+        self.load_idx_ty(array, indices, Type::F64)
+    }
+
+    /// Combined gep + load with explicit element type.
+    pub fn load_idx_ty(&mut self, array: ArrayId, indices: &[Operand], ty: Type) -> Operand {
+        let p = self.gep(array, indices);
+        self.load(p, ty)
+    }
+
+    /// Combined gep + store of `array[indices...] = value` with type `F64`.
+    pub fn store_idx(&mut self, array: ArrayId, indices: &[Operand], value: Operand) {
+        self.store_idx_ty(array, indices, value, Type::F64);
+    }
+
+    /// Combined gep + store with explicit element type.
+    pub fn store_idx_ty(
+        &mut self,
+        array: ArrayId,
+        indices: &[Operand],
+        value: Operand,
+        ty: Type,
+    ) {
+        let p = self.gep(array, indices);
+        self.store(p, value, ty);
+    }
+
+    // ---- phis & calls ----------------------------------------------------
+
+    /// Creates a phi with the given incomings.
+    pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Operand)>) -> Operand {
+        self.push(Instr::Phi { ty, incomings }).expect("phi produces a value")
+    }
+
+    /// Adds an incoming edge to an existing phi.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` does not name a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: Operand, pred: BlockId, val: Operand) {
+        let vid = phi.as_value().expect("phi operand must be a value");
+        let ValueDef::Instr(iid) = self.func.values[vid.index()] else {
+            panic!("phi operand must be an instruction result");
+        };
+        match &mut self.func.instrs[iid.index()] {
+            Instr::Phi { incomings, .. } => incomings.push((pred, val)),
+            other => panic!("expected phi, found {}", other.opcode_name()),
+        }
+    }
+
+    /// Direct call to a previously built function.
+    pub fn call(&mut self, callee: FuncId, args: &[Operand], ty: Option<Type>) -> Option<Operand> {
+        let res = self.push(Instr::Call {
+            callee,
+            args: args.to_vec(),
+            ty,
+        });
+        res
+    }
+
+    // ---- terminators -----------------------------------------------------
+
+    fn terminate(&mut self, t: Terminator) {
+        let blk = &mut self.func.blocks[self.current.index()];
+        assert!(blk.term.is_none(), "block {} already terminated", blk.name);
+        blk.term = Some(t);
+    }
+
+    /// Unconditional branch; leaves the insertion point on the (now
+    /// terminated) current block — call [`switch_to`] next.
+    ///
+    /// [`switch_to`]: FunctionBuilder::switch_to
+    pub fn br(&mut self, target: BlockId) {
+        self.terminate(Terminator::Br(target));
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.terminate(Terminator::Ret(val));
+    }
+
+    // ---- structured control flow ----------------------------------------
+
+    /// Builds `for (i = start; i < end; i += step) body(i)` and leaves the
+    /// insertion point in the loop's exit block. The induction variable is
+    /// passed to `body`.
+    ///
+    /// The generated CFG is the canonical natural-loop shape: a dedicated
+    /// header with the IV phi, a body subgraph, a latch increment and a
+    /// single exit — i.e. a single-entry-single-exit *ctrl-flow* region in
+    /// wPST terms.
+    pub fn counted_loop(
+        &mut self,
+        start: i64,
+        end: i64,
+        step: i64,
+        body: impl FnOnce(&mut Self, Operand),
+    ) {
+        let s = self.iconst(start);
+        let e = self.iconst(end);
+        self.counted_loop_dyn(s, e, step, body);
+    }
+
+    /// [`counted_loop`](FunctionBuilder::counted_loop) with operand bounds
+    /// (e.g. loop limits that are function parameters or loaded values).
+    pub fn counted_loop_dyn(
+        &mut self,
+        start: Operand,
+        end: Operand,
+        step: i64,
+        body: impl FnOnce(&mut Self, Operand),
+    ) {
+        assert!(step != 0, "loop step must be non-zero");
+        let header = self.new_block("loop.header");
+        let body_bb = self.new_block("loop.body");
+        let exit = self.new_block("loop.exit");
+
+        let preheader = self.current;
+        self.br(header);
+
+        self.switch_to(header);
+        let iv = self.phi(Type::I64, vec![(preheader, start)]);
+        let cont = if step > 0 {
+            self.cmp(CmpPred::Lt, Type::I64, iv, end)
+        } else {
+            self.cmp(CmpPred::Gt, Type::I64, iv, end)
+        };
+        self.cond_br(cont, body_bb, exit);
+
+        self.switch_to(body_bb);
+        body(self, iv);
+        let latch = self.current;
+        let stepc = self.iconst(step);
+        let next = self.add(iv, stepc);
+        self.add_phi_incoming(iv, latch, next);
+        self.br(header);
+
+        self.switch_to(exit);
+    }
+
+    /// Builds a counted loop that threads `carries` (loop-carried scalars)
+    /// through header phis; `body` returns the next-iteration values, and the
+    /// final values are returned for use after the loop.
+    ///
+    /// This is how reductions that stay in registers (e.g. a running `f64`
+    /// sum) are expressed; memory-carried reductions (`z[i] += ...`) just use
+    /// load/store inside a plain [`counted_loop`](FunctionBuilder::counted_loop).
+    pub fn counted_loop_carry(
+        &mut self,
+        start: i64,
+        end: i64,
+        step: i64,
+        carries: &[(Type, Operand)],
+        body: impl FnOnce(&mut Self, Operand, &[Operand]) -> Vec<Operand>,
+    ) -> Vec<Operand> {
+        assert!(step != 0, "loop step must be non-zero");
+        let header = self.new_block("loop.header");
+        let body_bb = self.new_block("loop.body");
+        let exit = self.new_block("loop.exit");
+
+        let preheader = self.current;
+        self.br(header);
+
+        self.switch_to(header);
+        let s = self.iconst(start);
+        let iv = self.phi(Type::I64, vec![(preheader, s)]);
+        let carry_phis: Vec<Operand> = carries
+            .iter()
+            .map(|&(ty, init)| self.phi(ty, vec![(preheader, init)]))
+            .collect();
+        let e = self.iconst(end);
+        let cont = if step > 0 {
+            self.cmp(CmpPred::Lt, Type::I64, iv, e)
+        } else {
+            self.cmp(CmpPred::Gt, Type::I64, iv, e)
+        };
+        self.cond_br(cont, body_bb, exit);
+
+        self.switch_to(body_bb);
+        let nexts = body(self, iv, &carry_phis);
+        assert_eq!(
+            nexts.len(),
+            carries.len(),
+            "body must return one value per carried scalar"
+        );
+        let latch = self.current;
+        let stepc = self.iconst(step);
+        let ivn = self.add(iv, stepc);
+        self.add_phi_incoming(iv, latch, ivn);
+        for (phi, next) in carry_phis.iter().zip(&nexts) {
+            self.add_phi_incoming(*phi, latch, *next);
+        }
+        self.br(header);
+
+        self.switch_to(exit);
+        carry_phis
+    }
+
+    /// [`counted_loop_carry`](FunctionBuilder::counted_loop_carry) with
+    /// operand bounds and a fixed `+1` step — used for triangular loop nests
+    /// (`for k in 0..i`) common in factorisation kernels.
+    pub fn counted_loop_carry_dyn(
+        &mut self,
+        start: Operand,
+        end: Operand,
+        carries: &[(Type, Operand)],
+        body: impl FnOnce(&mut Self, Operand, &[Operand]) -> Vec<Operand>,
+    ) -> Vec<Operand> {
+        let header = self.new_block("loop.header");
+        let body_bb = self.new_block("loop.body");
+        let exit = self.new_block("loop.exit");
+
+        let preheader = self.current;
+        self.br(header);
+
+        self.switch_to(header);
+        let iv = self.phi(Type::I64, vec![(preheader, start)]);
+        let carry_phis: Vec<Operand> = carries
+            .iter()
+            .map(|&(ty, init)| self.phi(ty, vec![(preheader, init)]))
+            .collect();
+        let cont = self.cmp(CmpPred::Lt, Type::I64, iv, end);
+        self.cond_br(cont, body_bb, exit);
+
+        self.switch_to(body_bb);
+        let nexts = body(self, iv, &carry_phis);
+        assert_eq!(
+            nexts.len(),
+            carries.len(),
+            "body must return one value per carried scalar"
+        );
+        let latch = self.current;
+        let one = self.iconst(1);
+        let ivn = self.add(iv, one);
+        self.add_phi_incoming(iv, latch, ivn);
+        for (phi, next) in carry_phis.iter().zip(&nexts) {
+            self.add_phi_incoming(*phi, latch, *next);
+        }
+        self.br(header);
+
+        self.switch_to(exit);
+        carry_phis
+    }
+
+    /// Builds `if (cond) { then }` as a dominance diamond with an empty else
+    /// arm; leaves the insertion point in the join block.
+    pub fn if_then(&mut self, cond: Operand, then_body: impl FnOnce(&mut Self)) {
+        let then_bb = self.new_block("if.then");
+        let join = self.new_block("if.join");
+        self.cond_br(cond, then_bb, join);
+        self.switch_to(then_bb);
+        then_body(self);
+        self.br(join);
+        self.switch_to(join);
+    }
+
+    /// Builds `if (cond) { then } else { else }`; leaves the insertion point
+    /// in the join block.
+    pub fn if_then_else(
+        &mut self,
+        cond: Operand,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let then_bb = self.new_block("if.then");
+        let else_bb = self.new_block("if.else");
+        let join = self.new_block("if.join");
+        self.cond_br(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        then_body(self);
+        self.br(join);
+        self.switch_to(else_bb);
+        else_body(self);
+        self.br(join);
+        self.switch_to(join);
+    }
+
+    /// Like [`if_then_else`](FunctionBuilder::if_then_else) but merges one
+    /// value of type `ty` from the two arms via a phi in the join block.
+    pub fn if_then_else_val(
+        &mut self,
+        cond: Operand,
+        ty: Type,
+        then_body: impl FnOnce(&mut Self) -> Operand,
+        else_body: impl FnOnce(&mut Self) -> Operand,
+    ) -> Operand {
+        let then_bb = self.new_block("if.then");
+        let else_bb = self.new_block("if.else");
+        let join = self.new_block("if.join");
+        self.cond_br(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        let tv = then_body(self);
+        let t_end = self.current;
+        self.br(join);
+        self.switch_to(else_bb);
+        let ev = else_body(self);
+        let e_end = self.current;
+        self.br(join);
+        self.switch_to(join);
+        self.phi(ty, vec![(t_end, tv), (e_end, ev)])
+    }
+
+    /// Builds a general `while` loop: `cond` is evaluated in the header each
+    /// iteration (it may carry state through phis created by the caller);
+    /// this is used for irregular loops (string scanners, LZ matchers).
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let header = self.new_block("while.header");
+        let body_bb = self.new_block("while.body");
+        let exit = self.new_block("while.exit");
+        self.br(header);
+        self.switch_to(header);
+        let c = cond(self);
+        self.cond_br(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self);
+        self.br(header);
+        self.switch_to(exit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_loop_module() {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[8]);
+        let f = mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                let w = fb.fadd(v, fb.fconst(1.0));
+                fb.store_idx(x, &[i], w);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let func = m.function(f);
+        // entry, header, body, exit
+        assert_eq!(func.blocks.len(), 4);
+        assert!(func.blocks.iter().all(|b| b.term.is_some()));
+        // phi lives in the header and has two incomings
+        let header = &func.blocks[1];
+        let phi = func.instr(header.instrs[0]);
+        match phi {
+            Instr::Phi { incomings, .. } => assert_eq!(incomings.len(), 2),
+            other => panic!("expected phi first in header, got {}", other.opcode_name()),
+        }
+    }
+
+    #[test]
+    fn if_then_else_val_builds_diamond_with_phi() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.function("g", &[Type::I64], Some(Type::I64), |fb| {
+            let p = fb.param(0);
+            let z = fb.iconst(0);
+            let c = fb.icmp_lt(p, z);
+            let r = fb.if_then_else_val(
+                c,
+                Type::I64,
+                |fb| {
+                    let z = fb.iconst(0);
+                    fb.sub(z, p)
+                },
+                |_| p,
+            );
+            fb.ret(Some(r));
+        });
+        let m = mb.finish();
+        let func = m.function(f);
+        assert_eq!(func.blocks.len(), 4); // entry, then, else, join
+        let join = func.blocks.last().expect("join block");
+        assert!(matches!(func.instr(join.instrs[0]), Instr::Phi { .. }));
+    }
+
+    #[test]
+    fn carried_loop_threads_values() {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[4]);
+        mb.function("sum", &[], Some(Type::F64), |fb| {
+            let init = fb.fconst(0.0);
+            let finals = fb.counted_loop_carry(0, 4, 1, &[(Type::F64, init)], |fb, i, c| {
+                let v = fb.load_idx(x, &[i]);
+                vec![fb.fadd(c[0], v)]
+            });
+            fb.ret(Some(finals[0]));
+        });
+        let m = mb.finish();
+        assert_eq!(m.functions.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.function("f", &[], None, |fb| {
+            fb.ret(None);
+            fb.ret(None);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_array_dim_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.array("bad", Type::F64, &[0]);
+    }
+}

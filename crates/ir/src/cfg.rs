@@ -1,0 +1,117 @@
+//! Control-flow-graph utilities: predecessor/successor maps and orderings.
+
+use crate::module::{BlockId, Function};
+
+/// Predecessor/successor maps plus a reverse post-order for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reverse post-order from the entry block. Unreachable blocks are
+    /// excluded.
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] = Some(position of b in rpo)`, `None` if unreachable.
+    pub rpo_index: Vec<Option<usize>>,
+    /// Blocks terminated by `ret` (CFG exits).
+    pub exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Computes the CFG for `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for b in func.block_ids() {
+            let term = func.block(b).terminator();
+            let ss = term.successors();
+            if ss.is_empty() {
+                exits.push(b);
+            }
+            for s in &ss {
+                preds[s.index()].push(b);
+            }
+            succs[b.index()] = ss;
+        }
+
+        // Iterative DFS post-order from entry.
+        let mut post = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        // (block, next successor index to visit)
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+        visited[func.entry().index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i);
+        }
+
+        Cfg {
+            succs,
+            preds,
+            rpo,
+            rpo_index,
+            exits,
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn block_count(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn loop_cfg_shape() {
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[4]);
+        let f = mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 4, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                fb.store_idx(x, &[i], v);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        // entry(0) -> header(1) -> {body(2), exit(3)}; body -> header
+        assert_eq!(cfg.succs[0], vec![BlockId(1)]);
+        assert_eq!(cfg.succs[1], vec![BlockId(2), BlockId(3)]);
+        assert_eq!(cfg.succs[2], vec![BlockId(1)]);
+        assert!(cfg.succs[3].is_empty());
+        assert_eq!(cfg.preds[1], vec![BlockId(0), BlockId(2)]);
+        assert_eq!(cfg.exits, vec![BlockId(3)]);
+        // RPO starts with entry and covers all four blocks.
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(cfg.rpo.len(), 4);
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+}

@@ -1,0 +1,490 @@
+//! Instructions, operands and terminators.
+
+use crate::module::{ArrayId, BlockId, FuncId, ValueId};
+use crate::types::Type;
+use std::fmt;
+
+/// An immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imm {
+    /// Integer immediate (any integer type).
+    Int(i64),
+    /// Floating-point immediate.
+    Float(f64),
+    /// Boolean immediate.
+    Bool(bool),
+}
+
+impl fmt::Display for Imm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Imm::Int(v) => write!(f, "{v}"),
+            Imm::Float(v) => write!(f, "{v:?}"),
+            Imm::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An instruction operand: either an SSA value or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Reference to an SSA value (function parameter or instruction result).
+    Value(ValueId),
+    /// Immediate constant.
+    Const(Imm),
+}
+
+impl Operand {
+    /// Integer immediate convenience constructor.
+    pub fn int(v: i64) -> Self {
+        Operand::Const(Imm::Int(v))
+    }
+
+    /// Float immediate convenience constructor.
+    pub fn float(v: f64) -> Self {
+        Operand::Const(Imm::Float(v))
+    }
+
+    /// The referenced value, if this operand is not an immediate.
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// The immediate integer, if this operand is `Const(Int(_))`.
+    pub fn as_const_int(self) -> Option<i64> {
+        match self {
+            Operand::Const(Imm::Int(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+/// Binary arithmetic / logical opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Signed integer division.
+    Div,
+    /// Signed integer remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Arithmetic shift right.
+    Shr,
+    /// Integer minimum.
+    Min,
+    /// Integer maximum.
+    Max,
+    /// Floating addition.
+    FAdd,
+    /// Floating subtraction.
+    FSub,
+    /// Floating multiplication.
+    FMul,
+    /// Floating division.
+    FDiv,
+    /// Floating minimum.
+    FMin,
+    /// Floating maximum.
+    FMax,
+}
+
+impl BinOp {
+    /// Whether this opcode operates on floating-point values.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FMin | BinOp::FMax
+        )
+    }
+
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "sdiv",
+            BinOp::Rem => "srem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "ashr",
+            BinOp::Min => "smin",
+            BinOp::Max => "smax",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+            BinOp::FMin => "fmin",
+            BinOp::FMax => "fmax",
+        }
+    }
+}
+
+/// Unary opcodes, including the (small) set of math intrinsics the benchmark
+/// suites need and the two numeric casts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnaryOp {
+    /// Integer negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Floating negation.
+    FNeg,
+    /// Floating absolute value.
+    FAbs,
+    /// Floating square root.
+    Sqrt,
+    /// Floating exponential.
+    Exp,
+    /// Floating natural logarithm.
+    Log,
+    /// Signed integer to floating conversion.
+    SiToFp,
+    /// Floating to signed integer conversion (truncating).
+    FpToSi,
+}
+
+impl UnaryOp {
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "neg",
+            UnaryOp::Not => "not",
+            UnaryOp::FNeg => "fneg",
+            UnaryOp::FAbs => "fabs",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Exp => "exp",
+            UnaryOp::Log => "log",
+            UnaryOp::SiToFp => "sitofp",
+            UnaryOp::FpToSi => "fptosi",
+        }
+    }
+}
+
+/// Comparison predicates (work on both integer and floating operands; the
+/// instruction's `ty` field disambiguates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed / ordered less-than.
+    Lt,
+    /// Signed / ordered less-or-equal.
+    Le,
+    /// Signed / ordered greater-than.
+    Gt,
+    /// Signed / ordered greater-or-equal.
+    Ge,
+}
+
+impl CmpPred {
+    /// Mnemonic used by the printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+}
+
+/// An IR instruction.
+///
+/// Every instruction except [`Instr::Store`] produces exactly one SSA value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Binary arithmetic: `res = op ty lhs, rhs`.
+    Binary {
+        /// Opcode.
+        op: BinOp,
+        /// Operand/result type.
+        ty: Type,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Unary arithmetic / cast: `res = op val`.
+    Unary {
+        /// Opcode.
+        op: UnaryOp,
+        /// Result type.
+        ty: Type,
+        /// Operand.
+        val: Operand,
+    },
+    /// Comparison producing `i1`: `res = cmp pred ty lhs, rhs`.
+    Cmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Operand type.
+        ty: Type,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Conditional select: `res = select cond, then, else`.
+    Select {
+        /// `i1` condition.
+        cond: Operand,
+        /// Result type.
+        ty: Type,
+        /// Value when `cond` is true.
+        then_val: Operand,
+        /// Value when `cond` is false.
+        else_val: Operand,
+    },
+    /// Address computation over a declared array (row-major):
+    /// `res = gep @arr[idx0][idx1]...`.
+    ///
+    /// The number of indices must equal the number of dimensions of the array
+    /// declaration; the resulting pointer addresses one element.
+    Gep {
+        /// Target array.
+        array: ArrayId,
+        /// One index per array dimension.
+        indices: Vec<Operand>,
+    },
+    /// Memory load: `res = load ty, ptr`.
+    Load {
+        /// Pointer operand (a `gep` result).
+        ptr: Operand,
+        /// Loaded type (must match the array element type).
+        ty: Type,
+    },
+    /// Memory store: `store ty val, ptr`. Produces no value.
+    Store {
+        /// Pointer operand (a `gep` result).
+        ptr: Operand,
+        /// Stored value.
+        value: Operand,
+        /// Stored type.
+        ty: Type,
+    },
+    /// SSA phi: `res = phi ty [ (pred, val), ... ]`.
+    Phi {
+        /// Result type.
+        ty: Type,
+        /// One entry per CFG predecessor of the containing block.
+        incomings: Vec<(BlockId, Operand)>,
+    },
+    /// Direct call: `res = call @f(args...)`.
+    Call {
+        /// Callee.
+        callee: FuncId,
+        /// Argument list (must match the callee's parameter types).
+        args: Vec<Operand>,
+        /// Result type (`None` for void callees).
+        ty: Option<Type>,
+    },
+}
+
+impl Instr {
+    /// The type of the value this instruction produces, or `None` for
+    /// instructions that produce no value (`store`, void `call`).
+    pub fn result_type(&self) -> Option<Type> {
+        match self {
+            Instr::Binary { ty, .. } | Instr::Unary { ty, .. } | Instr::Select { ty, .. } => {
+                Some(*ty)
+            }
+            Instr::Cmp { .. } => Some(Type::I1),
+            Instr::Gep { .. } => Some(Type::Ptr),
+            Instr::Load { ty, .. } => Some(*ty),
+            Instr::Store { .. } => None,
+            Instr::Phi { ty, .. } => Some(*ty),
+            Instr::Call { ty, .. } => *ty,
+        }
+    }
+
+    /// Whether this instruction reads or writes memory.
+    pub fn is_mem_access(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Visit every operand of the instruction.
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Instr::Binary { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            Instr::Unary { val, .. } => f(*val),
+            Instr::Select {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                f(*cond);
+                f(*then_val);
+                f(*else_val);
+            }
+            Instr::Gep { indices, .. } => {
+                for idx in indices {
+                    f(*idx);
+                }
+            }
+            Instr::Load { ptr, .. } => f(*ptr),
+            Instr::Store { ptr, value, .. } => {
+                f(*ptr);
+                f(*value);
+            }
+            Instr::Phi { incomings, .. } => {
+                for (_, v) in incomings {
+                    f(*v);
+                }
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+        }
+    }
+
+    /// A short opcode name for diagnostics and merging.
+    pub fn opcode_name(&self) -> &'static str {
+        match self {
+            Instr::Binary { op, .. } => op.mnemonic(),
+            Instr::Unary { op, .. } => op.mnemonic(),
+            Instr::Cmp { .. } => "cmp",
+            Instr::Select { .. } => "select",
+            Instr::Gep { .. } => "gep",
+            Instr::Load { .. } => "load",
+            Instr::Store { .. } => "store",
+            Instr::Phi { .. } => "phi",
+            Instr::Call { .. } => "call",
+        }
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Conditional branch on an `i1` operand.
+    CondBr {
+        /// Condition.
+        cond: Operand,
+        /// Successor when true.
+        then_bb: BlockId,
+        /// Successor when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// CFG successors of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_helpers() {
+        assert_eq!(Operand::int(7).as_const_int(), Some(7));
+        assert_eq!(Operand::float(1.0).as_const_int(), None);
+        let v = ValueId(3);
+        assert_eq!(Operand::from(v).as_value(), Some(v));
+    }
+
+    #[test]
+    fn result_types() {
+        let add = Instr::Binary {
+            op: BinOp::Add,
+            ty: Type::I64,
+            lhs: Operand::int(1),
+            rhs: Operand::int(2),
+        };
+        assert_eq!(add.result_type(), Some(Type::I64));
+        let st = Instr::Store {
+            ptr: Operand::int(0),
+            value: Operand::int(0),
+            ty: Type::F64,
+        };
+        assert_eq!(st.result_type(), None);
+        assert!(st.is_mem_access());
+        let cmp = Instr::Cmp {
+            pred: CmpPred::Lt,
+            ty: Type::I64,
+            lhs: Operand::int(1),
+            rhs: Operand::int(2),
+        };
+        assert_eq!(cmp.result_type(), Some(Type::I1));
+    }
+
+    #[test]
+    fn operand_visitation_counts() {
+        let sel = Instr::Select {
+            cond: Operand::int(1),
+            ty: Type::I64,
+            then_val: Operand::int(2),
+            else_val: Operand::int(3),
+        };
+        let mut n = 0;
+        sel.for_each_operand(|_| n += 1);
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr {
+            cond: Operand::int(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn float_opcode_classification() {
+        assert!(BinOp::FAdd.is_float());
+        assert!(!BinOp::Add.is_float());
+        assert_eq!(BinOp::FMul.mnemonic(), "fmul");
+        assert_eq!(UnaryOp::Sqrt.mnemonic(), "sqrt");
+        assert_eq!(CmpPred::Ge.mnemonic(), "ge");
+    }
+}

@@ -1,0 +1,60 @@
+//! # cayman-ir
+//!
+//! A compact, typed, SSA-form compiler intermediate representation that plays
+//! the role LLVM IR plays in the Cayman paper (DAC 2025).
+//!
+//! The Cayman framework consumes *applications*, not hand-extracted kernels,
+//! so it needs a real IR with functions, basic blocks, branches, phis and
+//! explicit memory operations. This crate provides:
+//!
+//! * the IR itself ([`Module`], [`Function`], [`Block`], [`Instr`]) with a
+//!   GEP-style address instruction over globally declared arrays,
+//! * a [`builder`] API for constructing programs,
+//! * a structural [`verify`]er,
+//! * a textual [`mod@print`]er and the inverse [`parse`]r (modules
+//!   round-trip through text),
+//! * CFG analyses: predecessors/successors ([`mod@cfg`]), dominators and
+//!   post-dominators ([`dom`]), natural loops ([`loops`]),
+//! * an [`interp`]reter with a CVA6-like in-order CPU cycle model
+//!   ([`cpu_model`]) used as the profiling substrate (the paper instruments
+//!   LLVM bitcode and runs natively; we interpret and count cycles instead).
+//!
+//! ## Example
+//!
+//! ```
+//! use cayman_ir::builder::ModuleBuilder;
+//! use cayman_ir::types::Type;
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let x = mb.array("x", Type::F64, &[16]);
+//! let y = mb.array("y", Type::F64, &[16]);
+//! let f = mb.function("scale", &[], None, |fb| {
+//!     fb.counted_loop(0, 16, 1, |fb, i| {
+//!         let xv = fb.load_idx(x, &[i]);
+//!         let two = fb.fconst(2.0);
+//!         let v = fb.fmul(xv, two);
+//!         fb.store_idx(y, &[i], v);
+//!     });
+//!     fb.ret(None);
+//! });
+//! let module = mb.finish();
+//! module.verify().expect("well-formed");
+//! assert_eq!(module.function(f).name, "scale");
+//! ```
+
+pub mod builder;
+pub mod cfg;
+pub mod cpu_model;
+pub mod dom;
+pub mod instr;
+pub mod interp;
+pub mod loops;
+pub mod module;
+pub mod parse;
+pub mod print;
+pub mod types;
+pub mod verify;
+
+pub use instr::{BinOp, CmpPred, Imm, Instr, Operand, Terminator, UnaryOp};
+pub use module::{ArrayDecl, ArrayId, Block, BlockId, FuncId, Function, InstrId, Module, ValueId};
+pub use types::Type;

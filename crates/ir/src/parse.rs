@@ -1,0 +1,703 @@
+//! Textual IR parsing — the inverse of [`crate::print`].
+//!
+//! Accepts exactly the surface syntax [`Module::to_text`] emits, so modules
+//! round-trip: `parse(m.to_text())` is structurally equivalent to `m` (value
+//! numbering may differ; semantics and shape are preserved). Useful for
+//! writing kernels as text fixtures and for golden tests.
+//!
+//! ```text
+//! ; module demo
+//! array f64 @x [8]
+//!
+//! fn @f() -> void {
+//! bb0: ; entry
+//!   %0 = gep @x[3]
+//!   %1 = load f64, %0
+//!   store f64 %1, %0
+//!   ret
+//! }
+//! ```
+
+use crate::instr::{BinOp, CmpPred, Imm, Instr, Operand, Terminator, UnaryOp};
+use crate::module::{
+    ArrayDecl, ArrayId, Block, BlockId, FuncId, Function, InstrId, Module, ValueDef, ValueId,
+};
+use crate::types::Type;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl Module {
+    /// Parses a module from the textual form produced by
+    /// [`Module::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] pointing at the first malformed line.
+    /// Successful parses are *not* implicitly verified; run
+    /// [`Module::verify`] afterwards.
+    pub fn parse_text(text: &str) -> Result<Module, ParseError> {
+        Parser::new(text).run()
+    }
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    module: Module,
+    array_names: HashMap<String, ArrayId>,
+    func_names: HashMap<String, FuncId>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim_end()))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            module: Module::new("parsed"),
+            array_names: HashMap::new(),
+            func_names: HashMap::new(),
+        }
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line,
+            message: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn run(mut self) -> Result<Module, ParseError> {
+        while let Some((ln, line)) = self.peek() {
+            let t = line.trim();
+            if let Some(rest) = t.strip_prefix("; module ") {
+                self.module.name = rest.trim().to_string();
+                self.pos += 1;
+            } else if t.starts_with(';') {
+                self.pos += 1;
+            } else if t.starts_with("array ") {
+                self.parse_array(ln, t)?;
+                self.pos += 1;
+            } else if t.starts_with("fn @") {
+                self.parse_function()?;
+            } else {
+                return self.err(ln, format!("unexpected top-level line `{t}`"));
+            }
+        }
+        Ok(self.module)
+    }
+
+    fn parse_array(&mut self, ln: usize, t: &str) -> Result<(), ParseError> {
+        // array f64 @x [4x5]
+        let rest = t.strip_prefix("array ").expect("checked");
+        let mut parts = rest.split_whitespace();
+        let ty = self.parse_type(ln, parts.next().unwrap_or(""))?;
+        let name = parts
+            .next()
+            .and_then(|s| s.strip_prefix('@'))
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: "expected `@name`".into(),
+            })?;
+        let dims_str = parts
+            .next()
+            .and_then(|s| s.strip_prefix('['))
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: "expected `[dims]`".into(),
+            })?;
+        let dims: Result<Vec<usize>, _> = dims_str.split('x').map(str::parse).collect();
+        let dims = dims.map_err(|e| ParseError {
+            line: ln,
+            message: format!("bad dimensions: {e}"),
+        })?;
+        let id = ArrayId(self.module.arrays.len() as u32);
+        self.module.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            elem: ty,
+            dims,
+        });
+        self.array_names.insert(name.to_string(), id);
+        Ok(())
+    }
+
+    fn parse_type(&self, ln: usize, s: &str) -> Result<Type, ParseError> {
+        match s {
+            "i1" => Ok(Type::I1),
+            "i32" => Ok(Type::I32),
+            "i64" => Ok(Type::I64),
+            "f32" => Ok(Type::F32),
+            "f64" => Ok(Type::F64),
+            "ptr" => Ok(Type::Ptr),
+            other => Err(ParseError {
+                line: ln,
+                message: format!("unknown type `{other}`"),
+            }),
+        }
+    }
+
+    fn parse_function(&mut self) -> Result<(), ParseError> {
+        let (hln, header) = self.next().expect("caller checked");
+        // fn @name(i64 %0, f64 %1) -> void {
+        let h = header.trim();
+        let open = h.find('(').ok_or_else(|| ParseError {
+            line: hln,
+            message: "missing `(`".into(),
+        })?;
+        let close = h.rfind(')').ok_or_else(|| ParseError {
+            line: hln,
+            message: "missing `)`".into(),
+        })?;
+        let name = h["fn @".len()..open].to_string();
+        let params_str = &h[open + 1..close];
+        let mut params = Vec::new();
+        if !params_str.trim().is_empty() {
+            for p in params_str.split(',') {
+                let ty_tok = p.trim().split_whitespace().next().unwrap_or("");
+                params.push(self.parse_type(hln, ty_tok)?);
+            }
+        }
+        let ret_part = h[close + 1..]
+            .trim()
+            .strip_prefix("->")
+            .map(|s| s.trim().trim_end_matches('{').trim().to_string())
+            .ok_or_else(|| ParseError {
+                line: hln,
+                message: "missing `-> ret {`".into(),
+            })?;
+        let ret = if ret_part == "void" {
+            None
+        } else {
+            Some(self.parse_type(hln, &ret_part)?)
+        };
+
+        // Collect the body lines up to the closing `}`.
+        let mut body: Vec<(usize, &str)> = Vec::new();
+        loop {
+            let Some((ln, line)) = self.next() else {
+                return self.err(hln, "unterminated function body");
+            };
+            if line.trim() == "}" {
+                break;
+            }
+            body.push((ln, line.trim()));
+        }
+
+        // Pass 1: block labels and value-id mapping (supports forward refs).
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_names: HashMap<String, BlockId> = HashMap::new();
+        let mut value_map: HashMap<u32, ValueId> = HashMap::new();
+        let mut next_value = params.len() as u32;
+        for (i, &ty) in params.iter().enumerate() {
+            let _ = ty;
+            value_map.insert(i as u32, ValueId(i as u32));
+        }
+        for &(ln, line) in &body {
+            if let Some(label) = line.strip_suffix(':').or_else(|| {
+                line.split_once(": ;").map(|(l, _)| l)
+            }) {
+                if label.starts_with("bb") && !label.contains(' ') {
+                    let id = BlockId(blocks.len() as u32);
+                    let name = line
+                        .split_once("; ")
+                        .map(|(_, n)| n.trim().to_string())
+                        .unwrap_or_else(|| label.to_string());
+                    blocks.push(Block {
+                        name,
+                        instrs: Vec::new(),
+                        term: None,
+                    });
+                    block_names.insert(label.to_string(), id);
+                    continue;
+                }
+            }
+            // value-producing instruction?
+            if let Some((lhs, _)) = line.split_once(" = ") {
+                let lhs = lhs.trim();
+                let Some(num) = lhs.strip_prefix('%').and_then(|s| s.parse::<u32>().ok()) else {
+                    return self.err(ln, format!("bad result `{lhs}`"));
+                };
+                value_map.insert(num, ValueId(next_value));
+                next_value += 1;
+            }
+        }
+        if blocks.is_empty() {
+            return self.err(hln, "function has no blocks");
+        }
+
+        // Pass 2: instructions and terminators.
+        let mut func = Function {
+            name,
+            params: params.clone(),
+            ret,
+            blocks,
+            instrs: Vec::new(),
+            values: params
+                .iter()
+                .enumerate()
+                .map(|(i, &ty)| ValueDef::Param(i as u32, ty))
+                .collect(),
+            instr_results: Vec::new(),
+        };
+        let mut cur: Option<BlockId> = None;
+        let mut next_value = params.len() as u32;
+        for &(ln, line) in &body {
+            if line.starts_with("bb")
+                && (line.ends_with(':') || line.contains(": ;"))
+                && !line.contains('=')
+            {
+                let label = line.split(&[':', ' '][..]).next().unwrap_or("");
+                cur = block_names.get(label).copied();
+                continue;
+            }
+            let Some(b) = cur else {
+                return self.err(ln, "instruction before first block label");
+            };
+            let ctx = LineCtx {
+                ln,
+                value_map: &value_map,
+                block_names: &block_names,
+                array_names: &self.array_names,
+                func_names: &self.func_names,
+            };
+            if let Some(term) = parse_terminator(line, &ctx)? {
+                func.blocks[b.index()].term = Some(term);
+                continue;
+            }
+            let (result, instr) = parse_instr(line, &ctx, self)?;
+            let iid = InstrId(func.instrs.len() as u32);
+            func.instrs.push(instr);
+            let res = result.map(|_| {
+                let v = ValueId(next_value);
+                next_value += 1;
+                func.values.push(ValueDef::Instr(iid));
+                v
+            });
+            func.instr_results.push(res);
+            func.blocks[b.index()].instrs.push(iid);
+        }
+
+        let id = FuncId(self.module.functions.len() as u32);
+        self.func_names.insert(func.name.clone(), id);
+        self.module.functions.push(func);
+        Ok(())
+    }
+}
+
+struct LineCtx<'a> {
+    ln: usize,
+    value_map: &'a HashMap<u32, ValueId>,
+    block_names: &'a HashMap<String, BlockId>,
+    array_names: &'a HashMap<String, ArrayId>,
+    func_names: &'a HashMap<String, FuncId>,
+}
+
+impl LineCtx<'_> {
+    fn operand(&self, tok: &str) -> Result<Operand, ParseError> {
+        let t = tok.trim().trim_end_matches(',');
+        if let Some(num) = t.strip_prefix('%') {
+            let n: u32 = num.parse().map_err(|_| self.e(format!("bad value `{t}`")))?;
+            let v = self
+                .value_map
+                .get(&n)
+                .ok_or_else(|| self.e(format!("undefined value `{t}`")))?;
+            return Ok(Operand::Value(*v));
+        }
+        if t == "true" || t == "false" {
+            return Ok(Operand::Const(Imm::Bool(t == "true")));
+        }
+        if t.contains('.') || t.contains("inf") || t.contains("NaN") || t.contains('e') {
+            let f: f64 = t.parse().map_err(|_| self.e(format!("bad float `{t}`")))?;
+            return Ok(Operand::Const(Imm::Float(f)));
+        }
+        let i: i64 = t.parse().map_err(|_| self.e(format!("bad operand `{t}`")))?;
+        Ok(Operand::Const(Imm::Int(i)))
+    }
+
+    fn block(&self, tok: &str) -> Result<BlockId, ParseError> {
+        self.block_names
+            .get(tok.trim())
+            .copied()
+            .ok_or_else(|| self.e(format!("unknown block `{tok}`")))
+    }
+
+    fn e(&self, message: String) -> ParseError {
+        ParseError {
+            line: self.ln,
+            message,
+        }
+    }
+}
+
+fn parse_terminator(line: &str, ctx: &LineCtx<'_>) -> Result<Option<Terminator>, ParseError> {
+    if line == "ret" {
+        return Ok(Some(Terminator::Ret(None)));
+    }
+    if let Some(v) = line.strip_prefix("ret ") {
+        return Ok(Some(Terminator::Ret(Some(ctx.operand(v)?))));
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        if let Some((cond, arms)) = rest.split_once(" ? ") {
+            let (t, e) = arms.split_once(" : ").ok_or_else(|| ctx.e("bad cond br".into()))?;
+            return Ok(Some(Terminator::CondBr {
+                cond: ctx.operand(cond)?,
+                then_bb: ctx.block(t)?,
+                else_bb: ctx.block(e)?,
+            }));
+        }
+        return Ok(Some(Terminator::Br(ctx.block(rest)?)));
+    }
+    Ok(None)
+}
+
+/// Parses one instruction line; returns `(has_result, instr)`.
+fn parse_instr(
+    line: &str,
+    ctx: &LineCtx<'_>,
+    p: &Parser<'_>,
+) -> Result<(Option<()>, Instr), ParseError> {
+    let (result, body) = match line.split_once(" = ") {
+        Some((_, b)) => (Some(()), b.trim()),
+        None => (None, line),
+    };
+    let mut toks = body.split_whitespace();
+    let op = toks.next().ok_or_else(|| ctx.e("empty instruction".into()))?;
+    let rest: Vec<&str> = toks.collect();
+
+    let bin = |o: BinOp| -> Result<Instr, ParseError> {
+        let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+        Ok(Instr::Binary {
+            op: o,
+            ty,
+            lhs: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
+            rhs: ctx.operand(rest.get(2).copied().unwrap_or(""))?,
+        })
+    };
+    let un = |o: UnaryOp| -> Result<Instr, ParseError> {
+        let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+        Ok(Instr::Unary {
+            op: o,
+            ty,
+            val: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
+        })
+    };
+
+    let instr = match op {
+        "add" => bin(BinOp::Add)?,
+        "sub" => bin(BinOp::Sub)?,
+        "mul" => bin(BinOp::Mul)?,
+        "sdiv" => bin(BinOp::Div)?,
+        "srem" => bin(BinOp::Rem)?,
+        "and" => bin(BinOp::And)?,
+        "or" => bin(BinOp::Or)?,
+        "xor" => bin(BinOp::Xor)?,
+        "shl" => bin(BinOp::Shl)?,
+        "ashr" => bin(BinOp::Shr)?,
+        "smin" => bin(BinOp::Min)?,
+        "smax" => bin(BinOp::Max)?,
+        "fadd" => bin(BinOp::FAdd)?,
+        "fsub" => bin(BinOp::FSub)?,
+        "fmul" => bin(BinOp::FMul)?,
+        "fdiv" => bin(BinOp::FDiv)?,
+        "fmin" => bin(BinOp::FMin)?,
+        "fmax" => bin(BinOp::FMax)?,
+        "neg" => un(UnaryOp::Neg)?,
+        "not" => un(UnaryOp::Not)?,
+        "fneg" => un(UnaryOp::FNeg)?,
+        "fabs" => un(UnaryOp::FAbs)?,
+        "sqrt" => un(UnaryOp::Sqrt)?,
+        "exp" => un(UnaryOp::Exp)?,
+        "log" => un(UnaryOp::Log)?,
+        "sitofp" => un(UnaryOp::SiToFp)?,
+        "fptosi" => un(UnaryOp::FpToSi)?,
+        "cmp" => {
+            let pred = match rest.first().copied().unwrap_or("") {
+                "eq" => CmpPred::Eq,
+                "ne" => CmpPred::Ne,
+                "lt" => CmpPred::Lt,
+                "le" => CmpPred::Le,
+                "gt" => CmpPred::Gt,
+                "ge" => CmpPred::Ge,
+                other => return Err(ctx.e(format!("bad predicate `{other}`"))),
+            };
+            let ty = p.parse_type(ctx.ln, rest.get(1).copied().unwrap_or(""))?;
+            Instr::Cmp {
+                pred,
+                ty,
+                lhs: ctx.operand(rest.get(2).copied().unwrap_or(""))?,
+                rhs: ctx.operand(rest.get(3).copied().unwrap_or(""))?,
+            }
+        }
+        "select" => {
+            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+            Instr::Select {
+                ty,
+                cond: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
+                then_val: ctx.operand(rest.get(2).copied().unwrap_or(""))?,
+                else_val: ctx.operand(rest.get(3).copied().unwrap_or(""))?,
+            }
+        }
+        "gep" => {
+            // gep @name[i][j]
+            let spec = rest.concat();
+            let name_end = spec.find('[').ok_or_else(|| ctx.e("gep missing `[`".into()))?;
+            let name = spec[..name_end]
+                .strip_prefix('@')
+                .ok_or_else(|| ctx.e("gep missing `@`".into()))?;
+            let array = ctx
+                .array_names
+                .get(name)
+                .copied()
+                .ok_or_else(|| ctx.e(format!("unknown array `@{name}`")))?;
+            let mut indices = Vec::new();
+            for part in spec[name_end..].split(']') {
+                let part = part.trim_start_matches('[');
+                if part.is_empty() {
+                    continue;
+                }
+                indices.push(ctx.operand(part)?);
+            }
+            Instr::Gep { array, indices }
+        }
+        "load" => {
+            // load f64, %7
+            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or("").trim_end_matches(','))?;
+            Instr::Load {
+                ty,
+                ptr: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
+            }
+        }
+        "store" => {
+            // store f64 %8, %7
+            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+            Instr::Store {
+                ty,
+                value: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
+                ptr: ctx.operand(rest.get(2).copied().unwrap_or(""))?,
+            }
+        }
+        "phi" => {
+            // phi i64 [bb0: 0], [bb2: %8]
+            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+            let mut incomings = Vec::new();
+            let joined = rest[1..].join(" ");
+            for part in joined.split("],") {
+                let part = part.trim().trim_start_matches('[').trim_end_matches(']');
+                if part.is_empty() {
+                    continue;
+                }
+                let (bb, val) = part
+                    .split_once(':')
+                    .ok_or_else(|| ctx.e("bad phi incoming".into()))?;
+                incomings.push((ctx.block(bb)?, ctx.operand(val)?));
+            }
+            Instr::Phi { ty, incomings }
+        }
+        "call" => {
+            // call f64 @g(%1, 2)  |  call void @g()
+            let ty_tok = rest.first().copied().unwrap_or("");
+            let ty = if ty_tok == "void" {
+                None
+            } else {
+                Some(p.parse_type(ctx.ln, ty_tok)?)
+            };
+            let spec = rest[1..].join(" ");
+            let open = spec.find('(').ok_or_else(|| ctx.e("call missing `(`".into()))?;
+            let name = spec[..open]
+                .trim()
+                .strip_prefix('@')
+                .ok_or_else(|| ctx.e("call missing `@`".into()))?;
+            let callee = ctx
+                .func_names
+                .get(name)
+                .copied()
+                .ok_or_else(|| ctx.e(format!("unknown function `@{name}` (forward calls unsupported)")))?;
+            let args_str = spec[open + 1..]
+                .trim_end_matches(')')
+                .trim();
+            let mut args = Vec::new();
+            if !args_str.is_empty() {
+                for a in args_str.split(',') {
+                    args.push(ctx.operand(a)?);
+                }
+            }
+            Instr::Call { callee, args, ty }
+        }
+        other => return Err(ctx.e(format!("unknown opcode `{other}`"))),
+    };
+    Ok((result, instr))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+    use crate::interp::Interp;
+    use crate::module::Module;
+    use crate::types::Type;
+
+    fn demo() -> Module {
+        let mut mb = ModuleBuilder::new("demo");
+        let x = mb.array("x", Type::F64, &[16]);
+        let y = mb.array("y", Type::F64, &[16]);
+        let g = mb.function("g", &[Type::I64], Some(Type::I64), |fb| {
+            let p = fb.param(0);
+            let two = fb.iconst(2);
+            let r = fb.mul(p, two);
+            fb.ret(Some(r));
+        });
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, 16, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                let c = fb.fcmp_gt(v, fb.fconst(0.5));
+                fb.if_then_else(
+                    c,
+                    |fb| {
+                        let w = fb.fmul(v, fb.fconst(2.0));
+                        fb.store_idx(y, &[i], w);
+                    },
+                    |fb| {
+                        let w = fb.fadd(v, fb.fconst(1.0));
+                        fb.store_idx(y, &[i], w);
+                    },
+                );
+                let _ = fb.call(g, &[i], Some(Type::I64));
+            });
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_semantics() {
+        let original = demo();
+        original.verify().expect("original verifies");
+        let text = original.to_text();
+        let parsed = Module::parse_text(&text).expect("parses");
+        parsed.verify().expect("parsed module verifies");
+
+        assert_eq!(parsed.name, original.name);
+        assert_eq!(parsed.functions.len(), original.functions.len());
+        assert_eq!(parsed.arrays.len(), original.arrays.len());
+        for (a, b) in parsed.functions.iter().zip(&original.functions) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.blocks.len(), b.blocks.len());
+            assert_eq!(a.instrs.len(), b.instrs.len());
+        }
+
+        // Semantics: run both with identical inputs; outputs must agree.
+        let x = parsed.array_ids().next().expect("array x");
+        let y = parsed.array_ids().nth(1).expect("array y");
+        let mut i1 = Interp::new(&original);
+        let mut i2 = Interp::new(&parsed);
+        for i in 0..16 {
+            i1.memory.set_f64(x, i, i as f64 / 10.0);
+            i2.memory.set_f64(x, i, i as f64 / 10.0);
+        }
+        let p1 = i1.run(&[]).expect("original runs");
+        let p2 = i2.run(&[]).expect("parsed runs");
+        assert_eq!(p1.total_cycles, p2.total_cycles);
+        for i in 0..16 {
+            assert_eq!(i1.memory.get_f64(y, i), i2.memory.get_f64(y, i), "y[{i}]");
+        }
+    }
+
+    #[test]
+    fn second_round_trip_is_a_fixpoint() {
+        let original = demo();
+        let once = Module::parse_text(&original.to_text()).expect("parses");
+        let twice = Module::parse_text(&once.to_text()).expect("parses again");
+        assert_eq!(once.to_text(), twice.to_text(), "printer/parser fixpoint");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "; module m\nfn @f() -> void {\nbb0: ; entry\n  %0 = frobnicate i64 1, 2\n  ret\n}\n";
+        let e = Module::parse_text(bad).expect_err("must fail");
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("frobnicate"), "{e}");
+    }
+
+    #[test]
+    fn hand_written_text_parses() {
+        let src = r#"
+; module hand
+array f64 @v [4]
+
+fn @main() -> f64 {
+bb0: ; entry
+  %0 = gep @v[2]
+  store f64 3.5, %0
+  %1 = load f64, %0
+  %2 = fadd f64 %1, 1.0
+  ret %2
+}
+"#;
+        let m = Module::parse_text(src).expect("parses");
+        m.verify().expect("verifies");
+        let got = Interp::new(&m).run(&[]).expect("runs").return_value;
+        assert_eq!(got, Some(crate::interp::Value::F(4.5)));
+    }
+
+    #[test]
+    fn all_round_trips_for_a_loop_with_phis() {
+        let mut mb = ModuleBuilder::new("loopy");
+        let x = mb.array("x", Type::F64, &[8]);
+        mb.function("main", &[], Some(Type::F64), |fb| {
+            let zero = fb.fconst(0.0);
+            let f = fb.counted_loop_carry(0, 8, 1, &[(Type::F64, zero)], |fb, i, c| {
+                let v = fb.load_idx(x, &[i]);
+                vec![fb.fadd(c[0], v)]
+            });
+            fb.ret(Some(f[0]));
+        });
+        let m = mb.finish();
+        let parsed = Module::parse_text(&m.to_text()).expect("parses");
+        parsed.verify().expect("verifies");
+        let mut i1 = Interp::new(&m);
+        let mut i2 = Interp::new(&parsed);
+        for i in 0..8 {
+            i1.memory.set_f64(x, i, (i + 1) as f64);
+            i2.memory.set_f64(x, i, (i + 1) as f64);
+        }
+        assert_eq!(
+            i1.run(&[]).expect("runs").return_value,
+            i2.run(&[]).expect("runs").return_value
+        );
+    }
+}

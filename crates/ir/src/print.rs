@@ -1,0 +1,156 @@
+//! Textual IR printing, LLVM-flavoured, for debugging and golden tests.
+
+use crate::instr::{Instr, Operand, Terminator};
+use crate::module::{Function, Module};
+use std::fmt::Write as _;
+
+impl Module {
+    /// Renders the whole module as text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "; module {}", self.name);
+        for a in self.array_ids() {
+            let d = self.array(a);
+            let dims: Vec<String> = d.dims.iter().map(|x| x.to_string()).collect();
+            let _ = writeln!(out, "array {} @{} [{}]", d.elem, d.name, dims.join("x"));
+        }
+        for f in self.function_ids() {
+            out.push('\n');
+            out.push_str(&self.function_to_text(self.function(f)));
+        }
+        out
+    }
+
+    /// Renders one function as text.
+    pub fn function_to_text(&self, func: &Function) -> String {
+        let mut out = String::new();
+        let params: Vec<String> = func
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("{t} %{i}"))
+            .collect();
+        let ret = func
+            .ret
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "void".into());
+        let _ = writeln!(out, "fn @{}({}) -> {} {{", func.name, params.join(", "), ret);
+        for b in func.block_ids() {
+            let blk = func.block(b);
+            let _ = writeln!(out, "{b}: ; {}", blk.name);
+            for &iid in &blk.instrs {
+                let instr = func.instr(iid);
+                let res = func
+                    .result_of(iid)
+                    .map(|v| format!("{v} = "))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "  {res}{}", self.instr_to_text(instr));
+            }
+            if let Some(t) = &blk.term {
+                let _ = writeln!(out, "  {}", term_to_text(t));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn instr_to_text(&self, instr: &Instr) -> String {
+        match instr {
+            Instr::Binary { op, ty, lhs, rhs } => {
+                format!("{} {ty} {}, {}", op.mnemonic(), op_str(*lhs), op_str(*rhs))
+            }
+            Instr::Unary { op, ty, val } => {
+                format!("{} {ty} {}", op.mnemonic(), op_str(*val))
+            }
+            Instr::Cmp { pred, ty, lhs, rhs } => format!(
+                "cmp {} {ty} {}, {}",
+                pred.mnemonic(),
+                op_str(*lhs),
+                op_str(*rhs)
+            ),
+            Instr::Select {
+                cond,
+                ty,
+                then_val,
+                else_val,
+            } => format!(
+                "select {ty} {}, {}, {}",
+                op_str(*cond),
+                op_str(*then_val),
+                op_str(*else_val)
+            ),
+            Instr::Gep { array, indices } => {
+                let name = &self.array(*array).name;
+                let idx: Vec<String> = indices.iter().map(|o| op_str(*o)).collect();
+                format!("gep @{name}[{}]", idx.join("]["))
+            }
+            Instr::Load { ptr, ty } => format!("load {ty}, {}", op_str(*ptr)),
+            Instr::Store { ptr, value, ty } => {
+                format!("store {ty} {}, {}", op_str(*value), op_str(*ptr))
+            }
+            Instr::Phi { ty, incomings } => {
+                let inc: Vec<String> = incomings
+                    .iter()
+                    .map(|(b, v)| format!("[{b}: {}]", op_str(*v)))
+                    .collect();
+                format!("phi {ty} {}", inc.join(", "))
+            }
+            Instr::Call { callee, args, ty } => {
+                let name = &self.function(*callee).name;
+                let a: Vec<String> = args.iter().map(|o| op_str(*o)).collect();
+                let t = ty.map(|t| t.to_string()).unwrap_or_else(|| "void".into());
+                format!("call {t} @{name}({})", a.join(", "))
+            }
+        }
+    }
+}
+
+fn op_str(op: Operand) -> String {
+    match op {
+        Operand::Value(v) => v.to_string(),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+fn term_to_text(t: &Terminator) -> String {
+    match t {
+        Terminator::Br(b) => format!("br {b}"),
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {} ? {then_bb} : {else_bb}", op_str(*cond)),
+        Terminator::Ret(None) => "ret".into(),
+        Terminator::Ret(Some(v)) => format!("ret {}", op_str(*v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ModuleBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn printed_module_mentions_everything() {
+        let mut mb = ModuleBuilder::new("demo");
+        let x = mb.array("x", Type::F64, &[8]);
+        mb.function("f", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                let w = fb.fmul(v, fb.fconst(2.0));
+                fb.store_idx(x, &[i], w);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let text = m.to_text();
+        assert!(text.contains("module demo"));
+        assert!(text.contains("array f64 @x [8]"));
+        assert!(text.contains("fn @f() -> void"));
+        assert!(text.contains("phi i64"));
+        assert!(text.contains("gep @x["));
+        assert!(text.contains("fmul f64"));
+        assert!(text.contains("store f64"));
+        assert!(text.contains("ret"));
+    }
+}

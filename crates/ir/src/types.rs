@@ -1,0 +1,91 @@
+//! Scalar types of the IR.
+
+use std::fmt;
+
+/// A scalar IR type.
+///
+/// The IR is deliberately small: the benchmarks Cayman evaluates (PolyBench,
+/// MachSuite, MediaBench, CoreMark-Pro) only need integer and floating-point
+/// scalars plus pointers produced by address computation ([`crate::Instr::Gep`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// 1-bit boolean (comparison results, branch conditions).
+    I1,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer (also used for address arithmetic).
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// Pointer into a declared array (produced by `gep`).
+    Ptr,
+}
+
+impl Type {
+    /// Whether the type is an integer type (including `I1`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Type::I1 | Type::I32 | Type::I64)
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+
+    /// Width of the type in bytes when stored in memory.
+    ///
+    /// Used to size scratchpad buffers from access footprints.
+    pub fn byte_width(self) -> u64 {
+        match self {
+            Type::I1 => 1,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::F64 | Type::Ptr => 8,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::I1 => "i1",
+            Type::I32 => "i32",
+            Type::I64 => "i64",
+            Type::F32 => "f32",
+            Type::F64 => "f64",
+            Type::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(Type::I1.is_int());
+        assert!(Type::I32.is_int());
+        assert!(Type::I64.is_int());
+        assert!(!Type::F32.is_int());
+        assert!(Type::F32.is_float());
+        assert!(Type::F64.is_float());
+        assert!(!Type::Ptr.is_int());
+        assert!(!Type::Ptr.is_float());
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Type::I1.byte_width(), 1);
+        assert_eq!(Type::I32.byte_width(), 4);
+        assert_eq!(Type::F64.byte_width(), 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::F64.to_string(), "f64");
+        assert_eq!(Type::I1.to_string(), "i1");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the merging cost model: area conservation,
+//! symmetry, and the greedy loop's termination guarantees.
+
+use cayman_hls::oplib::FuClass;
+use cayman_merge::dfg::{merge_saving, merge_units, DatapathUnit};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn class_strategy() -> impl Strategy<Value = FuClass> {
+    prop_oneof![
+        Just(FuClass::IntAlu),
+        Just(FuClass::IntMul),
+        Just(FuClass::IntDiv),
+        Just(FuClass::FAdd),
+        Just(FuClass::FMul),
+        Just(FuClass::FDivSqrt),
+        Just(FuClass::FTrans),
+        Just(FuClass::Cvt),
+        Just(FuClass::Mem),
+        Just(FuClass::Reg),
+        Just(FuClass::AguFifo),
+    ]
+}
+
+fn unit_strategy(kernel: usize) -> impl Strategy<Value = DatapathUnit> {
+    prop::collection::btree_map(class_strategy(), 1u32..8, 1..6).prop_map(move |classes| {
+        DatapathUnit {
+            kernels: vec![kernel],
+            classes,
+            mux_area: 0.0,
+        }
+    })
+}
+
+proptest! {
+    /// Area conservation: `merged.area() == a.area() + b.area() − saving`.
+    /// The selection layer's `area_after = area_before − Σ savings` is exact
+    /// only if this holds for every pairwise merge.
+    #[test]
+    fn merge_conserves_area(a in unit_strategy(0), b in unit_strategy(1)) {
+        let saving = merge_saving(&a, &b);
+        let m = merge_units(&a, &b);
+        let expect = a.area() + b.area() - saving;
+        prop_assert!((m.area() - expect).abs() < 1e-6,
+            "conservation violated: merged {} vs expected {expect}", m.area());
+    }
+
+    /// Merging is symmetric in inventory, overhead and saving.
+    #[test]
+    fn merge_is_symmetric(a in unit_strategy(0), b in unit_strategy(1)) {
+        let ab = merge_units(&a, &b);
+        let ba = merge_units(&b, &a);
+        prop_assert_eq!(&ab.classes, &ba.classes);
+        prop_assert!((ab.mux_area - ba.mux_area).abs() < 1e-9);
+        prop_assert!((merge_saving(&a, &b) - merge_saving(&b, &a)).abs() < 1e-9);
+    }
+
+    /// The merged unit implements both members: per-class FU count is the
+    /// max of the members' counts, and the kernel tag set is the union.
+    #[test]
+    fn merged_unit_covers_both_members(a in unit_strategy(0), b in unit_strategy(1)) {
+        let m = merge_units(&a, &b);
+        let all: BTreeMap<FuClass, u32> = a
+            .classes
+            .iter()
+            .chain(b.classes.iter())
+            .map(|(&c, _)| {
+                let na = a.classes.get(&c).copied().unwrap_or(0);
+                let nb = b.classes.get(&c).copied().unwrap_or(0);
+                (c, na.max(nb))
+            })
+            .collect();
+        prop_assert_eq!(&m.classes, &all);
+        prop_assert_eq!(&m.kernels, &vec![0, 1]);
+    }
+
+    /// Saving is bounded by the smaller member's FU area (you can never save
+    /// more hardware than one side contributes) and the saving of a unit
+    /// with itself is its own FU area minus the sharing overhead (positive
+    /// for any FU-dominated unit).
+    #[test]
+    fn saving_bounds(a in unit_strategy(0), b in unit_strategy(1)) {
+        let s = merge_saving(&a, &b);
+        prop_assert!(s <= a.fu_area_total().min(b.fu_area_total()) + 1e-9);
+        let mut b2 = a.clone();
+        b2.kernels = vec![1];
+        let self_saving = merge_saving(&a, &b2);
+        prop_assert!(self_saving <= a.fu_area_total());
+    }
+
+    /// Chained merging never increases total area across the pool — the
+    /// greedy loop in `merge_solution` only applies positive-saving merges,
+    /// so a random positive-merge sequence must be monotonically shrinking.
+    #[test]
+    fn chained_merging_monotone(units in prop::collection::vec(unit_strategy(0), 2..6)) {
+        // retag so all kernels are distinct (same-kernel units never merge)
+        let mut units: Vec<DatapathUnit> = units
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut u)| {
+                u.kernels = vec![i];
+                u
+            })
+            .collect();
+        let mut total: f64 = units.iter().map(|u| u.area()).sum();
+        loop {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..units.len() {
+                for j in (i + 1)..units.len() {
+                    if units[i].kernels.iter().any(|k| units[j].kernels.contains(k)) {
+                        continue;
+                    }
+                    let s = merge_saving(&units[i], &units[j]);
+                    if s > 0.0 && best.map(|(_, _, bs)| s > bs).unwrap_or(true) {
+                        best = Some((i, j, s));
+                    }
+                }
+            }
+            let Some((i, j, s)) = best else { break };
+            let m = merge_units(&units[i], &units[j]);
+            units.swap_remove(j);
+            units.swap_remove(i);
+            units.push(m);
+            let new_total: f64 = units.iter().map(|u| u.area()).sum();
+            prop_assert!((new_total - (total - s)).abs() < 1e-6);
+            prop_assert!(new_total <= total);
+            total = new_total;
+        }
+    }
+}

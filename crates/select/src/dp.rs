@@ -1,0 +1,420 @@
+//! Algorithm 1: dynamic-programming candidate selection over the wPST.
+//!
+//! ```text
+//! Function DP(vertex v):
+//!   if prune(v, R) then return
+//!   if v is bb then
+//!     F[v] ← filter(pareto(accel(v, R)))
+//!   else
+//!     F[v] ← ∅
+//!     for u ∈ v.children: DP(u); F[v] ← filter(F[v] ⊗ F[u])
+//!     if v is ctrl-flow: F[v] ← filter(F[v] ∪ pareto(accel(v, R)))
+//! ```
+//!
+//! `prune` drops subtrees whose profiled duration share is below a threshold
+//! (not hotspots); `accel` invokes the `cayman-hls` model; `pareto`/`filter`
+//! live in [`mod@crate::pareto`]. `F[root]` is the returned Pareto-optimal
+//! solution set for the whole application.
+
+use crate::pareto::{combine, filter, pareto, Solution};
+use cayman_analysis::profile::Profile;
+use cayman_analysis::wpst::{Wpst, WpstNodeId};
+use cayman_hls::design::{generate_designs, AcceleratorDesign};
+use cayman_hls::inputs::{Candidate, FuncInputs};
+use cayman_hls::interface::ModelOptions;
+use cayman_ir::Module;
+
+/// An accelerator model: turns a candidate region into configured designs.
+///
+/// The default implementation is Cayman's model (`cayman-hls`); the baseline
+/// frameworks (NOVIA, QsCores) plug in their own restricted models so the
+/// same Algorithm 1 selection machinery drives all three comparisons.
+pub trait AccelModel {
+    /// Configurations for accelerating `cand` as one extracted kernel.
+    fn designs(&self, inputs: &FuncInputs<'_>, cand: &Candidate) -> Vec<AcceleratorDesign>;
+}
+
+/// Cayman's own accelerator model (control-flow optimisation + specialised
+/// interfaces).
+#[derive(Debug, Clone, Default)]
+pub struct CaymanModel(pub ModelOptions);
+
+impl AccelModel for CaymanModel {
+    fn designs(&self, inputs: &FuncInputs<'_>, cand: &Candidate) -> Vec<AcceleratorDesign> {
+        generate_designs(inputs, cand, &self.0)
+    }
+}
+
+/// Options steering the selection DP.
+#[derive(Debug, Clone)]
+pub struct SelectOptions {
+    /// Accelerator-model options (β, unroll factors, coupled-only ablation).
+    pub model: ModelOptions,
+    /// α of the `filter` function (solution-area spacing).
+    pub alpha: f64,
+    /// `prune` threshold: minimum fraction of total program time a region
+    /// must account for to stay in the search.
+    pub prune_share: f64,
+}
+
+impl Default for SelectOptions {
+    fn default() -> Self {
+        SelectOptions {
+            model: ModelOptions::default(),
+            alpha: 1.1,
+            prune_share: 0.001,
+        }
+    }
+}
+
+/// Result of a selection run.
+#[derive(Debug)]
+pub struct SelectionResult {
+    /// Pareto-optimal solutions, by increasing area (first entry is empty).
+    pub pareto: Vec<Solution>,
+    /// Number of wPST vertices visited (not pruned).
+    pub visited: usize,
+    /// Total accelerator configurations evaluated by the model.
+    pub configs_evaluated: usize,
+}
+
+impl SelectionResult {
+    /// The best solution whose area fits `budget` (largest saving).
+    pub fn best_under(&self, budget: f64) -> &Solution {
+        self.pareto
+            .iter()
+            .filter(|s| s.area <= budget)
+            .last()
+            .unwrap_or(&self.pareto[0])
+    }
+}
+
+/// Runs Algorithm 1 over the wPST.
+///
+/// `inputs` must hold one [`FuncInputs`] per module function (indexed by
+/// `FuncId`).
+pub fn run_selection(
+    module: &Module,
+    wpst: &Wpst,
+    profile: &Profile,
+    inputs: &[FuncInputs<'_>],
+    opts: &SelectOptions,
+) -> SelectionResult {
+    let model = CaymanModel(opts.model.clone());
+    run_selection_with(module, wpst, profile, inputs, opts, &model)
+}
+
+/// Runs Algorithm 1 with a custom accelerator model (used by the baseline
+/// frameworks).
+pub fn run_selection_with(
+    module: &Module,
+    wpst: &Wpst,
+    profile: &Profile,
+    inputs: &[FuncInputs<'_>],
+    opts: &SelectOptions,
+    model: &dyn AccelModel,
+) -> SelectionResult {
+    let mut engine = Engine {
+        module,
+        wpst,
+        profile,
+        inputs,
+        opts,
+        model,
+        visited: 0,
+        configs: 0,
+    };
+    let f_root = engine.dp(wpst.root());
+    SelectionResult {
+        pareto: f_root,
+        visited: engine.visited,
+        configs_evaluated: engine.configs,
+    }
+}
+
+struct Engine<'a> {
+    module: &'a Module,
+    wpst: &'a Wpst,
+    profile: &'a Profile,
+    inputs: &'a [FuncInputs<'a>],
+    opts: &'a SelectOptions,
+    model: &'a dyn AccelModel,
+    visited: usize,
+    configs: usize,
+}
+
+impl Engine<'_> {
+    fn dp(&mut self, v: WpstNodeId) -> Vec<Solution> {
+        // prune(v, R): not a hotspot → empty Pareto set.
+        if self.profile.share(v) < self.opts.prune_share {
+            return vec![Solution::empty()];
+        }
+        self.visited += 1;
+
+        if self.wpst.is_bb(v) {
+            return filter(pareto(self.accel(v)), self.opts.alpha);
+        }
+
+        let mut f = vec![Solution::empty()];
+        let children = self.wpst.node(v).children.clone();
+        for u in children {
+            let fu = self.dp(u);
+            f = combine(&f, &fu, self.opts.alpha);
+        }
+        if self.wpst.is_ctrl_flow(v) {
+            let mut all = f;
+            all.extend(self.accel(v));
+            f = filter(pareto(all), self.opts.alpha);
+        }
+        f
+    }
+
+    /// `accel(v, R)`: configurations for accelerating vertex `v` as a single
+    /// extracted kernel.
+    fn accel(&mut self, v: WpstNodeId) -> Vec<Solution> {
+        let Some((region, func)) = self.wpst.region(v) else {
+            return Vec::new();
+        };
+        if !region.accelerable {
+            return Vec::new();
+        }
+        let rp = self.profile.of(v);
+        if rp.entries == 0 || rp.cycles == 0 {
+            return Vec::new();
+        }
+        let cand = Candidate {
+            func,
+            blocks: region.blocks.clone(),
+            entries: rp.entries,
+            cpu_cycles: rp.cycles,
+            is_bb: matches!(region.kind, cayman_analysis::regions::RegionKind::Bb(_)),
+        };
+        let designs = self.model.designs(&self.inputs[func.index()], &cand);
+        self.configs += designs.len();
+        let _ = self.module;
+        designs
+            .into_iter()
+            .map(|d| Solution::single(v, d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_analysis::access::{trip_count, AccessAnalysis};
+    use cayman_analysis::memdep::{analyse_loop_deps, LoopDeps};
+    use cayman_analysis::scev::Scev;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::interp::Interp;
+    use cayman_ir::{Module, Type};
+
+    /// Owned analysis state so tests can build `FuncInputs` easily.
+    pub(crate) struct App {
+        pub module: Module,
+        pub wpst: Wpst,
+        pub profile: Profile,
+        pub accesses: Vec<AccessAnalysis>,
+        pub deps: Vec<Vec<LoopDeps>>,
+        pub trips: Vec<Vec<f64>>,
+    }
+
+    impl App {
+        pub fn analyse(module: Module) -> App {
+            module.verify().expect("verifies");
+            let wpst = Wpst::build(&module);
+            let exec = Interp::new(&module).run(&[]).expect("runs");
+            let profile = Profile::aggregate(&module, &wpst, &exec);
+            let mut accesses = Vec::new();
+            let mut deps = Vec::new();
+            let mut trips = Vec::new();
+            for f in module.function_ids() {
+                let func = module.function(f);
+                let ctx = &wpst.func_ctxs[f.index()];
+                let mut scev = Scev::new(func, ctx);
+                let aa = AccessAnalysis::run(&module, func, ctx, &mut scev);
+                let dd = analyse_loop_deps(func, ctx, &mut scev, &aa);
+                let tt: Vec<f64> = ctx
+                    .forest
+                    .ids()
+                    .map(|l| trip_count(&wpst, &profile, func, f, l).unwrap_or(1.0))
+                    .collect();
+                accesses.push(aa);
+                deps.push(dd);
+                trips.push(tt);
+            }
+            App {
+                module,
+                wpst,
+                profile,
+                accesses,
+                deps,
+                trips,
+            }
+        }
+
+        pub fn inputs(&self) -> Vec<FuncInputs<'_>> {
+            self.module
+                .function_ids()
+                .map(|f| FuncInputs {
+                    module: &self.module,
+                    func_id: f,
+                    ctx: &self.wpst.func_ctxs[f.index()],
+                    accesses: &self.accesses[f.index()],
+                    deps: &self.deps[f.index()],
+                    trips: self.trips[f.index()].clone(),
+                    block_counts: self.profile.block_counts[f.index()].clone(),
+                })
+                .collect()
+        }
+    }
+
+    fn two_kernel_app() -> Module {
+        let mut mb = ModuleBuilder::new("app");
+        let n = 128;
+        let x = mb.array("x", Type::F64, &[n]);
+        let y = mb.array("y", Type::F64, &[n]);
+        let a = mb.array("A", Type::F64, &[n, 16]);
+        let b = mb.array("B", Type::F64, &[n, 16]);
+        let z = mb.array("z", Type::F64, &[n]);
+        let f0 = mb.function("linear", &[], None, |fb| {
+            fb.counted_loop(0, n as i64, 1, |fb, i| {
+                let xv = fb.load_idx(x, &[i]);
+                let t = fb.fmul(fb.fconst(2.0), xv);
+                let v = fb.fadd(t, fb.fconst(1.0));
+                fb.store_idx(y, &[i], v);
+            });
+            fb.ret(None);
+        });
+        let f1 = mb.function("dot", &[], None, |fb| {
+            fb.counted_loop(0, n as i64, 1, |fb, i| {
+                fb.counted_loop(0, 16, 1, |fb, j| {
+                    let av = fb.load_idx(a, &[i, j]);
+                    let bv = fb.load_idx(b, &[i, j]);
+                    let p = fb.fmul(av, bv);
+                    let zv = fb.load_idx(z, &[i]);
+                    let s = fb.fadd(zv, p);
+                    fb.store_idx(z, &[i], s);
+                });
+            });
+            fb.ret(None);
+        });
+        mb.function("main", &[], None, |fb| {
+            fb.call(f0, &[], None);
+            fb.call(f1, &[], None);
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn selection_produces_increasing_pareto_front() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let res = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions::default(),
+        );
+        assert!(res.pareto.len() >= 3, "empty + several real solutions");
+        assert!(res.visited > 0);
+        assert!(res.configs_evaluated > 0);
+        // strictly increasing area and savings
+        for w in res.pareto.windows(2) {
+            assert!(w[1].area > w[0].area);
+            assert!(w[1].saved_seconds > w[0].saved_seconds);
+        }
+        // the largest solution should accelerate both kernels
+        let best = res.pareto.last().expect("non-empty");
+        assert!(best.speedup(app.profile.total_cycles) > 1.5);
+    }
+
+    #[test]
+    fn kernels_never_overlap() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let res = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions::default(),
+        );
+        for sol in &res.pareto {
+            // pairwise block-disjointness (within the same function)
+            for i in 0..sol.kernels.len() {
+                for j in (i + 1)..sol.kernels.len() {
+                    let a = &sol.kernels[i].design;
+                    let b = &sol.kernels[j].design;
+                    if a.func == b.func {
+                        assert!(
+                            a.blocks.iter().all(|x| !b.blocks.contains(x)),
+                            "kernels overlap"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_lookup_is_monotone() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let res = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions::default(),
+        );
+        let small = res.best_under(0.25 * cayman_hls::CVA6_TILE_AREA);
+        let large = res.best_under(0.65 * cayman_hls::CVA6_TILE_AREA);
+        assert!(large.saved_seconds >= small.saved_seconds);
+        assert!(small.area <= 0.25 * cayman_hls::CVA6_TILE_AREA);
+    }
+
+    #[test]
+    fn aggressive_pruning_empties_selection() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let opts = SelectOptions {
+            prune_share: 2.0, // nothing accounts for >200% of runtime
+            ..Default::default()
+        };
+        let res = run_selection(&app.module, &app.wpst, &app.profile, &inputs, &opts);
+        assert_eq!(res.pareto.len(), 1, "only the empty solution survives");
+        assert_eq!(res.visited, 0);
+    }
+
+    #[test]
+    fn coupled_only_ablation_saves_less() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let full = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions::default(),
+        );
+        let ablated = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions {
+                model: ModelOptions::coupled_only(),
+                ..Default::default()
+            },
+        );
+        let best_full = full.pareto.last().expect("sol").saved_seconds;
+        let best_abl = ablated.pareto.last().expect("sol").saved_seconds;
+        assert!(
+            best_full > best_abl,
+            "full {best_full} vs coupled-only {best_abl}"
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # cayman-select
+//!
+//! Candidate selection for the Cayman reproduction (paper §III-D): the wPST
+//! is a tree-constrained knapsack — every region vertex is an item whose
+//! profit is the modelled time saving and whose weight is the accelerator
+//! area, with the constraint that selecting a vertex excludes all of its
+//! descendants.
+//!
+//! * [`mod@pareto`] — [`pareto::Solution`]s, Pareto reduction, the α-spacing
+//!   `filter`, and the `⊗` combination operator,
+//! * [`dp`] — Algorithm 1 ([`dp::run_selection`]) with heuristic pruning.
+//!
+//! See [`dp::SelectionResult::best_under`] for extracting the best solution
+//! under an area budget (the paper's 25% / 65% CVA6-tile budgets).
+
+pub mod dp;
+pub mod pareto;
+
+pub use dp::{run_selection, run_selection_with, AccelModel, CaymanModel, SelectOptions, SelectionResult};
+pub use pareto::{combine, filter, pareto, SelectedKernel, Solution};

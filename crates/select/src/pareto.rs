@@ -1,0 +1,266 @@
+//! Solutions, Pareto-optimal sequences, the α-spacing `filter`, and the `⊗`
+//! combination operator of Algorithm 1.
+
+use cayman_analysis::wpst::WpstNodeId;
+use cayman_hls::design::AcceleratorDesign;
+use cayman_ir::cpu_model::CPU_FREQ_HZ;
+
+/// One selected kernel: a wPST vertex plus its accelerator configuration.
+#[derive(Debug, Clone)]
+pub struct SelectedKernel {
+    /// The selected region vertex.
+    pub node: WpstNodeId,
+    /// Its configured accelerator.
+    pub design: AcceleratorDesign,
+}
+
+/// A selection solution: a set of non-overlapping kernels with accelerator
+/// configurations (the `φ` of §III-D).
+#[derive(Debug, Clone, Default)]
+pub struct Solution {
+    /// The selected kernels.
+    pub kernels: Vec<SelectedKernel>,
+    /// Total accelerator area.
+    pub area: f64,
+    /// Total wall-clock seconds saved (`Σ T_cand − Cycle_cand/F`).
+    pub saved_seconds: f64,
+}
+
+impl Solution {
+    /// The empty solution (select nothing): area 0, no gain.
+    pub fn empty() -> Self {
+        Solution::default()
+    }
+
+    /// A single-kernel solution.
+    pub fn single(node: WpstNodeId, design: AcceleratorDesign) -> Self {
+        let area = design.area;
+        let saved = design.saved_seconds();
+        Solution {
+            kernels: vec![SelectedKernel { node, design }],
+            area,
+            saved_seconds: saved,
+        }
+    }
+
+    /// Union of two solutions (disjoint kernel sets by construction of the
+    /// DP): areas and savings add.
+    pub fn union(&self, other: &Solution) -> Solution {
+        let mut kernels = self.kernels.clone();
+        kernels.extend(other.kernels.iter().cloned());
+        Solution {
+            kernels,
+            area: self.area + other.area,
+            saved_seconds: self.saved_seconds + other.saved_seconds,
+        }
+    }
+
+    /// Overall application speedup per Eq. (1):
+    /// `T_all / (T_all − T_cand + Cycle_cand/F)` — equivalently
+    /// `T_all / (T_all − saved_seconds)`.
+    ///
+    /// `total_cycles` is the profiled whole-program CPU cycle count.
+    pub fn speedup(&self, total_cycles: u64) -> f64 {
+        let t_all = total_cycles as f64 / CPU_FREQ_HZ;
+        let remaining = (t_all - self.saved_seconds).max(f64::MIN_POSITIVE);
+        t_all / remaining
+    }
+
+    /// Aggregate `#SB` / `#PR` over all kernels.
+    pub fn sb_pr(&self) -> (usize, usize) {
+        let mut sb = 0;
+        let mut pr = 0;
+        for k in &self.kernels {
+            sb += k.design.seq_blocks;
+            pr += k.design.pipelined.len();
+        }
+        (sb, pr)
+    }
+
+    /// Aggregate interface counts `(#C, #D, #S)` over all kernels.
+    pub fn iface_counts(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for k in &self.kernels {
+            let (c, d, s) = k.design.iface_counts();
+            t.0 += c;
+            t.1 += d;
+            t.2 += s;
+        }
+        t
+    }
+}
+
+/// Produces the Pareto-optimal sequence of `solutions`, sorted by increasing
+/// area, keeping only solutions with strictly increasing savings.
+///
+/// The empty solution is always re-inserted so that "select nothing from this
+/// subtree" remains available to the `⊗` operator.
+pub fn pareto(mut solutions: Vec<Solution>) -> Vec<Solution> {
+    solutions.push(Solution::empty());
+    solutions.sort_by(|a, b| {
+        a.area
+            .partial_cmp(&b.area)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                b.saved_seconds
+                    .partial_cmp(&a.saved_seconds)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut out: Vec<Solution> = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for s in solutions {
+        if s.saved_seconds > best || out.is_empty() {
+            best = best.max(s.saved_seconds);
+            // Keep only if it strictly improves over the last kept solution.
+            if out.last().map(|l| s.saved_seconds > l.saved_seconds).unwrap_or(true) {
+                out.push(s);
+            }
+        }
+    }
+    out
+}
+
+/// The α-spacing `filter` of Algorithm 1: thins a Pareto sequence so that
+/// every neighbouring pair of kept solutions differs in area by more than a
+/// factor of `α`, bounding the sequence length to `log_α(A)`.
+///
+/// Within each α-band the *highest-saving* representative is kept (a
+/// backward greedy from the largest solution): in a Pareto sequence that is
+/// the largest-area member of the band, so no strictly better solution is
+/// ever discarded in favour of a worse neighbour.
+///
+/// The input must already be a Pareto sequence (sorted by increasing area).
+/// The empty solution (area 0) is always kept.
+pub fn filter(solutions: Vec<Solution>, alpha: f64) -> Vec<Solution> {
+    debug_assert!(alpha > 1.0, "alpha must exceed 1");
+    if solutions.is_empty() {
+        return solutions;
+    }
+    let mut keep = vec![false; solutions.len()];
+    let mut bound = f64::INFINITY;
+    for (i, s) in solutions.iter().enumerate().rev() {
+        if s.area <= bound || s.area == 0.0 {
+            keep[i] = true;
+            if s.area > 0.0 {
+                bound = s.area / alpha;
+            }
+        }
+    }
+    solutions
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(s, k)| k.then_some(s))
+        .collect()
+}
+
+/// The `⊗` operator: all pairwise unions of two Pareto sequences, re-reduced.
+pub fn combine(a: &[Solution], b: &[Solution], alpha: f64) -> Vec<Solution> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push(x.union(y));
+        }
+    }
+    filter(pareto(out), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(area: f64, saved: f64) -> Solution {
+        Solution {
+            kernels: Vec::new(),
+            area,
+            saved_seconds: saved,
+        }
+    }
+
+    #[test]
+    fn pareto_drops_dominated() {
+        let s = pareto(vec![
+            sol(10.0, 5.0),
+            sol(20.0, 4.0), // dominated: more area, less saved
+            sol(30.0, 9.0),
+            sol(5.0, 1.0),
+        ]);
+        let areas: Vec<f64> = s.iter().map(|x| x.area).collect();
+        assert_eq!(areas, vec![0.0, 5.0, 10.0, 30.0]);
+        // savings strictly increase
+        for w in s.windows(2) {
+            assert!(w[1].saved_seconds > w[0].saved_seconds);
+        }
+    }
+
+    #[test]
+    fn pareto_always_contains_empty() {
+        let s = pareto(vec![sol(10.0, 5.0)]);
+        assert_eq!(s[0].area, 0.0);
+        assert_eq!(s[0].saved_seconds, 0.0);
+        // negative-saving solutions are dominated by empty
+        let s = pareto(vec![sol(10.0, -5.0)]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].area, 0.0);
+    }
+
+    #[test]
+    fn filter_enforces_alpha_spacing() {
+        let seq = pareto(
+            (1..=100)
+                .map(|i| sol(i as f64, i as f64))
+                .collect::<Vec<_>>(),
+        );
+        let f = filter(seq, 1.5);
+        // every neighbouring pair (past the empty) spaced by ≥ 1.5×
+        for w in f.windows(2) {
+            if w[0].area > 0.0 {
+                assert!(
+                    w[1].area >= 1.5 * w[0].area,
+                    "{} vs {}",
+                    w[0].area,
+                    w[1].area
+                );
+            }
+        }
+        // log_1.5(100) ≈ 11.4 → at most ~13 survivors incl. empty and first
+        assert!(f.len() <= 14, "{}", f.len());
+        // the best solution is always retained
+        assert_eq!(f.last().expect("non-empty").area, 100.0);
+    }
+
+    #[test]
+    fn filter_keeps_best_in_band() {
+        // a slightly bigger but much better solution must survive even when
+        // its area is within α of a worse neighbour
+        let seq = pareto(vec![sol(100.0, 1.0), sol(105.0, 50.0)]);
+        let f = filter(seq, 1.1);
+        assert!(
+            f.iter().any(|s| (s.saved_seconds - 50.0).abs() < 1e-12),
+            "best solution dropped: {f:?}"
+        );
+    }
+
+    #[test]
+    fn combine_adds_areas_and_savings() {
+        let a = pareto(vec![sol(10.0, 5.0)]);
+        let b = pareto(vec![sol(20.0, 7.0)]);
+        let c = combine(&a, &b, 1.0001);
+        // empty, a alone, b alone, a∪b
+        assert_eq!(c.len(), 4);
+        let last = c.last().expect("non-empty");
+        assert_eq!(last.area, 30.0);
+        assert_eq!(last.saved_seconds, 12.0);
+    }
+
+    #[test]
+    fn speedup_follows_equation_1() {
+        // T_all = 1s (1.5e9 cycles at 1.5GHz); saving 0.5s → 2×.
+        let mut s = sol(1.0, 0.5);
+        s.saved_seconds = 0.5;
+        let total_cycles = CPU_FREQ_HZ as u64;
+        assert!((s.speedup(total_cycles) - 2.0).abs() < 1e-9);
+        // empty solution → 1×
+        assert!((Solution::empty().speedup(total_cycles) - 1.0).abs() < 1e-12);
+    }
+}

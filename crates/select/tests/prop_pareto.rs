@@ -1,0 +1,96 @@
+//! Property-based tests of the Pareto machinery that Algorithm 1's
+//! complexity bound and optimality-preservation rest on.
+
+use cayman_select::{combine, filter, pareto, Solution};
+use proptest::prelude::*;
+
+fn sol(area: f64, saved: f64) -> Solution {
+    Solution {
+        kernels: Vec::new(),
+        area,
+        saved_seconds: saved,
+    }
+}
+
+fn solutions_strategy() -> impl Strategy<Value = Vec<Solution>> {
+    prop::collection::vec((0.0f64..1e6, -1e-3f64..1e-3), 0..60)
+        .prop_map(|v| v.into_iter().map(|(a, s)| sol(a, s)).collect())
+}
+
+proptest! {
+    /// `pareto` output is sorted, strictly dominating, and contains the
+    /// input's best saving.
+    #[test]
+    fn pareto_is_a_proper_front(input in solutions_strategy()) {
+        let best_in = input
+            .iter()
+            .map(|s| s.saved_seconds)
+            .fold(0.0f64, f64::max);
+        let out = pareto(input);
+        prop_assert!(!out.is_empty());
+        prop_assert_eq!(out[0].area, 0.0);
+        for w in out.windows(2) {
+            prop_assert!(w[1].area > w[0].area);
+            prop_assert!(w[1].saved_seconds > w[0].saved_seconds);
+        }
+        let best_out = out.last().expect("non-empty").saved_seconds;
+        prop_assert!(best_out >= best_in - 1e-15);
+    }
+
+    /// `filter` returns a subset, enforces α-spacing, keeps the empty
+    /// solution, and never discards the overall best.
+    #[test]
+    fn filter_preserves_the_best(input in solutions_strategy(), alpha in 1.01f64..3.0) {
+        let front = pareto(input);
+        let best = front.last().expect("non-empty").saved_seconds;
+        let len_before = front.len();
+        let out = filter(front, alpha);
+        prop_assert!(out.len() <= len_before);
+        prop_assert_eq!(out[0].area, 0.0);
+        prop_assert!((out.last().expect("non-empty").saved_seconds - best).abs() < 1e-18);
+        for w in out.windows(2) {
+            if w[0].area > 0.0 {
+                prop_assert!(
+                    w[1].area >= alpha * w[0].area - 1e-9,
+                    "spacing violated: {} then {}",
+                    w[0].area,
+                    w[1].area
+                );
+            }
+        }
+    }
+
+    /// The kept-sequence length is logarithmic in the area range.
+    #[test]
+    fn filter_bounds_sequence_length(input in solutions_strategy(), alpha in 1.1f64..2.0) {
+        let out = filter(pareto(input), alpha);
+        // areas < 1e6; smallest non-zero kept could be tiny, so bound by the
+        // ratio between largest and smallest kept non-zero areas.
+        let nonzero: Vec<f64> = out.iter().map(|s| s.area).filter(|&a| a > 0.0).collect();
+        if nonzero.len() >= 2 {
+            let ratio = nonzero.last().expect("len>=2") / nonzero[0];
+            let bound = ratio.log(alpha).ceil() as usize + 2;
+            prop_assert!(
+                nonzero.len() <= bound,
+                "{} kept for ratio {ratio}",
+                nonzero.len()
+            );
+        }
+    }
+
+    /// `⊗` is conservative: every output is a sum of one solution from each
+    /// side, and the combined best saving is at least the max of either
+    /// side's best (union with the empty solution is always available).
+    #[test]
+    fn combine_is_additive(a in solutions_strategy(), b in solutions_strategy()) {
+        let fa = filter(pareto(a), 1.1);
+        let fb = filter(pareto(b), 1.1);
+        let best_a = fa.last().expect("non-empty").saved_seconds;
+        let best_b = fb.last().expect("non-empty").saved_seconds;
+        let c = combine(&fa, &fb, 1.1);
+        let best_c = c.last().expect("non-empty").saved_seconds;
+        prop_assert!(best_c >= best_a.max(best_b) - 1e-18);
+        // additivity of the best: it can't exceed the sum of both bests
+        prop_assert!(best_c <= best_a + best_b + 1e-18);
+    }
+}

@@ -1,0 +1,606 @@
+//! The six CoreMark-Pro workloads of Table II.
+//!
+//! EEMBC CoreMark-Pro sources are proprietary; these are synthetic
+//! re-creations preserving each workload's documented character (DESIGN.md
+//! §2):
+//!
+//! * **cjpeg-rose7-preset** — JPEG compression with an entropy-coding-style
+//!   bit-counting stage (branch-heavy integer work on top of FP transforms),
+//! * **zip-test** — LZ-style compression: hash-chain match search with
+//!   irregular `while` loops plus an Adler-style checksum,
+//! * **parser-125k** — text tokeniser: character classification with nested
+//!   conditionals and a small state machine,
+//! * **nnet-test** — neural-net forward pass: two dense layers with a
+//!   sigmoid (exp) activation,
+//! * **linear-alg-mid-100x100-sp** — dense solver: matrix–vector products +
+//!   Gaussian elimination,
+//! * **loops-all-mid-10k-sp** — many small loops with *even* heat
+//!   distribution, most carrying floating-point recurrences (the paper calls
+//!   this out: carried FP dependencies restrict the achievable II, so the
+//!   coupled-only ablation nearly matches full Cayman here).
+
+use crate::data::Fill;
+use crate::{Suite, Workload};
+use cayman_ir::builder::ModuleBuilder;
+use cayman_ir::{CmpPred, Type};
+
+const F64: Type = Type::F64;
+const I64: Type = Type::I64;
+
+fn wl(name: &'static str, module: cayman_ir::Module, fills: Vec<(cayman_ir::ArrayId, Fill)>) -> Workload {
+    Workload {
+        suite: Suite::CoreMarkPro,
+        name,
+        module,
+        fills,
+    }
+}
+
+/// `cjpeg-rose7-preset` (see module docs).
+pub fn cjpeg_rose() -> Workload {
+    const W: i64 = 24;
+    const B: i64 = 8;
+    let mut mb = ModuleBuilder::new("cjpeg-rose7-preset");
+    let d = W as usize;
+    let img = mb.array("img", F64, &[d, d]);
+    let dctc = mb.array("dctc", F64, &[B as usize, B as usize]);
+    let freq = mb.array("freq", F64, &[d, d]);
+    let coded = mb.array("coded", I64, &[d, d]);
+    let bits = mb.array("bits", I64, &[d]);
+
+    // 1-D DCT pass per block row (lighter than full cjpeg).
+    let f_dct = mb.function("row_dct", &[], None, |fb| {
+        let blocks = W / B;
+        fb.counted_loop(0, W, 1, |fb, i| {
+            fb.counted_loop(0, blocks, 1, |fb, bj| {
+                let base = fb.mul(bj, fb.iconst(B));
+                fb.counted_loop(0, B, 1, |fb, v| {
+                    let zero = fb.fconst(0.0);
+                    let acc = fb.counted_loop_carry(0, B, 1, &[(F64, zero)], |fb, k, c| {
+                        let gj = fb.add(base, k);
+                        let pv = fb.load_idx(img, &[i, gj]);
+                        let cv = fb.load_idx(dctc, &[v, k]);
+                        let p = fb.fmul(pv, cv);
+                        vec![fb.fadd(c[0], p)]
+                    });
+                    let gj = fb.add(base, v);
+                    fb.store_idx(freq, &[i, gj], acc[0]);
+                });
+            });
+        });
+        fb.ret(None);
+    });
+
+    // Quantise with truncation.
+    let f_quant = mb.function("quantize", &[], None, |fb| {
+        fb.counted_loop(0, W, 1, |fb, i| {
+            fb.counted_loop(0, W, 1, |fb, j| {
+                let fv = fb.load_idx(freq, &[i, j]);
+                let q = fb.fdiv(fv, fb.fconst(16.0));
+                let c = fb.fptosi(q);
+                fb.store_idx_ty(coded, &[i, j], c, I64);
+            });
+        });
+        fb.ret(None);
+    });
+
+    // Entropy-coding-style bit counting: magnitude category per coefficient
+    // via a shift loop (irregular iteration count), summed per row.
+    let f_bits = mb.function("bit_count", &[], None, |fb| {
+        fb.counted_loop(0, W, 1, |fb, i| {
+            let zero_i = fb.iconst(0);
+            let total = fb.counted_loop_carry(0, W, 1, &[(I64, zero_i)], |fb, j, c| {
+                let cv = fb.load_idx_ty(coded, &[i, j], I64);
+                // |cv| via conditional negate
+                let z = fb.iconst(0);
+                let neg = fb.icmp_lt(cv, z);
+                let nv = fb.sub(z, cv);
+                let mag = fb.select(neg, I64, nv, cv);
+                // category = number of shifts until zero (≤ 8 here)
+                let zero_i2 = fb.iconst(0);
+                let cat = fb.counted_loop_carry(0, 8, 1, &[(I64, zero_i2)], |fb, _s, cc| {
+                    let one = fb.iconst(1);
+                    let shifted = fb.shr(mag, cc[0]);
+                    let nz = fb.icmp_eq(shifted, fb.iconst(0));
+                    let inc = fb.add(cc[0], one);
+                    vec![fb.select(nz, I64, cc[0], inc)]
+                });
+                vec![fb.add(c[0], cat[0])]
+            });
+            fb.store_idx_ty(bits, &[i], total[0], I64);
+        });
+        fb.ret(None);
+    });
+
+    mb.function("main", &[], None, |fb| {
+        fb.call(f_dct, &[], None);
+        fb.call(f_quant, &[], None);
+        fb.call(f_bits, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "cjpeg-rose7-preset",
+        mb.finish(),
+        vec![
+            (img, Fill::F64Uniform { lo: 0.0, hi: 255.0 }),
+            (dctc, Fill::F64Uniform { lo: -0.5, hi: 0.5 }),
+        ],
+    )
+}
+
+/// `zip-test` (see module docs).
+pub fn zip_test() -> Workload {
+    const N: i64 = 512; // input length
+    const WIN: i64 = 32; // match window
+    let mut mb = ModuleBuilder::new("zip-test");
+    let input = mb.array("input", I64, &[N as usize]);
+    let match_len = mb.array("match_len", I64, &[N as usize]);
+    let checksum = mb.array("checksum", I64, &[2]);
+
+    // Adler-style checksum: two carried integer accumulators with modulo.
+    let f_adler = mb.function("adler", &[], None, |fb| {
+        let one_i = fb.iconst(1);
+        let zero_i = fb.iconst(0);
+        let sums = fb.counted_loop_carry(
+            0,
+            N,
+            1,
+            &[(I64, one_i), (I64, zero_i)],
+            |fb, i, c| {
+                let v = fb.load_idx_ty(input, &[i], I64);
+                let a = fb.add(c[0], v);
+                let m = fb.iconst(65521);
+                let am = fb.srem(a, m);
+                let b = fb.add(c[1], am);
+                let bm = fb.srem(b, m);
+                vec![am, bm]
+            },
+        );
+        let z = fb.iconst(0);
+        let o = fb.iconst(1);
+        fb.store_idx_ty(checksum, &[z], sums[0], I64);
+        fb.store_idx_ty(checksum, &[o], sums[1], I64);
+        fb.ret(None);
+    });
+
+    // LZ match: for each position, scan back up to WIN and record the best
+    // run length (bounded inner scans with data-dependent early exit via
+    // select/min — branchy, indirect-ish access pattern).
+    let f_match = mb.function("lz_match", &[], None, |fb| {
+        fb.counted_loop(WIN, N - WIN, 1, |fb, pos| {
+            let zero_i = fb.iconst(0);
+            let best = fb.counted_loop_carry(1, WIN, 1, &[(I64, zero_i)], |fb, back, c| {
+                // length of match between input[pos..] and input[pos-back..]
+                let zero_i2 = fb.iconst(0);
+                let len = fb.counted_loop_carry(0, 8, 1, &[(I64, zero_i2)], |fb, k, cc| {
+                    let p1 = fb.add(pos, k);
+                    let p0s = fb.sub(pos, back);
+                    let p0 = fb.add(p0s, k);
+                    let v1 = fb.load_idx_ty(input, &[p1], I64);
+                    let v0 = fb.load_idx_ty(input, &[p0], I64);
+                    let eq = fb.icmp_eq(v1, v0);
+                    // extend only if all previous matched: len == k
+                    let cont = fb.icmp_eq(cc[0], k);
+                    let one_c = fb.iconst(1);
+                    let zero_c = fb.iconst(0);
+                    let eq_i = fb.select(eq, I64, one_c, zero_c);
+                    let cont_i = fb.select(cont, I64, one_c, zero_c);
+                    let both = fb.and(eq_i, cont_i);
+                    let one = fb.iconst(1);
+                    let ext = fb.icmp_eq(both, one);
+                    let inc = fb.add(cc[0], one);
+                    vec![fb.select(ext, I64, inc, cc[0])]
+                });
+                let better = fb.cmp(CmpPred::Gt, I64, len[0], c[0]);
+                vec![fb.select(better, I64, len[0], c[0])]
+            });
+            fb.store_idx_ty(match_len, &[pos], best[0], I64);
+        });
+        fb.ret(None);
+    });
+
+    mb.function("main", &[], None, |fb| {
+        fb.call(f_adler, &[], None);
+        fb.call(f_match, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "zip-test",
+        mb.finish(),
+        vec![(input, Fill::I64Uniform { lo: 0, hi: 16 })],
+    )
+}
+
+/// `parser-125k` (see module docs).
+pub fn parser() -> Workload {
+    const N: i64 = 2048; // characters
+    let mut mb = ModuleBuilder::new("parser-125k");
+    let text = mb.array("text", I64, &[N as usize]);
+    let counts = mb.array("counts", I64, &[4]); // digits, alphas, spaces, tokens
+    let f = mb.function("tokenize", &[], None, |fb| {
+        let zero_i = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            0,
+            N,
+            1,
+            &[
+                (I64, zero_i), // digits
+                (I64, zero_i), // alphas
+                (I64, zero_i), // spaces
+                (I64, zero_i), // tokens
+                (I64, zero_i), // in_token state
+            ],
+            |fb, i, c| {
+                let ch = fb.load_idx_ty(text, &[i], I64);
+                let one = fb.iconst(1);
+                // class boundaries: 0-9 digit, 10-35 alpha, 36+ space
+                let ten = fb.iconst(10);
+                let thirty_six = fb.iconst(36);
+                let is_digit = fb.icmp_lt(ch, ten);
+                let below_alpha = fb.icmp_lt(ch, thirty_six);
+                let dig_inc = fb.add(c[0], one);
+                let digits = fb.select(is_digit, I64, dig_inc, c[0]);
+                let zero_c = fb.iconst(0);
+                let one_c = fb.iconst(1);
+                let below_i = fb.select(below_alpha, I64, one_c, zero_c);
+                let alpha_flag = fb.select(is_digit, I64, zero_c, below_i);
+                let is_alpha = fb.icmp_eq(alpha_flag, one);
+                let alpha_inc = fb.add(c[1], one);
+                let alphas = fb.select(is_alpha, I64, alpha_inc, c[1]);
+                let is_space = fb.cmp(CmpPred::Ge, I64, ch, thirty_six);
+                let space_inc = fb.add(c[2], one);
+                let spaces = fb.select(is_space, I64, space_inc, c[2]);
+                // token counting: entering a non-space run
+                let nonspace = fb.select(is_space, I64, fb.iconst(0), fb.iconst(1));
+                let was_out = fb.icmp_eq(c[4], fb.iconst(0));
+                let was_out_i = fb.select(was_out, I64, one_c, zero_c);
+                let entering = fb.and(nonspace, was_out_i);
+                let is_entering = fb.icmp_eq(entering, one);
+                let tok_inc = fb.add(c[3], one);
+                let tokens = fb.select(is_entering, I64, tok_inc, c[3]);
+                vec![digits, alphas, spaces, tokens, nonspace]
+            },
+        );
+        for (k, v) in finals.iter().take(4).enumerate() {
+            let idx = fb.iconst(k as i64);
+            fb.store_idx_ty(counts, &[idx], *v, I64);
+        }
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "parser-125k",
+        mb.finish(),
+        vec![(text, Fill::I64Uniform { lo: 0, hi: 48 })],
+    )
+}
+
+/// `nnet-test` (see module docs).
+pub fn nnet() -> Workload {
+    const IN: i64 = 24;
+    const HID: i64 = 16;
+    const OUT: i64 = 8;
+    const SAMPLES: i64 = 12;
+    let mut mb = ModuleBuilder::new("nnet-test");
+    let x = mb.array("x", F64, &[SAMPLES as usize, IN as usize]);
+    let w1 = mb.array("w1", F64, &[HID as usize, IN as usize]);
+    let h = mb.array("h", F64, &[HID as usize]);
+    let w2 = mb.array("w2", F64, &[OUT as usize, HID as usize]);
+    let y = mb.array("y", F64, &[SAMPLES as usize, OUT as usize]);
+    let f = mb.function("forward", &[], None, |fb| {
+        fb.counted_loop(0, SAMPLES, 1, |fb, s| {
+            // hidden layer with sigmoid
+            fb.counted_loop(0, HID, 1, |fb, i| {
+                let zero = fb.fconst(0.0);
+                let acc = fb.counted_loop_carry(0, IN, 1, &[(F64, zero)], |fb, j, c| {
+                    let wv = fb.load_idx(w1, &[i, j]);
+                    let xv = fb.load_idx(x, &[s, j]);
+                    let p = fb.fmul(wv, xv);
+                    vec![fb.fadd(c[0], p)]
+                });
+                // sigmoid(z) = 1/(1+exp(−z))
+                let nz = fb.unary(cayman_ir::UnaryOp::FNeg, F64, acc[0]);
+                let e = fb.exp(nz);
+                let one = fb.fconst(1.0);
+                let den = fb.fadd(one, e);
+                let sig = fb.fdiv(one, den);
+                fb.store_idx(h, &[i], sig);
+            });
+            // output layer (linear)
+            fb.counted_loop(0, OUT, 1, |fb, o| {
+                let zero = fb.fconst(0.0);
+                let acc = fb.counted_loop_carry(0, HID, 1, &[(F64, zero)], |fb, j, c| {
+                    let wv = fb.load_idx(w2, &[o, j]);
+                    let hv = fb.load_idx(h, &[j]);
+                    let p = fb.fmul(wv, hv);
+                    vec![fb.fadd(c[0], p)]
+                });
+                fb.store_idx(y, &[s, o], acc[0]);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "nnet-test",
+        mb.finish(),
+        vec![
+            (x, Fill::F64Uniform { lo: -1.0, hi: 1.0 }),
+            (w1, Fill::F64Uniform { lo: -0.5, hi: 0.5 }),
+            (w2, Fill::F64Uniform { lo: -0.5, hi: 0.5 }),
+        ],
+    )
+}
+
+/// `linear-alg-mid-100x100-sp` (see module docs).
+pub fn linear_alg() -> Workload {
+    const N: i64 = 26;
+    let mut mb = ModuleBuilder::new("linear-alg-mid-100x100-sp");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let b = mb.array("b", F64, &[d]);
+    let v = mb.array("v", F64, &[d]);
+    let w = mb.array("w", F64, &[d]);
+    // matvec: w = A·v
+    let f_mv = mb.function("matvec", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let zero = fb.fconst(0.0);
+            let acc = fb.counted_loop_carry(0, N, 1, &[(F64, zero)], |fb, j, c| {
+                let av = fb.load_idx(a, &[i, j]);
+                let vv = fb.load_idx(v, &[j]);
+                let p = fb.fmul(av, vv);
+                vec![fb.fadd(c[0], p)]
+            });
+            fb.store_idx(w, &[i], acc[0]);
+        });
+        fb.ret(None);
+    });
+    // Gaussian elimination (no pivoting; SPD input keeps it stable).
+    let f_ge = mb.function("gauss_eliminate", &[], None, |fb| {
+        fb.counted_loop(0, N - 1, 1, |fb, k| {
+            let one = fb.iconst(1);
+            let kp1 = fb.add(k, one);
+            let n_end = fb.iconst(N);
+            fb.counted_loop_dyn(kp1, n_end, 1, |fb, i| {
+                let aik = fb.load_idx(a, &[i, k]);
+                let akk = fb.load_idx(a, &[k, k]);
+                let m = fb.fdiv(aik, akk);
+                let n_end2 = fb.iconst(N);
+                fb.counted_loop_dyn(k, n_end2, 1, |fb, j| {
+                    let akj = fb.load_idx(a, &[k, j]);
+                    let aij = fb.load_idx(a, &[i, j]);
+                    let p = fb.fmul(m, akj);
+                    let nv = fb.fsub(aij, p);
+                    fb.store_idx(a, &[i, j], nv);
+                });
+                let bk = fb.load_idx(b, &[k]);
+                let bi = fb.load_idx(b, &[i]);
+                let p = fb.fmul(m, bk);
+                let nb = fb.fsub(bi, p);
+                fb.store_idx(b, &[i], nb);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f_mv, &[], None);
+        fb.call(f_ge, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "linear-alg-mid-100x100-sp",
+        mb.finish(),
+        vec![
+            (a, Fill::SpdMatrix),
+            (b, Fill::F64Uniform { lo: -1.0, hi: 1.0 }),
+            (v, Fill::F64Uniform { lo: -1.0, hi: 1.0 }),
+        ],
+    )
+}
+
+/// `loops-all-mid-10k-sp` (see module docs): twelve small loops spread over
+/// four functions; ten carry floating-point recurrences.
+pub fn loops_all() -> Workload {
+    const N: i64 = 400;
+    let mut mb = ModuleBuilder::new("loops-all-mid-10k-sp");
+    let d = N as usize;
+    let bufs: Vec<_> = (0..13)
+        .map(|k| mb.array(format!("buf{k}"), F64, &[d]))
+        .collect();
+
+    // Each group function hosts three loops with *different* operation
+    // mixes (the real workload's loops are diverse); most carry a
+    // floating-point recurrence, which is what restricts the achievable II
+    // (§IV-B's explanation for the small coupled-vs-full gap here).
+    let mut funcs = Vec::new();
+    for gf in 0..4usize {
+        let name = format!("group{gf}");
+        let src0 = bufs[gf * 3];
+        let src1 = bufs[gf * 3 + 1];
+        let src2 = bufs[gf * 3 + 2];
+        let dst = bufs[(gf * 3 + 3) % 13];
+        let f = mb.function(name, &[], None, move |fb| {
+            // loop 1: first-order IIR recurrence — op mix varies per group.
+            let zero = fb.fconst(0.0);
+            fb.counted_loop_carry(0, N, 1, &[(F64, zero)], move |fb, i, c| {
+                let xv = fb.load_idx(src0, &[i]);
+                let v = match gf {
+                    0 => {
+                        let t = fb.fmul(fb.fconst(0.9), c[0]);
+                        fb.fadd(t, xv)
+                    }
+                    1 => {
+                        let t = fb.fdiv(c[0], fb.fconst(1.1));
+                        fb.fadd(t, xv)
+                    }
+                    2 => {
+                        let t = fb.fsub(xv, c[0]);
+                        let u = fb.fabs(t);
+                        fb.fadd(c[0], u)
+                    }
+                    _ => {
+                        let t = fb.fmul(c[0], c[0]);
+                        let u = fb.fmul(t, fb.fconst(0.001));
+                        let w = fb.fadd(u, xv);
+                        fb.fmul(w, fb.fconst(0.5))
+                    }
+                };
+                fb.store_idx(dst, &[i], v);
+                vec![v]
+            });
+            // loop 2: a second recurrence with a different shape per group.
+            let zero2 = fb.fconst(0.0);
+            fb.counted_loop_carry(0, N, 1, &[(F64, zero2)], move |fb, i, c| {
+                let xv = fb.load_idx(src1, &[i]);
+                let v = if gf % 2 == 0 {
+                    let t = fb.fmul(fb.fconst(0.5), c[0]);
+                    fb.fadd(t, xv)
+                } else {
+                    let t = fb.fmax(c[0], xv);
+                    fb.fmul(t, fb.fconst(0.999))
+                };
+                fb.store_idx(src1, &[i], v);
+                vec![v]
+            });
+            // loop 3: element-wise (no recurrence) — the minority; op mix
+            // differs per group too.
+            fb.counted_loop(0, N, 1, move |fb, i| {
+                let xv = fb.load_idx(src2, &[i]);
+                let v = match gf {
+                    0 => fb.fmul(xv, fb.fconst(1.01)),
+                    1 => {
+                        let a = fb.fabs(xv);
+                        fb.sqrt(a)
+                    }
+                    2 => {
+                        let t = fb.fmul(xv, xv);
+                        fb.fadd(t, fb.fconst(1.0))
+                    }
+                    _ => fb.fdiv(fb.fconst(1.0), xv),
+                };
+                fb.store_idx(src2, &[i], v);
+            });
+            fb.ret(None);
+        });
+        funcs.push(f);
+    }
+    mb.function("main", &[], None, |fb| {
+        for &f in &funcs {
+            fb.call(f, &[], None);
+        }
+        fb.ret(None);
+    });
+    let fills = bufs
+        .iter()
+        .map(|&b| (b, Fill::F64Uniform { lo: -1.0, hi: 1.0 }))
+        .collect();
+    wl("loops-all-mid-10k-sp", mb.finish(), fills)
+}
+
+/// All six CoreMark-Pro workloads.
+pub fn all() -> Vec<Workload> {
+    vec![
+        cjpeg_rose(),
+        zip_test(),
+        parser(),
+        nnet(),
+        linear_alg(),
+        loops_all(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::interp::Interp;
+
+    #[test]
+    fn parser_counts_partition_the_text() {
+        let w = parser();
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        let ids: Vec<cayman_ir::ArrayId> = w.module.array_ids().collect();
+        let counts = ids[1];
+        let digits = interp.memory.get_i64(counts, 0);
+        let alphas = interp.memory.get_i64(counts, 1);
+        let spaces = interp.memory.get_i64(counts, 2);
+        let tokens = interp.memory.get_i64(counts, 3);
+        assert_eq!(digits + alphas + spaces, 2048, "classes partition chars");
+        assert!(tokens > 0 && tokens <= 2048 - spaces + 1);
+    }
+
+    #[test]
+    fn zip_checksum_is_in_range() {
+        let w = zip_test();
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        let ids: Vec<cayman_ir::ArrayId> = w.module.array_ids().collect();
+        let checksum = ids[2];
+        let a = interp.memory.get_i64(checksum, 0);
+        let b = interp.memory.get_i64(checksum, 1);
+        assert!((0..65521).contains(&a));
+        assert!((0..65521).contains(&b));
+        // match lengths bounded by the 8-char probe
+        let ml = ids[1];
+        for i in 32..(512 - 32) {
+            let v = interp.memory.get_i64(ml, i);
+            assert!((0..=8).contains(&v), "pos {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn nnet_hidden_activations_are_sigmoidal() {
+        let w = nnet();
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        let ids: Vec<cayman_ir::ArrayId> = w.module.array_ids().collect();
+        let h = ids[2];
+        for i in 0..16 {
+            let v = interp.memory.get_f64(h, i);
+            assert!((0.0..=1.0).contains(&v), "h[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn loops_all_has_even_heat() {
+        let w = loops_all();
+        let prof = w.run().expect("runs");
+        // four group functions: each should take a similar share of time
+        let mut func_cycles: Vec<u64> = Vec::new();
+        for f in w.module.function_ids() {
+            if w.module.function(f).name.starts_with("group") {
+                let total: u64 = w
+                    .module
+                    .function(f)
+                    .block_ids()
+                    .map(|b| {
+                        prof.block_counts[f.index()][b.index()]
+                            * cayman_ir::cpu_model::block_cycles(w.module.function(f), b)
+                    })
+                    .sum();
+                func_cycles.push(total);
+            }
+        }
+        assert_eq!(func_cycles.len(), 4);
+        let max = *func_cycles.iter().max().expect("non-empty") as f64;
+        let min = *func_cycles.iter().min().expect("non-empty") as f64;
+        assert!(max / min < 3.0, "roughly even hotspots: {func_cycles:?}");
+    }
+
+    #[test]
+    fn all_coremark_run() {
+        for w in all() {
+            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+}

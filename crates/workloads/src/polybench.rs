@@ -1,0 +1,852 @@
+//! The 16 PolyBench kernels of Table II, following the PolyBench/C reference
+//! semantics at reduced problem sizes.
+//!
+//! Each benchmark is a whole *application*: kernels live in their own
+//! functions, called from `main` — the shape the wPST's function vertices
+//! expect (Fig. 2).
+
+use crate::data::Fill;
+use crate::{Suite, Workload};
+use cayman_ir::builder::{FunctionBuilder, ModuleBuilder};
+use cayman_ir::Type;
+
+const F64: Type = Type::F64;
+
+fn wl(name: &'static str, module: cayman_ir::Module, fills: Vec<(cayman_ir::ArrayId, Fill)>) -> Workload {
+    Workload {
+        suite: Suite::PolyBench,
+        name,
+        module,
+        fills,
+    }
+}
+
+fn uni() -> Fill {
+    Fill::F64Uniform { lo: -1.0, hi: 1.0 }
+}
+
+/// Builds a dense matrix-multiply function `Z = X · Y` (`n×m · m×p`).
+fn mm_func(
+    mb: &mut ModuleBuilder,
+    name: &str,
+    x: cayman_ir::ArrayId,
+    y: cayman_ir::ArrayId,
+    z: cayman_ir::ArrayId,
+    n: i64,
+    m: i64,
+    p: i64,
+) -> cayman_ir::FuncId {
+    mb.function(name, &[], None, |fb| {
+        fb.counted_loop(0, n, 1, |fb, i| {
+            fb.counted_loop(0, p, 1, |fb, j| {
+                let zero = fb.fconst(0.0);
+                let acc = fb.counted_loop_carry(0, m, 1, &[(F64, zero)], |fb, k, c| {
+                    let xv = fb.load_idx(x, &[i, k]);
+                    let yv = fb.load_idx(y, &[k, j]);
+                    let prod = fb.fmul(xv, yv);
+                    vec![fb.fadd(c[0], prod)]
+                });
+                fb.store_idx(z, &[i, j], acc[0]);
+            });
+        });
+        fb.ret(None);
+    })
+}
+
+/// `3mm`: E = A·B, F = C·D, G = E·F — three structurally identical kernels,
+/// the paper's showcase for accelerator merging (74% area saving).
+pub fn three_mm() -> Workload {
+    const N: i64 = 18;
+    let mut mb = ModuleBuilder::new("3mm");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let b = mb.array("B", F64, &[d, d]);
+    let c = mb.array("C", F64, &[d, d]);
+    let dd = mb.array("D", F64, &[d, d]);
+    let e = mb.array("E", F64, &[d, d]);
+    let f = mb.array("F", F64, &[d, d]);
+    let g = mb.array("G", F64, &[d, d]);
+    let f0 = mm_func(&mut mb, "mm_e", a, b, e, N, N, N);
+    let f1 = mm_func(&mut mb, "mm_f", c, dd, f, N, N, N);
+    let f2 = mm_func(&mut mb, "mm_g", e, f, g, N, N, N);
+    mb.function("main", &[], None, |fb| {
+        fb.call(f0, &[], None);
+        fb.call(f1, &[], None);
+        fb.call(f2, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "3mm",
+        mb.finish(),
+        vec![(a, uni()), (b, uni()), (c, uni()), (dd, uni())],
+    )
+}
+
+/// `atax`: y = Aᵀ·(A·x).
+pub fn atax() -> Workload {
+    const N: i64 = 28;
+    const M: i64 = 24;
+    let mut mb = ModuleBuilder::new("atax");
+    let a = mb.array("A", F64, &[N as usize, M as usize]);
+    let x = mb.array("x", F64, &[M as usize]);
+    let y = mb.array("y", F64, &[M as usize]);
+    let f = mb.function("atax_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let zero = fb.fconst(0.0);
+            let tmp = fb.counted_loop_carry(0, M, 1, &[(F64, zero)], |fb, j, c| {
+                let av = fb.load_idx(a, &[i, j]);
+                let xv = fb.load_idx(x, &[j]);
+                let p = fb.fmul(av, xv);
+                vec![fb.fadd(c[0], p)]
+            });
+            fb.counted_loop(0, M, 1, |fb, j| {
+                let av = fb.load_idx(a, &[i, j]);
+                let yv = fb.load_idx(y, &[j]);
+                let p = fb.fmul(av, tmp[0]);
+                let s = fb.fadd(yv, p);
+                fb.store_idx(y, &[j], s);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("atax", mb.finish(), vec![(a, uni()), (x, uni())])
+}
+
+/// `bicg`: s = Aᵀ·r, q = A·p.
+pub fn bicg() -> Workload {
+    const N: i64 = 28;
+    const M: i64 = 24;
+    let mut mb = ModuleBuilder::new("bicg");
+    let a = mb.array("A", F64, &[N as usize, M as usize]);
+    let r = mb.array("r", F64, &[N as usize]);
+    let p = mb.array("p", F64, &[M as usize]);
+    let s = mb.array("s", F64, &[M as usize]);
+    let q = mb.array("q", F64, &[N as usize]);
+    let f = mb.function("bicg_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let rv = fb.load_idx(r, &[i]);
+            let zero = fb.fconst(0.0);
+            let qacc = fb.counted_loop_carry(0, M, 1, &[(F64, zero)], |fb, j, c| {
+                let av = fb.load_idx(a, &[i, j]);
+                let sv = fb.load_idx(s, &[j]);
+                let t = fb.fmul(rv, av);
+                let ns = fb.fadd(sv, t);
+                fb.store_idx(s, &[j], ns);
+                let pv = fb.load_idx(p, &[j]);
+                let t2 = fb.fmul(av, pv);
+                vec![fb.fadd(c[0], t2)]
+            });
+            fb.store_idx(q, &[i], qacc[0]);
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("bicg", mb.finish(), vec![(a, uni()), (r, uni()), (p, uni())])
+}
+
+/// `doitgen`: multiresolution analysis kernel — one centralised 4-deep nest.
+pub fn doitgen() -> Workload {
+    const R: i64 = 10;
+    const Q: i64 = 10;
+    const P: i64 = 12;
+    let mut mb = ModuleBuilder::new("doitgen");
+    let a = mb.array("A", F64, &[R as usize, Q as usize, P as usize]);
+    let c4 = mb.array("C4", F64, &[P as usize, P as usize]);
+    let sum = mb.array("sum", F64, &[P as usize]);
+    let f = mb.function("doitgen_kernel", &[], None, |fb| {
+        fb.counted_loop(0, R, 1, |fb, rr| {
+            fb.counted_loop(0, Q, 1, |fb, qq| {
+                fb.counted_loop(0, P, 1, |fb, pp| {
+                    let zero = fb.fconst(0.0);
+                    let acc = fb.counted_loop_carry(0, P, 1, &[(F64, zero)], |fb, ss, c| {
+                        let av = fb.load_idx(a, &[rr, qq, ss]);
+                        let cv = fb.load_idx(c4, &[ss, pp]);
+                        let p = fb.fmul(av, cv);
+                        vec![fb.fadd(c[0], p)]
+                    });
+                    fb.store_idx(sum, &[pp], acc[0]);
+                });
+                fb.counted_loop(0, P, 1, |fb, pp| {
+                    let sv = fb.load_idx(sum, &[pp]);
+                    fb.store_idx(a, &[rr, qq, pp], sv);
+                });
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("doitgen", mb.finish(), vec![(a, uni()), (c4, uni())])
+}
+
+/// `mvt`: x1 += A·y1, x2 += Aᵀ·y2.
+pub fn mvt() -> Workload {
+    const N: i64 = 28;
+    let mut mb = ModuleBuilder::new("mvt");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let x1 = mb.array("x1", F64, &[d]);
+    let x2 = mb.array("x2", F64, &[d]);
+    let y1 = mb.array("y1", F64, &[d]);
+    let y2 = mb.array("y2", F64, &[d]);
+    let f = mb.function("mvt_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let init = fb.load_idx(x1, &[i]);
+            let acc = fb.counted_loop_carry(0, N, 1, &[(F64, init)], |fb, j, c| {
+                let av = fb.load_idx(a, &[i, j]);
+                let yv = fb.load_idx(y1, &[j]);
+                let p = fb.fmul(av, yv);
+                vec![fb.fadd(c[0], p)]
+            });
+            fb.store_idx(x1, &[i], acc[0]);
+        });
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let init = fb.load_idx(x2, &[i]);
+            let acc = fb.counted_loop_carry(0, N, 1, &[(F64, init)], |fb, j, c| {
+                let av = fb.load_idx(a, &[j, i]);
+                let yv = fb.load_idx(y2, &[j]);
+                let p = fb.fmul(av, yv);
+                vec![fb.fadd(c[0], p)]
+            });
+            fb.store_idx(x2, &[i], acc[0]);
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "mvt",
+        mb.finish(),
+        vec![(a, uni()), (x1, uni()), (x2, uni()), (y1, uni()), (y2, uni())],
+    )
+}
+
+/// `symm`: symmetric matrix multiply (triangular inner loop).
+pub fn symm() -> Workload {
+    const N: i64 = 20;
+    let mut mb = ModuleBuilder::new("symm");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let b = mb.array("B", F64, &[d, d]);
+    let c = mb.array("C", F64, &[d, d]);
+    let f = mb.function("symm_kernel", &[], None, |fb| {
+        let alpha = fb.fconst(1.5);
+        let beta = fb.fconst(1.2);
+        fb.counted_loop(0, N, 1, |fb, i| {
+            fb.counted_loop(0, N, 1, |fb, j| {
+                let bij = fb.load_idx(b, &[i, j]);
+                let ab = fb.fmul(alpha, bij);
+                let zero = fb.fconst(0.0);
+                let s = fb.iconst(0);
+                let temp2 = fb.counted_loop_carry_dyn(s, i, &[(F64, zero)], |fb, k, cc| {
+                    let ckj = fb.load_idx(c, &[k, j]);
+                    let aik = fb.load_idx(a, &[i, k]);
+                    let t = fb.fmul(ab, aik);
+                    let nc = fb.fadd(ckj, t);
+                    fb.store_idx(c, &[k, j], nc);
+                    let bkj = fb.load_idx(b, &[k, j]);
+                    let t2 = fb.fmul(bkj, aik);
+                    vec![fb.fadd(cc[0], t2)]
+                });
+                let cij = fb.load_idx(c, &[i, j]);
+                let bc = fb.fmul(beta, cij);
+                let aii = fb.load_idx(a, &[i, i]);
+                let t3 = fb.fmul(ab, aii);
+                let t4 = fb.fmul(alpha, temp2[0]);
+                let s1 = fb.fadd(bc, t3);
+                let s2 = fb.fadd(s1, t4);
+                fb.store_idx(c, &[i, j], s2);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("symm", mb.finish(), vec![(a, uni()), (b, uni()), (c, uni())])
+}
+
+/// `syrk`: C = α·A·Aᵀ + β·C over the lower triangle.
+pub fn syrk() -> Workload {
+    const N: i64 = 20;
+    const M: i64 = 16;
+    let mut mb = ModuleBuilder::new("syrk");
+    let a = mb.array("A", F64, &[N as usize, M as usize]);
+    let c = mb.array("C", F64, &[N as usize, N as usize]);
+    let f = mb.function("syrk_kernel", &[], None, |fb| {
+        let alpha = fb.fconst(1.5);
+        let beta = fb.fconst(1.2);
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let one = fb.iconst(1);
+            let iend = fb.add(i, one);
+            let z = fb.iconst(0);
+            fb.counted_loop_dyn(z, iend, 1, |fb, j| {
+                let cv = fb.load_idx(c, &[i, j]);
+                let sv = fb.fmul(cv, beta);
+                fb.store_idx(c, &[i, j], sv);
+            });
+            fb.counted_loop(0, M, 1, |fb, k| {
+                let z = fb.iconst(0);
+                fb.counted_loop_dyn(z, iend, 1, |fb, j| {
+                    let aik = fb.load_idx(a, &[i, k]);
+                    let ajk = fb.load_idx(a, &[j, k]);
+                    let t = fb.fmul(alpha, aik);
+                    let t2 = fb.fmul(t, ajk);
+                    let cv = fb.load_idx(c, &[i, j]);
+                    let s = fb.fadd(cv, t2);
+                    fb.store_idx(c, &[i, j], s);
+                });
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("syrk", mb.finish(), vec![(a, uni()), (c, uni())])
+}
+
+/// `trmm`: triangular matrix multiply.
+pub fn trmm() -> Workload {
+    const N: i64 = 20;
+    let mut mb = ModuleBuilder::new("trmm");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let b = mb.array("B", F64, &[d, d]);
+    let f = mb.function("trmm_kernel", &[], None, |fb| {
+        let alpha = fb.fconst(1.5);
+        fb.counted_loop(0, N, 1, |fb, i| {
+            fb.counted_loop(0, N, 1, |fb, j| {
+                let one = fb.iconst(1);
+                let start = fb.add(i, one);
+                let init = fb.load_idx(b, &[i, j]);
+                let n_end = fb.iconst(N);
+                let acc = fb.counted_loop_carry_dyn(start, n_end, &[(F64, init)], |fb, k, c| {
+                    let aki = fb.load_idx(a, &[k, i]);
+                    let bkj = fb.load_idx(b, &[k, j]);
+                    let p = fb.fmul(aki, bkj);
+                    vec![fb.fadd(c[0], p)]
+                });
+                let scaled = fb.fmul(alpha, acc[0]);
+                fb.store_idx(b, &[i, j], scaled);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("trmm", mb.finish(), vec![(a, uni()), (b, uni())])
+}
+
+/// `cholesky`: in-place Cholesky factorisation (sqrt + divisions, triangular
+/// dynamic loop bounds).
+pub fn cholesky() -> Workload {
+    const N: i64 = 20;
+    let mut mb = ModuleBuilder::new("cholesky");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let f = mb.function("cholesky_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let z = fb.iconst(0);
+            fb.counted_loop_dyn(z, i, 1, |fb, j| {
+                let z2 = fb.iconst(0);
+                let init = fb.load_idx(a, &[i, j]);
+                let acc = fb.counted_loop_carry_dyn(z2, j, &[(F64, init)], |fb, k, c| {
+                    let aik = fb.load_idx(a, &[i, k]);
+                    let ajk = fb.load_idx(a, &[j, k]);
+                    let p = fb.fmul(aik, ajk);
+                    vec![fb.fsub(c[0], p)]
+                });
+                let ajj = fb.load_idx(a, &[j, j]);
+                let q = fb.fdiv(acc[0], ajj);
+                fb.store_idx(a, &[i, j], q);
+            });
+            let z3 = fb.iconst(0);
+            let init = fb.load_idx(a, &[i, i]);
+            let acc = fb.counted_loop_carry_dyn(z3, i, &[(F64, init)], |fb, k, c| {
+                let aik = fb.load_idx(a, &[i, k]);
+                let p = fb.fmul(aik, aik);
+                vec![fb.fsub(c[0], p)]
+            });
+            let r = fb.sqrt(acc[0]);
+            fb.store_idx(a, &[i, i], r);
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("cholesky", mb.finish(), vec![(a, Fill::SpdMatrix)])
+}
+
+/// `gramschmidt`: modified Gram–Schmidt QR.
+pub fn gramschmidt() -> Workload {
+    const N: i64 = 18; // rows
+    const M: i64 = 14; // cols
+    let mut mb = ModuleBuilder::new("gramschmidt");
+    let a = mb.array("A", F64, &[N as usize, M as usize]);
+    let q = mb.array("Q", F64, &[N as usize, M as usize]);
+    let r = mb.array("R", F64, &[M as usize, M as usize]);
+    let f = mb.function("gramschmidt_kernel", &[], None, |fb| {
+        fb.counted_loop(0, M, 1, |fb, k| {
+            let zero = fb.fconst(0.0);
+            let nrm = fb.counted_loop_carry(0, N, 1, &[(F64, zero)], |fb, i, c| {
+                let av = fb.load_idx(a, &[i, k]);
+                let p = fb.fmul(av, av);
+                vec![fb.fadd(c[0], p)]
+            });
+            let rkk = fb.sqrt(nrm[0]);
+            fb.store_idx(r, &[k, k], rkk);
+            fb.counted_loop(0, N, 1, |fb, i| {
+                let av = fb.load_idx(a, &[i, k]);
+                let qv = fb.fdiv(av, rkk);
+                fb.store_idx(q, &[i, k], qv);
+            });
+            let one = fb.iconst(1);
+            let kp1 = fb.add(k, one);
+            let m_end = fb.iconst(M);
+            fb.counted_loop_dyn(kp1, m_end, 1, |fb, j| {
+                let zero = fb.fconst(0.0);
+                let rkj = fb.counted_loop_carry(0, N, 1, &[(F64, zero)], |fb, i, c| {
+                    let qv = fb.load_idx(q, &[i, k]);
+                    let av = fb.load_idx(a, &[i, j]);
+                    let p = fb.fmul(qv, av);
+                    vec![fb.fadd(c[0], p)]
+                });
+                fb.store_idx(r, &[k, j], rkj[0]);
+                fb.counted_loop(0, N, 1, |fb, i| {
+                    let av = fb.load_idx(a, &[i, j]);
+                    let qv = fb.load_idx(q, &[i, k]);
+                    let p = fb.fmul(qv, rkj[0]);
+                    let nv = fb.fsub(av, p);
+                    fb.store_idx(a, &[i, j], nv);
+                });
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "gramschmidt",
+        mb.finish(),
+        vec![(a, Fill::F64Uniform { lo: 0.5, hi: 2.0 })],
+    )
+}
+
+/// `lu`: in-place LU decomposition (triangular dynamic bounds).
+pub fn lu() -> Workload {
+    const N: i64 = 20;
+    let mut mb = ModuleBuilder::new("lu");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let f = mb.function("lu_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let z = fb.iconst(0);
+            fb.counted_loop_dyn(z, i, 1, |fb, j| {
+                let z2 = fb.iconst(0);
+                let init = fb.load_idx(a, &[i, j]);
+                let acc = fb.counted_loop_carry_dyn(z2, j, &[(F64, init)], |fb, k, c| {
+                    let aik = fb.load_idx(a, &[i, k]);
+                    let akj = fb.load_idx(a, &[k, j]);
+                    let p = fb.fmul(aik, akj);
+                    vec![fb.fsub(c[0], p)]
+                });
+                let ajj = fb.load_idx(a, &[j, j]);
+                let q = fb.fdiv(acc[0], ajj);
+                fb.store_idx(a, &[i, j], q);
+            });
+            let n_end = fb.iconst(N);
+            fb.counted_loop_dyn(i, n_end, 1, |fb, j| {
+                let z3 = fb.iconst(0);
+                let init = fb.load_idx(a, &[i, j]);
+                let acc = fb.counted_loop_carry_dyn(z3, i, &[(F64, init)], |fb, k, c| {
+                    let aik = fb.load_idx(a, &[i, k]);
+                    let akj = fb.load_idx(a, &[k, j]);
+                    let p = fb.fmul(aik, akj);
+                    vec![fb.fsub(c[0], p)]
+                });
+                fb.store_idx(a, &[i, j], acc[0]);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("lu", mb.finish(), vec![(a, Fill::SpdMatrix)])
+}
+
+/// `trisolv`: forward substitution for a lower-triangular system.
+pub fn trisolv() -> Workload {
+    const N: i64 = 32;
+    let mut mb = ModuleBuilder::new("trisolv");
+    let d = N as usize;
+    let l = mb.array("L", F64, &[d, d]);
+    let x = mb.array("x", F64, &[d]);
+    let b = mb.array("b", F64, &[d]);
+    let f = mb.function("trisolv_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, i| {
+            let z = fb.iconst(0);
+            let init = fb.load_idx(b, &[i]);
+            let acc = fb.counted_loop_carry_dyn(z, i, &[(F64, init)], |fb, j, c| {
+                let lv = fb.load_idx(l, &[i, j]);
+                let xv = fb.load_idx(x, &[j]);
+                let p = fb.fmul(lv, xv);
+                vec![fb.fsub(c[0], p)]
+            });
+            let lii = fb.load_idx(l, &[i, i]);
+            let xv = fb.fdiv(acc[0], lii);
+            fb.store_idx(x, &[i], xv);
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "trisolv",
+        mb.finish(),
+        vec![(l, Fill::SpdMatrix), (b, uni())],
+    )
+}
+
+/// `covariance`: mean subtraction + upper-triangular covariance.
+pub fn covariance() -> Workload {
+    const N: i64 = 20; // observations
+    const M: i64 = 16; // variables
+    let mut mb = ModuleBuilder::new("covariance");
+    let data = mb.array("data", F64, &[N as usize, M as usize]);
+    let mean = mb.array("mean", F64, &[M as usize]);
+    let cov = mb.array("cov", F64, &[M as usize, M as usize]);
+    let f = mb.function("covariance_kernel", &[], None, |fb| {
+        let nf = fb.fconst(N as f64);
+        fb.counted_loop(0, M, 1, |fb, j| {
+            let zero = fb.fconst(0.0);
+            let acc = fb.counted_loop_carry(0, N, 1, &[(F64, zero)], |fb, i, c| {
+                let dv = fb.load_idx(data, &[i, j]);
+                vec![fb.fadd(c[0], dv)]
+            });
+            let m = fb.fdiv(acc[0], nf);
+            fb.store_idx(mean, &[j], m);
+        });
+        fb.counted_loop(0, N, 1, |fb, i| {
+            fb.counted_loop(0, M, 1, |fb, j| {
+                let dv = fb.load_idx(data, &[i, j]);
+                let mv = fb.load_idx(mean, &[j]);
+                let nd = fb.fsub(dv, mv);
+                fb.store_idx(data, &[i, j], nd);
+            });
+        });
+        let nm1 = fb.fconst((N - 1) as f64);
+        fb.counted_loop(0, M, 1, |fb, i| {
+            let m_end = fb.iconst(M);
+            fb.counted_loop_dyn(i, m_end, 1, |fb, j| {
+                let zero = fb.fconst(0.0);
+                let acc = fb.counted_loop_carry(0, N, 1, &[(F64, zero)], |fb, k, c| {
+                    let d1 = fb.load_idx(data, &[k, i]);
+                    let d2 = fb.load_idx(data, &[k, j]);
+                    let p = fb.fmul(d1, d2);
+                    vec![fb.fadd(c[0], p)]
+                });
+                let v = fb.fdiv(acc[0], nm1);
+                fb.store_idx(cov, &[i, j], v);
+                fb.store_idx(cov, &[j, i], v);
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("covariance", mb.finish(), vec![(data, uni())])
+}
+
+/// `jacobi-2d`: 5-point stencil, alternating buffers, T time steps.
+pub fn jacobi_2d() -> Workload {
+    const N: i64 = 20;
+    const T: i64 = 6;
+    let mut mb = ModuleBuilder::new("jacobi-2d");
+    let d = N as usize;
+    let a = mb.array("A", F64, &[d, d]);
+    let b = mb.array("B", F64, &[d, d]);
+    let stencil = |fb: &mut FunctionBuilder, src: cayman_ir::ArrayId, dst: cayman_ir::ArrayId| {
+        fb.counted_loop(1, N - 1, 1, |fb, i| {
+            fb.counted_loop(1, N - 1, 1, |fb, j| {
+                let one = fb.iconst(1);
+                let im1 = fb.sub(i, one);
+                let ip1 = fb.add(i, one);
+                let jm1 = fb.sub(j, one);
+                let jp1 = fb.add(j, one);
+                let c = fb.load_idx(src, &[i, j]);
+                let l = fb.load_idx(src, &[i, jm1]);
+                let r = fb.load_idx(src, &[i, jp1]);
+                let u = fb.load_idx(src, &[im1, j]);
+                let dn = fb.load_idx(src, &[ip1, j]);
+                let s1 = fb.fadd(c, l);
+                let s2 = fb.fadd(s1, r);
+                let s3 = fb.fadd(s2, u);
+                let s4 = fb.fadd(s3, dn);
+                let k = fb.fconst(0.2);
+                let v = fb.fmul(k, s4);
+                fb.store_idx(dst, &[i, j], v);
+            });
+        });
+    };
+    let f = mb.function("jacobi_kernel", &[], None, |fb| {
+        fb.counted_loop(0, T, 1, |fb, _t| {
+            stencil(fb, a, b);
+            stencil(fb, b, a);
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl("jacobi-2d", mb.finish(), vec![(a, uni())])
+}
+
+/// `deriche`: recursive edge-detection filter — serial scan recurrences give
+/// genuine floating-point loop-carried dependencies (the paper reports only
+/// modest speedups here).
+pub fn deriche() -> Workload {
+    const W: i64 = 24;
+    const H: i64 = 20;
+    let mut mb = ModuleBuilder::new("deriche");
+    let img = mb.array("img", F64, &[H as usize, W as usize]);
+    let y1 = mb.array("y1", F64, &[H as usize, W as usize]);
+    let y2 = mb.array("y2", F64, &[H as usize, W as usize]);
+    let out = mb.array("out", F64, &[H as usize, W as usize]);
+    let f = mb.function("deriche_kernel", &[], None, |fb| {
+        let a1 = fb.fconst(0.25);
+        let b1 = fb.fconst(0.6);
+        // horizontal forward scan: y1[i][j] = a1·x[i][j] + b1·y1[i][j-1]
+        fb.counted_loop(0, H, 1, |fb, i| {
+            let zero = fb.fconst(0.0);
+            fb.counted_loop_carry(0, W, 1, &[(F64, zero)], |fb, j, c| {
+                let xv = fb.load_idx(img, &[i, j]);
+                let t1 = fb.fmul(a1, xv);
+                let t2 = fb.fmul(b1, c[0]);
+                let v = fb.fadd(t1, t2);
+                fb.store_idx(y1, &[i, j], v);
+                vec![v]
+            });
+        });
+        // horizontal backward scan into y2
+        fb.counted_loop(0, H, 1, |fb, i| {
+            let zero = fb.fconst(0.0);
+            fb.counted_loop_carry(W - 1, -1, -1, &[(F64, zero)], |fb, j, c| {
+                let xv = fb.load_idx(img, &[i, j]);
+                let t1 = fb.fmul(a1, xv);
+                let t2 = fb.fmul(b1, c[0]);
+                let v = fb.fadd(t1, t2);
+                fb.store_idx(y2, &[i, j], v);
+                vec![v]
+            });
+        });
+        // combine
+        fb.counted_loop(0, H, 1, |fb, i| {
+            fb.counted_loop(0, W, 1, |fb, j| {
+                let v1 = fb.load_idx(y1, &[i, j]);
+                let v2 = fb.load_idx(y2, &[i, j]);
+                let s = fb.fadd(v1, v2);
+                fb.store_idx(out, &[i, j], s);
+            });
+        });
+        // vertical forward scan over out (in place through y1 as scratch)
+        fb.counted_loop(0, W, 1, |fb, j| {
+            let zero = fb.fconst(0.0);
+            fb.counted_loop_carry(0, H, 1, &[(F64, zero)], |fb, i, c| {
+                let xv = fb.load_idx(out, &[i, j]);
+                let t1 = fb.fmul(a1, xv);
+                let t2 = fb.fmul(b1, c[0]);
+                let v = fb.fadd(t1, t2);
+                fb.store_idx(y1, &[i, j], v);
+                vec![v]
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "deriche",
+        mb.finish(),
+        vec![(img, Fill::F64Uniform { lo: 0.0, hi: 255.0 })],
+    )
+}
+
+/// `floyd-warshall`: all-pairs shortest paths (min-plus, 3-deep nest).
+pub fn floyd_warshall() -> Workload {
+    const N: i64 = 16;
+    let mut mb = ModuleBuilder::new("floyd-warshall");
+    let d = N as usize;
+    let path = mb.array("path", F64, &[d, d]);
+    let f = mb.function("floyd_kernel", &[], None, |fb| {
+        fb.counted_loop(0, N, 1, |fb, k| {
+            fb.counted_loop(0, N, 1, |fb, i| {
+                fb.counted_loop(0, N, 1, |fb, j| {
+                    let dij = fb.load_idx(path, &[i, j]);
+                    let dik = fb.load_idx(path, &[i, k]);
+                    let dkj = fb.load_idx(path, &[k, j]);
+                    let via = fb.fadd(dik, dkj);
+                    let m = fb.binary(cayman_ir::BinOp::FMin, F64, dij, via);
+                    fb.store_idx(path, &[i, j], m);
+                });
+            });
+        });
+        fb.ret(None);
+    });
+    mb.function("main", &[], None, |fb| {
+        fb.call(f, &[], None);
+        fb.ret(None);
+    });
+    wl(
+        "floyd-warshall",
+        mb.finish(),
+        vec![(path, Fill::F64Uniform { lo: 1.0, hi: 100.0 })],
+    )
+}
+
+/// All 16 PolyBench workloads in Table II order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        three_mm(),
+        atax(),
+        bicg(),
+        doitgen(),
+        mvt(),
+        symm(),
+        syrk(),
+        trmm(),
+        cholesky(),
+        gramschmidt(),
+        lu(),
+        trisolv(),
+        covariance(),
+        jacobi_2d(),
+        deriche(),
+        floyd_warshall(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::interp::Interp;
+
+    #[test]
+    fn three_mm_computes_a_matrix_product() {
+        let w = three_mm();
+        w.module.verify().expect("verifies");
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        // G = (A·B)·(C·D): spot-check one element against a host-side
+        // reference computation.
+        let n = 18usize;
+        let m = &w.module;
+        let ids: Vec<cayman_ir::ArrayId> = m.array_ids().collect();
+        let (a, b, c, d, g) = (ids[0], ids[1], ids[2], ids[3], ids[6]);
+        let mem0 = w.memory();
+        let e_ref = |i: usize, j: usize| -> f64 {
+            (0..n).map(|k| mem0.get_f64(a, i * n + k) * mem0.get_f64(b, k * n + j)).sum()
+        };
+        let f_ref = |i: usize, j: usize| -> f64 {
+            (0..n).map(|k| mem0.get_f64(c, i * n + k) * mem0.get_f64(d, k * n + j)).sum()
+        };
+        let g_ref: f64 = (0..n).map(|k| e_ref(2, k) * f_ref(k, 3)).sum();
+        let got = interp.memory.get_f64(g, 2 * n + 3);
+        assert!((got - g_ref).abs() < 1e-9, "{got} vs {g_ref}");
+    }
+
+    #[test]
+    fn trisolv_solves_the_system() {
+        let w = trisolv();
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        // verify L·x ≈ b
+        let ids: Vec<cayman_ir::ArrayId> = w.module.array_ids().collect();
+        let (l, x, b) = (ids[0], ids[1], ids[2]);
+        let mem0 = w.memory();
+        let n = 32usize;
+        for i in 0..n {
+            let lhs: f64 = (0..=i)
+                .map(|j| mem0.get_f64(l, i * n + j) * interp.memory.get_f64(x, j))
+                .sum();
+            let rhs = mem0.get_f64(b, i);
+            assert!((lhs - rhs).abs() < 1e-6, "row {i}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn cholesky_reproduces_the_matrix() {
+        let w = cholesky();
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        // L·Lᵀ ≈ original A (lower triangle result)
+        let ids: Vec<cayman_ir::ArrayId> = w.module.array_ids().collect();
+        let a = ids[0];
+        let mem0 = w.memory();
+        let n = 20usize;
+        for i in 0..n {
+            for j in 0..=i {
+                let recon: f64 = (0..=j)
+                    .map(|k| {
+                        interp.memory.get_f64(a, i * n + k) * interp.memory.get_f64(a, j * n + k)
+                    })
+                    .sum();
+                let orig = mem0.get_f64(a, i * n + j);
+                assert!((recon - orig).abs() < 1e-6, "({i},{j}): {recon} vs {orig}");
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_shrinks_paths_monotonically() {
+        let w = floyd_warshall();
+        let mem0 = w.memory();
+        let mut interp = Interp::new(&w.module);
+        interp.memory = w.memory();
+        interp.run(&[]).expect("runs");
+        let ids: Vec<cayman_ir::ArrayId> = w.module.array_ids().collect();
+        let p = ids[0];
+        for i in 0..16 * 16 {
+            assert!(interp.memory.get_f64(p, i) <= mem0.get_f64(p, i) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_polybench_run() {
+        for w in all() {
+            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+}

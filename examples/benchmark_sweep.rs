@@ -1,0 +1,44 @@
+//! Benchmark sweep: run the full Cayman flow plus both baselines on one
+//! benchmark per suite and print a miniature Table II.
+//!
+//! ```text
+//! cargo run --release --example benchmark_sweep
+//! ```
+
+use cayman::{Framework, SelectOptions, CVA6_TILE_AREA};
+
+const PICKS: [&str; 4] = ["atax", "spmv", "epic", "nnet-test"];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<12} {:>6} | {:>8} {:>8} {:>8} | {:>4} {:>4} | {:>3} {:>3} {:>3} | {:>6}",
+        "benchmark", "budget", "cayman", "novia", "qscores", "#SB", "#PR", "#C", "#D", "#S", "save%"
+    );
+    for name in PICKS {
+        let w = cayman::workloads::by_name(name).expect("benchmark exists");
+        let fw = Framework::from_workload(&w)?;
+        let opts = SelectOptions::default();
+        let cayman_sel = fw.select(&opts);
+        let novia = fw.select_novia(&opts);
+        let qscores = fw.select_qscores(&opts);
+        for budget in [0.25, 0.65] {
+            let rep = fw.report(&cayman_sel, budget);
+            let area = budget * CVA6_TILE_AREA;
+            println!(
+                "{:<12} {:>5.0}% | {:>7.2}x {:>7.2}x {:>7.2}x | {:>4} {:>4} | {:>3} {:>3} {:>3} | {:>5.0}%",
+                name,
+                budget * 100.0,
+                rep.speedup,
+                fw.speedup(novia.best_under(area)),
+                fw.speedup(qscores.best_under(area)),
+                rep.sb,
+                rep.pr,
+                rep.c,
+                rep.d,
+                rep.s,
+                rep.area_saving_pct,
+            );
+        }
+    }
+    Ok(())
+}

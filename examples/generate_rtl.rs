@@ -1,0 +1,39 @@
+//! Hardware generation: select accelerators for a benchmark under the 25%
+//! budget and emit structural Verilog for every kernel plus the merged
+//! reusable-accelerator wrappers (§III-E / Fig. 5).
+//!
+//! ```text
+//! cargo run --release --example generate_rtl [benchmark] [out_dir]
+//! ```
+
+use cayman::{Framework, SelectOptions, CVA6_TILE_AREA};
+use std::fs;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let bench = args.next().unwrap_or_else(|| "3mm".to_string());
+    let out_dir = args.next().unwrap_or_else(|| "target/rtl".to_string());
+
+    let w = cayman::workloads::by_name(&bench)
+        .ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let fw = Framework::from_workload(&w)?;
+    let sel = fw.select(&SelectOptions::default());
+    let sol = sel.best_under(0.25 * CVA6_TILE_AREA);
+
+    println!(
+        "{bench}: {} kernels selected at 25% budget (speedup {:.2}x)",
+        sol.kernels.len(),
+        fw.speedup(sol)
+    );
+
+    fs::create_dir_all(&out_dir)?;
+    for (name, verilog) in fw.emit_rtl(sol) {
+        let path = format!("{out_dir}/{name}.v");
+        fs::write(&path, &verilog)?;
+        println!(
+            "  wrote {path} ({} lines)",
+            verilog.lines().count()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Data-access-interface exploration (§III-C): how the β scratchpad
+//! heuristic and the coupled-only ablation change the interface mix and the
+//! achieved speedup on a reuse-heavy kernel.
+//!
+//! ```text
+//! cargo run --release --example interface_explorer
+//! ```
+
+use cayman::{Framework, ModelOptions, SelectOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // doitgen re-reads the C4 matrix for every (r,q) pair — the archetypal
+    // scratchpad candidate.
+    let w = cayman::workloads::by_name("doitgen").expect("doitgen exists");
+    let fw = Framework::from_workload(&w)?;
+
+    println!("β sweep on doitgen (scratchpad heuristic: count ≥ β × footprint):\n");
+    println!(
+        "{:>6} | {:>8} | {:>3} {:>3} {:>3}",
+        "beta", "speedup", "#C", "#D", "#S"
+    );
+    for beta in [1.0, 2.0, 4.0, 16.0, 1e9] {
+        let opts = SelectOptions {
+            model: ModelOptions {
+                beta,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let sel = fw.select(&opts);
+        let rep = fw.report(&sel, 0.65);
+        println!(
+            "{:>6.0} | {:>7.2}x | {:>3} {:>3} {:>3}",
+            beta, rep.speedup, rep.c, rep.d, rep.s
+        );
+    }
+
+    println!("\ncoupled-only ablation (Fig. 6's ◆ vs ● series):");
+    let full = fw.select(&SelectOptions::default());
+    let coupled = fw.select(&SelectOptions {
+        model: ModelOptions::coupled_only(),
+        ..Default::default()
+    });
+    let rf = fw.report(&full, 0.65);
+    let rc = fw.report(&coupled, 0.65);
+    println!("  full Cayman:    {:.2}x  (#C {} #D {} #S {})", rf.speedup, rf.c, rf.d, rf.s);
+    println!("  coupled-only:   {:.2}x  (#C {} #D {} #S {})", rc.speedup, rc.c, rc.d, rc.s);
+    println!(
+        "  interface specialisation buys {:.1}x",
+        rf.speedup / rc.speedup
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Umbrella package hosting workspace-level integration tests and examples.

@@ -1,0 +1,131 @@
+//! Cross-crate end-to-end invariants: every benchmark flows through
+//! profiling → analysis → selection → merging and the results satisfy the
+//! structural guarantees the paper's method relies on.
+
+use cayman::{Framework, SelectOptions, CVA6_TILE_AREA};
+
+/// A cheap subset used for the heavier checks (the full 28 run in
+/// `all_benchmarks_complete_the_flow`).
+const FAST: [&str; 6] = ["atax", "trisolv", "spmv", "nw", "epic", "parser-125k"];
+
+#[test]
+fn all_benchmarks_complete_the_flow() {
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let sel = fw.select(&SelectOptions::default());
+        assert!(
+            !sel.pareto.is_empty(),
+            "{}: selection must return at least the empty solution",
+            w.name
+        );
+        // Pareto front is strictly increasing in both axes.
+        for pair in sel.pareto.windows(2) {
+            assert!(pair[1].area > pair[0].area, "{}: area order", w.name);
+            assert!(
+                pair[1].saved_seconds > pair[0].saved_seconds,
+                "{}: saving order",
+                w.name
+            );
+        }
+        // Every benchmark must be accelerable at all (speedup > 1 at 65%).
+        let rep = fw.report(&sel, 0.65);
+        assert!(rep.speedup > 1.0, "{}: no acceleration found", w.name);
+    }
+}
+
+#[test]
+fn budget_constraints_are_respected() {
+    for name in FAST {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        for budget in [0.05, 0.25, 0.65, 1.0] {
+            let sol = sel.best_under(budget * CVA6_TILE_AREA);
+            assert!(
+                sol.area <= budget * CVA6_TILE_AREA,
+                "{name}: {budget} budget violated"
+            );
+        }
+        // monotone in budget
+        let s25 = fw.report(&sel, 0.25).speedup;
+        let s65 = fw.report(&sel, 0.65).speedup;
+        assert!(s65 >= s25, "{name}: more area must not hurt");
+    }
+}
+
+#[test]
+fn selected_kernels_never_overlap() {
+    for name in FAST {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        for sol in &sel.pareto {
+            for i in 0..sol.kernels.len() {
+                for j in (i + 1)..sol.kernels.len() {
+                    let a = &sol.kernels[i].design;
+                    let b = &sol.kernels[j].design;
+                    if a.func == b.func {
+                        assert!(
+                            a.blocks.iter().all(|x| !b.blocks.contains(x)),
+                            "{name}: overlapping kernels in one solution"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cayman_dominates_both_baselines() {
+    for name in FAST {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let opts = SelectOptions::default();
+        let budget = 0.65 * CVA6_TILE_AREA;
+        let sp_c = fw.speedup(fw.select(&opts).best_under(budget));
+        let sp_n = fw.speedup(fw.select_novia(&opts).best_under(budget));
+        let sp_q = fw.speedup(fw.select_qscores(&opts).best_under(budget));
+        assert!(sp_c >= sp_n, "{name}: cayman {sp_c} < novia {sp_n}");
+        assert!(sp_c >= sp_q, "{name}: cayman {sp_c} < qscores {sp_q}");
+        assert!(sp_n >= 1.0 && sp_q >= 1.0, "{name}: baselines never regress");
+    }
+}
+
+#[test]
+fn merging_savings_are_bounded_and_consistent() {
+    for name in FAST {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        for sol in &sel.pareto {
+            let m = fw.merge(sol);
+            let frac = m.saving_fraction();
+            assert!((0.0..1.0).contains(&frac), "{name}: saving {frac}");
+            assert!(m.area_after <= m.area_before + 1e-9, "{name}");
+            // merged groups only contain valid kernel indices, each once
+            for r in &m.reusable {
+                assert!(r.kernels.len() >= 2);
+                for &k in &r.kernels {
+                    assert!(k < sol.kernels.len(), "{name}: bogus kernel index");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn determinism_across_runs() {
+    let w = cayman::workloads::by_name("bicg").expect("exists");
+    let fw1 = Framework::from_workload(&w).expect("analyses");
+    let fw2 = Framework::from_workload(&w).expect("analyses");
+    assert_eq!(fw1.app.total_cycles(), fw2.app.total_cycles());
+    let s1 = fw1.select(&SelectOptions::default());
+    let s2 = fw2.select(&SelectOptions::default());
+    assert_eq!(s1.pareto.len(), s2.pareto.len());
+    for (a, b) in s1.pareto.iter().zip(&s2.pareto) {
+        assert_eq!(a.area, b.area);
+        assert_eq!(a.saved_seconds, b.saved_seconds);
+    }
+}

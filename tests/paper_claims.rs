@@ -1,0 +1,164 @@
+//! Reproduction checks for the paper's §IV-B qualitative claims — the
+//! "shape" of Table II and Fig. 6 rather than absolute numbers.
+
+use cayman::{Framework, ModelOptions, SelectOptions, CVA6_TILE_AREA};
+
+fn coupled_only_opts() -> SelectOptions {
+    SelectOptions {
+        model: ModelOptions::coupled_only(),
+        ..Default::default()
+    }
+}
+
+/// "decoupled and scratchpad interfaces are widely adopted, occupying 83%
+/// and 81% on average for two budgets" — specialised interfaces must
+/// dominate the mix across the suite.
+#[test]
+fn specialised_interfaces_dominate() {
+    let mut spec = 0usize;
+    let mut total = 0usize;
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        for budget in [0.25, 0.65] {
+            let rep = fw.report(&sel, budget);
+            spec += rep.d + rep.s;
+            total += rep.c + rep.d + rep.s;
+        }
+    }
+    let frac = spec as f64 / total.max(1) as f64;
+    assert!(
+        frac > 0.5,
+        "decoupled+scratchpad should dominate: {frac:.2} of {total}"
+    );
+}
+
+/// "Cayman achieves superior performance ... the speedup increases when the
+/// budget is 65%" — the suite-average speedup must grow with the budget.
+#[test]
+fn average_speedup_grows_with_budget() {
+    let mut s25 = 0.0;
+    let mut s65 = 0.0;
+    let mut n = 0.0;
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        s25 += fw.report(&sel, 0.25).speedup;
+        s65 += fw.report(&sel, 0.65).speedup;
+        n += 1.0;
+    }
+    assert!(
+        s65 / n > 1.1 * (s25 / n),
+        "65% budget should clearly beat 25%: {:.2} vs {:.2}",
+        s65 / n,
+        s25 / n
+    );
+}
+
+/// "compared to full Cayman solutions, coupled-only ones achieve lower
+/// speedup for most benchmarks. The only exception is loops-all-mid-10k-sp
+/// ... loop-carried dependencies between floating-point operations
+/// restrict the achievable II" — the coupled-only gap must be large on a
+/// streaming benchmark and small on loops-all.
+#[test]
+fn coupled_only_gap_shrinks_on_fp_recurrences() {
+    let gap = |name: &str| -> f64 {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let budget = 0.65 * CVA6_TILE_AREA;
+        let full = fw.speedup(fw.select(&SelectOptions::default()).best_under(budget));
+        let coupled = fw.speedup(fw.select(&coupled_only_opts()).best_under(budget));
+        full / coupled
+    };
+    let stream_gap = gap("jacobi-2d");
+    let recurrence_gap = gap("loops-all-mid-10k-sp");
+    assert!(stream_gap > 1.5, "streaming gap {stream_gap:.2}");
+    assert!(
+        recurrence_gap < stream_gap,
+        "loops-all gap ({recurrence_gap:.2}) must be smaller than the streaming gap ({stream_gap:.2})"
+    );
+}
+
+/// "the area saving percentage goes up to 74% and 70% for the 3mm benchmark,
+/// which includes 3 loops with identical basic blocks" — 3mm must be a
+/// merging outlier on the high side; "Cayman only saves 5% area for the
+/// doitgen benchmark since [it] only includes one hotspot region" — doitgen
+/// on the low side.
+#[test]
+fn merging_extremes_match_the_paper() {
+    let saving = |name: &str| -> f64 {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        fw.report(&sel, 0.25).area_saving_pct
+    };
+    let s3mm = saving("3mm");
+    let sdoitgen = saving("doitgen");
+    assert!(s3mm > 20.0, "3mm merges heavily: {s3mm:.0}%");
+    assert!(
+        sdoitgen < s3mm,
+        "doitgen ({sdoitgen:.0}%) merges less than 3mm ({s3mm:.0}%)"
+    );
+}
+
+/// Benchmarks the paper reports with *identical* 25%/65% rows (centralised
+/// hotspots already fit in the small budget) must be budget-insensitive here
+/// too.
+#[test]
+fn centralised_hotspots_are_budget_insensitive() {
+    for name in ["cholesky", "lu", "trisolv", "floyd-warshall"] {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        let s25 = fw.report(&sel, 0.25).speedup;
+        let s65 = fw.report(&sel, 0.65).speedup;
+        assert!(
+            (s65 - s25) / s25 < 0.05,
+            "{name}: expected flat rows, got {s25:.2} → {s65:.2}"
+        );
+    }
+}
+
+/// "each of which accelerates 3 distinct program regions on average" —
+/// reusable accelerators must serve multiple regions.
+#[test]
+fn reusable_accelerators_serve_multiple_regions() {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let sel = fw.select(&SelectOptions::default());
+        let rep = fw.report(&sel, 0.65);
+        if rep.reusable > 0 {
+            sum += rep.avg_regions_per_reusable;
+            n += 1;
+        }
+    }
+    assert!(n > 5, "several benchmarks must merge at all");
+    let avg = sum / n as f64;
+    assert!(
+        (2.0..=6.0).contains(&avg),
+        "≈3 regions per reusable accelerator expected, got {avg:.1}"
+    );
+}
+
+/// NOVIA solutions sit in the lower-left corner of Fig. 6: tiny area, tiny
+/// speedup — its largest solution must be smaller *and* slower than
+/// Cayman's.
+#[test]
+fn novia_sits_lower_left() {
+    for name in ["3mm", "cjpeg"] {
+        let w = cayman::workloads::by_name(name).expect("exists");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let opts = SelectOptions::default();
+        let novia = fw.select_novia(&opts);
+        let full = fw.select(&opts);
+        let nb = novia.pareto.last().expect("front");
+        let fb = full.pareto.last().expect("front");
+        assert!(nb.area <= fb.area, "{name}: NOVIA area");
+        assert!(
+            fw.speedup(nb) <= fw.speedup(fb),
+            "{name}: NOVIA speedup"
+        );
+    }
+}

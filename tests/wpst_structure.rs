@@ -1,0 +1,126 @@
+//! Structural invariants of the wPST and the profile across every benchmark:
+//! the representation-level guarantees Algorithm 1's correctness rests on.
+
+use cayman::analysis::regions::RegionKind;
+use cayman::analysis::wpst::WpstKind;
+use cayman::Framework;
+
+#[test]
+fn wpst_tree_is_well_formed_for_every_benchmark() {
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let wpst = &fw.app.wpst;
+        // Root is a Root node with one child per function.
+        assert!(matches!(wpst.node(wpst.root()).kind, WpstKind::Root));
+        assert_eq!(
+            wpst.node(wpst.root()).children.len(),
+            fw.app.module.functions.len(),
+            "{}",
+            w.name
+        );
+        for id in wpst.ids() {
+            let node = wpst.node(id);
+            // parent/child coherence
+            if let Some(p) = node.parent {
+                assert!(
+                    wpst.node(p).children.contains(&id),
+                    "{}: broken parent link",
+                    w.name
+                );
+            } else {
+                assert_eq!(id, wpst.root(), "{}: only the root is parentless", w.name);
+            }
+            for &c in &node.children {
+                assert_eq!(wpst.node(c).parent, Some(id), "{}: broken child link", w.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn region_block_sets_nest_properly() {
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let wpst = &fw.app.wpst;
+        for id in wpst.ids() {
+            let Some((region, func)) = wpst.region(id) else {
+                continue;
+            };
+            // children region blocks ⊆ parent region blocks
+            for &c in &wpst.node(id).children {
+                let (child, cfunc) = wpst.region(c).expect("region children are regions");
+                assert_eq!(func, cfunc, "{}", w.name);
+                assert!(
+                    child.blocks.iter().all(|b| region.blocks.contains(b)),
+                    "{}: child region escapes parent",
+                    w.name
+                );
+            }
+            // bb regions have exactly one block; ctrl-flow more than one is
+            // typical but single-block self-loops are permitted
+            if let RegionKind::Bb(b) = region.kind {
+                assert_eq!(region.blocks, vec![b], "{}", w.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_is_conserved_up_the_tree() {
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let wpst = &fw.app.wpst;
+        let prof = &fw.app.profile;
+        // Every region's cycles are bounded by its parent region's cycles.
+        for id in wpst.ids() {
+            if wpst.region(id).is_none() {
+                continue;
+            }
+            if let Some(p) = wpst.node(id).parent {
+                if wpst.region(p).is_some() {
+                    assert!(
+                        prof.of(id).cycles <= prof.of(p).cycles,
+                        "{}: child outweighs parent",
+                        w.name
+                    );
+                }
+            }
+        }
+        // Root accounts for the entire run.
+        assert_eq!(prof.of(wpst.root()).cycles, prof.total_cycles, "{}", w.name);
+        // Function cycles sum to at most the total (call instr overhead is
+        // attributed to the caller's blocks, so the sum is exact).
+        let func_sum: u64 = wpst
+            .ids()
+            .filter(|&n| matches!(wpst.node(n).kind, WpstKind::Func(_)))
+            .map(|n| prof.of(n).cycles)
+            .sum();
+        assert_eq!(func_sum, prof.total_cycles, "{}", w.name);
+    }
+}
+
+#[test]
+fn every_hot_region_is_a_legal_candidate_shape() {
+    for w in cayman::workloads::all() {
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let wpst = &fw.app.wpst;
+        let prof = &fw.app.profile;
+        for id in wpst.ids() {
+            let Some((region, _)) = wpst.region(id) else {
+                continue;
+            };
+            // Accelerable regions must be SESE.
+            if region.accelerable {
+                assert!(region.sese, "{}: accelerable but not SESE", w.name);
+            }
+        }
+        // Hot regions must exist: at least one region holds a meaningful
+        // share of time. The bar is low on purpose — loops-all-mid-10k-sp
+        // distributes its heat over a dozen small loops by design.
+        let hot = wpst
+            .ids()
+            .filter(|&n| wpst.region(n).is_some())
+            .any(|n| prof.share(n) > 0.04);
+        assert!(hot, "{}: no hotspot region found", w.name);
+    }
+}
