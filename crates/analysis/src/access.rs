@@ -67,14 +67,12 @@ impl AccessAnalysis {
                     _ => continue,
                 };
                 // Resolve the pointer to a gep.
-                let gep = ptr.as_value().and_then(|v| {
-                    match func.values[v.index()] {
-                        cayman_ir::module::ValueDef::Instr(g) => match func.instr(g) {
-                            Instr::Gep { array, indices } => Some((*array, indices.clone())),
-                            _ => None,
-                        },
+                let gep = ptr.as_value().and_then(|v| match func.values[v.index()] {
+                    cayman_ir::module::ValueDef::Instr(g) => match func.instr(g) {
+                        Instr::Gep { array, indices } => Some((*array, indices.clone())),
                         _ => None,
-                    }
+                    },
+                    _ => None,
                 });
                 let Some((array, indices)) = gep else {
                     continue;
@@ -272,7 +270,10 @@ mod tests {
             .find(|&l| ctx.forest.get(l).depth == 2)
             .expect("inner");
         let inner_blocks = ctx.forest.get(inner).blocks.clone();
-        let loops = vec![(inner, static_trip_count(f, &ctx, inner).expect("static") as f64)];
+        let loops = vec![(
+            inner,
+            static_trip_count(f, &ctx, inner).expect("static") as f64,
+        )];
 
         // All four accesses are streams within the inner loop.
         for a in &aa.accesses {

@@ -76,8 +76,7 @@ impl Profile {
                         crate::regions::RegionKind::Cond { head, .. } => count(f, head),
                         crate::regions::RegionKind::Loop(l) => {
                             let lp = ctx.forest.get(l);
-                            let back: u64 =
-                                lp.latches.iter().map(|&b| count(f, b)).sum();
+                            let back: u64 = lp.latches.iter().map(|&b| count(f, b)).sum();
                             count(f, lp.header).saturating_sub(back)
                         }
                     };

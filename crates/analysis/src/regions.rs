@@ -201,8 +201,7 @@ impl RegionTree {
             if outer.blocks.len() < inner.blocks.len() {
                 return false;
             }
-            let strict = outer.blocks.len() > inner.blocks.len()
-                || outer.kind != inner.kind;
+            let strict = outer.blocks.len() > inner.blocks.len() || outer.kind != inner.kind;
             strict && inner.blocks.iter().all(|b| outer.blocks.contains(b))
         };
         for &r in &ids {
@@ -215,9 +214,7 @@ impl RegionTree {
                     best = match best {
                         None => Some(o),
                         Some(cur) => {
-                            if regions[o.index()].blocks.len()
-                                < regions[cur.index()].blocks.len()
-                            {
+                            if regions[o.index()].blocks.len() < regions[cur.index()].blocks.len() {
                                 Some(o)
                             } else {
                                 best
@@ -268,8 +265,7 @@ impl RegionTree {
 
     /// The *bb* region for a block.
     pub fn bb_region(&self, b: BlockId) -> Option<RegionId> {
-        self.ids()
-            .find(|&r| self.get(r).kind == RegionKind::Bb(b))
+        self.ids().find(|&r| self.get(r).kind == RegionKind::Bb(b))
     }
 
     /// The region for a loop.
@@ -331,7 +327,11 @@ mod tests {
         // the inner loop's bbs parent to the inner region
         for &b in &t.get(inner).blocks {
             let bb = t.bb_region(b).expect("bb region exists");
-            assert_eq!(t.get(bb).parent, Some(inner), "bb {b} parents to inner loop");
+            assert_eq!(
+                t.get(bb).parent,
+                Some(inner),
+                "bb {b} parents to inner loop"
+            );
         }
         // top-level regions: outer loop + entry bb + two exit bbs
         assert!(t.top.contains(&outer));

@@ -253,12 +253,10 @@ impl<'f> Scev<'f> {
                 .iter()
                 .find(|(b, _)| !latches.contains(b))
                 .map(|(_, o)| *o)?;
-            let start_expr = self
-                .analyse_operand(start)
-                .unwrap_or_else(|| match start {
-                    Operand::Value(sv) => LinExpr::symbol(sv),
-                    _ => LinExpr::constant(0),
-                });
+            let start_expr = self.analyse_operand(start).unwrap_or_else(|| match start {
+                Operand::Value(sv) => LinExpr::symbol(sv),
+                _ => LinExpr::constant(0),
+            });
             return Some(start_expr.add(&LinExpr::iv(l, step)));
         }
 
@@ -299,7 +297,6 @@ impl<'f> Scev<'f> {
             _ => Some(LinExpr::symbol(v)),
         }
     }
-
 }
 
 #[cfg(test)]

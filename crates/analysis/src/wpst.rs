@@ -144,7 +144,13 @@ impl Wpst {
     pub fn is_bb(&self, id: WpstNodeId) -> bool {
         matches!(
             self.region(id),
-            Some((Region { kind: RegionKind::Bb(_), .. }, _))
+            Some((
+                Region {
+                    kind: RegionKind::Bb(_),
+                    ..
+                },
+                _
+            ))
         )
     }
 
@@ -190,7 +196,11 @@ impl Wpst {
                             out,
                             "{indent}ctrl-flow loop@{header} [{} blocks]{}",
                             r.blocks.len(),
-                            if r.accelerable { "" } else { " (not accelerable)" }
+                            if r.accelerable {
+                                ""
+                            } else {
+                                " (not accelerable)"
+                            }
                         );
                     }
                     RegionKind::Cond { head, join } => {

@@ -9,32 +9,28 @@ use cayman_ir::builder::ModuleBuilder;
 use cayman_ir::interp::Interp;
 use cayman_ir::loops::LoopId;
 use cayman_ir::{FuncId, Type};
-use proptest::prelude::*;
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check, Rng};
 
-fn linexpr_strategy() -> impl Strategy<Value = LinExpr> {
-    (
-        -1000i64..1000,
-        prop::collection::btree_map(0u32..5, -50i64..50, 0..4),
-    )
-        .prop_map(|(c, ivs)| {
-            let mut e = LinExpr::constant(c);
-            for (l, k) in ivs {
-                e = e.add(&LinExpr::iv(LoopId(l), k));
-            }
-            e
-        })
+/// A random linear expression: a constant plus up to three IV terms.
+fn gen_linexpr(rng: &mut Rng) -> LinExpr {
+    let mut e = LinExpr::constant(rng.range_i64(-1000, 1000));
+    for _ in 0..rng.range_usize(0, 4) {
+        let l = LoopId(rng.range_u32(0, 5));
+        let k = rng.range_i64(-50, 50);
+        e = e.add(&LinExpr::iv(l, k));
+    }
+    e
 }
 
-proptest! {
-    /// LinExpr forms a commutative group under `add` with `scale`
-    /// distributing — the algebra SCEV composition relies on.
-    #[test]
-    fn linexpr_ring_axioms(
-        a in linexpr_strategy(),
-        b in linexpr_strategy(),
-        c in linexpr_strategy(),
-        k in -20i64..20,
-    ) {
+/// LinExpr forms a commutative group under `add` with `scale`
+/// distributing — the algebra SCEV composition relies on.
+#[test]
+fn linexpr_ring_axioms() {
+    prop_check!(|rng| {
+        let a = gen_linexpr(rng);
+        let b = gen_linexpr(rng);
+        let c = gen_linexpr(rng);
+        let k = rng.range_i64(-20, 20);
         // commutativity and associativity
         prop_assert_eq!(a.add(&b), b.add(&a));
         prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
@@ -46,13 +42,19 @@ proptest! {
         prop_assert_eq!(a.add(&b).scale(k), a.scale(k).add(&b.scale(k)));
         // scale by zero annihilates
         prop_assert_eq!(a.scale(0), zero);
-    }
+        Ok(())
+    });
+}
 
-    /// For arbitrary rectangular loop nests, SCEV recovers the exact
-    /// per-loop stride of a row-major access and the static trip counts
-    /// match the loop bounds.
-    #[test]
-    fn scev_strides_on_generated_nests(n in 2usize..12, m in 2usize..12, stride in 1i64..4) {
+/// For arbitrary rectangular loop nests, SCEV recovers the exact per-loop
+/// stride of a row-major access and the static trip counts match the loop
+/// bounds.
+#[test]
+fn scev_strides_on_generated_nests() {
+    prop_check!(|rng| {
+        let n = rng.range_usize(2, 12);
+        let m = rng.range_usize(2, 12);
+        let stride = rng.range_i64(1, 4);
         let mut mb = ModuleBuilder::new("prop");
         // allocate generously so strided accesses stay in bounds
         let rows = n * stride as usize + 1;
@@ -75,8 +77,16 @@ proptest! {
         let mut scev = Scev::new(f, &ctx);
         let aa = AccessAnalysis::run(&module, f, &ctx, &mut scev);
 
-        let outer = ctx.forest.ids().find(|&l| ctx.forest.get(l).depth == 1).expect("outer");
-        let inner = ctx.forest.ids().find(|&l| ctx.forest.get(l).depth == 2).expect("inner");
+        let outer = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 1)
+            .expect("outer");
+        let inner = ctx
+            .forest
+            .ids()
+            .find(|&l| ctx.forest.get(l).depth == 2)
+            .expect("inner");
         prop_assert_eq!(static_trip_count(f, &ctx, outer), Some(n as u64));
         prop_assert_eq!(static_trip_count(f, &ctx, inner), Some(m as u64));
 
@@ -87,13 +97,17 @@ proptest! {
             prop_assert_eq!(addr.coeff(inner), 1);
             prop_assert!(acc.is_stream_within(&ctx.forest.get(outer).blocks));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The interpreter's profiled average trip count agrees with the static
-    /// trip count on counted loops — the two sources `trip_count` arbitrates
-    /// between must never disagree.
-    #[test]
-    fn static_and_profiled_trips_agree(n in 1i64..30) {
+/// The interpreter's profiled average trip count agrees with the static trip
+/// count on counted loops — the two sources `trip_count` arbitrates between
+/// must never disagree.
+#[test]
+fn static_and_profiled_trips_agree() {
+    prop_check!(|rng| {
+        let n = rng.range_i64(1, 30);
         let mut mb = ModuleBuilder::new("prop");
         let x = mb.array("x", Type::F64, &[30]);
         mb.function("main", &[], None, |fb| {
@@ -114,5 +128,6 @@ proptest! {
         let stat = static_trip_count(module.function(f), ctx, l).expect("static");
         let prof = profile.avg_trip(&wpst, f, l).expect("profiled");
         prop_assert_eq!(stat as f64, prof);
-    }
+        Ok(())
+    });
 }

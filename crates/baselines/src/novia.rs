@@ -15,7 +15,7 @@ use cayman_hls::schedule::critical_path_with;
 use cayman_ir::cpu_model::{instr_cycles, CPU_FREQ_HZ};
 use cayman_ir::instr::Instr;
 use cayman_ir::InstrId;
-use cayman_select::AccelModel;
+use cayman_select::{AccelModel, ModelId};
 
 /// Per-invocation overhead of triggering the inline unit (operand routing).
 pub const NOVIA_INVOKE_CYCLES: u64 = 2;
@@ -87,6 +87,13 @@ impl AccelModel for NoviaModel {
             cpu_cycles: cpu_cycles_covered,
             entries: cand.entries,
         }]
+    }
+
+    fn cache_id(&self) -> Option<ModelId> {
+        Some(ModelId {
+            name: "novia",
+            options: 0,
+        })
     }
 }
 

@@ -11,13 +11,11 @@
 use cayman_hls::design::AcceleratorDesign;
 use cayman_hls::inputs::{Candidate, FuncInputs};
 use cayman_hls::interface::InterfaceKind;
-use cayman_hls::oplib::{
-    accel_latency, fu_area, fu_class, FuClass, FSM_STATE_AREA, REG_AREA,
-};
+use cayman_hls::oplib::{accel_latency, fu_area, fu_class, FuClass, FSM_STATE_AREA, REG_AREA};
 use cayman_hls::schedule::critical_path_with;
 use cayman_ir::instr::Instr;
 use cayman_ir::InstrId;
-use cayman_select::AccelModel;
+use cayman_select::{AccelModel, ModelId};
 use std::collections::BTreeMap;
 
 /// Scan-chain load latency in accelerator cycles.
@@ -93,10 +91,8 @@ impl AccelModel for QsCoresModel {
 
         accel_cycles += cand.entries as f64 * QSCORES_INVOKE_CYCLES;
 
-        let area = classes.values().sum::<f64>()
-            + regs
-            + SCAN_CHAIN_AREA
-            + FSM_STATE_AREA * states as f64;
+        let area =
+            classes.values().sum::<f64>() + regs + SCAN_CHAIN_AREA + FSM_STATE_AREA * states as f64;
 
         vec![AcceleratorDesign {
             func: cand.func,
@@ -111,6 +107,13 @@ impl AccelModel for QsCoresModel {
             cpu_cycles: cand.cpu_cycles,
             entries: cand.entries,
         }]
+    }
+
+    fn cache_id(&self) -> Option<ModelId> {
+        Some(ModelId {
+            name: "qscores",
+            options: 0,
+        })
     }
 }
 
@@ -202,8 +205,7 @@ mod tests {
         let (inp, cand) = loop_candidate(&o);
         let qs = QsCoresModel.designs(&inp, &cand);
         assert_eq!(qs.len(), 1);
-        let cayman =
-            cayman_hls::design::generate_designs(&inp, &cand, &ModelOptions::default());
+        let cayman = cayman_hls::design::generate_designs(&inp, &cand, &ModelOptions::default());
         let best_cayman = cayman
             .iter()
             .map(|d| d.accel_cycles_total)

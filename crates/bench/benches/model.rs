@@ -1,10 +1,15 @@
-//! Criterion benches for the accelerator model (§III-C):
+//! Benches for the accelerator model (§III-C), on the dependency-free
+//! `cayman_bench::harness`:
 //!
 //! * `fig4_model` — the interface-impact computation behind Fig. 4
 //!   (pipeline II + latency under each interface),
 //! * `design_generation/*` — `accel(v, R)` cost per candidate, with a
 //!   β-sweep ablation of the scratchpad heuristic,
 //! * `merging` — the greedy §III-E merge on a multi-kernel solution (3mm).
+//!
+//! ```text
+//! cargo bench -p cayman-bench --bench model
+//! ```
 
 use cayman::hls::design::generate_designs;
 use cayman::hls::inputs::Candidate;
@@ -13,7 +18,7 @@ use cayman::hls::pipeline::pipeline_loop;
 use cayman::ir::builder::ModuleBuilder;
 use cayman::ir::{FuncId, InstrId, Type};
 use cayman::{Framework, SelectOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cayman_bench::harness::run;
 
 fn saxpy(n: i64) -> cayman::ir::Module {
     let mut mb = ModuleBuilder::new("saxpy");
@@ -31,19 +36,17 @@ fn saxpy(n: i64) -> cayman::ir::Module {
     mb.finish()
 }
 
-fn bench_fig4_model(c: &mut Criterion) {
+fn bench_fig4_model() {
     let fw = Framework::from_module(saxpy(256)).expect("analyses");
     let inputs = fw.app.inputs();
     let inp = &inputs[0];
     let l = fw.app.wpst.func_ctxs[0].forest.ids().next().expect("loop");
     let dec = |_: InstrId| Some(InterfaceKind::Decoupled);
-    c.bench_function("fig4_model", |b| {
-        b.iter(|| pipeline_loop(inp, l, 2, &dec));
-    });
+    run("fig4_model", || pipeline_loop(inp, l, 2, &dec));
 }
 
-fn bench_design_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("design_generation");
+fn bench_design_generation() {
+    println!("# design_generation — beta sweep of the scratchpad heuristic");
     let fw = Framework::from_module(saxpy(256)).expect("analyses");
     let inputs = fw.app.inputs();
     let inp = &inputs[0];
@@ -61,31 +64,22 @@ fn bench_design_generation(c: &mut Criterion) {
             beta,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::new("beta", format!("{beta}")),
-            &beta,
-            |b, _| {
-                b.iter(|| generate_designs(inp, &cand, &opts));
-            },
-        );
+        run(&format!("design_generation/beta={beta}"), || {
+            generate_designs(inp, &cand, &opts)
+        });
     }
-    group.finish();
 }
 
-fn bench_merging(c: &mut Criterion) {
+fn bench_merging() {
     let w = cayman::workloads::by_name("3mm").expect("exists");
     let fw = Framework::from_workload(&w).expect("analyses");
     let res = fw.select(&SelectOptions::default());
     let sol = res.pareto.last().expect("solutions").clone();
-    c.bench_function("merging_3mm", |b| {
-        b.iter(|| fw.merge(&sol));
-    });
+    run("merging_3mm", || fw.merge(&sol));
 }
 
-criterion_group!(
-    benches,
-    bench_fig4_model,
-    bench_design_generation,
-    bench_merging
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig4_model();
+    bench_design_generation();
+    bench_merging();
+}

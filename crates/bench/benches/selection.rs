@@ -1,15 +1,24 @@
-//! Criterion benches for the selection DP (Algorithm 1):
+//! Benches for the selection DP (Algorithm 1), on the dependency-free
+//! `cayman_bench::harness`:
 //!
 //! * `selection_scaling/*` — selection time vs application size (the
 //!   α-filter keeps per-node Pareto sequences logarithmic, so growth should
 //!   be near-linear in the number of wPST vertices),
+//! * `selection_threads/*` — the same application across thread budgets
+//!   (independent wPST subtrees evaluated on scoped threads),
+//! * `selection_cache/*` — cold vs memoised selection,
 //! * `alpha_sweep/*` — the ablation for the `filter` spacing parameter,
 //! * `workload/*` — end-to-end selection on representative real benchmarks.
+//!
+//! ```text
+//! cargo bench -p cayman-bench --bench selection
+//! ```
 
 use cayman::ir::builder::ModuleBuilder;
 use cayman::ir::Type;
+use cayman::select::{run_selection_cached, CaymanModel, DesignCache};
 use cayman::{Framework, SelectOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cayman_bench::harness::{fmt_duration, run};
 
 /// An application with `k` independent streaming kernels (scales the wPST).
 fn synthetic_app(k: usize) -> cayman::ir::Module {
@@ -38,55 +47,103 @@ fn synthetic_app(k: usize) -> cayman::ir::Module {
     mb.finish()
 }
 
-fn bench_selection_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("selection_scaling");
-    group.sample_size(10);
-    for k in [2usize, 4, 8, 16] {
-        let fw = Framework::from_module(synthetic_app(k)).expect("analyses");
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| fw.select(&SelectOptions::default()));
-        });
-    }
-    group.finish();
+/// Uncached selection (fresh cache each call), at a given thread budget.
+fn select_uncached(fw: &Framework, opts: &SelectOptions) -> cayman::SelectionResult {
+    let inputs = fw.app.inputs();
+    let cache = DesignCache::new();
+    run_selection_cached(
+        &fw.app.module,
+        &fw.app.wpst,
+        &fw.app.profile,
+        &inputs,
+        opts,
+        &CaymanModel(opts.model.clone()),
+        &cache,
+    )
 }
 
-fn bench_alpha_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("alpha_sweep");
-    group.sample_size(10);
+fn bench_selection_scaling() {
+    println!("# selection_scaling — wPST size sweep (uncached, threads=1)");
+    for k in [2usize, 4, 8, 16] {
+        let fw = Framework::from_module(synthetic_app(k)).expect("analyses");
+        let opts = SelectOptions::default();
+        run(&format!("selection_scaling/{k}"), || {
+            select_uncached(&fw, &opts)
+        });
+    }
+}
+
+fn bench_selection_threads() {
+    println!("# selection_threads — thread-budget sweep on 16 kernels (uncached)");
+    let fw = Framework::from_module(synthetic_app(16)).expect("analyses");
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = SelectOptions {
+            threads,
+            ..Default::default()
+        };
+        let m = run(&format!("selection_threads/{threads}"), || {
+            select_uncached(&fw, &opts)
+        });
+        match baseline {
+            None => baseline = Some(m.min_s),
+            Some(b) => println!("{:<36} speedup over threads=1: {:.2}x", "", b / m.min_s),
+        }
+    }
+}
+
+fn bench_selection_cache() {
+    println!("# selection_cache — cold vs memoised accel(v, R)");
+    let fw = Framework::from_module(synthetic_app(8)).expect("analyses");
+    let opts = SelectOptions::default();
+    let cold = run("selection_cache/cold", || select_uncached(&fw, &opts));
+    // warm: reuse the framework's shared cache (first call fills it)
+    let first = fw.select(&opts);
+    assert!(first.stats.cache_misses > 0);
+    let warm = run("selection_cache/warm", || fw.select(&opts));
+    let stats = fw.select(&opts).stats;
+    println!(
+        "{:<36} hit rate {:.0}%, model time saved {} per run, warm speedup {:.2}x",
+        "",
+        stats.cache_hit_rate() * 100.0,
+        fmt_duration(first.stats.model_seconds()),
+        cold.min_s / warm.min_s
+    );
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+fn bench_alpha_sweep() {
+    println!("# alpha_sweep — filter spacing ablation on 8 kernels");
     let fw = Framework::from_module(synthetic_app(8)).expect("analyses");
     for alpha in [1.01f64, 1.05, 1.1, 1.3, 2.0] {
         let opts = SelectOptions {
             alpha,
             ..Default::default()
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{alpha}")),
-            &alpha,
-            |b, _| {
-                b.iter(|| fw.select(&opts));
-            },
-        );
+        run(&format!("alpha_sweep/{alpha}"), || {
+            select_uncached(&fw, &opts)
+        });
     }
-    group.finish();
 }
 
-fn bench_real_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_selection");
-    group.sample_size(10);
+fn bench_real_workloads() {
+    println!("# workload_selection — end-to-end on real benchmarks (uncached)");
     for name in ["trisolv", "bicg", "spmv"] {
         let w = cayman::workloads::by_name(name).expect("exists");
         let fw = Framework::from_workload(&w).expect("analyses");
-        group.bench_function(name, |b| {
-            b.iter(|| fw.select(&SelectOptions::default()));
+        let opts = SelectOptions::default();
+        let m = run(&format!("workload_selection/{name}"), || {
+            select_uncached(&fw, &opts)
         });
+        let stats = select_uncached(&fw, &opts).stats;
+        println!("{:<36} {} (best {})", "", stats, fmt_duration(m.min_s));
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_selection_scaling,
-    bench_alpha_sweep,
-    bench_real_workloads
-);
-criterion_main!(benches);
+fn main() {
+    bench_selection_scaling();
+    bench_selection_threads();
+    bench_selection_cache();
+    bench_alpha_sweep();
+    bench_real_workloads();
+}

@@ -34,7 +34,9 @@ fn main() {
         // Headline check per the paper: full Cayman dominates; NOVIA sits in
         // the lower-left; QsCores scales worse with area.
         let best = |f: &[cayman_bench::ParetoPoint]| {
-            f.last().map(|p| (p.area_frac, p.speedup)).unwrap_or((0.0, 1.0))
+            f.last()
+                .map(|p| (p.area_frac, p.speedup))
+                .unwrap_or((0.0, 1.0))
         };
         let (na, ns) = best(&s.novia);
         let (qa, qs) = best(&s.qscores);

@@ -13,7 +13,7 @@ fn print_row(r: &Table2Row) {
     let b0 = &r.budgets[0];
     let b1 = &r.budgets[1];
     println!(
-        "{:<6} {:<26} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>8.2}",
+        "{:<6} {:<26} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>8.2} {:>8.2} {:>5.0}",
         r.suite,
         r.name,
         b0.over_novia,
@@ -35,19 +35,21 @@ fn print_row(r: &Table2Row) {
         b1.s,
         b1.area_saving_pct,
         r.runtime_s * 1e3,
+        r.runtime_warm_s * 1e3,
+        r.stats.cache_hit_rate() * 100.0,
     );
 }
 
 fn main() {
     println!("Table II — results under two area budgets (25% and 65% of a CVA6 tile)");
     println!(
-        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8}",
+        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8} {:>8} {:>5}",
         "Suite", "Benchmark",
         "ovN25", "ovQ25", "spd25", "#SB", "#PR", "#C", "#D", "#S", "sav%",
         "ovN65", "ovQ65", "spd65", "#SB", "#PR", "#C", "#D", "#S", "sav%",
-        "time(ms)"
+        "cold(ms)", "warm(ms)", "hit%"
     );
-    println!("{}", "-".repeat(160));
+    println!("{}", "-".repeat(176));
 
     let mut rows = Vec::new();
     for w in cayman::workloads::all() {
@@ -55,9 +57,21 @@ fn main() {
         print_row(&row);
         rows.push(row);
     }
-    println!("{}", "-".repeat(160));
+    println!("{}", "-".repeat(176));
     let avg = average_row(&rows);
     print_row(&avg);
+
+    // Selection observability: cold vs memoised re-run, aggregated.
+    let cold: f64 = rows.iter().map(|r| r.runtime_s).sum();
+    let warm: f64 = rows.iter().map(|r| r.runtime_warm_s).sum();
+    println!();
+    println!("selection stats (warm re-runs, aggregated): {}", avg.stats);
+    println!(
+        "design cache: cold {:.1} ms total -> warm {:.1} ms total ({:.1}x faster)",
+        cold * 1e3,
+        warm * 1e3,
+        cold / warm.max(1e-12)
+    );
 
     // The §IV-B merging claims: average regions per reusable accelerator.
     let avg_regions: f64 = rows

@@ -1,0 +1,115 @@
+//! A minimal, dependency-free micro-benchmark harness (replaces criterion,
+//! which is unavailable offline).
+//!
+//! Policy: one untimed warm-up call, then timed batches until the total
+//! measured time crosses a small budget (or an iteration cap), reporting the
+//! mean and the minimum per-iteration time. The minimum is the robust
+//! statistic for "how fast can this go"; the mean shows steady-state cost.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum total measured time before a benchmark stops, in seconds.
+const TIME_BUDGET_S: f64 = 0.2;
+/// Hard cap on timed iterations.
+const MAX_ITERS: u32 = 200;
+/// Minimum timed iterations, so `min` is meaningful even for slow cases.
+const MIN_ITERS: u32 = 5;
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations executed.
+    pub iters: u32,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Minimum seconds per iteration.
+    pub min_s: f64,
+}
+
+impl Measurement {
+    /// One aligned report line: `name  min  mean  (iters)`.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<36} min {:>10} mean {:>10} ({} iters)",
+            self.name,
+            fmt_duration(self.min_s),
+            fmt_duration(self.mean_s),
+            self.iters
+        )
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_duration(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Times `f` under the harness policy and returns the measurement. The
+/// closure's result is passed through [`black_box`] so the optimiser cannot
+/// delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Measurement {
+    black_box(f()); // warm-up (page-in, lazy allocations, branch training)
+    let mut iters = 0u32;
+    let mut total = 0.0f64;
+    let mut min = f64::INFINITY;
+    while (total < TIME_BUDGET_S || iters < MIN_ITERS) && iters < MAX_ITERS {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        min = min.min(dt);
+        iters += 1;
+    }
+    Measurement {
+        name: name.to_string(),
+        iters,
+        mean_s: total / iters as f64,
+        min_s: min,
+    }
+}
+
+/// Runs and prints a benchmark in one step.
+pub fn run<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
+    let m = bench(name, f);
+    println!("{}", m.line());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let m = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(m.iters >= MIN_ITERS);
+        assert!(m.min_s > 0.0);
+        assert!(m.mean_s >= m.min_s);
+        assert!(m.line().contains("spin"));
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert!(fmt_duration(2.5).ends_with(" s"));
+        assert!(fmt_duration(2.5e-3).ends_with(" ms"));
+        assert!(fmt_duration(2.5e-6).ends_with(" µs"));
+        assert!(fmt_duration(2.5e-9).ends_with(" ns"));
+    }
+}

@@ -8,16 +8,24 @@ use cayman_baselines::{NoviaModel, QsCoresModel};
 use cayman_hls::CVA6_TILE_AREA;
 use cayman_merge::{merge_solution, MergeResult};
 use cayman_select::{
-    run_selection, run_selection_with, SelectOptions, SelectionResult, Solution,
+    run_selection_cached, AccelModel, CaymanModel, DesignCache, SelectOptions, SelectionResult,
+    Solution,
 };
 use cayman_workloads::Workload;
 
 /// The framework: owns an analysed [`Application`] and runs selection,
 /// merging and baseline comparisons against it.
+///
+/// All selection entry points share one [`DesignCache`]: the cache is keyed
+/// by model identity × candidate identity and the framework owns exactly one
+/// analysed application, so re-running selection (budget sweeps, ablations,
+/// repeated reports) memoises every `accel(v, R)` model invocation.
 #[derive(Debug)]
 pub struct Framework {
     /// The analysed application.
     pub app: Application,
+    /// Memoised accelerator designs, shared across selection runs.
+    cache: DesignCache,
 }
 
 /// Everything Table II reports for one benchmark under one area budget.
@@ -58,6 +66,7 @@ impl Framework {
     pub fn from_module(module: cayman_ir::Module) -> Result<Self, CaymanError> {
         Ok(Framework {
             app: Application::analyse(module)?,
+            cache: DesignCache::new(),
         })
     }
 
@@ -69,6 +78,7 @@ impl Framework {
     pub fn from_workload(w: &Workload) -> Result<Self, CaymanError> {
         Ok(Framework {
             app: Application::analyse_with_memory(w.module.clone(), Some(w.memory()))?,
+            cache: DesignCache::new(),
         })
     }
 
@@ -77,36 +87,44 @@ impl Framework {
         self.app.wpst.to_text(&self.app.module)
     }
 
+    /// Runs Algorithm 1 with an arbitrary accelerator model against this
+    /// framework's shared design cache.
+    pub fn select_with(&self, opts: &SelectOptions, model: &dyn AccelModel) -> SelectionResult {
+        let inputs = self.app.inputs();
+        run_selection_cached(
+            &self.app.module,
+            &self.app.wpst,
+            &self.app.profile,
+            &inputs,
+            opts,
+            model,
+            &self.cache,
+        )
+    }
+
     /// Runs Cayman's selection (Algorithm 1 with the full accelerator model).
     pub fn select(&self, opts: &SelectOptions) -> SelectionResult {
-        let inputs = self.app.inputs();
-        run_selection(&self.app.module, &self.app.wpst, &self.app.profile, &inputs, opts)
+        self.select_with(opts, &CaymanModel(opts.model.clone()))
     }
 
     /// Runs selection with the NOVIA baseline model.
     pub fn select_novia(&self, opts: &SelectOptions) -> SelectionResult {
-        let inputs = self.app.inputs();
-        run_selection_with(
-            &self.app.module,
-            &self.app.wpst,
-            &self.app.profile,
-            &inputs,
-            opts,
-            &NoviaModel,
-        )
+        self.select_with(opts, &NoviaModel)
     }
 
     /// Runs selection with the QsCores baseline model.
     pub fn select_qscores(&self, opts: &SelectOptions) -> SelectionResult {
-        let inputs = self.app.inputs();
-        run_selection_with(
-            &self.app.module,
-            &self.app.wpst,
-            &self.app.profile,
-            &inputs,
-            opts,
-            &QsCoresModel,
-        )
+        self.select_with(opts, &QsCoresModel)
+    }
+
+    /// Lifetime `(hits, misses)` of the framework's design cache.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        self.cache.totals()
+    }
+
+    /// Number of memoised candidate entries in the design cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Speedup of a solution for this application (Eq. (1)).
@@ -130,24 +148,17 @@ impl Framework {
             .kernels
             .iter()
             .enumerate()
-            .map(|(i, k)| {
-                format!(
-                    "{}_k{}",
-                    self.app.module.function(k.design.func).name,
-                    i
-                )
-            })
+            .map(|(i, k)| format!("{}_k{}", self.app.module.function(k.design.func).name, i))
             .collect();
         for (k, name) in sol.kernels.iter().zip(&names) {
-            out.push((name.clone(), emit_verilog(&self.app.module, &k.design, name)));
+            out.push((
+                name.clone(),
+                emit_verilog(&self.app.module, &k.design, name),
+            ));
         }
         let merged = self.merge(sol);
         for (g, group) in merged.reusable.iter().enumerate() {
-            let members: Vec<String> = group
-                .kernels
-                .iter()
-                .map(|&i| names[i].clone())
-                .collect();
+            let members: Vec<String> = group.kernels.iter().map(|&i| names[i].clone()).collect();
             // Shared FU inventory = union of the group's merged units.
             let mut fus = std::collections::BTreeMap::new();
             let mut cfg_bits = 0u32;
@@ -223,6 +234,26 @@ mod tests {
         assert!(sp_c > 1.5, "meaningful acceleration: {sp_c}");
         assert!(rc.area <= budget * CVA6_TILE_AREA);
         assert!(rc.pr > 0, "atax pipelines its loops");
+    }
+
+    #[test]
+    fn framework_cache_warms_across_selection_runs() {
+        let w = cayman_workloads::by_name("atax").expect("atax");
+        let fw = Framework::from_workload(&w).expect("analyses");
+        let opts = SelectOptions::default();
+        let cold = fw.select(&opts);
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert!(cold.stats.cache_misses > 0);
+        assert!(fw.cache_len() > 0);
+        let warm = fw.select(&opts);
+        assert_eq!(warm.stats.cache_misses, 0, "fully memoised");
+        assert!(warm.stats.cache_hits > 0);
+        assert_eq!(warm.pareto.len(), cold.pareto.len());
+        // baselines use disjoint cache partitions, so they miss (not collide)
+        let novia = fw.select_novia(&opts);
+        assert_eq!(novia.stats.cache_hits, 0);
+        let (hits, misses) = fw.cache_totals();
+        assert!(hits > 0 && misses > 0);
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use cayman_workloads as workloads;
 // The most commonly used items at the top level.
 pub use cayman_hls::interface::ModelOptions;
 pub use cayman_hls::CVA6_TILE_AREA;
-pub use cayman_select::{SelectOptions, SelectionResult, Solution};
+pub use cayman_select::{DesignCache, SelectOptions, SelectStats, SelectionResult, Solution};
 
 /// Top-level framework error.
 #[derive(Debug)]

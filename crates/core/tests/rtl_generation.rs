@@ -16,7 +16,10 @@ fn three_mm_emits_kernels_and_a_reusable_wrapper() {
     assert!(rtl.len() > sol.kernels.len(), "{} modules", rtl.len());
     let mut saw_reusable = false;
     for (name, src) in &rtl {
-        assert!(src.contains(&format!("module {}", sanitised(name))), "{name}");
+        assert!(
+            src.contains(&format!("module {}", sanitised(name))),
+            "{name}"
+        );
         assert!(src.trim_end().ends_with("endmodule"), "{name}");
         // balanced module/endmodule
         assert_eq!(
@@ -30,7 +33,10 @@ fn three_mm_emits_kernels_and_a_reusable_wrapper() {
             assert!(src.contains("cfg_in"), "{name} lacks config port");
         }
     }
-    assert!(saw_reusable, "merged 3mm must produce a reusable accelerator");
+    assert!(
+        saw_reusable,
+        "merged 3mm must produce a reusable accelerator"
+    );
 }
 
 #[test]
@@ -57,6 +63,12 @@ fn empty_solution_emits_nothing() {
 
 fn sanitised(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }

@@ -26,8 +26,7 @@ use crate::interface::{
     SPAD_BANK_OVERHEAD, SPAD_BYTE_AREA,
 };
 use crate::oplib::{
-    dedicated_area, fu_area, fu_class, ACCEL_FREQ_HZ, FSM_STATE_AREA, OFFLOAD_SYNC_CYCLES,
-    REG_AREA,
+    dedicated_area, fu_area, fu_class, ACCEL_FREQ_HZ, FSM_STATE_AREA, OFFLOAD_SYNC_CYCLES, REG_AREA,
 };
 use crate::pipeline::{loop_body_instrs, pipeline_loop};
 use crate::schedule::schedule_block;
@@ -118,8 +117,7 @@ pub fn generate_designs(
         // Pipelined configurations: inner unroll × outer duplication.
         let func = inputs.func();
         let any_unrollable = innermost.iter().any(|&l| {
-            !inputs.deps[l.index()].has_carried()
-                || inputs.deps[l.index()].is_reduction_only(func)
+            !inputs.deps[l.index()].has_carried() || inputs.deps[l.index()].is_reduction_only(func)
         });
         let any_duplicable = innermost
             .iter()
@@ -203,14 +201,12 @@ fn estimate_design(
                 .forest
                 .innermost_loop(a.block)
                 .map(|l| {
-                    pipelined.contains(&l)
-                        || pipelined.iter().any(|&p| ctx.forest.contains(p, l))
+                    pipelined.contains(&l) || pipelined.iter().any(|&p| ctx.forest.contains(p, l))
                 })
                 .unwrap_or(false);
             match fp {
                 Some(fp)
-                    if total_count >= opts.beta * fp
-                        && fp * elem_bytes <= opts.spad_max_bytes =>
+                    if total_count >= opts.beta * fp && fp * elem_bytes <= opts.spad_max_bytes =>
                 {
                     InterfaceKind::Scratchpad
                 }
@@ -365,8 +361,7 @@ fn estimate_design(
         .values()
         .map(|b| b / DMA_BYTES_PER_CYCLE)
         .sum();
-    accel_cycles +=
-        cand.entries as f64 * (OFFLOAD_SYNC_CYCLES + dma_cycles_per_entry);
+    accel_cycles += cand.entries as f64 * (OFFLOAD_SYNC_CYCLES + dma_cycles_per_entry);
 
     // ---- area roll-up --------------------------------------------------------
     let mut area = pipe_area + seq_classes.values().sum::<f64>() + seq_reg_area + iface_area;
@@ -464,10 +459,7 @@ mod tests {
         let cpu: u64 = lp
             .blocks
             .iter()
-            .map(|&b| {
-                inp.count(b)
-                    * cayman_ir::cpu_model::block_cycles(inp.func(), b)
-            })
+            .map(|&b| inp.count(b) * cayman_ir::cpu_model::block_cycles(inp.func(), b))
             .sum();
         Candidate {
             func: FuncId(0),
@@ -580,7 +572,13 @@ mod tests {
             .ctx
             .forest
             .ids()
-            .map(|l| if o.ctx.forest.get(l).depth == 1 { 64.0 } else { 8.0 })
+            .map(|l| {
+                if o.ctx.forest.get(l).depth == 1 {
+                    64.0
+                } else {
+                    8.0
+                }
+            })
             .collect();
         let inp = inputs(&o, trips);
         let cand = loop_candidate(&o, &inp);
@@ -599,8 +597,7 @@ mod tests {
             func: FuncId(0),
             blocks: vec![body],
             entries: inp.count(body),
-            cpu_cycles: inp.count(body)
-                * cayman_ir::cpu_model::block_cycles(inp.func(), body),
+            cpu_cycles: inp.count(body) * cayman_ir::cpu_model::block_cycles(inp.func(), body),
             is_bb: true,
         };
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());

@@ -63,7 +63,36 @@ pub struct Candidate {
     pub is_bb: bool,
 }
 
+/// A hashable identity for a [`Candidate`]: everything the accelerator
+/// models read from the candidate itself. Two candidates with equal keys
+/// yield identical design vectors for the same model and [`FuncInputs`], so
+/// the key (plus a model identity) addresses a design cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CandidateKey {
+    /// Containing function.
+    pub func: FuncId,
+    /// Blocks spanned by the region (region block order is deterministic).
+    pub blocks: Vec<BlockId>,
+    /// Profiled entries.
+    pub entries: u64,
+    /// Profiled CPU cycles.
+    pub cpu_cycles: u64,
+    /// Single-basic-block region flag.
+    pub is_bb: bool,
+}
+
 impl Candidate {
+    /// This candidate's cache key.
+    pub fn key(&self) -> CandidateKey {
+        CandidateKey {
+            func: self.func,
+            blocks: self.blocks.clone(),
+            entries: self.entries,
+            cpu_cycles: self.cpu_cycles,
+            is_bb: self.is_bb,
+        }
+    }
+
     /// Loops entirely contained in the candidate.
     pub fn loops_within(&self, ctx: &FuncCtx) -> Vec<LoopId> {
         ctx.forest

@@ -134,6 +134,42 @@ impl ModelOptions {
             ..Default::default()
         }
     }
+
+    /// A stable 64-bit fingerprint of this configuration, usable as (part
+    /// of) a design-cache key. Two options with equal fingerprints generate
+    /// identical designs for the same candidate.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+// `ModelOptions` must be usable as a `HashMap` key for design memoisation.
+// The `f64` fields are compared/hashed by bit pattern: configurations are
+// constructed from literals, so bitwise identity is the right equivalence
+// (and NaN never appears in a sane configuration).
+impl PartialEq for ModelOptions {
+    fn eq(&self, other: &Self) -> bool {
+        self.beta.to_bits() == other.beta.to_bits()
+            && self.unroll_factors == other.unroll_factors
+            && self.duplication_factors == other.duplication_factors
+            && self.coupled_only == other.coupled_only
+            && self.spad_max_bytes.to_bits() == other.spad_max_bytes.to_bits()
+    }
+}
+
+impl Eq for ModelOptions {}
+
+impl std::hash::Hash for ModelOptions {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.beta.to_bits().hash(state);
+        self.unroll_factors.hash(state);
+        self.duplication_factors.hash(state);
+        self.coupled_only.hash(state);
+        self.spad_max_bytes.to_bits().hash(state);
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +205,22 @@ mod tests {
         assert_eq!(o.beta, 4.0);
         assert!(!o.coupled_only);
         assert!(ModelOptions::coupled_only().coupled_only);
+    }
+
+    #[test]
+    fn options_hash_and_eq_follow_configuration() {
+        let a = ModelOptions::default();
+        let b = ModelOptions::default();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = ModelOptions::coupled_only();
+        assert_ne!(a, c);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = ModelOptions {
+            beta: 8.0,
+            ..Default::default()
+        };
+        assert_ne!(a, d);
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 }

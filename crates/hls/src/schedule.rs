@@ -37,12 +37,8 @@ pub struct Schedule {
 /// Latency of one instruction given its interface assignment.
 pub fn latency_with_iface(func: &Function, iid: InstrId, iface: &IfaceOf<'_>) -> u64 {
     match func.instr(iid) {
-        Instr::Load { .. } => iface(iid)
-            .unwrap_or(InterfaceKind::Coupled)
-            .load_latency(),
-        Instr::Store { .. } => iface(iid)
-            .unwrap_or(InterfaceKind::Coupled)
-            .store_latency(),
+        Instr::Load { .. } => iface(iid).unwrap_or(InterfaceKind::Coupled).load_latency(),
+        Instr::Store { .. } => iface(iid).unwrap_or(InterfaceKind::Coupled).store_latency(),
         other => oplib::accel_latency(other),
     }
 }
@@ -58,8 +54,7 @@ pub fn asap_schedule(
     coupled_ports: u64,
     spad_ports: u64,
 ) -> Schedule {
-    let in_set: HashMap<InstrId, usize> =
-        instrs.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let in_set: HashMap<InstrId, usize> = instrs.iter().enumerate().map(|(i, &x)| (x, i)).collect();
 
     // Map producing instruction per value for def-use edges.
     let producer = |op: Operand| -> Option<InstrId> {
@@ -86,8 +81,8 @@ pub fn asap_schedule(
                 if matches!(func.instr(p), Instr::Phi { .. }) {
                     return;
                 }
-                let p_end = start.get(&p).copied().unwrap_or(0)
-                    + latency_with_iface(func, p, iface);
+                let p_end =
+                    start.get(&p).copied().unwrap_or(0) + latency_with_iface(func, p, iface);
                 ready = ready.max(p_end);
             }
         });
@@ -156,8 +151,7 @@ pub fn critical_path_with(
     instrs: &[InstrId],
     latency: &dyn Fn(InstrId) -> u64,
 ) -> u64 {
-    let in_set: HashMap<InstrId, usize> =
-        instrs.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let in_set: HashMap<InstrId, usize> = instrs.iter().enumerate().map(|(i, &x)| (x, i)).collect();
     let producer = |op: Operand| -> Option<InstrId> {
         let v = op.as_value()?;
         match func.values[v.index()] {
@@ -227,7 +221,13 @@ pub fn schedule_block(
     coupled_ports: u64,
     spad_ports: u64,
 ) -> Schedule {
-    asap_schedule(func, &func.block(b).instrs, iface, coupled_ports, spad_ports)
+    asap_schedule(
+        func,
+        &func.block(b).instrs,
+        iface,
+        coupled_ports,
+        spad_ports,
+    )
 }
 
 #[cfg(test)]

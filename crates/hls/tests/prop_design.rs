@@ -12,7 +12,11 @@ use cayman_hls::interface::ModelOptions;
 use cayman_ir::builder::ModuleBuilder;
 use cayman_ir::interp::Interp;
 use cayman_ir::{FuncId, Module, Type};
-use proptest::prelude::*;
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+/// Modelling a kernel end-to-end is much heavier than a pure-math property,
+/// so these suites run fewer cases (matching the old proptest config).
+const CASES: u64 = 48;
 
 struct Owned {
     module: Module,
@@ -34,12 +38,11 @@ fn build(n: i64, m: i64, reduction: bool) -> Owned {
         fb.counted_loop(0, n, 1, move |fb, i| {
             if reduction {
                 let zero = fb.fconst(0.0);
-                let acc =
-                    fb.counted_loop_carry(0, m, 1, &[(Type::F64, zero)], |fb, j, c| {
-                        let v = fb.load_idx(a, &[i, j]);
-                        let p = fb.fmul(v, v);
-                        vec![fb.fadd(c[0], p)]
-                    });
+                let acc = fb.counted_loop_carry(0, m, 1, &[(Type::F64, zero)], |fb, j, c| {
+                    let v = fb.load_idx(a, &[i, j]);
+                    let p = fb.fmul(v, v);
+                    vec![fb.fadd(c[0], p)]
+                });
                 fb.store_idx(red, &[i], acc[0]);
             } else {
                 fb.counted_loop(0, m, 1, |fb, j| {
@@ -75,13 +78,9 @@ fn candidate(o: &Owned) -> (FuncInputs<'_>, Candidate) {
         .forest
         .ids()
         .map(|l| {
-            cayman_analysis::access::static_trip_count(
-                o.module.function(FuncId(0)),
-                &o.ctx,
-                l,
-            )
-            .map(|t| t as f64)
-            .unwrap_or(1.0)
+            cayman_analysis::access::static_trip_count(o.module.function(FuncId(0)), &o.ctx, l)
+                .map(|t| t as f64)
+                .unwrap_or(1.0)
         })
         .collect();
     let inp = FuncInputs {
@@ -110,14 +109,15 @@ fn candidate(o: &Owned) -> (FuncInputs<'_>, Candidate) {
     (inp, cand)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated design has positive area and cycles, interface
-    /// assignments covering exactly the candidate's accesses, and the
-    /// sequential configuration is always the smallest.
-    #[test]
-    fn designs_are_well_formed(n in 2i64..16, m in 2i64..16, reduction: bool) {
+/// Every generated design has positive area and cycles, interface
+/// assignments covering exactly the candidate's accesses, and the
+/// sequential configuration is always the smallest.
+#[test]
+fn designs_are_well_formed() {
+    prop_check!(cases = CASES, |rng| {
+        let n = rng.range_i64(2, 16);
+        let m = rng.range_i64(2, 16);
+        let reduction = rng.bool();
         let o = build(n, m, reduction);
         let (inp, cand) = candidate(&o);
         let n_accesses = inp.accesses.within(&cand.blocks).count();
@@ -134,13 +134,19 @@ proptest! {
             let (c, de, s) = d.iface_counts();
             prop_assert_eq!(c + de + s, n_accesses);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// More unrolling never makes a pipelined configuration slower (the
-    /// paper's area-performance trade-off must be monotone within a
-    /// candidate's configuration family).
-    #[test]
-    fn unrolling_is_monotone(n in 2i64..16, m in 2i64..16, reduction: bool) {
+/// More unrolling never makes a pipelined configuration slower (the paper's
+/// area-performance trade-off must be monotone within a candidate's
+/// configuration family).
+#[test]
+fn unrolling_is_monotone() {
+    prop_check!(cases = CASES, |rng| {
+        let n = rng.range_i64(2, 16);
+        let m = rng.range_i64(2, 16);
+        let reduction = rng.bool();
         let o = build(n, m, reduction);
         let (inp, cand) = candidate(&o);
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
@@ -161,12 +167,18 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The coupled-only ablation never beats the full model (it explores a
-    /// strict subset of the interface space).
-    #[test]
-    fn coupled_only_never_wins(n in 2i64..16, m in 2i64..16, reduction: bool) {
+/// The coupled-only ablation never beats the full model (it explores a
+/// strict subset of the interface space).
+#[test]
+fn coupled_only_never_wins() {
+    prop_check!(cases = CASES, |rng| {
+        let n = rng.range_i64(2, 16);
+        let m = rng.range_i64(2, 16);
+        let reduction = rng.bool();
         let o = build(n, m, reduction);
         let (inp, cand) = candidate(&o);
         let best = |opts: &ModelOptions| -> f64 {
@@ -178,13 +190,18 @@ proptest! {
         let full = best(&ModelOptions::default());
         let coupled = best(&ModelOptions::coupled_only());
         prop_assert!(full <= coupled + 1e-6, "full {full} vs coupled {coupled}");
-    }
+        Ok(())
+    });
+}
 
-    /// Reduction kernels carry a dependence yet still unroll (partial sums);
-    /// element-wise kernels carry none. Either way at least one pipelined
-    /// configuration with unroll > 1 must appear.
-    #[test]
-    fn reduction_unrolling_is_available(n in 2i64..16, m in 4i64..16) {
+/// Reduction kernels carry a dependence yet still unroll (partial sums);
+/// element-wise kernels carry none. Either way at least one pipelined
+/// configuration with unroll > 1 must appear.
+#[test]
+fn reduction_unrolling_is_available() {
+    prop_check!(cases = CASES, |rng| {
+        let n = rng.range_i64(2, 16);
+        let m = rng.range_i64(4, 16);
         let o = build(n, m, true);
         let (inp, cand) = candidate(&o);
         let inner = o
@@ -197,8 +214,11 @@ proptest! {
         prop_assert!(o.deps[inner.index()].is_reduction_only(o.module.function(FuncId(0))));
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         prop_assert!(
-            designs.iter().any(|d| d.unroll > 1 && !d.pipelined.is_empty()),
+            designs
+                .iter()
+                .any(|d| d.unroll > 1 && !d.pipelined.is_empty()),
             "partial-sum unrolling missing"
         );
-    }
+        Ok(())
+    });
 }

@@ -31,7 +31,10 @@ impl ModuleBuilder {
     /// Declares a global array and returns its id.
     pub fn array(&mut self, name: impl Into<String>, elem: Type, dims: &[usize]) -> ArrayId {
         assert!(!dims.is_empty(), "array must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "array dimensions must be non-zero");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array dimensions must be non-zero"
+        );
         let id = ArrayId(self.module.arrays.len() as u32);
         self.module.arrays.push(ArrayDecl {
             name: name.into(),
@@ -181,7 +184,8 @@ impl FunctionBuilder {
 
     /// Generic binary instruction.
     pub fn binary(&mut self, op: BinOp, ty: Type, lhs: Operand, rhs: Operand) -> Operand {
-        self.push(Instr::Binary { op, ty, lhs, rhs }).expect("binary produces a value")
+        self.push(Instr::Binary { op, ty, lhs, rhs })
+            .expect("binary produces a value")
     }
 
     /// `i64` addition.
@@ -256,7 +260,8 @@ impl FunctionBuilder {
 
     /// Generic unary instruction.
     pub fn unary(&mut self, op: UnaryOp, ty: Type, val: Operand) -> Operand {
-        self.push(Instr::Unary { op, ty, val }).expect("unary produces a value")
+        self.push(Instr::Unary { op, ty, val })
+            .expect("unary produces a value")
     }
 
     /// `f64` square root.
@@ -286,7 +291,8 @@ impl FunctionBuilder {
 
     /// Comparison producing `i1`.
     pub fn cmp(&mut self, pred: CmpPred, ty: Type, lhs: Operand, rhs: Operand) -> Operand {
-        self.push(Instr::Cmp { pred, ty, lhs, rhs }).expect("cmp produces a value")
+        self.push(Instr::Cmp { pred, ty, lhs, rhs })
+            .expect("cmp produces a value")
     }
 
     /// `i64` less-than.
@@ -328,7 +334,8 @@ impl FunctionBuilder {
 
     /// Load with explicit element type.
     pub fn load(&mut self, ptr: Operand, ty: Type) -> Operand {
-        self.push(Instr::Load { ptr, ty }).expect("load produces a value")
+        self.push(Instr::Load { ptr, ty })
+            .expect("load produces a value")
     }
 
     /// Store with explicit element type.
@@ -358,13 +365,7 @@ impl FunctionBuilder {
     }
 
     /// Combined gep + store with explicit element type.
-    pub fn store_idx_ty(
-        &mut self,
-        array: ArrayId,
-        indices: &[Operand],
-        value: Operand,
-        ty: Type,
-    ) {
+    pub fn store_idx_ty(&mut self, array: ArrayId, indices: &[Operand], value: Operand, ty: Type) {
         let p = self.gep(array, indices);
         self.store(p, value, ty);
     }
@@ -373,7 +374,8 @@ impl FunctionBuilder {
 
     /// Creates a phi with the given incomings.
     pub fn phi(&mut self, ty: Type, incomings: Vec<(BlockId, Operand)>) -> Operand {
-        self.push(Instr::Phi { ty, incomings }).expect("phi produces a value")
+        self.push(Instr::Phi { ty, incomings })
+            .expect("phi produces a value")
     }
 
     /// Adds an incoming edge to an existing phi.

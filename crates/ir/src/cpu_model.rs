@@ -71,7 +71,11 @@ pub fn terminator_cycles(term: &Terminator) -> u64 {
 /// terminator).
 pub fn block_cycles(func: &crate::module::Function, b: crate::module::BlockId) -> u64 {
     let blk = func.block(b);
-    let body: u64 = blk.instrs.iter().map(|&i| instr_cycles(func.instr(i))).sum();
+    let body: u64 = blk
+        .instrs
+        .iter()
+        .map(|&i| instr_cycles(func.instr(i)))
+        .sum();
     body + terminator_cycles(blk.terminator())
 }
 

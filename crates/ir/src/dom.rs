@@ -24,12 +24,9 @@ pub struct DomTree {
 impl DomTree {
     /// Computes the dominator tree of `func`.
     pub fn dominators(func: &Function, cfg: &Cfg) -> Self {
-        Self::compute(
-            cfg.block_count(),
-            Some(func.entry()),
-            &cfg.rpo,
-            |b| cfg.preds[b.index()].clone(),
-        )
+        Self::compute(cfg.block_count(), Some(func.entry()), &cfg.rpo, |b| {
+            cfg.preds[b.index()].clone()
+        })
     }
 
     /// Computes the post-dominator tree of `func`.
@@ -154,7 +151,11 @@ impl DomTree {
                 cur = p;
             }
             let base = idom[cur.index()].map(|p| depth[p.index()]).unwrap_or(0);
-            let mut d = if idom[cur.index()].is_some() { base + 1 } else { 0 };
+            let mut d = if idom[cur.index()].is_some() {
+                base + 1
+            } else {
+                0
+            };
             for &c in chain.iter().rev() {
                 depth[c.index()] = d;
                 d += 1;

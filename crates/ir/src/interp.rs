@@ -293,9 +293,7 @@ impl<'m> Interp<'m> {
                 let Instr::Phi { incomings, .. } = func.instr(iid) else {
                     break;
                 };
-                let p = prev.ok_or_else(|| {
-                    InterpError::new("phi encountered in entry block")
-                })?;
+                let p = prev.ok_or_else(|| InterpError::new("phi encountered in entry block"))?;
                 let (_, op) = incomings
                     .iter()
                     .find(|(pb, _)| *pb == p)

@@ -146,9 +146,7 @@ impl LoopForest {
                     continue;
                 }
                 let la = loops[a.index()].header;
-                if loops[b.index()].blocks.contains(&la)
-                    && loops[b.index()].header != la
-                {
+                if loops[b.index()].blocks.contains(&la) && loops[b.index()].header != la {
                     best = match best {
                         None => Some(b),
                         Some(cur) => {

@@ -235,11 +235,12 @@ impl Module {
 
     /// The entry function: `main` if present, else the first function.
     pub fn entry_function(&self) -> Option<FuncId> {
-        self.function_by_name("main").or(if self.functions.is_empty() {
-            None
-        } else {
-            Some(FuncId(0))
-        })
+        self.function_by_name("main")
+            .or(if self.functions.is_empty() {
+                None
+            } else {
+                Some(FuncId(0))
+            })
     }
 
     /// Iterate over all function ids.

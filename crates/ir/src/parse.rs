@@ -229,9 +229,10 @@ impl<'a> Parser<'a> {
             value_map.insert(i as u32, ValueId(i as u32));
         }
         for &(ln, line) in &body {
-            if let Some(label) = line.strip_suffix(':').or_else(|| {
-                line.split_once(": ;").map(|(l, _)| l)
-            }) {
+            if let Some(label) = line
+                .strip_suffix(':')
+                .or_else(|| line.split_once(": ;").map(|(l, _)| l))
+            {
                 if label.starts_with("bb") && !label.contains(' ') {
                     let id = BlockId(blocks.len() as u32);
                     let name = line
@@ -332,7 +333,9 @@ impl LineCtx<'_> {
     fn operand(&self, tok: &str) -> Result<Operand, ParseError> {
         let t = tok.trim().trim_end_matches(',');
         if let Some(num) = t.strip_prefix('%') {
-            let n: u32 = num.parse().map_err(|_| self.e(format!("bad value `{t}`")))?;
+            let n: u32 = num
+                .parse()
+                .map_err(|_| self.e(format!("bad value `{t}`")))?;
             let v = self
                 .value_map
                 .get(&n)
@@ -346,7 +349,9 @@ impl LineCtx<'_> {
             let f: f64 = t.parse().map_err(|_| self.e(format!("bad float `{t}`")))?;
             return Ok(Operand::Const(Imm::Float(f)));
         }
-        let i: i64 = t.parse().map_err(|_| self.e(format!("bad operand `{t}`")))?;
+        let i: i64 = t
+            .parse()
+            .map_err(|_| self.e(format!("bad operand `{t}`")))?;
         Ok(Operand::Const(Imm::Int(i)))
     }
 
@@ -374,7 +379,9 @@ fn parse_terminator(line: &str, ctx: &LineCtx<'_>) -> Result<Option<Terminator>,
     }
     if let Some(rest) = line.strip_prefix("br ") {
         if let Some((cond, arms)) = rest.split_once(" ? ") {
-            let (t, e) = arms.split_once(" : ").ok_or_else(|| ctx.e("bad cond br".into()))?;
+            let (t, e) = arms
+                .split_once(" : ")
+                .ok_or_else(|| ctx.e("bad cond br".into()))?;
             return Ok(Some(Terminator::CondBr {
                 cond: ctx.operand(cond)?,
                 then_bb: ctx.block(t)?,
@@ -397,7 +404,9 @@ fn parse_instr(
         None => (None, line),
     };
     let mut toks = body.split_whitespace();
-    let op = toks.next().ok_or_else(|| ctx.e("empty instruction".into()))?;
+    let op = toks
+        .next()
+        .ok_or_else(|| ctx.e("empty instruction".into()))?;
     let rest: Vec<&str> = toks.collect();
 
     let bin = |o: BinOp| -> Result<Instr, ParseError> {
@@ -476,7 +485,9 @@ fn parse_instr(
         "gep" => {
             // gep @name[i][j]
             let spec = rest.concat();
-            let name_end = spec.find('[').ok_or_else(|| ctx.e("gep missing `[`".into()))?;
+            let name_end = spec
+                .find('[')
+                .ok_or_else(|| ctx.e("gep missing `[`".into()))?;
             let name = spec[..name_end]
                 .strip_prefix('@')
                 .ok_or_else(|| ctx.e("gep missing `@`".into()))?;
@@ -497,7 +508,10 @@ fn parse_instr(
         }
         "load" => {
             // load f64, %7
-            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or("").trim_end_matches(','))?;
+            let ty = p.parse_type(
+                ctx.ln,
+                rest.first().copied().unwrap_or("").trim_end_matches(','),
+            )?;
             Instr::Load {
                 ty,
                 ptr: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
@@ -538,19 +552,19 @@ fn parse_instr(
                 Some(p.parse_type(ctx.ln, ty_tok)?)
             };
             let spec = rest[1..].join(" ");
-            let open = spec.find('(').ok_or_else(|| ctx.e("call missing `(`".into()))?;
+            let open = spec
+                .find('(')
+                .ok_or_else(|| ctx.e("call missing `(`".into()))?;
             let name = spec[..open]
                 .trim()
                 .strip_prefix('@')
                 .ok_or_else(|| ctx.e("call missing `@`".into()))?;
-            let callee = ctx
-                .func_names
-                .get(name)
-                .copied()
-                .ok_or_else(|| ctx.e(format!("unknown function `@{name}` (forward calls unsupported)")))?;
-            let args_str = spec[open + 1..]
-                .trim_end_matches(')')
-                .trim();
+            let callee = ctx.func_names.get(name).copied().ok_or_else(|| {
+                ctx.e(format!(
+                    "unknown function `@{name}` (forward calls unsupported)"
+                ))
+            })?;
+            let args_str = spec[open + 1..].trim_end_matches(')').trim();
             let mut args = Vec::new();
             if !args_str.is_empty() {
                 for a in args_str.split(',') {
@@ -647,7 +661,8 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_line_numbers() {
-        let bad = "; module m\nfn @f() -> void {\nbb0: ; entry\n  %0 = frobnicate i64 1, 2\n  ret\n}\n";
+        let bad =
+            "; module m\nfn @f() -> void {\nbb0: ; entry\n  %0 = frobnicate i64 1, 2\n  ret\n}\n";
         let e = Module::parse_text(bad).expect_err("must fail");
         assert_eq!(e.line, 4);
         assert!(e.message.contains("frobnicate"), "{e}");

@@ -34,7 +34,13 @@ impl Module {
             .ret
             .map(|t| t.to_string())
             .unwrap_or_else(|| "void".into());
-        let _ = writeln!(out, "fn @{}({}) -> {} {{", func.name, params.join(", "), ret);
+        let _ = writeln!(
+            out,
+            "fn @{}({}) -> {} {{",
+            func.name,
+            params.join(", "),
+            ret
+        );
         for b in func.block_ids() {
             let blk = func.block(b);
             let _ = writeln!(out, "{b}: ; {}", blk.name);

@@ -66,12 +66,8 @@ impl Module {
             }
             if let Terminator::Ret(v) = term {
                 match (v, func.ret) {
-                    (Some(_), None) => {
-                        return Err(err("void function returns a value".into()))
-                    }
-                    (None, Some(_)) => {
-                        return Err(err("non-void function returns nothing".into()))
-                    }
+                    (Some(_), None) => return Err(err("void function returns a value".into())),
+                    (None, Some(_)) => return Err(err("non-void function returns nothing".into())),
                     _ => {}
                 }
             }
@@ -107,8 +103,7 @@ impl Module {
                         }
                         let mut preds = cfg.preds[b.index()].clone();
                         preds.sort_unstable();
-                        let mut inc: Vec<BlockId> =
-                            incomings.iter().map(|(p, _)| *p).collect();
+                        let mut inc: Vec<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
                         inc.sort_unstable();
                         if preds != inc {
                             return Err(err(format!(
@@ -171,10 +166,7 @@ impl Module {
                         if let Operand::Value(v) = op {
                             if def_block[v.index()] == b
                                 && !defined_here[v.index()]
-                                && !matches!(
-                                    func.values[v.index()],
-                                    ValueDef::Param(..)
-                                )
+                                && !matches!(func.values[v.index()], ValueDef::Param(..))
                                 && !is_phi_def(func, v)
                             {
                                 bad = Some(format!("value {v} used before definition in {b}"));
@@ -256,10 +248,7 @@ impl Module {
                     ));
                 }
                 if *ty != target.ret {
-                    return Err(format!(
-                        "call to `{}` result type mismatch",
-                        target.name
-                    ));
+                    return Err(format!("call to `{}` result type mismatch", target.name));
                 }
             }
             _ => {}

@@ -3,7 +3,7 @@
 use cayman_ir::builder::ModuleBuilder;
 use cayman_ir::interp::{Interp, Value};
 use cayman_ir::{BinOp, Operand, Type};
-use proptest::prelude::*;
+use cayman_testkit::{prop_assert_eq, prop_check, Rng};
 
 /// A small integer-expression AST mirrored on the host.
 #[derive(Debug, Clone)]
@@ -16,22 +16,21 @@ enum Expr {
     Max(Box<Expr>, Box<Expr>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = any::<i32>().prop_map(Expr::Const);
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Min(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Max(Box::new(a), Box::new(b))),
-        ]
-    })
+/// A random expression of depth at most `depth` (leaves become more likely
+/// as the depth budget shrinks).
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.range_u32(0, 4) == 0 {
+        return Expr::Const(rng.next_u32() as i32);
+    }
+    let a = Box::new(gen_expr(rng, depth - 1));
+    let b = Box::new(gen_expr(rng, depth - 1));
+    match rng.range_u32(0, 5) {
+        0 => Expr::Add(a, b),
+        1 => Expr::Sub(a, b),
+        2 => Expr::Mul(a, b),
+        3 => Expr::Min(a, b),
+        _ => Expr::Max(a, b),
+    }
 }
 
 fn eval_host(e: &Expr) -> i64 {
@@ -71,10 +70,11 @@ fn emit(fb: &mut cayman_ir::builder::FunctionBuilder, e: &Expr) -> Operand {
     }
 }
 
-proptest! {
-    /// Straight-line integer expressions match the host oracle exactly.
-    #[test]
-    fn interpreter_matches_host_arithmetic(e in expr_strategy()) {
+/// Straight-line integer expressions match the host oracle exactly.
+#[test]
+fn interpreter_matches_host_arithmetic() {
+    prop_check!(|rng| {
+        let e = gen_expr(rng, 4);
         let mut mb = ModuleBuilder::new("prop");
         mb.function("main", &[], Some(Type::I64), |fb| {
             let v = emit(fb, &e);
@@ -84,12 +84,17 @@ proptest! {
         m.verify().expect("straight-line programs always verify");
         let got = Interp::new(&m).run(&[]).expect("runs").return_value;
         prop_assert_eq!(got, Some(Value::I(eval_host(&e))));
-    }
+        Ok(())
+    });
+}
 
-    /// A counted loop computing a prefix sum matches the closed form, for
-    /// arbitrary bounds and strides.
-    #[test]
-    fn loop_sums_match_closed_form(n in 1i64..200, step in 1i64..7) {
+/// A counted loop computing a prefix sum matches the closed form, for
+/// arbitrary bounds and strides.
+#[test]
+fn loop_sums_match_closed_form() {
+    prop_check!(|rng| {
+        let n = rng.range_i64(1, 200);
+        let step = rng.range_i64(1, 7);
         let mut mb = ModuleBuilder::new("prop");
         mb.function("main", &[], Some(Type::I64), |fb| {
             let zero = fb.iconst(0);
@@ -103,12 +108,18 @@ proptest! {
         let got = Interp::new(&m).run(&[]).expect("runs").return_value;
         let expect: i64 = (0..n).step_by(step as usize).sum();
         prop_assert_eq!(got, Some(Value::I(expect)));
-    }
+        Ok(())
+    });
+}
 
-    /// Memory write→read roundtrips through gep/store/load at arbitrary 2-D
-    /// coordinates.
-    #[test]
-    fn memory_roundtrip(rows in 1usize..12, cols in 1usize..12, seed in any::<u64>()) {
+/// Memory write→read roundtrips through gep/store/load at arbitrary 2-D
+/// coordinates.
+#[test]
+fn memory_roundtrip() {
+    prop_check!(|rng| {
+        let rows = rng.range_usize(1, 12);
+        let cols = rng.range_usize(1, 12);
+        let seed = rng.next_u64();
         let mut mb = ModuleBuilder::new("prop");
         let a = mb.array("A", Type::I64, &[rows, cols]);
         let r = (seed % rows as u64) as i64;
@@ -129,12 +140,17 @@ proptest! {
         prop_assert_eq!(got, Some(Value::I(v)));
         // the flat host-side view agrees
         prop_assert_eq!(interp.memory.get_i64(a, r as usize * cols + c as usize), v);
-    }
+        Ok(())
+    });
+}
 
-    /// Nested counted loops execute header/body blocks exactly the expected
-    /// number of times (the profiling substrate must count precisely).
-    #[test]
-    fn block_counts_are_exact(n in 1i64..20, m in 1i64..20) {
+/// Nested counted loops execute header/body blocks exactly the expected
+/// number of times (the profiling substrate must count precisely).
+#[test]
+fn block_counts_are_exact() {
+    prop_check!(|rng| {
+        let n = rng.range_i64(1, 20);
+        let m = rng.range_i64(1, 20);
         let mut mb = ModuleBuilder::new("prop");
         let a = mb.array("A", Type::F64, &[20, 20]);
         mb.function("main", &[], None, |fb| {
@@ -157,5 +173,6 @@ proptest! {
         prop_assert_eq!(prof.count(f, cayman_ir::BlockId(3)), 1);
         prop_assert_eq!(prof.count(f, cayman_ir::BlockId(4)), (n * (m + 1)) as u64);
         prop_assert_eq!(prof.count(f, cayman_ir::BlockId(5)), (n * m) as u64);
-    }
+        Ok(())
+    });
 }

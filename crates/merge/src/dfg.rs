@@ -98,7 +98,11 @@ pub fn units_of_design(
 
     // Sequential remainder: one FU per class in use, plus per-op registers.
     let mut seq_classes: BTreeMap<FuClass, u32> = BTreeMap::new();
-    for &b in design.blocks.iter().filter(|b| !pipelined_blocks.contains(b)) {
+    for &b in design
+        .blocks
+        .iter()
+        .filter(|b| !pipelined_blocks.contains(b))
+    {
         for &iid in &func.block(b).instrs {
             if !matches!(func.instr(iid), Instr::Phi { .. }) {
                 if let Some(c) = fu_class(func.instr(iid)) {

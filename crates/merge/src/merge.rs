@@ -81,7 +81,11 @@ pub fn merge_solution(module: &Module, solution: &Solution) -> MergeResult {
         for i in 0..units.len() {
             for j in (i + 1)..units.len() {
                 // Same-kernel units never merge with each other.
-                if units[i].kernels.iter().any(|k| units[j].kernels.contains(k)) {
+                if units[i]
+                    .kernels
+                    .iter()
+                    .any(|k| units[j].kernels.contains(k))
+                {
                     continue;
                 }
                 let s = merge_saving(&units[i], &units[j]);
@@ -213,8 +217,7 @@ mod tests {
                 .forest
                 .ids()
                 .map(|l| {
-                    cayman_analysis::access::trip_count(&wpst, &profile, func, f, l)
-                        .unwrap_or(1.0)
+                    cayman_analysis::access::trip_count(&wpst, &profile, func, f, l).unwrap_or(1.0)
                 })
                 .collect();
             accesses.push(aa);

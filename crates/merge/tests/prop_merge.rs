@@ -3,62 +3,78 @@
 
 use cayman_hls::oplib::FuClass;
 use cayman_merge::dfg::{merge_saving, merge_units, DatapathUnit};
-use proptest::prelude::*;
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check, Rng};
 use std::collections::BTreeMap;
 
-fn class_strategy() -> impl Strategy<Value = FuClass> {
-    prop_oneof![
-        Just(FuClass::IntAlu),
-        Just(FuClass::IntMul),
-        Just(FuClass::IntDiv),
-        Just(FuClass::FAdd),
-        Just(FuClass::FMul),
-        Just(FuClass::FDivSqrt),
-        Just(FuClass::FTrans),
-        Just(FuClass::Cvt),
-        Just(FuClass::Mem),
-        Just(FuClass::Reg),
-        Just(FuClass::AguFifo),
-    ]
+const CLASSES: [FuClass; 11] = [
+    FuClass::IntAlu,
+    FuClass::IntMul,
+    FuClass::IntDiv,
+    FuClass::FAdd,
+    FuClass::FMul,
+    FuClass::FDivSqrt,
+    FuClass::FTrans,
+    FuClass::Cvt,
+    FuClass::Mem,
+    FuClass::Reg,
+    FuClass::AguFifo,
+];
+
+/// A random datapath unit: 1–5 distinct FU classes with 1–7 instances each.
+fn gen_unit(rng: &mut Rng, kernel: usize) -> DatapathUnit {
+    let mut classes = BTreeMap::new();
+    for _ in 0..rng.range_usize(1, 6) {
+        classes.insert(*rng.choose(&CLASSES), rng.range_u32(1, 8));
+    }
+    DatapathUnit {
+        kernels: vec![kernel],
+        classes,
+        mux_area: 0.0,
+    }
 }
 
-fn unit_strategy(kernel: usize) -> impl Strategy<Value = DatapathUnit> {
-    prop::collection::btree_map(class_strategy(), 1u32..8, 1..6).prop_map(move |classes| {
-        DatapathUnit {
-            kernels: vec![kernel],
-            classes,
-            mux_area: 0.0,
-        }
-    })
-}
-
-proptest! {
-    /// Area conservation: `merged.area() == a.area() + b.area() − saving`.
-    /// The selection layer's `area_after = area_before − Σ savings` is exact
-    /// only if this holds for every pairwise merge.
-    #[test]
-    fn merge_conserves_area(a in unit_strategy(0), b in unit_strategy(1)) {
+/// Area conservation: `merged.area() == a.area() + b.area() − saving`. The
+/// selection layer's `area_after = area_before − Σ savings` is exact only if
+/// this holds for every pairwise merge.
+#[test]
+fn merge_conserves_area() {
+    prop_check!(|rng| {
+        let a = gen_unit(rng, 0);
+        let b = gen_unit(rng, 1);
         let saving = merge_saving(&a, &b);
         let m = merge_units(&a, &b);
         let expect = a.area() + b.area() - saving;
-        prop_assert!((m.area() - expect).abs() < 1e-6,
-            "conservation violated: merged {} vs expected {expect}", m.area());
-    }
+        prop_assert!(
+            (m.area() - expect).abs() < 1e-6,
+            "conservation violated: merged {} vs expected {expect}",
+            m.area()
+        );
+        Ok(())
+    });
+}
 
-    /// Merging is symmetric in inventory, overhead and saving.
-    #[test]
-    fn merge_is_symmetric(a in unit_strategy(0), b in unit_strategy(1)) {
+/// Merging is symmetric in inventory, overhead and saving.
+#[test]
+fn merge_is_symmetric() {
+    prop_check!(|rng| {
+        let a = gen_unit(rng, 0);
+        let b = gen_unit(rng, 1);
         let ab = merge_units(&a, &b);
         let ba = merge_units(&b, &a);
         prop_assert_eq!(&ab.classes, &ba.classes);
         prop_assert!((ab.mux_area - ba.mux_area).abs() < 1e-9);
         prop_assert!((merge_saving(&a, &b) - merge_saving(&b, &a)).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    /// The merged unit implements both members: per-class FU count is the
-    /// max of the members' counts, and the kernel tag set is the union.
-    #[test]
-    fn merged_unit_covers_both_members(a in unit_strategy(0), b in unit_strategy(1)) {
+/// The merged unit implements both members: per-class FU count is the max of
+/// the members' counts, and the kernel tag set is the union.
+#[test]
+fn merged_unit_covers_both_members() {
+    prop_check!(|rng| {
+        let a = gen_unit(rng, 0);
+        let b = gen_unit(rng, 1);
         let m = merge_units(&a, &b);
         let all: BTreeMap<FuClass, u32> = a
             .classes
@@ -72,42 +88,49 @@ proptest! {
             .collect();
         prop_assert_eq!(&m.classes, &all);
         prop_assert_eq!(&m.kernels, &vec![0, 1]);
-    }
+        Ok(())
+    });
+}
 
-    /// Saving is bounded by the smaller member's FU area (you can never save
-    /// more hardware than one side contributes) and the saving of a unit
-    /// with itself is its own FU area minus the sharing overhead (positive
-    /// for any FU-dominated unit).
-    #[test]
-    fn saving_bounds(a in unit_strategy(0), b in unit_strategy(1)) {
+/// Saving is bounded by the smaller member's FU area (you can never save
+/// more hardware than one side contributes) and the saving of a unit with
+/// itself is its own FU area minus the sharing overhead (positive for any
+/// FU-dominated unit).
+#[test]
+fn saving_bounds() {
+    prop_check!(|rng| {
+        let a = gen_unit(rng, 0);
+        let b = gen_unit(rng, 1);
         let s = merge_saving(&a, &b);
         prop_assert!(s <= a.fu_area_total().min(b.fu_area_total()) + 1e-9);
         let mut b2 = a.clone();
         b2.kernels = vec![1];
         let self_saving = merge_saving(&a, &b2);
         prop_assert!(self_saving <= a.fu_area_total());
-    }
+        Ok(())
+    });
+}
 
-    /// Chained merging never increases total area across the pool — the
-    /// greedy loop in `merge_solution` only applies positive-saving merges,
-    /// so a random positive-merge sequence must be monotonically shrinking.
-    #[test]
-    fn chained_merging_monotone(units in prop::collection::vec(unit_strategy(0), 2..6)) {
-        // retag so all kernels are distinct (same-kernel units never merge)
-        let mut units: Vec<DatapathUnit> = units
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut u)| {
-                u.kernels = vec![i];
-                u
-            })
+/// Chained merging never increases total area across the pool — the greedy
+/// loop in `merge_solution` only applies positive-saving merges, so a random
+/// positive-merge sequence must be monotonically shrinking.
+#[test]
+fn chained_merging_monotone() {
+    prop_check!(|rng| {
+        // distinct kernel tags, so every pair is mergeable
+        let mut units: Vec<DatapathUnit> = (0..rng.range_usize(2, 6))
+            .map(|i| gen_unit(rng, i))
             .collect();
         let mut total: f64 = units.iter().map(|u| u.area()).sum();
         loop {
             let mut best: Option<(usize, usize, f64)> = None;
             for i in 0..units.len() {
                 for j in (i + 1)..units.len() {
-                    if units[i].kernels.iter().any(|k| units[j].kernels.contains(k)) {
+                    if units[i]
+                        .kernels
+                        .iter()
+                        .any(|k| units[j].kernels.contains(k))
+                    {
                         continue;
                     }
                     let s = merge_saving(&units[i], &units[j]);
@@ -126,5 +149,6 @@ proptest! {
             prop_assert!(new_total <= total);
             total = new_total;
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,179 @@
+//! A thread-safe, memoising design cache for `accel(v, R)`.
+//!
+//! The selection DP invokes the accelerator model at every unpruned wPST
+//! vertex, and the evaluation protocol re-runs selection many times over the
+//! same application — once per framework (Cayman / NOVIA / QsCores), once
+//! per ablation point, once per α or budget sweep step. The model's output
+//! for a candidate depends only on
+//!
+//! * the model identity and its options ([`ModelId`]), and
+//! * the candidate itself ([`CandidateKey`]: function, block set, profile),
+//!
+//! given fixed per-function analysis inputs — so repeated invocations can be
+//! answered from a memo table instead of re-running scheduling, pipelining
+//! and interface assignment.
+//!
+//! A cache is only valid for one analysed application (one
+//! module + profile): the keys do not capture `FuncInputs`. Owners that
+//! re-analyse must start from a fresh cache (the `cayman` facade ties one
+//! cache to one `Framework`, which owns exactly one analysed application).
+
+use cayman_hls::design::AcceleratorDesign;
+use cayman_hls::inputs::CandidateKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of an accelerator model instance: a model name plus a
+/// fingerprint of its options (`0` for option-free models).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelId {
+    /// Static model name (`"cayman"`, `"novia"`, `"qscores"`, …).
+    pub name: &'static str,
+    /// Fingerprint of the model's options
+    /// (`cayman_hls::interface::ModelOptions::fingerprint`), or `0`.
+    pub options: u64,
+}
+
+/// Full cache key: model identity × candidate identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DesignKey {
+    /// Which model produced the designs.
+    pub model: ModelId,
+    /// Which candidate they were produced for.
+    pub candidate: CandidateKey,
+}
+
+/// Memoised `accel(v, R)` results, shareable across selection runs and
+/// across threads within a run.
+///
+/// Entries are `Arc`ed so hits hand out cheap clones of the design vector.
+/// Hit/miss counters are global to the cache (lifetime totals); per-run
+/// counts are tracked by the DP's own stats.
+#[derive(Debug, Default)]
+pub struct DesignCache {
+    entries: Mutex<HashMap<DesignKey, Arc<Vec<AcceleratorDesign>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DesignCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DesignCache::default()
+    }
+
+    /// Looks up memoised designs, counting a hit or a miss.
+    pub fn lookup(&self, key: &DesignKey) -> Option<Arc<Vec<AcceleratorDesign>>> {
+        let found = self
+            .entries
+            .lock()
+            .expect("design cache poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Memoises `designs` under `key`. Concurrent inserts of the same key
+    /// are benign: models are deterministic, so both values are identical
+    /// and last-writer-wins is safe.
+    pub fn insert(
+        &self,
+        key: DesignKey,
+        designs: Vec<AcceleratorDesign>,
+    ) -> Arc<Vec<AcceleratorDesign>> {
+        let arc = Arc::new(designs);
+        self.entries
+            .lock()
+            .expect("design cache poisoned")
+            .insert(key, Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of memoised candidate entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("design cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime `(hits, misses)` over all lookups.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops all entries and resets the lifetime counters.
+    pub fn clear(&self) {
+        self.entries.lock().expect("design cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::{BlockId, FuncId};
+
+    fn key(func: u32, entries: u64) -> DesignKey {
+        DesignKey {
+            model: ModelId {
+                name: "test",
+                options: 1,
+            },
+            candidate: CandidateKey {
+                func: FuncId(func),
+                blocks: vec![BlockId(0), BlockId(1)],
+                entries,
+                cpu_cycles: 100,
+                is_bb: false,
+            },
+        }
+    }
+
+    #[test]
+    fn lookup_insert_roundtrip_and_counters() {
+        let cache = DesignCache::new();
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&key(0, 1)).is_none());
+        cache.insert(key(0, 1), Vec::new());
+        let hit = cache.lookup(&key(0, 1)).expect("hit");
+        assert!(hit.is_empty());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.totals(), (1, 1));
+        // distinct candidate → distinct entry
+        assert!(cache.lookup(&key(0, 2)).is_none());
+        cache.insert(key(0, 2), Vec::new());
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.totals(), (0, 0));
+    }
+
+    #[test]
+    fn model_identity_partitions_the_cache() {
+        let cache = DesignCache::new();
+        let mut a = key(0, 1);
+        cache.insert(a.clone(), Vec::new());
+        a.model = ModelId {
+            name: "other",
+            options: 1,
+        };
+        assert!(cache.lookup(&a).is_none(), "different model must miss");
+        a.model = ModelId {
+            name: "test",
+            options: 2,
+        };
+        assert!(cache.lookup(&a).is_none(), "different options must miss");
+    }
+}

@@ -15,23 +15,53 @@
 //! (not hotspots); `accel` invokes the `cayman-hls` model; `pareto`/`filter`
 //! live in [`mod@crate::pareto`]. `F[root]` is the returned Pareto-optimal
 //! solution set for the whole application.
+//!
+//! Two engineering layers sit on top of the paper's algorithm:
+//!
+//! * **Parallel subtrees** — sibling wPST subtrees are independent DP
+//!   problems, so with [`SelectOptions::threads`] > 1 they are evaluated on
+//!   scoped worker threads (`std::thread::scope`; no external dependencies).
+//!   Child results are always combined *sequentially in child order*, so the
+//!   Pareto front is bit-identical to the sequential run.
+//! * **Design memoisation** — `accel(v, R)` is pure given the analysed
+//!   application, so its results are memoised in a [`DesignCache`] keyed by
+//!   model identity × candidate identity. Selection re-runs over the same
+//!   application (framework comparisons, ablation and α sweeps) hit the
+//!   cache instead of re-running scheduling.
+//!
+//! A [`SelectStats`] snapshot (per-phase wall time, cache hits/misses,
+//! vertices visited/pruned) rides on every [`SelectionResult`].
 
+use crate::cache::{DesignCache, DesignKey, ModelId};
 use crate::pareto::{combine, filter, pareto, Solution};
+use crate::stats::{AtomicStats, SelectStats};
 use cayman_analysis::profile::Profile;
 use cayman_analysis::wpst::{Wpst, WpstNodeId};
 use cayman_hls::design::{generate_designs, AcceleratorDesign};
 use cayman_hls::inputs::{Candidate, FuncInputs};
 use cayman_hls::interface::ModelOptions;
 use cayman_ir::Module;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// An accelerator model: turns a candidate region into configured designs.
 ///
 /// The default implementation is Cayman's model (`cayman-hls`); the baseline
 /// frameworks (NOVIA, QsCores) plug in their own restricted models so the
 /// same Algorithm 1 selection machinery drives all three comparisons.
-pub trait AccelModel {
+///
+/// Models must be [`Sync`]: the parallel DP invokes them from scoped worker
+/// threads. Every bundled model is a stateless value, so this is free.
+pub trait AccelModel: Sync {
     /// Configurations for accelerating `cand` as one extracted kernel.
     fn designs(&self, inputs: &FuncInputs<'_>, cand: &Candidate) -> Vec<AcceleratorDesign>;
+
+    /// This model's cache identity, or `None` to opt out of design
+    /// memoisation. Two model instances with equal identities must produce
+    /// identical designs for equal candidates.
+    fn cache_id(&self) -> Option<ModelId> {
+        None
+    }
 }
 
 /// Cayman's own accelerator model (control-flow optimisation + specialised
@@ -42,6 +72,13 @@ pub struct CaymanModel(pub ModelOptions);
 impl AccelModel for CaymanModel {
     fn designs(&self, inputs: &FuncInputs<'_>, cand: &Candidate) -> Vec<AcceleratorDesign> {
         generate_designs(inputs, cand, &self.0)
+    }
+
+    fn cache_id(&self) -> Option<ModelId> {
+        Some(ModelId {
+            name: "cayman",
+            options: self.0.fingerprint(),
+        })
     }
 }
 
@@ -55,6 +92,10 @@ pub struct SelectOptions {
     /// `prune` threshold: minimum fraction of total program time a region
     /// must account for to stay in the search.
     pub prune_share: f64,
+    /// Worker-thread budget for evaluating independent wPST subtrees.
+    /// `1` (the default) runs fully sequentially; the Pareto front is
+    /// identical for every value.
+    pub threads: usize,
 }
 
 impl Default for SelectOptions {
@@ -63,6 +104,20 @@ impl Default for SelectOptions {
             model: ModelOptions::default(),
             alpha: 1.1,
             prune_share: 0.001,
+            threads: 1,
+        }
+    }
+}
+
+impl SelectOptions {
+    /// Default options with the thread budget set to the machine's available
+    /// parallelism.
+    pub fn parallel() -> Self {
+        SelectOptions {
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            ..Default::default()
         }
     }
 }
@@ -74,8 +129,11 @@ pub struct SelectionResult {
     pub pareto: Vec<Solution>,
     /// Number of wPST vertices visited (not pruned).
     pub visited: usize,
-    /// Total accelerator configurations evaluated by the model.
+    /// Total accelerator configurations evaluated by the model (cache hits
+    /// included — they were evaluated on the memoised run).
     pub configs_evaluated: usize,
+    /// Full observability snapshot for this run.
+    pub stats: SelectStats,
 }
 
 impl SelectionResult {
@@ -92,7 +150,8 @@ impl SelectionResult {
 /// Runs Algorithm 1 over the wPST.
 ///
 /// `inputs` must hold one [`FuncInputs`] per module function (indexed by
-/// `FuncId`).
+/// `FuncId`). Designs are memoised in a run-local cache; to share memoised
+/// designs across runs use [`run_selection_cached`].
 pub fn run_selection(
     module: &Module,
     wpst: &Wpst,
@@ -105,7 +164,7 @@ pub fn run_selection(
 }
 
 /// Runs Algorithm 1 with a custom accelerator model (used by the baseline
-/// frameworks).
+/// frameworks), memoising designs in a run-local cache.
 pub fn run_selection_with(
     module: &Module,
     wpst: &Wpst,
@@ -114,21 +173,45 @@ pub fn run_selection_with(
     opts: &SelectOptions,
     model: &dyn AccelModel,
 ) -> SelectionResult {
-    let mut engine = Engine {
+    let cache = DesignCache::new();
+    run_selection_cached(module, wpst, profile, inputs, opts, model, &cache)
+}
+
+/// Runs Algorithm 1 with an externally owned [`DesignCache`], so repeated
+/// selection over the same analysed application (framework comparisons,
+/// ablation sweeps, α/budget sweeps) reuses memoised `accel(v, R)` results.
+///
+/// The cache must only ever be used with one analysed application: its keys
+/// identify candidates and models, not modules or profiles.
+pub fn run_selection_cached(
+    module: &Module,
+    wpst: &Wpst,
+    profile: &Profile,
+    inputs: &[FuncInputs<'_>],
+    opts: &SelectOptions,
+    model: &dyn AccelModel,
+    cache: &DesignCache,
+) -> SelectionResult {
+    let t0 = Instant::now();
+    let engine = Engine {
         module,
         wpst,
         profile,
         inputs,
         opts,
         model,
-        visited: 0,
-        configs: 0,
+        cache,
+        stats: AtomicStats::default(),
     };
-    let f_root = engine.dp(wpst.root());
+    let f_root = engine.dp(wpst.root(), opts.threads.max(1));
+    let stats = engine
+        .stats
+        .snapshot(t0.elapsed().as_nanos() as u64, opts.threads.max(1));
     SelectionResult {
         pareto: f_root,
-        visited: engine.visited,
-        configs_evaluated: engine.configs,
+        visited: stats.visited,
+        configs_evaluated: stats.configs_considered,
+        stats,
     }
 }
 
@@ -139,39 +222,84 @@ struct Engine<'a> {
     inputs: &'a [FuncInputs<'a>],
     opts: &'a SelectOptions,
     model: &'a dyn AccelModel,
-    visited: usize,
-    configs: usize,
+    cache: &'a DesignCache,
+    stats: AtomicStats,
 }
 
 impl Engine<'_> {
-    fn dp(&mut self, v: WpstNodeId) -> Vec<Solution> {
+    /// The DP over vertex `v` with a budget of `threads` worker threads for
+    /// its subtree.
+    fn dp(&self, v: WpstNodeId, threads: usize) -> Vec<Solution> {
         // prune(v, R): not a hotspot → empty Pareto set.
         if self.profile.share(v) < self.opts.prune_share {
+            AtomicStats::add_usize(&self.stats.pruned, 1);
             return vec![Solution::empty()];
         }
-        self.visited += 1;
+        AtomicStats::add_usize(&self.stats.visited, 1);
 
         if self.wpst.is_bb(v) {
             return filter(pareto(self.accel(v)), self.opts.alpha);
         }
 
+        let children = &self.wpst.node(v).children;
+        let child_fronts = self.dp_children(children, threads);
+
+        // Combine strictly in child order — this keeps the float summation
+        // order, and therefore the front, identical across thread budgets.
+        let t0 = Instant::now();
         let mut f = vec![Solution::empty()];
-        let children = self.wpst.node(v).children.clone();
-        for u in children {
-            let fu = self.dp(u);
-            f = combine(&f, &fu, self.opts.alpha);
+        for fu in &child_fronts {
+            f = combine(&f, fu, self.opts.alpha);
         }
+        AtomicStats::add_u64(&self.stats.combine_nanos, t0.elapsed().as_nanos() as u64);
+
         if self.wpst.is_ctrl_flow(v) {
             let mut all = f;
             all.extend(self.accel(v));
+            let t1 = Instant::now();
             f = filter(pareto(all), self.opts.alpha);
+            AtomicStats::add_u64(&self.stats.combine_nanos, t1.elapsed().as_nanos() as u64);
         }
         f
     }
 
+    /// Evaluates all children of a vertex, in order, distributing the thread
+    /// budget over contiguous chunks of siblings.
+    fn dp_children(&self, children: &[WpstNodeId], threads: usize) -> Vec<Vec<Solution>> {
+        if children.len() == 1 {
+            // A chain vertex: push the whole budget down.
+            return vec![self.dp(children[0], threads)];
+        }
+        if threads <= 1 || children.len() < 2 {
+            return children.iter().map(|&u| self.dp(u, 1)).collect();
+        }
+        // Spawn at most `threads` workers; each takes a contiguous chunk of
+        // siblings (preserving order) and shares the leftover budget.
+        let workers = threads.min(children.len());
+        let chunk_size = children.len().div_ceil(workers);
+        let sub_budget = (threads / workers).max(1);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = children
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|&u| self.dp(u, sub_budget))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("selection worker panicked"))
+                .collect()
+        })
+    }
+
     /// `accel(v, R)`: configurations for accelerating vertex `v` as a single
-    /// extracted kernel.
-    fn accel(&mut self, v: WpstNodeId) -> Vec<Solution> {
+    /// extracted kernel, answered from the design cache when possible.
+    fn accel(&self, v: WpstNodeId) -> Vec<Solution> {
         let Some((region, func)) = self.wpst.region(v) else {
             return Vec::new();
         };
@@ -189,13 +317,40 @@ impl Engine<'_> {
             cpu_cycles: rp.cycles,
             is_bb: matches!(region.kind, cayman_analysis::regions::RegionKind::Bb(_)),
         };
-        let designs = self.model.designs(&self.inputs[func.index()], &cand);
-        self.configs += designs.len();
+        let designs = self.designs_for(&cand, func);
+        AtomicStats::add_usize(&self.stats.configs_considered, designs.len());
         let _ = self.module;
         designs
-            .into_iter()
-            .map(|d| Solution::single(v, d))
+            .iter()
+            .map(|d| Solution::single(v, d.clone()))
             .collect()
+    }
+
+    /// Memoised model invocation.
+    fn designs_for(
+        &self,
+        cand: &Candidate,
+        func: cayman_ir::FuncId,
+    ) -> Arc<Vec<AcceleratorDesign>> {
+        let key = self.model.cache_id().map(|model| DesignKey {
+            model,
+            candidate: cand.key(),
+        });
+        if let Some(key) = &key {
+            if let Some(hit) = self.cache.lookup(key) {
+                AtomicStats::add_u64(&self.stats.cache_hits, 1);
+                return hit;
+            }
+            AtomicStats::add_u64(&self.stats.cache_misses, 1);
+        }
+        let t0 = Instant::now();
+        let designs = self.model.designs(&self.inputs[func.index()], cand);
+        AtomicStats::add_u64(&self.stats.model_nanos, t0.elapsed().as_nanos() as u64);
+        AtomicStats::add_usize(&self.stats.configs_evaluated, designs.len());
+        match key {
+            Some(key) => self.cache.insert(key, designs),
+            None => Arc::new(designs),
+        }
     }
 }
 
@@ -307,6 +462,19 @@ mod tests {
         mb.finish()
     }
 
+    fn fronts_identical(a: &[Solution], b: &[Solution]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.area.to_bits() == y.area.to_bits()
+                    && x.saved_seconds.to_bits() == y.saved_seconds.to_bits()
+                    && x.kernels.len() == y.kernels.len()
+                    && x.kernels
+                        .iter()
+                        .zip(&y.kernels)
+                        .all(|(k, l)| k.node == l.node && k.design.blocks == l.design.blocks)
+            })
+    }
+
     #[test]
     fn selection_produces_increasing_pareto_front() {
         let app = App::analyse(two_kernel_app());
@@ -387,6 +555,7 @@ mod tests {
         let res = run_selection(&app.module, &app.wpst, &app.profile, &inputs, &opts);
         assert_eq!(res.pareto.len(), 1, "only the empty solution survives");
         assert_eq!(res.visited, 0);
+        assert!(res.stats.pruned > 0, "pruned vertices are counted");
     }
 
     #[test]
@@ -416,5 +585,109 @@ mod tests {
             best_full > best_abl,
             "full {best_full} vs coupled-only {best_abl}"
         );
+    }
+
+    #[test]
+    fn parallel_selection_matches_sequential_bitwise() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let seq = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions::default(),
+        );
+        for threads in [2usize, 3, 8] {
+            let par = run_selection(
+                &app.module,
+                &app.wpst,
+                &app.profile,
+                &inputs,
+                &SelectOptions {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                fronts_identical(&seq.pareto, &par.pareto),
+                "threads={threads} changed the front"
+            );
+            assert_eq!(par.visited, seq.visited);
+            assert_eq!(par.configs_evaluated, seq.configs_evaluated);
+            assert_eq!(par.stats.threads, threads);
+        }
+    }
+
+    #[test]
+    fn warm_cache_reproduces_the_front_and_skips_the_model() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let opts = SelectOptions::default();
+        let model = CaymanModel(opts.model.clone());
+        let cache = DesignCache::new();
+        let cold = run_selection_cached(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &opts,
+            &model,
+            &cache,
+        );
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert!(cold.stats.cache_misses > 0);
+        assert!(cold.stats.configs_evaluated > 0);
+
+        let warm = run_selection_cached(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &opts,
+            &model,
+            &cache,
+        );
+        assert!(fronts_identical(&cold.pareto, &warm.pareto));
+        assert_eq!(warm.stats.cache_misses, 0, "everything memoised");
+        assert_eq!(warm.stats.cache_hits, cold.stats.cache_misses);
+        assert_eq!(warm.stats.configs_evaluated, 0, "model never invoked");
+        assert_eq!(warm.configs_evaluated, cold.configs_evaluated);
+    }
+
+    #[test]
+    fn ablation_options_do_not_cross_contaminate_the_cache() {
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let cache = DesignCache::new();
+        let full_opts = SelectOptions::default();
+        let abl_opts = SelectOptions {
+            model: ModelOptions::coupled_only(),
+            ..Default::default()
+        };
+        let full = run_selection_cached(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &full_opts,
+            &CaymanModel(full_opts.model.clone()),
+            &cache,
+        );
+        // Different ModelOptions → different fingerprint → no hits, and the
+        // ablation result is unaffected by the warm full-model cache.
+        let ablated = run_selection_cached(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &abl_opts,
+            &CaymanModel(abl_opts.model.clone()),
+            &cache,
+        );
+        assert_eq!(ablated.stats.cache_hits, 0);
+        let best_full = full.pareto.last().expect("sol").saved_seconds;
+        let best_abl = ablated.pareto.last().expect("sol").saved_seconds;
+        assert!(best_full > best_abl);
     }
 }

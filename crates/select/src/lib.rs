@@ -8,13 +8,26 @@
 //!
 //! * [`mod@pareto`] — [`pareto::Solution`]s, Pareto reduction, the α-spacing
 //!   `filter`, and the `⊗` combination operator,
-//! * [`dp`] — Algorithm 1 ([`dp::run_selection`]) with heuristic pruning.
+//! * [`dp`] — Algorithm 1 ([`dp::run_selection`]) with heuristic pruning,
+//!   parallel subtree evaluation ([`dp::SelectOptions::threads`]) and design
+//!   memoisation,
+//! * [`cache`] — the thread-safe [`cache::DesignCache`] memoising
+//!   `accel(v, R)` results across selection runs,
+//! * [`stats`] — the [`stats::SelectStats`] observability snapshot carried
+//!   on every [`dp::SelectionResult`].
 //!
 //! See [`dp::SelectionResult::best_under`] for extracting the best solution
 //! under an area budget (the paper's 25% / 65% CVA6-tile budgets).
 
+pub mod cache;
 pub mod dp;
 pub mod pareto;
+pub mod stats;
 
-pub use dp::{run_selection, run_selection_with, AccelModel, CaymanModel, SelectOptions, SelectionResult};
+pub use cache::{DesignCache, DesignKey, ModelId};
+pub use dp::{
+    run_selection, run_selection_cached, run_selection_with, AccelModel, CaymanModel,
+    SelectOptions, SelectionResult,
+};
 pub use pareto::{combine, filter, pareto, SelectedKernel, Solution};
+pub use stats::SelectStats;

@@ -113,7 +113,11 @@ pub fn pareto(mut solutions: Vec<Solution>) -> Vec<Solution> {
         if s.saved_seconds > best || out.is_empty() {
             best = best.max(s.saved_seconds);
             // Keep only if it strictly improves over the last kept solution.
-            if out.last().map(|l| s.saved_seconds > l.saved_seconds).unwrap_or(true) {
+            if out
+                .last()
+                .map(|l| s.saved_seconds > l.saved_seconds)
+                .unwrap_or(true)
+            {
                 out.push(s);
             }
         }

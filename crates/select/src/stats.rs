@@ -1,0 +1,167 @@
+//! Observability for Algorithm 1: per-phase wall time, design-cache
+//! effectiveness, and search-space counters, collected lock-free so the
+//! parallel DP can update them from every worker thread.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A snapshot of one selection run's statistics, carried on
+/// [`crate::SelectionResult`] and printed by the bench binaries.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SelectStats {
+    /// wPST vertices visited (not pruned).
+    pub visited: usize,
+    /// wPST vertices pruned by the hotspot threshold (subtrees skipped).
+    pub pruned: usize,
+    /// Accelerator configurations that entered the DP (cached or fresh).
+    pub configs_considered: usize,
+    /// Accelerator configurations actually produced by a model invocation
+    /// (cache misses; equals `configs_considered` when running uncached).
+    pub configs_evaluated: usize,
+    /// Design-cache hits (`accel(v)` answered from memoised designs).
+    pub cache_hits: u64,
+    /// Design-cache misses (model invoked, result memoised).
+    pub cache_misses: u64,
+    /// Nanoseconds spent inside the accelerator model, summed over threads.
+    pub model_nanos: u64,
+    /// Nanoseconds spent in Pareto combine/filter, summed over threads.
+    pub combine_nanos: u64,
+    /// End-to-end wall-clock nanoseconds of the selection run.
+    pub wall_nanos: u64,
+    /// The `threads` knob the run used.
+    pub threads: usize,
+}
+
+impl SelectStats {
+    /// Cache hit rate in `[0, 1]`; `0` when the run made no cacheable
+    /// `accel` calls.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Wall-clock seconds of the whole run.
+    pub fn wall_seconds(&self) -> f64 {
+        self.wall_nanos as f64 * 1e-9
+    }
+
+    /// Seconds spent in the accelerator model (CPU time summed over
+    /// threads, so this can exceed [`wall_seconds`](Self::wall_seconds) when
+    /// `threads > 1`).
+    pub fn model_seconds(&self) -> f64 {
+        self.model_nanos as f64 * 1e-9
+    }
+
+    /// Seconds spent combining/filtering Pareto sequences (summed over
+    /// threads).
+    pub fn combine_seconds(&self) -> f64 {
+        self.combine_nanos as f64 * 1e-9
+    }
+}
+
+impl fmt::Display for SelectStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "visited {} (pruned {}), configs {} ({} modeled), cache {}/{} hit ({:.0}%), \
+             model {:.2}ms + combine {:.2}ms, wall {:.2}ms on {} thread(s)",
+            self.visited,
+            self.pruned,
+            self.configs_considered,
+            self.configs_evaluated,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+            self.cache_hit_rate() * 100.0,
+            self.model_seconds() * 1e3,
+            self.combine_seconds() * 1e3,
+            self.wall_seconds() * 1e3,
+            self.threads.max(1),
+        )
+    }
+}
+
+/// The live, thread-shared accumulator behind [`SelectStats`]. All updates
+/// are relaxed atomics: counters are independent, and the final snapshot
+/// happens after every worker has joined (scoped threads), so no ordering
+/// stronger than `Relaxed` is needed.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub visited: AtomicUsize,
+    pub pruned: AtomicUsize,
+    pub configs_considered: AtomicUsize,
+    pub configs_evaluated: AtomicUsize,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub model_nanos: AtomicU64,
+    pub combine_nanos: AtomicU64,
+}
+
+impl AtomicStats {
+    pub fn add_usize(counter: &AtomicUsize, n: usize) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_u64(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Freezes the accumulator into a snapshot.
+    pub fn snapshot(&self, wall_nanos: u64, threads: usize) -> SelectStats {
+        SelectStats {
+            visited: self.visited.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            configs_considered: self.configs_considered.load(Ordering::Relaxed),
+            configs_evaluated: self.configs_evaluated.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            model_nanos: self.model_nanos.load(Ordering::Relaxed),
+            combine_nanos: self.combine_nanos.load(Ordering::Relaxed),
+            wall_nanos,
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut s = SelectStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_carries_all_counters() {
+        let a = AtomicStats::default();
+        AtomicStats::add_usize(&a.visited, 5);
+        AtomicStats::add_usize(&a.pruned, 2);
+        AtomicStats::add_usize(&a.configs_considered, 10);
+        AtomicStats::add_usize(&a.configs_evaluated, 7);
+        AtomicStats::add_u64(&a.cache_hits, 4);
+        AtomicStats::add_u64(&a.cache_misses, 6);
+        AtomicStats::add_u64(&a.model_nanos, 1_000);
+        AtomicStats::add_u64(&a.combine_nanos, 2_000);
+        let s = a.snapshot(5_000, 4);
+        assert_eq!(s.visited, 5);
+        assert_eq!(s.pruned, 2);
+        assert_eq!(s.configs_considered, 10);
+        assert_eq!(s.configs_evaluated, 7);
+        assert_eq!(s.cache_hits, 4);
+        assert_eq!(s.cache_misses, 6);
+        assert_eq!(s.wall_nanos, 5_000);
+        assert_eq!(s.threads, 4);
+        // the Display line mentions the key numbers
+        let line = s.to_string();
+        assert!(line.contains("visited 5"), "{line}");
+        assert!(line.contains("40%"), "{line}");
+    }
+}

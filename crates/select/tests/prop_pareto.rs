@@ -2,7 +2,7 @@
 //! complexity bound and optimality-preservation rest on.
 
 use cayman_select::{combine, filter, pareto, Solution};
-use proptest::prelude::*;
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check, Rng};
 
 fn sol(area: f64, saved: f64) -> Solution {
     Solution {
@@ -12,20 +12,21 @@ fn sol(area: f64, saved: f64) -> Solution {
     }
 }
 
-fn solutions_strategy() -> impl Strategy<Value = Vec<Solution>> {
-    prop::collection::vec((0.0f64..1e6, -1e-3f64..1e-3), 0..60)
-        .prop_map(|v| v.into_iter().map(|(a, s)| sol(a, s)).collect())
+/// Up to 60 random solutions with areas in `[0, 1e6)` and savings in
+/// `[-1e-3, 1e-3)`.
+fn gen_solutions(rng: &mut Rng) -> Vec<Solution> {
+    (0..rng.range_usize(0, 60))
+        .map(|_| sol(rng.range_f64(0.0, 1e6), rng.range_f64(-1e-3, 1e-3)))
+        .collect()
 }
 
-proptest! {
-    /// `pareto` output is sorted, strictly dominating, and contains the
-    /// input's best saving.
-    #[test]
-    fn pareto_is_a_proper_front(input in solutions_strategy()) {
-        let best_in = input
-            .iter()
-            .map(|s| s.saved_seconds)
-            .fold(0.0f64, f64::max);
+/// `pareto` output is sorted, strictly dominating, and contains the input's
+/// best saving.
+#[test]
+fn pareto_is_a_proper_front() {
+    prop_check!(|rng| {
+        let input = gen_solutions(rng);
+        let best_in = input.iter().map(|s| s.saved_seconds).fold(0.0f64, f64::max);
         let out = pareto(input);
         prop_assert!(!out.is_empty());
         prop_assert_eq!(out[0].area, 0.0);
@@ -35,12 +36,17 @@ proptest! {
         }
         let best_out = out.last().expect("non-empty").saved_seconds;
         prop_assert!(best_out >= best_in - 1e-15);
-    }
+        Ok(())
+    });
+}
 
-    /// `filter` returns a subset, enforces α-spacing, keeps the empty
-    /// solution, and never discards the overall best.
-    #[test]
-    fn filter_preserves_the_best(input in solutions_strategy(), alpha in 1.01f64..3.0) {
+/// `filter` returns a subset, enforces α-spacing, keeps the empty solution,
+/// and never discards the overall best.
+#[test]
+fn filter_preserves_the_best() {
+    prop_check!(|rng| {
+        let input = gen_solutions(rng);
+        let alpha = rng.range_f64(1.01, 3.0);
         let front = pareto(input);
         let best = front.last().expect("non-empty").saved_seconds;
         let len_before = front.len();
@@ -58,11 +64,16 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The kept-sequence length is logarithmic in the area range.
-    #[test]
-    fn filter_bounds_sequence_length(input in solutions_strategy(), alpha in 1.1f64..2.0) {
+/// The kept-sequence length is logarithmic in the area range.
+#[test]
+fn filter_bounds_sequence_length() {
+    prop_check!(|rng| {
+        let input = gen_solutions(rng);
+        let alpha = rng.range_f64(1.1, 2.0);
         let out = filter(pareto(input), alpha);
         // areas < 1e6; smallest non-zero kept could be tiny, so bound by the
         // ratio between largest and smallest kept non-zero areas.
@@ -76,13 +87,18 @@ proptest! {
                 nonzero.len()
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// `⊗` is conservative: every output is a sum of one solution from each
-    /// side, and the combined best saving is at least the max of either
-    /// side's best (union with the empty solution is always available).
-    #[test]
-    fn combine_is_additive(a in solutions_strategy(), b in solutions_strategy()) {
+/// `⊗` is conservative: every output is a sum of one solution from each
+/// side, and the combined best saving is at least the max of either side's
+/// best (union with the empty solution is always available).
+#[test]
+fn combine_is_additive() {
+    prop_check!(|rng| {
+        let a = gen_solutions(rng);
+        let b = gen_solutions(rng);
         let fa = filter(pareto(a), 1.1);
         let fb = filter(pareto(b), 1.1);
         let best_a = fa.last().expect("non-empty").saved_seconds;
@@ -92,5 +108,6 @@ proptest! {
         prop_assert!(best_c >= best_a.max(best_b) - 1e-18);
         // additivity of the best: it can't exceed the sum of both bests
         prop_assert!(best_c <= best_a + best_b + 1e-18);
-    }
+        Ok(())
+    });
 }

@@ -27,7 +27,11 @@ use cayman_ir::{CmpPred, Type};
 const F64: Type = Type::F64;
 const I64: Type = Type::I64;
 
-fn wl(name: &'static str, module: cayman_ir::Module, fills: Vec<(cayman_ir::ArrayId, Fill)>) -> Workload {
+fn wl(
+    name: &'static str,
+    module: cayman_ir::Module,
+    fills: Vec<(cayman_ir::ArrayId, Fill)>,
+) -> Workload {
     Workload {
         suite: Suite::CoreMarkPro,
         name,
@@ -141,21 +145,15 @@ pub fn zip_test() -> Workload {
     let f_adler = mb.function("adler", &[], None, |fb| {
         let one_i = fb.iconst(1);
         let zero_i = fb.iconst(0);
-        let sums = fb.counted_loop_carry(
-            0,
-            N,
-            1,
-            &[(I64, one_i), (I64, zero_i)],
-            |fb, i, c| {
-                let v = fb.load_idx_ty(input, &[i], I64);
-                let a = fb.add(c[0], v);
-                let m = fb.iconst(65521);
-                let am = fb.srem(a, m);
-                let b = fb.add(c[1], am);
-                let bm = fb.srem(b, m);
-                vec![am, bm]
-            },
-        );
+        let sums = fb.counted_loop_carry(0, N, 1, &[(I64, one_i), (I64, zero_i)], |fb, i, c| {
+            let v = fb.load_idx_ty(input, &[i], I64);
+            let a = fb.add(c[0], v);
+            let m = fb.iconst(65521);
+            let am = fb.srem(a, m);
+            let b = fb.add(c[1], am);
+            let bm = fb.srem(b, m);
+            vec![am, bm]
+        });
         let z = fb.iconst(0);
         let o = fb.iconst(1);
         fb.store_idx_ty(checksum, &[z], sums[0], I64);
@@ -599,7 +597,9 @@ mod tests {
     #[test]
     fn all_coremark_run() {
         for w in all() {
-            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.module
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             w.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }

@@ -2,8 +2,7 @@
 
 use cayman_ir::interp::Memory;
 use cayman_ir::{ArrayId, Module};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cayman_testkit::Rng;
 
 /// How to fill one array before execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,16 +53,16 @@ pub enum Fill {
 pub fn apply(module: &Module, mem: &mut Memory, array: ArrayId, fill: Fill, seed: u64) {
     let decl = module.array(array);
     let n = decl.len();
-    let mut rng = SmallRng::seed_from_u64(seed ^ (array.0 as u64).wrapping_mul(0x9E37_79B9));
+    let mut rng = Rng::new(seed ^ (array.0 as u64).wrapping_mul(0x9E37_79B9));
     match fill {
         Fill::F64Uniform { lo, hi } => {
             for i in 0..n {
-                mem.set_f64(array, i, rng.gen_range(lo..hi));
+                mem.set_f64(array, i, rng.range_f64(lo, hi));
             }
         }
         Fill::I64Uniform { lo, hi } => {
             for i in 0..n {
-                mem.set_i64(array, i, rng.gen_range(lo..hi));
+                mem.set_i64(array, i, rng.range_i64(lo, hi));
             }
         }
         Fill::F64Ramp { scale, m, offset } => {
@@ -88,9 +87,9 @@ pub fn apply(module: &Module, mem: &mut Memory, array: ArrayId, fill: Fill, seed
             for i in 0..d {
                 for j in 0..d {
                     let v = if i == j {
-                        d as f64 + rng.gen_range(0.0..1.0)
+                        d as f64 + rng.f64()
                     } else {
-                        rng.gen_range(-0.1..0.1)
+                        rng.range_f64(-0.1, 0.1)
                     };
                     mem.set_f64(array, i * d + j, v);
                 }

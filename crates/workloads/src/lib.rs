@@ -130,10 +130,19 @@ mod tests {
     fn registry_has_28_benchmarks() {
         let ws = all();
         assert_eq!(ws.len(), 28);
-        assert_eq!(ws.iter().filter(|w| w.suite == Suite::PolyBench).count(), 16);
+        assert_eq!(
+            ws.iter().filter(|w| w.suite == Suite::PolyBench).count(),
+            16
+        );
         assert_eq!(ws.iter().filter(|w| w.suite == Suite::MachSuite).count(), 4);
-        assert_eq!(ws.iter().filter(|w| w.suite == Suite::MediaBench).count(), 2);
-        assert_eq!(ws.iter().filter(|w| w.suite == Suite::CoreMarkPro).count(), 6);
+        assert_eq!(
+            ws.iter().filter(|w| w.suite == Suite::MediaBench).count(),
+            2
+        );
+        assert_eq!(
+            ws.iter().filter(|w| w.suite == Suite::CoreMarkPro).count(),
+            6
+        );
         // unique names
         let mut names: Vec<&str> = ws.iter().map(|w| w.name).collect();
         names.sort_unstable();

@@ -14,7 +14,11 @@ use cayman_ir::{BinOp, CmpPred, Type};
 const F64: Type = Type::F64;
 const I64: Type = Type::I64;
 
-fn wl(name: &'static str, module: cayman_ir::Module, fills: Vec<(cayman_ir::ArrayId, Fill)>) -> Workload {
+fn wl(
+    name: &'static str,
+    module: cayman_ir::Module,
+    fills: Vec<(cayman_ir::ArrayId, Fill)>,
+) -> Workload {
     Workload {
         suite: Suite::MachSuite,
         name,
@@ -144,11 +148,7 @@ pub fn md() -> Workload {
                     let fxd = fb.fmul(force, dx);
                     let fyd = fb.fmul(force, dy);
                     let fzd = fb.fmul(force, dz);
-                    vec![
-                        fb.fadd(c[0], fxd),
-                        fb.fadd(c[1], fyd),
-                        fb.fadd(c[2], fzd),
-                    ]
+                    vec![fb.fadd(c[0], fxd), fb.fadd(c[1], fyd), fb.fadd(c[2], fzd)]
                 },
             );
             fb.store_idx(fx, &[i], sums[0]);
@@ -336,7 +336,9 @@ mod tests {
     #[test]
     fn all_machsuite_run() {
         for w in all() {
-            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.module
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             w.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }

@@ -23,7 +23,11 @@ use cayman_ir::{CmpPred, Type};
 const F64: Type = Type::F64;
 const I64: Type = Type::I64;
 
-fn wl(name: &'static str, module: cayman_ir::Module, fills: Vec<(cayman_ir::ArrayId, Fill)>) -> Workload {
+fn wl(
+    name: &'static str,
+    module: cayman_ir::Module,
+    fills: Vec<(cayman_ir::ArrayId, Fill)>,
+) -> Workload {
     Workload {
         suite: Suite::MediaBench,
         name,
@@ -325,7 +329,9 @@ mod tests {
     #[test]
     fn all_mediabench_run() {
         for w in all() {
-            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.module
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             w.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }

@@ -12,7 +12,11 @@ use cayman_ir::Type;
 
 const F64: Type = Type::F64;
 
-fn wl(name: &'static str, module: cayman_ir::Module, fills: Vec<(cayman_ir::ArrayId, Fill)>) -> Workload {
+fn wl(
+    name: &'static str,
+    module: cayman_ir::Module,
+    fills: Vec<(cayman_ir::ArrayId, Fill)>,
+) -> Workload {
     Workload {
         suite: Suite::PolyBench,
         name,
@@ -148,7 +152,11 @@ pub fn bicg() -> Workload {
         fb.call(f, &[], None);
         fb.ret(None);
     });
-    wl("bicg", mb.finish(), vec![(a, uni()), (r, uni()), (p, uni())])
+    wl(
+        "bicg",
+        mb.finish(),
+        vec![(a, uni()), (r, uni()), (p, uni())],
+    )
 }
 
 /// `doitgen`: multiresolution analysis kernel — one centralised 4-deep nest.
@@ -228,7 +236,13 @@ pub fn mvt() -> Workload {
     wl(
         "mvt",
         mb.finish(),
-        vec![(a, uni()), (x1, uni()), (x2, uni()), (y1, uni()), (y2, uni())],
+        vec![
+            (a, uni()),
+            (x1, uni()),
+            (x2, uni()),
+            (y1, uni()),
+            (y2, uni()),
+        ],
     )
 }
 
@@ -275,7 +289,11 @@ pub fn symm() -> Workload {
         fb.call(f, &[], None);
         fb.ret(None);
     });
-    wl("symm", mb.finish(), vec![(a, uni()), (b, uni()), (c, uni())])
+    wl(
+        "symm",
+        mb.finish(),
+        vec![(a, uni()), (b, uni()), (c, uni())],
+    )
 }
 
 /// `syrk`: C = α·A·Aᵀ + β·C over the lower triangle.
@@ -774,10 +792,14 @@ mod tests {
         let (a, b, c, d, g) = (ids[0], ids[1], ids[2], ids[3], ids[6]);
         let mem0 = w.memory();
         let e_ref = |i: usize, j: usize| -> f64 {
-            (0..n).map(|k| mem0.get_f64(a, i * n + k) * mem0.get_f64(b, k * n + j)).sum()
+            (0..n)
+                .map(|k| mem0.get_f64(a, i * n + k) * mem0.get_f64(b, k * n + j))
+                .sum()
         };
         let f_ref = |i: usize, j: usize| -> f64 {
-            (0..n).map(|k| mem0.get_f64(c, i * n + k) * mem0.get_f64(d, k * n + j)).sum()
+            (0..n)
+                .map(|k| mem0.get_f64(c, i * n + k) * mem0.get_f64(d, k * n + j))
+                .sum()
         };
         let g_ref: f64 = (0..n).map(|k| e_ref(2, k) * f_ref(k, 3)).sum();
         let got = interp.memory.get_f64(g, 2 * n + 3);
@@ -845,7 +867,9 @@ mod tests {
     #[test]
     fn all_polybench_run() {
         for w in all() {
-            w.module.verify().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            w.module
+                .verify()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             w.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }

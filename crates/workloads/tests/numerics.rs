@@ -2,11 +2,17 @@
 //! reference implementations. The profiling interpreter is only a valid
 //! substrate if the kernels actually compute their benchmarks.
 
-use cayman_workloads::by_name;
 use cayman_ir::interp::Interp;
 use cayman_ir::ArrayId;
+use cayman_workloads::by_name;
 
-fn run(name: &str) -> (cayman_ir::Module, cayman_ir::interp::Memory, cayman_ir::interp::Memory) {
+fn run(
+    name: &str,
+) -> (
+    cayman_ir::Module,
+    cayman_ir::interp::Memory,
+    cayman_ir::interp::Memory,
+) {
     let w = by_name(name).expect("benchmark exists");
     let before = w.memory();
     let after = {
@@ -72,14 +78,16 @@ fn covariance_matrix_is_symmetric_and_mean_centred() {
     let (n, mm) = (20usize, 16usize);
     // data has been mean-centred in place: column means ≈ 0
     for j in 0..mm {
-        let col_mean: f64 =
-            (0..n).map(|i| after.get_f64(data, i * mm + j)).sum::<f64>() / n as f64;
+        let col_mean: f64 = (0..n).map(|i| after.get_f64(data, i * mm + j)).sum::<f64>() / n as f64;
         assert!(col_mean.abs() < 1e-9, "column {j} not centred: {col_mean}");
         let _ = after.get_f64(mean, j);
     }
     // covariance symmetric with non-negative diagonal
     for i in 0..mm {
-        assert!(after.get_f64(cov, i * mm + i) >= -1e-12, "var[{i}] negative");
+        assert!(
+            after.get_f64(cov, i * mm + i) >= -1e-12,
+            "var[{i}] negative"
+        );
         for j in 0..mm {
             let cij = after.get_f64(cov, i * mm + j);
             let cji = after.get_f64(cov, j * mm + i);
@@ -132,7 +140,11 @@ fn gramschmidt_r_is_upper_triangular_and_q_normalised() {
     // R strictly-lower entries were never written (zero-initialised)
     for i in 0..mm {
         for j in 0..i {
-            assert_eq!(after.get_f64(r, i * mm + j), 0.0, "R[{i}][{j}] below diagonal");
+            assert_eq!(
+                after.get_f64(r, i * mm + j),
+                0.0,
+                "R[{i}][{j}] below diagonal"
+            );
         }
         assert!(after.get_f64(r, i * mm + i) > 0.0, "R[{i}][{i}] positive");
     }
@@ -202,7 +214,10 @@ fn deriche_first_scan_matches_iir_closed_form() {
         let out = y1h[i * w] + y2h[i * w];
         acc_v = 0.25 * out + 0.6 * acc_v;
         let got = after.get_f64(y1, i * w);
-        assert!((got - acc_v).abs() < 1e-9, "vertical scan row {i}: {got} vs {acc_v}");
+        assert!(
+            (got - acc_v).abs() < 1e-9,
+            "vertical scan row {i}: {got} vs {acc_v}"
+        );
     }
 }
 
@@ -215,10 +230,7 @@ fn linear_alg_elimination_zeroes_the_lower_triangle() {
     for k in 0..n - 1 {
         for i in (k + 1)..n {
             let v = after.get_f64(a, i * n + k);
-            assert!(
-                v.abs() < 1e-6,
-                "A[{i}][{k}] = {v} not eliminated"
-            );
+            assert!(v.abs() < 1e-6, "A[{i}][{k}] = {v} not eliminated");
         }
     }
 }

@@ -9,13 +9,17 @@ use cayman_ir::Module;
 fn every_workload_round_trips_through_text() {
     for w in cayman_workloads::all() {
         let text = w.module.to_text();
-        let parsed = Module::parse_text(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let parsed = Module::parse_text(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         parsed
             .verify()
             .unwrap_or_else(|e| panic!("{}: parsed module broken: {e}", w.name));
 
-        assert_eq!(parsed.functions.len(), w.module.functions.len(), "{}", w.name);
+        assert_eq!(
+            parsed.functions.len(),
+            w.module.functions.len(),
+            "{}",
+            w.name
+        );
         assert_eq!(parsed.arrays.len(), w.module.arrays.len(), "{}", w.name);
 
         // The parsed module computes the same thing: identical cycle count
@@ -23,7 +27,9 @@ fn every_workload_round_trips_through_text() {
         // preserves in declaration order).
         let mut original = Interp::new(&w.module);
         original.memory = w.memory();
-        let p1 = original.run(&[]).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let p1 = original
+            .run(&[])
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
 
         let mut reparsed = Interp::new(&parsed);
         reparsed.memory = {
@@ -33,19 +39,29 @@ fn every_workload_round_trips_through_text() {
             }
             mem
         };
-        let p2 = reparsed.run(&[]).unwrap_or_else(|e| panic!("{} (parsed): {e}", w.name));
-        assert_eq!(p1.total_cycles, p2.total_cycles, "{}: cycles diverge", w.name);
-        assert_eq!(p1.block_counts, p2.block_counts, "{}: counts diverge", w.name);
+        let p2 = reparsed
+            .run(&[])
+            .unwrap_or_else(|e| panic!("{} (parsed): {e}", w.name));
+        assert_eq!(
+            p1.total_cycles, p2.total_cycles,
+            "{}: cycles diverge",
+            w.name
+        );
+        assert_eq!(
+            p1.block_counts, p2.block_counts,
+            "{}: counts diverge",
+            w.name
+        );
     }
 }
 
 #[test]
 fn round_trip_is_a_fixpoint_for_every_workload() {
     for w in cayman_workloads::all() {
-        let once = Module::parse_text(&w.module.to_text())
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let twice = Module::parse_text(&once.to_text())
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let once =
+            Module::parse_text(&w.module.to_text()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let twice =
+            Module::parse_text(&once.to_text()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(once.to_text(), twice.to_text(), "{}", w.name);
     }
 }

@@ -12,7 +12,17 @@ const PICKS: [&str; 4] = ["atax", "spmv", "epic", "nnet-test"];
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:<12} {:>6} | {:>8} {:>8} {:>8} | {:>4} {:>4} | {:>3} {:>3} {:>3} | {:>6}",
-        "benchmark", "budget", "cayman", "novia", "qscores", "#SB", "#PR", "#C", "#D", "#S", "save%"
+        "benchmark",
+        "budget",
+        "cayman",
+        "novia",
+        "qscores",
+        "#SB",
+        "#PR",
+        "#C",
+        "#D",
+        "#S",
+        "save%"
     );
     for name in PICKS {
         let w = cayman::workloads::by_name(name).expect("benchmark exists");

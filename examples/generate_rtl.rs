@@ -14,8 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = args.next().unwrap_or_else(|| "3mm".to_string());
     let out_dir = args.next().unwrap_or_else(|| "target/rtl".to_string());
 
-    let w = cayman::workloads::by_name(&bench)
-        .ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let w =
+        cayman::workloads::by_name(&bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
     let fw = Framework::from_workload(&w)?;
     let sel = fw.select(&SelectOptions::default());
     let sol = sel.best_under(0.25 * CVA6_TILE_AREA);
@@ -30,10 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, verilog) in fw.emit_rtl(sol) {
         let path = format!("{out_dir}/{name}.v");
         fs::write(&path, &verilog)?;
-        println!(
-            "  wrote {path} ({} lines)",
-            verilog.lines().count()
-        );
+        println!("  wrote {path} ({} lines)", verilog.lines().count());
     }
     Ok(())
 }

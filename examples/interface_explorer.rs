@@ -43,8 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let rf = fw.report(&full, 0.65);
     let rc = fw.report(&coupled, 0.65);
-    println!("  full Cayman:    {:.2}x  (#C {} #D {} #S {})", rf.speedup, rf.c, rf.d, rf.s);
-    println!("  coupled-only:   {:.2}x  (#C {} #D {} #S {})", rc.speedup, rc.c, rc.d, rc.s);
+    println!(
+        "  full Cayman:    {:.2}x  (#C {} #D {} #S {})",
+        rf.speedup, rf.c, rf.d, rf.s
+    );
+    println!(
+        "  coupled-only:   {:.2}x  (#C {} #D {} #S {})",
+        rc.speedup, rc.c, rc.d, rc.s
+    );
     println!(
         "  interface specialisation buys {:.1}x",
         rf.speedup / rc.speedup

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate, fully offline: no registry access, no third-party crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --workspace --offline
+
+echo "== formatting =="
+cargo fmt --all --check
+
+echo "ci: OK"

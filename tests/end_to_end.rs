@@ -11,8 +11,7 @@ const FAST: [&str; 6] = ["atax", "trisolv", "spmv", "nw", "epic", "parser-125k"]
 #[test]
 fn all_benchmarks_complete_the_flow() {
     for w in cayman::workloads::all() {
-        let fw = Framework::from_workload(&w)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let fw = Framework::from_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let sel = fw.select(&SelectOptions::default());
         assert!(
             !sel.pareto.is_empty(),
@@ -89,7 +88,10 @@ fn cayman_dominates_both_baselines() {
         let sp_q = fw.speedup(fw.select_qscores(&opts).best_under(budget));
         assert!(sp_c >= sp_n, "{name}: cayman {sp_c} < novia {sp_n}");
         assert!(sp_c >= sp_q, "{name}: cayman {sp_c} < qscores {sp_q}");
-        assert!(sp_n >= 1.0 && sp_q >= 1.0, "{name}: baselines never regress");
+        assert!(
+            sp_n >= 1.0 && sp_q >= 1.0,
+            "{name}: baselines never regress"
+        );
     }
 }
 

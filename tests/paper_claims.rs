@@ -156,9 +156,6 @@ fn novia_sits_lower_left() {
         let nb = novia.pareto.last().expect("front");
         let fb = full.pareto.last().expect("front");
         assert!(nb.area <= fb.area, "{name}: NOVIA area");
-        assert!(
-            fw.speedup(nb) <= fw.speedup(fb),
-            "{name}: NOVIA speedup"
-        );
+        assert!(fw.speedup(nb) <= fw.speedup(fb), "{name}: NOVIA speedup");
     }
 }

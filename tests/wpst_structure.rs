@@ -31,7 +31,12 @@ fn wpst_tree_is_well_formed_for_every_benchmark() {
                 assert_eq!(id, wpst.root(), "{}: only the root is parentless", w.name);
             }
             for &c in &node.children {
-                assert_eq!(wpst.node(c).parent, Some(id), "{}: broken child link", w.name);
+                assert_eq!(
+                    wpst.node(c).parent,
+                    Some(id),
+                    "{}: broken child link",
+                    w.name
+                );
             }
         }
     }
