@@ -41,7 +41,7 @@ impl Profile {
             .map(|f| f.block_ids().map(|b| block_cycles(f, b)).collect())
             .collect();
 
-        let count = |f: FuncId, b: cayman_ir::BlockId| exec.block_counts[f.index()][b.index()];
+        let count = |f: FuncId, b: cayman_ir::BlockId| exec.count(f, b);
 
         let mut per_node = Vec::with_capacity(wpst.nodes.len());
         for id in wpst.ids() {

@@ -45,7 +45,11 @@ fn main() {
         let w = cayman::workloads::by_name(name).expect("benchmark exists");
         let fw = Framework::from_workload(&w).expect("analyses");
 
-        let full = speedup_with(&fw, ModelOptions::default());
+        // The full-model pass is the cold one: keep its result so the top-k
+        // accel(v, R) cost breakdown (populated only when the model actually
+        // runs) can be reported per benchmark.
+        let full_sel = fw.select(&SelectOptions::default());
+        let full = fw.speedup(full_sel.best_under(0.65 * CVA6_TILE_AREA));
         let no_iface = speedup_with(&fw, ModelOptions::coupled_only());
         let no_unroll = speedup_with(
             &fw,
@@ -73,6 +77,9 @@ fn main() {
             "{:<12} |   warm re-run {} | framework cache: {} entries, {hits} hits / {misses} misses",
             "", sel.stats, fw.cache_len()
         );
+        for line in full_sel.stats.top_accel_lines().iter().take(3) {
+            println!("{:<12} |   accel {line}", "");
+        }
     }
     println!();
     println!("-iface  : all accesses forced to the coupled interface");

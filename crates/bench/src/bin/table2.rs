@@ -3,11 +3,15 @@
 //! kernel configuration counts (#SB, #PR), interface counts (#C, #D, #S),
 //! accelerator-merging area savings, and selection runtime.
 //!
+//! Rows are computed in parallel (one framework per benchmark, scoped
+//! threads); set `CAYMAN_TABLE2_THREADS` to override the worker count
+//! (`1` recovers the fully sequential run — same numbers either way).
+//!
 //! ```text
 //! cargo run --release -p cayman-bench --bin table2
 //! ```
 
-use cayman_bench::{average_row, table2_row, Table2Row};
+use cayman_bench::{average_row, table2_rows, top_accel_across, Table2Row};
 
 fn print_row(r: &Table2Row) {
     let b0 = &r.budgets[0];
@@ -51,11 +55,18 @@ fn main() {
     );
     println!("{}", "-".repeat(176));
 
-    let mut rows = Vec::new();
-    for w in cayman::workloads::all() {
-        let row = table2_row(&w);
-        print_row(&row);
-        rows.push(row);
+    let threads = std::env::var("CAYMAN_TABLE2_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    let workloads = cayman::workloads::all();
+    let rows = table2_rows(&workloads, threads);
+    for row in &rows {
+        print_row(row);
     }
     println!("{}", "-".repeat(176));
     let avg = average_row(&rows);
@@ -72,6 +83,19 @@ fn main() {
         warm * 1e3,
         cold / warm.max(1e-12)
     );
+
+    // Where the model time goes: the globally most expensive accel(v, R)
+    // invocations across all cold runs.
+    println!();
+    println!("most expensive accel(v, R) calls (cold runs, benchmark/function#vertex):");
+    for c in top_accel_across(&rows) {
+        println!(
+            "  {:<40} {:>9.3} ms {:>4} designs",
+            c.label,
+            c.nanos as f64 * 1e-6,
+            c.designs
+        );
+    }
 
     // The §IV-B merging claims: average regions per reusable accelerator.
     let avg_regions: f64 = rows

@@ -36,6 +36,10 @@ pub struct Table2Row {
     /// Observability snapshot of the warm run (cache hit rate, per-phase
     /// time, search-space counters).
     pub stats: SelectStats,
+    /// Observability snapshot of the cold run; unlike `stats` its
+    /// `top_accel` breakdown is populated (the warm run never invokes the
+    /// model, so it has no calls to rank).
+    pub cold_stats: SelectStats,
 }
 
 /// The per-budget column group of Table II.
@@ -121,7 +125,40 @@ pub fn table2_row(w: &Workload) -> Table2Row {
         runtime_s,
         runtime_warm_s,
         stats: warm.stats,
+        cold_stats: cayman.stats.clone(),
     }
+}
+
+/// Computes Table II rows for many workloads on up to `threads` worker
+/// threads (scoped threads, no external dependencies). Each row builds its
+/// own [`Framework`], so rows are fully independent; results come back in
+/// workload order regardless of which thread finished first.
+pub fn table2_rows(workloads: &[Workload], threads: usize) -> Vec<Table2Row> {
+    let threads = threads.max(1).min(workloads.len().max(1));
+    if threads == 1 {
+        return workloads.iter().map(table2_row).collect();
+    }
+    let mut indexed: Vec<(usize, Table2Row)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    workloads
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, w)| (i, table2_row(w)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("table2 worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Computes the arithmetic-mean summary row over a set of rows.
@@ -147,27 +184,59 @@ pub fn average_row(rows: &[Table2Row]) -> Table2Row {
             }
         })
         .collect();
-    let mut stats = SelectStats::default();
-    for r in rows {
-        stats.visited += r.stats.visited;
-        stats.pruned += r.stats.pruned;
-        stats.configs_considered += r.stats.configs_considered;
-        stats.configs_evaluated += r.stats.configs_evaluated;
-        stats.cache_hits += r.stats.cache_hits;
-        stats.cache_misses += r.stats.cache_misses;
-        stats.model_nanos += r.stats.model_nanos;
-        stats.combine_nanos += r.stats.combine_nanos;
-        stats.wall_nanos += r.stats.wall_nanos;
-        stats.threads = stats.threads.max(r.stats.threads);
-    }
+    let merge = |pick: &dyn Fn(&Table2Row) -> &SelectStats| -> SelectStats {
+        let mut stats = SelectStats::default();
+        for r in rows {
+            let s = pick(r);
+            stats.visited += s.visited;
+            stats.pruned += s.pruned;
+            stats.configs_considered += s.configs_considered;
+            stats.configs_evaluated += s.configs_evaluated;
+            stats.cache_hits += s.cache_hits;
+            stats.cache_misses += s.cache_misses;
+            stats.model_nanos += s.model_nanos;
+            stats.combine_nanos += s.combine_nanos;
+            stats.wall_nanos += s.wall_nanos;
+            stats.threads = stats.threads.max(s.threads);
+            stats.top_accel.extend(s.top_accel.iter().cloned());
+        }
+        stats
+            .top_accel
+            .sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
+        stats.top_accel.truncate(cayman::TOP_ACCEL_K);
+        stats
+    };
     Table2Row {
         suite: String::new(),
         name: "average".into(),
         budgets,
         runtime_s: rows.iter().map(|r| r.runtime_s).sum::<f64>() / n,
         runtime_warm_s: rows.iter().map(|r| r.runtime_warm_s).sum::<f64>() / n,
-        stats,
+        stats: merge(&|r| &r.stats),
+        cold_stats: merge(&|r| &r.cold_stats),
     }
+}
+
+/// The globally most expensive `accel(v, R)` calls across many rows' cold
+/// runs, each label prefixed with its benchmark name
+/// (`benchmark/function#vN`). At most [`cayman::TOP_ACCEL_K`] entries.
+pub fn top_accel_across(rows: &[Table2Row]) -> Vec<cayman::AccelCallStat> {
+    let mut pool: Vec<cayman::AccelCallStat> = rows
+        .iter()
+        .flat_map(|r| {
+            r.cold_stats
+                .top_accel
+                .iter()
+                .map(|c| cayman::AccelCallStat {
+                    label: format!("{}/{}", r.name, c.label),
+                    nanos: c.nanos,
+                    designs: c.designs,
+                })
+        })
+        .collect();
+    pool.sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
+    pool.truncate(cayman::TOP_ACCEL_K);
+    pool
 }
 
 /// One (area, speedup) Pareto point for Fig. 6.
@@ -257,6 +326,35 @@ mod tests {
         // …and observability fields populated
         assert!(row.stats.wall_nanos > 0);
         assert!(row.runtime_s > 0.0 && row.runtime_warm_s > 0.0);
+        // the cold run ranks its model invocations; the warm run has none
+        assert!(!row.cold_stats.top_accel.is_empty());
+        assert!(row.stats.top_accel.is_empty());
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_and_preserve_order() {
+        let names = ["trisolv", "bicg", "mvt"];
+        let workloads: Vec<_> = names
+            .iter()
+            .map(|n| cayman::workloads::by_name(n).expect("exists"))
+            .collect();
+        let seq = table2_rows(&workloads, 1);
+        let par = table2_rows(&workloads, 3);
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.name, p.name, "row order preserved");
+            for (sb, pb) in s.budgets.iter().zip(&p.budgets) {
+                assert_eq!(sb.cayman_speedup.to_bits(), pb.cayman_speedup.to_bits());
+                assert_eq!(sb.sb, pb.sb);
+                assert_eq!(sb.pr, pb.pr);
+            }
+        }
+        let ranked = top_accel_across(&par);
+        assert!(!ranked.is_empty());
+        assert!(ranked[0].label.contains('/'), "{}", ranked[0].label);
+        for w in ranked.windows(2) {
+            assert!(w[0].nanos >= w[1].nanos);
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct Application {
     pub deps: Vec<Vec<LoopDeps>>,
     /// Per-function loop trip counts (static preferred, profiled fallback).
     pub trips: Vec<Vec<f64>>,
+    /// Which interpreter engine produced the profile (`"decoded"` unless the
+    /// module fell back to the reference walker).
+    pub profiling_engine: &'static str,
 }
 
 impl std::fmt::Debug for Application {
@@ -64,6 +67,7 @@ impl Application {
         module.verify()?;
         let wpst = Wpst::build(&module);
         let mut interp = Interp::new(&module);
+        let profiling_engine = interp.engine_name();
         if let Some(mem) = memory {
             interp.memory = mem;
         }
@@ -97,6 +101,7 @@ impl Application {
             accesses,
             deps,
             trips,
+            profiling_engine,
         })
     }
 
@@ -144,6 +149,8 @@ mod tests {
         assert_eq!(app.trips[0], vec![16.0]);
         assert!(app.total_cycles() > 0);
         assert_eq!(app.inputs().len(), 1);
+        // Verified modules always profile under the decoded engine.
+        assert_eq!(app.profiling_engine, "decoded");
     }
 
     #[test]

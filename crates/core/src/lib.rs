@@ -59,7 +59,9 @@ pub use cayman_workloads as workloads;
 // The most commonly used items at the top level.
 pub use cayman_hls::interface::ModelOptions;
 pub use cayman_hls::CVA6_TILE_AREA;
-pub use cayman_select::{DesignCache, SelectOptions, SelectStats, SelectionResult, Solution};
+pub use cayman_select::{
+    AccelCallStat, DesignCache, SelectOptions, SelectStats, SelectionResult, Solution, TOP_ACCEL_K,
+};
 
 /// Top-level framework error.
 #[derive(Debug)]

@@ -5,6 +5,17 @@
 //! counts and a total CPU cycle count under the [`crate::cpu_model`]. The
 //! analysis crate aggregates these into per-region durations and execution
 //! counts (Fig. 2d ①).
+//!
+//! Two execution engines share the [`Interp::run`] API and semantics:
+//!
+//! * the **decoded engine** ([`crate::decode`], the default) — each function
+//!   is lowered once into flat opcode streams with operand slots resolved to
+//!   register indices, phi moves compiled into per-predecessor edge tables
+//!   and terminators decoded to direct block indices, then executed over a
+//!   flat register file;
+//! * the **reference walker** ([`Interp::reference`]) — the original
+//!   tree-walking evaluator, kept for differential testing and as the
+//!   fallback for modules the decoder's verifier-backed init check rejects.
 
 use crate::cpu_model::{block_cycles, CPU_FREQ_HZ};
 use crate::instr::{BinOp, CmpPred, Imm, Instr, Operand, Terminator, UnaryOp};
@@ -27,25 +38,25 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_i(self) -> Result<i64, InterpError> {
+    pub(crate) fn as_i(self) -> Result<i64, InterpError> {
         match self {
             Value::I(v) => Ok(v),
             other => Err(InterpError::new(format!("expected int, got {other:?}"))),
         }
     }
-    fn as_f(self) -> Result<f64, InterpError> {
+    pub(crate) fn as_f(self) -> Result<f64, InterpError> {
         match self {
             Value::F(v) => Ok(v),
             other => Err(InterpError::new(format!("expected float, got {other:?}"))),
         }
     }
-    fn as_b(self) -> Result<bool, InterpError> {
+    pub(crate) fn as_b(self) -> Result<bool, InterpError> {
         match self {
             Value::B(v) => Ok(v),
             other => Err(InterpError::new(format!("expected bool, got {other:?}"))),
         }
     }
-    fn as_p(self) -> Result<usize, InterpError> {
+    pub(crate) fn as_p(self) -> Result<usize, InterpError> {
         match self {
             Value::P(v) => Ok(v),
             other => Err(InterpError::new(format!("expected ptr, got {other:?}"))),
@@ -62,7 +73,7 @@ pub struct InterpError {
 }
 
 impl InterpError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         InterpError {
             message: message.into(),
         }
@@ -80,7 +91,7 @@ impl Error for InterpError {}
 /// Flat, element-addressed memory backing all declared arrays.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    cells: Vec<Value>,
+    pub(crate) cells: Vec<Value>,
     base: Vec<usize>,
     len: Vec<usize>,
 }
@@ -108,7 +119,7 @@ impl Memory {
         Memory { cells, base, len }
     }
 
-    fn addr(&self, array: ArrayId, flat: usize) -> Result<usize, InterpError> {
+    pub(crate) fn addr(&self, array: ArrayId, flat: usize) -> Result<usize, InterpError> {
         if flat >= self.len[array.index()] {
             return Err(InterpError::new(format!(
                 "out-of-bounds access: {array} index {flat} >= {}",
@@ -186,6 +197,25 @@ impl ExecProfile {
     pub fn count(&self, f: FuncId, b: BlockId) -> u64 {
         self.block_counts[f.index()][b.index()]
     }
+
+    /// Total dynamic block executions across all functions (the interpreter's
+    /// unit of profiling work — what the `profiling` bench reports per
+    /// second).
+    pub fn blocks_executed(&self) -> u64 {
+        self.block_counts
+            .iter()
+            .map(|per_block| per_block.iter().sum::<u64>())
+            .sum()
+    }
+}
+
+/// Which execution engine an [`Interp`] uses.
+#[derive(Debug)]
+enum Engine {
+    /// Pre-decoded flat opcode streams (see [`crate::decode`]).
+    Decoded(crate::decode::DecodedModule),
+    /// The original tree-walking evaluator.
+    Reference,
 }
 
 /// The interpreter. Holds the module, memory and counters.
@@ -200,6 +230,7 @@ pub struct Interp<'m> {
     step_limit: u64,
     /// Pre-computed static cycles per block.
     static_cycles: Vec<Vec<u64>>,
+    engine: Engine,
 }
 
 impl<'m> Interp<'m> {
@@ -207,8 +238,29 @@ impl<'m> Interp<'m> {
     /// non-terminating inputs.
     pub const DEFAULT_STEP_LIMIT: u64 = 200_000_000;
 
-    /// Creates an interpreter with zeroed memory.
+    /// Creates an interpreter with zeroed memory, using the decoded engine.
+    ///
+    /// Modules that fail the decoder's one-time init check (e.g. unverified
+    /// modules with structural irregularities) silently fall back to the
+    /// reference walker, so `run` semantics — including errors and panics —
+    /// are identical either way.
     pub fn new(module: &'m Module) -> Self {
+        let engine = match crate::decode::decode(module) {
+            Some(dm) => Engine::Decoded(dm),
+            None => Engine::Reference,
+        };
+        Self::with_engine(module, engine)
+    }
+
+    /// Creates an interpreter that uses the original tree-walking evaluator.
+    ///
+    /// Kept for differential testing against the decoded engine; both must
+    /// produce bit-identical [`ExecProfile`]s and errors.
+    pub fn reference(module: &'m Module) -> Self {
+        Self::with_engine(module, Engine::Reference)
+    }
+
+    fn with_engine(module: &'m Module, engine: Engine) -> Self {
         let counts = module
             .functions
             .iter()
@@ -226,6 +278,7 @@ impl<'m> Interp<'m> {
             steps: 0,
             step_limit: Self::DEFAULT_STEP_LIMIT,
             static_cycles,
+            engine,
         }
     }
 
@@ -233,6 +286,15 @@ impl<'m> Interp<'m> {
     pub fn with_step_limit(mut self, limit: u64) -> Self {
         self.step_limit = limit;
         self
+    }
+
+    /// Which engine this interpreter executes with: `"decoded"` or
+    /// `"reference"`.
+    pub fn engine_name(&self) -> &'static str {
+        match self.engine {
+            Engine::Decoded(_) => "decoded",
+            Engine::Reference => "reference",
+        }
     }
 
     /// Runs the module entry function (`main`, or the first function) with
@@ -244,19 +306,43 @@ impl<'m> Interp<'m> {
     /// integer division, step-limit exhaustion, or dynamic type confusion
     /// (the latter indicates the module was not [verified](Module::verify)).
     pub fn run(&mut self, args: &[Value]) -> Result<ExecProfile, InterpError> {
+        // A previous `run` moved the count table into its profile; rebuild
+        // zeroed counts so each run profiles independently.
+        if self.counts.len() != self.module.functions.len() {
+            self.counts = self
+                .module
+                .functions
+                .iter()
+                .map(|f| vec![0u64; f.blocks.len()])
+                .collect();
+        }
         let entry = self
             .module
             .entry_function()
             .ok_or_else(|| InterpError::new("module has no functions"))?;
-        let ret = self.call(entry, args)?;
+        let ret = if let Engine::Decoded(dm) = &self.engine {
+            let mut ctx = crate::decode::ExecCtx {
+                module: self.module,
+                dm,
+                memory: &mut self.memory,
+                counts: &mut self.counts,
+                steps: &mut self.steps,
+                step_limit: self.step_limit,
+                scratch: Vec::new(),
+            };
+            ctx.call(entry, args)?
+        } else {
+            self.call(entry, args)?
+        };
+        let block_counts = std::mem::take(&mut self.counts);
         let mut total = 0u64;
-        for (f, per_block) in self.counts.iter().enumerate() {
+        for (f, per_block) in block_counts.iter().enumerate() {
             for (b, &c) in per_block.iter().enumerate() {
                 total += c * self.static_cycles[f][b];
             }
         }
         Ok(ExecProfile {
-            block_counts: self.counts.clone(),
+            block_counts,
             total_cycles: total,
             return_value: ret,
         })
@@ -443,7 +529,7 @@ impl<'m> Interp<'m> {
     }
 }
 
-fn exec_binary(op: BinOp, ty: Type, l: Value, r: Value) -> Result<Value, InterpError> {
+pub(crate) fn exec_binary(op: BinOp, ty: Type, l: Value, r: Value) -> Result<Value, InterpError> {
     if op.is_float() {
         let (a, b) = (l.as_f()?, r.as_f()?);
         let v = match op {
@@ -491,7 +577,7 @@ fn exec_binary(op: BinOp, ty: Type, l: Value, r: Value) -> Result<Value, InterpE
     }
 }
 
-fn exec_unary(op: UnaryOp, v: Value) -> Result<Value, InterpError> {
+pub(crate) fn exec_unary(op: UnaryOp, v: Value) -> Result<Value, InterpError> {
     Ok(match op {
         UnaryOp::Neg => Value::I(v.as_i()?.wrapping_neg()),
         UnaryOp::Not => Value::I(!v.as_i()?),
@@ -505,7 +591,7 @@ fn exec_unary(op: UnaryOp, v: Value) -> Result<Value, InterpError> {
     })
 }
 
-fn exec_cmp(pred: CmpPred, ty: Type, l: Value, r: Value) -> Result<bool, InterpError> {
+pub(crate) fn exec_cmp(pred: CmpPred, ty: Type, l: Value, r: Value) -> Result<bool, InterpError> {
     if ty.is_float() {
         let (a, b) = (l.as_f()?, r.as_f()?);
         Ok(match pred {

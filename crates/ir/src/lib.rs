@@ -45,6 +45,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod cpu_model;
+mod decode;
 pub mod dom;
 pub mod instr;
 pub mod interp;

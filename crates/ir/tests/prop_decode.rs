@@ -1,0 +1,222 @@
+//! Property-based differential testing of the pre-decoded engine against
+//! the reference tree walker: random loop nests, carried reductions
+//! (including swapped carries, which need parallel phi moves), branches,
+//! calls, memory traffic, division-by-zero and step-limit error paths must
+//! all be observationally identical across both engines.
+
+use cayman_ir::builder::ModuleBuilder;
+use cayman_ir::interp::{ExecProfile, Interp, InterpError, Memory, Value};
+use cayman_ir::{Module, Type};
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+/// Bit-level comparison of two optional return values (`f64` compared via
+/// `to_bits` so a NaN-producing program can't silently pass).
+fn values_bit_equal(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (Some(Value::F(x)), Some(Value::F(y))) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+fn profiles_bit_equal(a: &ExecProfile, b: &ExecProfile) -> bool {
+    a.block_counts == b.block_counts
+        && a.total_cycles == b.total_cycles
+        && values_bit_equal(&a.return_value, &b.return_value)
+}
+
+/// Runs `module` under both engines (same memory image, same step limit) and
+/// checks the outcomes are identical — profile-for-profile or
+/// error-for-error.
+fn check_both(
+    module: &Module,
+    memory: &Memory,
+    limit: Option<u64>,
+) -> Result<Result<ExecProfile, InterpError>, String> {
+    let mut dec = Interp::new(module);
+    if dec.engine_name() != "decoded" {
+        return Err("verified builder module did not decode".into());
+    }
+    let mut walk = Interp::reference(module);
+    dec.memory = memory.clone();
+    walk.memory = memory.clone();
+    if let Some(l) = limit {
+        dec = dec.with_step_limit(l);
+        walk = walk.with_step_limit(l);
+    }
+    let d = dec.run(&[]);
+    let w = walk.run(&[]);
+    match (&d, &w) {
+        (Ok(dp), Ok(wp)) => {
+            if !profiles_bit_equal(dp, wp) {
+                return Err(format!(
+                    "profiles diverge: decoded {:?}/{} vs walker {:?}/{}",
+                    dp.return_value, dp.total_cycles, wp.return_value, wp.total_cycles
+                ));
+            }
+        }
+        (Err(de), Err(we)) => {
+            if de != we {
+                return Err(format!("errors diverge: decoded {de:?} vs walker {we:?}"));
+            }
+        }
+        _ => {
+            return Err(format!(
+                "outcomes diverge: decoded {:?} vs walker {:?}",
+                d.as_ref().map(|p| &p.return_value),
+                w.as_ref().map(|p| &p.return_value)
+            ))
+        }
+    }
+    Ok(d)
+}
+
+/// Random nested loop nests with carried reductions, branches, calls and
+/// memory traffic behave identically under both engines.
+#[test]
+fn decoded_matches_walker_on_random_programs() {
+    prop_check!(cases = 96, |rng| {
+        // Pre-draw every random choice so the builder closures stay simple.
+        let size = rng.range_usize(4, 12);
+        let outer = rng.range_i64(1, 10);
+        let inner = rng.range_i64(1, 8);
+        let swap = rng.bool();
+        let with_if = rng.bool();
+        let with_call = rng.bool();
+        let divisor = rng.range_i64(0, 4); // 0 → division-by-zero error path
+        let c0 = rng.range_f64(-2.0, 2.0);
+        let c1 = rng.range_f64(-2.0, 2.0);
+        let limit = if rng.range_u32(0, 4) == 0 {
+            Some(rng.range_i64(1, 200) as u64) // sometimes trip the limit
+        } else {
+            None
+        };
+        let fill_seed: Vec<f64> = (0..size * size).map(|_| rng.range_f64(-4.0, 4.0)).collect();
+
+        let mut mb = ModuleBuilder::new("prop");
+        let a = mb.array("A", Type::F64, &[size, size]);
+        let helper = mb.function("helper", &[Type::I64], Some(Type::I64), |fb| {
+            let p = fb.param(0);
+            let one = fb.iconst(1);
+            let r = fb.add(p, one);
+            fb.ret(Some(r));
+        });
+        mb.function("main", &[], Some(Type::F64), |fb| {
+            let init0 = fb.fconst(c0);
+            let init1 = fb.fconst(c1);
+            let sz = fb.iconst(size as i64);
+            let finals = fb.counted_loop_carry(
+                0,
+                outer,
+                1,
+                &[(Type::F64, init0), (Type::F64, init1)],
+                |fb, i, c| {
+                    // Keep indices in bounds via modulo; division errors (not
+                    // OOB) are this test's deliberate error path.
+                    let im = fb.srem(i, sz);
+                    let zero = fb.fconst(0.0);
+                    let inner_fin =
+                        fb.counted_loop_carry(0, inner, 1, &[(Type::F64, zero)], |fb, j, cc| {
+                            let jm = fb.srem(j, sz);
+                            let v = fb.load_idx(a, &[im, jm]);
+                            vec![fb.fadd(cc[0], v)]
+                        });
+                    let mut x = inner_fin[0];
+                    if with_if {
+                        let two = fb.iconst(2);
+                        let rem = fb.srem(i, two);
+                        let one = fb.iconst(1);
+                        let odd = fb.icmp_eq(rem, one);
+                        x = fb.if_then_else_val(
+                            odd,
+                            Type::F64,
+                            |fb| fb.fmul(x, fb.fconst(1.5)),
+                            |fb| fb.fsub(x, fb.fconst(0.25)),
+                        );
+                    }
+                    let idx = if with_call {
+                        let next = fb.call(helper, &[im], Some(Type::I64)).expect("returns");
+                        fb.srem(next, sz)
+                    } else {
+                        im
+                    };
+                    let dvs = fb.iconst(divisor);
+                    let q = fb.sdiv(i, dvs); // divisor 0 errors identically
+                    let qf = fb.sitofp(q);
+                    let y = fb.fadd(c[1], qf);
+                    fb.store_idx(a, &[idx, im], x);
+                    let n0 = fb.fadd(c[0], x);
+                    // Swapped carries force a genuine parallel phi move.
+                    if swap {
+                        vec![y, n0]
+                    } else {
+                        vec![n0, y]
+                    }
+                },
+            );
+            let out = fb.fadd(finals[0], finals[1]);
+            fb.ret(Some(out));
+        });
+        let m = mb.finish();
+        m.verify().expect("builder modules verify");
+
+        let mut mem = Memory::for_module(&m);
+        for (flat, &v) in fill_seed.iter().enumerate() {
+            mem.set_f64(a, flat, v);
+        }
+        let outcome = check_both(&m, &mem, limit)?;
+        if divisor == 0 && limit.is_none() {
+            let err = outcome.err().ok_or("division by zero must error")?;
+            prop_assert!(
+                err.message.contains("division by zero"),
+                "unexpected error: {}",
+                err.message
+            );
+        }
+        Ok(())
+    });
+}
+
+/// Both engines leave bit-identical memory behind, not just identical
+/// profiles (stores must land in the same cells with the same values).
+#[test]
+fn decoded_and_walker_leave_identical_memory() {
+    prop_check!(cases = 48, |rng| {
+        let size = rng.range_usize(2, 10);
+        let n = rng.range_i64(1, 20);
+        let scale = rng.range_f64(0.5, 3.0);
+        let fill: Vec<f64> = (0..size).map(|_| rng.range_f64(-8.0, 8.0)).collect();
+
+        let mut mb = ModuleBuilder::new("prop");
+        let a = mb.array("A", Type::F64, &[size]);
+        mb.function("main", &[], None, |fb| {
+            let sz = fb.iconst(size as i64);
+            fb.counted_loop(0, n, 1, |fb, i| {
+                let im = fb.srem(i, sz);
+                let v = fb.load_idx(a, &[im]);
+                let w = fb.fmul(v, fb.fconst(scale));
+                fb.store_idx(a, &[im], w);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+
+        let mut mem = Memory::for_module(&m);
+        for (flat, &v) in fill.iter().enumerate() {
+            mem.set_f64(a, flat, v);
+        }
+        let mut dec = Interp::new(&m);
+        let mut walk = Interp::reference(&m);
+        dec.memory = mem.clone();
+        walk.memory = mem;
+        dec.run(&[]).expect("decoded runs");
+        walk.run(&[]).expect("walker runs");
+        for flat in 0..size {
+            prop_assert_eq!(
+                dec.memory.get_f64(a, flat).to_bits(),
+                walk.memory.get_f64(a, flat).to_bits()
+            );
+        }
+        Ok(())
+    });
+}

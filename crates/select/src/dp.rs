@@ -317,20 +317,21 @@ impl Engine<'_> {
             cpu_cycles: rp.cycles,
             is_bb: matches!(region.kind, cayman_analysis::regions::RegionKind::Bb(_)),
         };
-        let designs = self.designs_for(&cand, func);
+        let designs = self.designs_for(&cand, func, v);
         AtomicStats::add_usize(&self.stats.configs_considered, designs.len());
-        let _ = self.module;
         designs
             .iter()
             .map(|d| Solution::single(v, d.clone()))
             .collect()
     }
 
-    /// Memoised model invocation.
+    /// Memoised model invocation. `v` only labels the top-k cost breakdown;
+    /// it does not participate in the cache key.
     fn designs_for(
         &self,
         cand: &Candidate,
         func: cayman_ir::FuncId,
+        v: WpstNodeId,
     ) -> Arc<Vec<AcceleratorDesign>> {
         let key = self.model.cache_id().map(|model| DesignKey {
             model,
@@ -345,8 +346,14 @@ impl Engine<'_> {
         }
         let t0 = Instant::now();
         let designs = self.model.designs(&self.inputs[func.index()], cand);
-        AtomicStats::add_u64(&self.stats.model_nanos, t0.elapsed().as_nanos() as u64);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        AtomicStats::add_u64(&self.stats.model_nanos, nanos);
         AtomicStats::add_usize(&self.stats.configs_evaluated, designs.len());
+        self.stats.record_accel(
+            format!("{}#v{}", self.module.function(func).name, v.index()),
+            nanos,
+            designs.len(),
+        );
         match key {
             Some(key) => self.cache.insert(key, designs),
             None => Arc::new(designs),
@@ -638,6 +645,17 @@ mod tests {
         assert_eq!(cold.stats.cache_hits, 0);
         assert!(cold.stats.cache_misses > 0);
         assert!(cold.stats.configs_evaluated > 0);
+        // Every model invocation is labelled `function#vN` in the top-k
+        // breakdown, most expensive first.
+        assert!(!cold.stats.top_accel.is_empty());
+        assert!(
+            cold.stats
+                .top_accel
+                .iter()
+                .all(|c| c.label.contains("#v") && c.designs > 0),
+            "{:?}",
+            cold.stats.top_accel
+        );
 
         let warm = run_selection_cached(
             &app.module,
@@ -652,6 +670,7 @@ mod tests {
         assert_eq!(warm.stats.cache_misses, 0, "everything memoised");
         assert_eq!(warm.stats.cache_hits, cold.stats.cache_misses);
         assert_eq!(warm.stats.configs_evaluated, 0, "model never invoked");
+        assert!(warm.stats.top_accel.is_empty(), "no model calls to rank");
         assert_eq!(warm.configs_evaluated, cold.configs_evaluated);
     }
 

@@ -30,4 +30,4 @@ pub use dp::{
     SelectOptions, SelectionResult,
 };
 pub use pareto::{combine, filter, pareto, SelectedKernel, Solution};
-pub use stats::SelectStats;
+pub use stats::{AccelCallStat, SelectStats, TOP_ACCEL_K};

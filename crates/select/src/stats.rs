@@ -4,6 +4,23 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many of the most expensive `accel(v, R)` model invocations a
+/// [`SelectStats`] snapshot keeps.
+pub const TOP_ACCEL_K: usize = 8;
+
+/// One recorded `accel(v, R)` model invocation (a design-cache miss — cache
+/// hits cost nothing and are not recorded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccelCallStat {
+    /// `function#vN` — the vertex whose candidate was modeled.
+    pub label: String,
+    /// Nanoseconds spent inside the model for this call.
+    pub nanos: u64,
+    /// Number of designs the call produced.
+    pub designs: usize,
+}
 
 /// A snapshot of one selection run's statistics, carried on
 /// [`crate::SelectionResult`] and printed by the bench binaries.
@@ -30,6 +47,9 @@ pub struct SelectStats {
     pub wall_nanos: u64,
     /// The `threads` knob the run used.
     pub threads: usize,
+    /// The up-to-[`TOP_ACCEL_K`] most expensive `accel(v, R)` model
+    /// invocations, most expensive first.
+    pub top_accel: Vec<AccelCallStat>,
 }
 
 impl SelectStats {
@@ -60,6 +80,22 @@ impl SelectStats {
     /// threads).
     pub fn combine_seconds(&self) -> f64 {
         self.combine_nanos as f64 * 1e-9
+    }
+
+    /// The top-k `accel(v, R)` breakdown as printable lines, most expensive
+    /// first. Empty when the run was fully memoised (no model invocations).
+    pub fn top_accel_lines(&self) -> Vec<String> {
+        self.top_accel
+            .iter()
+            .map(|c| {
+                format!(
+                    "{:<32} {:>9.3} ms {:>4} designs",
+                    c.label,
+                    c.nanos as f64 * 1e-6,
+                    c.designs
+                )
+            })
+            .collect()
     }
 }
 
@@ -98,6 +134,10 @@ pub(crate) struct AtomicStats {
     pub cache_misses: AtomicU64,
     pub model_nanos: AtomicU64,
     pub combine_nanos: AtomicU64,
+    /// Candidate pool for the top-k `accel` breakdown. Guarded by a mutex:
+    /// model invocations are orders of magnitude more expensive than the
+    /// push, so contention is negligible.
+    top_accel: Mutex<Vec<AccelCallStat>>,
 }
 
 impl AtomicStats {
@@ -109,8 +149,27 @@ impl AtomicStats {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one `accel(v, R)` model invocation for the top-k breakdown.
+    pub fn record_accel(&self, label: String, nanos: u64, designs: usize) {
+        let mut pool = self.top_accel.lock().expect("stats mutex poisoned");
+        pool.push(AccelCallStat {
+            label,
+            nanos,
+            designs,
+        });
+        // Keep the pool bounded without disturbing the final ordering: once
+        // it grows well past k, drop the cheap tail.
+        if pool.len() > 4 * TOP_ACCEL_K {
+            pool.sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
+            pool.truncate(TOP_ACCEL_K);
+        }
+    }
+
     /// Freezes the accumulator into a snapshot.
     pub fn snapshot(&self, wall_nanos: u64, threads: usize) -> SelectStats {
+        let mut top_accel = self.top_accel.lock().expect("stats mutex poisoned").clone();
+        top_accel.sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
+        top_accel.truncate(TOP_ACCEL_K);
         SelectStats {
             visited: self.visited.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
@@ -122,6 +181,7 @@ impl AtomicStats {
             combine_nanos: self.combine_nanos.load(Ordering::Relaxed),
             wall_nanos,
             threads,
+            top_accel,
         }
     }
 }
@@ -163,5 +223,26 @@ mod tests {
         let line = s.to_string();
         assert!(line.contains("visited 5"), "{line}");
         assert!(line.contains("40%"), "{line}");
+    }
+
+    #[test]
+    fn top_accel_is_sorted_bounded_and_deterministic() {
+        let a = AtomicStats::default();
+        // Overflow the pool to exercise the bounded-truncate path.
+        for i in 0..(4 * TOP_ACCEL_K + 10) {
+            a.record_accel(format!("f#v{i}"), (i as u64 % 37) * 1000, i);
+        }
+        a.record_accel("hot#v0".into(), 1_000_000, 3);
+        let s = a.snapshot(1, 1);
+        assert_eq!(s.top_accel.len(), TOP_ACCEL_K);
+        assert_eq!(s.top_accel[0].label, "hot#v0");
+        assert_eq!(s.top_accel[0].designs, 3);
+        for w in s.top_accel.windows(2) {
+            assert!(w[0].nanos >= w[1].nanos, "descending cost order");
+        }
+        let lines = s.top_accel_lines();
+        assert_eq!(lines.len(), TOP_ACCEL_K);
+        assert!(lines[0].contains("hot#v0"), "{}", lines[0]);
+        assert!(lines[0].contains("designs"), "{}", lines[0]);
     }
 }

@@ -12,4 +12,7 @@ cargo test -q --workspace --offline
 echo "== formatting =="
 cargo fmt --all --check
 
+echo "== profiling throughput (smoke) =="
+cargo bench -p cayman-bench --bench profiling --offline -- --smoke
+
 echo "ci: OK"
