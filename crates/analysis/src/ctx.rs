@@ -3,8 +3,8 @@
 use cayman_ir::cfg::Cfg;
 use cayman_ir::dom::DomTree;
 use cayman_ir::loops::LoopForest;
+use cayman_ir::module::NO_BLOCK;
 use cayman_ir::{BlockId, Function, InstrId};
-use std::collections::HashMap;
 
 /// CFG + dominators + post-dominators + loop forest for one function, plus an
 /// instruction→block map.
@@ -18,7 +18,9 @@ pub struct FuncCtx {
     pub pdom: DomTree,
     /// Natural-loop forest.
     pub forest: LoopForest,
-    block_of_instr: HashMap<InstrId, BlockId>,
+    /// Snapshot of [`Function::instr_block_map`] (raw block ids, `NO_BLOCK`
+    /// for unplaced instructions).
+    block_of_instr: Box<[u32]>,
 }
 
 impl FuncCtx {
@@ -28,18 +30,12 @@ impl FuncCtx {
         let dom = DomTree::dominators(func, &cfg);
         let pdom = DomTree::post_dominators(func, &cfg);
         let forest = LoopForest::compute(func, &cfg, &dom);
-        let mut block_of_instr = HashMap::new();
-        for b in func.block_ids() {
-            for &iid in &func.block(b).instrs {
-                block_of_instr.insert(iid, b);
-            }
-        }
         FuncCtx {
             cfg,
             dom,
             pdom,
             forest,
-            block_of_instr,
+            block_of_instr: func.instr_block_map().into(),
         }
     }
 
@@ -49,7 +45,9 @@ impl FuncCtx {
     ///
     /// Panics if `i` is not attached to any block (malformed function).
     pub fn block_of(&self, i: InstrId) -> BlockId {
-        self.block_of_instr[&i]
+        let b = self.block_of_instr[i.index()];
+        assert_ne!(b, NO_BLOCK, "{i} is not attached to any block");
+        BlockId(b)
     }
 }
 

@@ -103,10 +103,10 @@ fn to_json(results: &[SuiteResult]) -> String {
         "{\n  \"bench\": \"profiling\",\n  \"unit\": \"blocks_per_second\",\n  \"suites\": [\n",
     );
     for (i, r) in results.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             s,
             "    {{\"suite\": \"{}\", \"benchmarks\": {}, \"blocks_per_run\": {}, \
-             \"decoded_blocks_per_s\": {:.0}, \"reference_blocks_per_s\": {:.0}, \"speedup\": {:.2}}}{}\n",
+             \"decoded_blocks_per_s\": {:.0}, \"reference_blocks_per_s\": {:.0}, \"speedup\": {:.2}}}{}",
             r.label,
             r.benchmarks,
             r.blocks,

@@ -13,10 +13,11 @@
 //!   the area delta instead).
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin ablation
+//! cargo run --release -p cayman-bench --bin ablation [-- -O0|-O1]
 //! ```
 
 use cayman::{Framework, ModelOptions, SelectOptions, CVA6_TILE_AREA};
+use cayman_bench::analyse_options_from_args;
 
 const PICKS: [&str; 6] = ["3mm", "atax", "jacobi-2d", "spmv", "epic", "nnet-test"];
 
@@ -36,6 +37,7 @@ fn warm_rerun(fw: &Framework) -> cayman::SelectionResult {
 }
 
 fn main() {
+    let analyse = analyse_options_from_args();
     println!(
         "{:<12} | {:>8} {:>8} {:>8} {:>8} | {:>10}",
         "benchmark", "full", "-iface", "-unroll", "-dup", "merge-save"
@@ -43,7 +45,7 @@ fn main() {
     println!("{}", "-".repeat(66));
     for name in PICKS {
         let w = cayman::workloads::by_name(name).expect("benchmark exists");
-        let fw = Framework::from_workload(&w).expect("analyses");
+        let fw = Framework::from_workload_with(&w, &analyse).expect("analyses");
 
         // The full-model pass is the cold one: keep its result so the top-k
         // accel(v, R) cost breakdown (populated only when the model actually

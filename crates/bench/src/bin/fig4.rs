@@ -15,7 +15,7 @@
 //! the reproduced shape.
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin fig4
+//! cargo run --release -p cayman-bench --bin fig4 [-- -O0|-O1]
 //! ```
 
 use cayman::hls::interface::InterfaceKind;
@@ -43,13 +43,14 @@ fn saxpy(n: i64) -> cayman::ir::Module {
 }
 
 fn main() {
+    let analyse = cayman_bench::analyse_options_from_args();
     println!("Fig. 4 — data-access interface impact on `y[i] = k*x[i]+b`");
     println!(
         "{:>6} | {:>11} {:>11} | {:>8} {:>8} | {:>11} {:>11}",
         "N", "seq-coup", "seq-dec", "II-coup", "II-dec", "u2-coup", "u2-spad"
     );
     for n in [64i64, 128, 256, 512, 1024] {
-        let fw = Framework::from_module(saxpy(n)).expect("analyses");
+        let fw = Framework::from_module_with(saxpy(n), &analyse).expect("analyses");
         let inputs = fw.app.inputs();
         let inp = &inputs[0];
         let func = inp.func();

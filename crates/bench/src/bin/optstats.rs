@@ -1,0 +1,125 @@
+//! Reports the impact of IR normalization (`-O1` vs `-O0`) across the
+//! 28-benchmark evaluation: static and dynamic instruction counts, wPST
+//! region counts, and end-to-end analyse time — per benchmark and
+//! aggregated per suite. The EXPERIMENTS.md normalization table is
+//! generated from this output.
+//!
+//! ```text
+//! cargo run --release -p cayman-bench --bin optstats
+//! ```
+
+use cayman::{AnalyseOptions, Application};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+struct Row {
+    suite: String,
+    name: &'static str,
+    static0: u64,
+    static1: u64,
+    dyn0: u64,
+    dyn1: u64,
+    regions0: usize,
+    regions1: usize,
+    analyse0_ms: f64,
+    analyse1_ms: f64,
+}
+
+fn analysed(w: &cayman::workloads::Workload, opts: &AnalyseOptions) -> (Application, f64) {
+    let t = Instant::now();
+    let app = Application::analyse_with(w.module.clone(), Some(w.memory()), opts)
+        .unwrap_or_else(|e| panic!("{}: analyse failed: {e}", w.name));
+    (app, t.elapsed().as_secs_f64() * 1e3)
+}
+
+fn static_instrs(m: &cayman::ir::Module) -> u64 {
+    m.functions.iter().map(|f| f.instr_count() as u64).sum()
+}
+
+fn main() {
+    println!("IR normalization impact, -O0 vs -O1 (28 benchmarks)");
+    println!(
+        "{:<6} {:<26} | {:>8} {:>8} {:>6} | {:>11} {:>11} {:>6} | {:>5} {:>5} | {:>8} {:>8}",
+        "suite",
+        "benchmark",
+        "stat-O0",
+        "stat-O1",
+        "red%",
+        "dyn-O0",
+        "dyn-O1",
+        "red%",
+        "reg-0",
+        "reg-1",
+        "t-O0 ms",
+        "t-O1 ms"
+    );
+    println!("{}", "-".repeat(130));
+
+    let mut rows = Vec::new();
+    for w in cayman::workloads::all() {
+        let (app0, t0) = analysed(&w, &AnalyseOptions::o0());
+        let (app1, t1) = analysed(&w, &AnalyseOptions::default());
+        rows.push(Row {
+            suite: w.suite.to_string(),
+            name: w.name,
+            static0: static_instrs(&app0.module),
+            static1: static_instrs(&app1.module),
+            dyn0: app0.exec.dynamic_instrs(&app0.module),
+            dyn1: app1.exec.dynamic_instrs(&app1.module),
+            regions0: app0.wpst.region_count(),
+            regions1: app1.wpst.region_count(),
+            analyse0_ms: t0,
+            analyse1_ms: t1,
+        });
+    }
+
+    let pct = |a: u64, b: u64| {
+        if a == 0 {
+            0.0
+        } else {
+            100.0 * (a as f64 - b as f64) / a as f64
+        }
+    };
+    for r in &rows {
+        println!(
+            "{:<6} {:<26} | {:>8} {:>8} {:>5.1}% | {:>11} {:>11} {:>5.1}% | {:>5} {:>5} | {:>8.2} {:>8.2}",
+            r.suite, r.name,
+            r.static0, r.static1, pct(r.static0, r.static1),
+            r.dyn0, r.dyn1, pct(r.dyn0, r.dyn1),
+            r.regions0, r.regions1,
+            r.analyse0_ms, r.analyse1_ms,
+        );
+    }
+
+    println!("{}", "-".repeat(130));
+    let mut suites: BTreeMap<&str, Vec<&Row>> = BTreeMap::new();
+    for r in &rows {
+        suites.entry(r.suite.as_str()).or_default().push(r);
+    }
+    println!("per-suite aggregates:");
+    for (suite, rs) in &suites {
+        let sum = |f: &dyn Fn(&Row) -> u64| rs.iter().map(|r| f(r)).sum::<u64>();
+        let (s0, s1) = (sum(&|r| r.static0), sum(&|r| r.static1));
+        let (d0, d1) = (sum(&|r| r.dyn0), sum(&|r| r.dyn1));
+        let (g0, g1) = (
+            rs.iter().map(|r| r.regions0).sum::<usize>(),
+            rs.iter().map(|r| r.regions1).sum::<usize>(),
+        );
+        let (t0, t1) = (
+            rs.iter().map(|r| r.analyse0_ms).sum::<f64>(),
+            rs.iter().map(|r| r.analyse1_ms).sum::<f64>(),
+        );
+        println!(
+            "  {:<12} static {:>7} -> {:>7} ({:>4.1}%) | dynamic {:>11} -> {:>11} ({:>4.1}%) | wPST regions {:>4} -> {:>4} | analyse {:>8.1} -> {:>8.1} ms",
+            suite, s0, s1, pct(s0, s1), d0, d1, pct(d0, d1), g0, g1, t0, t1,
+        );
+    }
+    let all0 = rows.iter().map(|r| r.dyn0).sum::<u64>();
+    let all1 = rows.iter().map(|r| r.dyn1).sum::<u64>();
+    let ta0 = rows.iter().map(|r| r.analyse0_ms).sum::<f64>();
+    let ta1 = rows.iter().map(|r| r.analyse1_ms).sum::<f64>();
+    println!(
+        "total: dynamic instructions {all0} -> {all1} ({:.1}% fewer), analyse wall {ta0:.1} -> {ta1:.1} ms",
+        pct(all0, all1)
+    );
+}

@@ -8,10 +8,15 @@
 //! (`1` recovers the fully sequential run — same numbers either way).
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin table2
+//! cargo run --release -p cayman-bench --bin table2 [-- -O0|-O1]
 //! ```
+//!
+//! `-O1` (the default) normalizes each module through the IR transform
+//! pipeline before profiling; `-O0` analyses modules exactly as built.
 
-use cayman_bench::{average_row, table2_rows, top_accel_across, Table2Row};
+use cayman_bench::{
+    analyse_options_from_args, average_row, table2_rows_with, top_accel_across, Table2Row,
+};
 
 fn print_row(r: &Table2Row) {
     let b0 = &r.budgets[0];
@@ -45,7 +50,11 @@ fn print_row(r: &Table2Row) {
 }
 
 fn main() {
-    println!("Table II — results under two area budgets (25% and 65% of a CVA6 tile)");
+    let analyse = analyse_options_from_args();
+    println!(
+        "Table II — results under two area budgets (25% and 65% of a CVA6 tile), -{}",
+        analyse.opt_level
+    );
     println!(
         "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8} {:>8} {:>5}",
         "Suite", "Benchmark",
@@ -64,7 +73,7 @@ fn main() {
                 .unwrap_or(1)
         });
     let workloads = cayman::workloads::all();
-    let rows = table2_rows(&workloads, threads);
+    let rows = table2_rows_with(&workloads, threads, &analyse);
     for row in &rows {
         print_row(row);
     }

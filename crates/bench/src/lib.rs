@@ -15,10 +15,29 @@
 //! paths — no external benchmark framework, so everything builds offline.
 
 use cayman::workloads::Workload;
-use cayman::{Framework, ModelOptions, SelectOptions, SelectStats, CVA6_TILE_AREA};
+use cayman::{
+    AnalyseOptions, Framework, ModelOptions, OptLevel, SelectOptions, SelectStats, CVA6_TILE_AREA,
+};
 use std::time::Instant;
 
 pub mod harness;
+
+/// Parses the shared bench-binary CLI: an optional `-O0` / `-O1` flag
+/// (default `-O1`, matching [`AnalyseOptions::default`]). Any other
+/// argument prints usage and exits.
+pub fn analyse_options_from_args() -> AnalyseOptions {
+    let mut opts = AnalyseOptions::default();
+    for arg in std::env::args().skip(1) {
+        match OptLevel::parse(&arg) {
+            Some(level) => opts.opt_level = level,
+            None => {
+                eprintln!("unknown argument `{arg}`; usage: [-O0|-O1] (default -O1)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
 
 /// One benchmark's Table II row.
 #[derive(Debug, Clone)]
@@ -79,7 +98,16 @@ pub const BUDGETS: [f64; 2] = [0.25, 0.65];
 /// Panics if the workload fails to verify or execute (CI runs every
 /// workload; a failure here is a kernel bug).
 pub fn table2_row(w: &Workload) -> Table2Row {
-    let fw = Framework::from_workload(w).expect("workload analyses");
+    table2_row_with(w, &AnalyseOptions::default())
+}
+
+/// [`table2_row`] with explicit analyse staging options (`-O0` / `-O1`).
+///
+/// # Panics
+///
+/// Panics if the workload fails to verify or execute.
+pub fn table2_row_with(w: &Workload, analyse: &AnalyseOptions) -> Table2Row {
+    let fw = Framework::from_workload_with(w, analyse).expect("workload analyses");
     let opts = SelectOptions::default();
 
     let t0 = Instant::now();
@@ -134,9 +162,21 @@ pub fn table2_row(w: &Workload) -> Table2Row {
 /// own [`Framework`], so rows are fully independent; results come back in
 /// workload order regardless of which thread finished first.
 pub fn table2_rows(workloads: &[Workload], threads: usize) -> Vec<Table2Row> {
+    table2_rows_with(workloads, threads, &AnalyseOptions::default())
+}
+
+/// [`table2_rows`] with explicit analyse staging options (`-O0` / `-O1`).
+pub fn table2_rows_with(
+    workloads: &[Workload],
+    threads: usize,
+    analyse: &AnalyseOptions,
+) -> Vec<Table2Row> {
     let threads = threads.max(1).min(workloads.len().max(1));
     if threads == 1 {
-        return workloads.iter().map(table2_row).collect();
+        return workloads
+            .iter()
+            .map(|w| table2_row_with(w, analyse))
+            .collect();
     }
     let mut indexed: Vec<(usize, Table2Row)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -147,7 +187,7 @@ pub fn table2_rows(workloads: &[Workload], threads: usize) -> Vec<Table2Row> {
                         .enumerate()
                         .skip(t)
                         .step_by(threads)
-                        .map(|(i, w)| (i, table2_row(w)))
+                        .map(|(i, w)| (i, table2_row_with(w, analyse)))
                         .collect::<Vec<_>>()
                 })
             })

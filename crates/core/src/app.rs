@@ -9,12 +9,36 @@ use cayman_analysis::scev::Scev;
 use cayman_analysis::wpst::Wpst;
 use cayman_hls::inputs::FuncInputs;
 use cayman_ir::interp::{ExecProfile, Interp, Memory};
+use cayman_ir::transform::{normalize, OptLevel, PipelineStats};
 use cayman_ir::Module;
+
+/// Options for [`Application::analyse_with`]: how the explicit pipeline
+/// stages (verify → normalize → profile → analyse) are run.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyseOptions {
+    /// IR normalization level applied after verification and before
+    /// profiling (default `O1`).
+    pub opt_level: OptLevel,
+    /// Re-run the verifier after every changing normalization pass
+    /// (differential/debug runs; off by default).
+    pub verify_each_pass: bool,
+}
+
+impl AnalyseOptions {
+    /// Options with normalization disabled (`-O0`).
+    pub fn o0() -> Self {
+        AnalyseOptions {
+            opt_level: OptLevel::O0,
+            ..AnalyseOptions::default()
+        }
+    }
+}
 
 /// A verified, profiled and analysed application — the paper's "profiling
 /// and analysis results R" plus the wPST, ready for Algorithm 1.
 pub struct Application {
-    /// The program.
+    /// The program (after normalization — analyses refer to this module,
+    /// not the pre-normalization input).
     pub module: Module,
     /// Whole-application program structure tree.
     pub wpst: Wpst,
@@ -31,6 +55,9 @@ pub struct Application {
     /// Which interpreter engine produced the profile (`"decoded"` unless the
     /// module fell back to the reference walker).
     pub profiling_engine: &'static str,
+    /// Per-pass counters and timings from the normalization stage (empty at
+    /// `-O0`).
+    pub normalize_stats: PipelineStats,
 }
 
 impl std::fmt::Debug for Application {
@@ -45,13 +72,14 @@ impl std::fmt::Debug for Application {
 }
 
 impl Application {
-    /// Verifies, profiles (with zeroed memory) and analyses a module.
+    /// Verifies, normalizes (default `-O1`), profiles (with zeroed memory)
+    /// and analyses a module.
     ///
     /// # Errors
     ///
     /// Fails when verification or interpretation fails.
     pub fn analyse(module: Module) -> Result<Self, CaymanError> {
-        Self::analyse_with_memory(module, None)
+        Self::analyse_with(module, None, &AnalyseOptions::default())
     }
 
     /// Like [`Application::analyse`] but with a caller-provided input memory
@@ -64,7 +92,36 @@ impl Application {
         module: Module,
         memory: Option<Memory>,
     ) -> Result<Self, CaymanError> {
+        Self::analyse_with(module, memory, &AnalyseOptions::default())
+    }
+
+    /// The full staged pipeline, explicitly:
+    ///
+    /// 1. **verify** — reject malformed modules up front;
+    /// 2. **normalize** — run the [`cayman_ir::transform`] pipeline at
+    ///    `opts.opt_level` (observable behavior is preserved, so profiling
+    ///    results describe the same program);
+    /// 3. **profile** — execute under the decoded interpreter (which decodes
+    ///    the *normalized* module) against `memory` or a zeroed image;
+    /// 4. **analyse** — build the wPST, region profile, access/dependence
+    ///    analyses and trip counts consumed by Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Fails when verification (including inter-pass verification with
+    /// `opts.verify_each_pass`) or interpretation fails.
+    pub fn analyse_with(
+        mut module: Module,
+        memory: Option<Memory>,
+        opts: &AnalyseOptions,
+    ) -> Result<Self, CaymanError> {
+        // Stage 1: verify.
         module.verify()?;
+
+        // Stage 2: normalize.
+        let normalize_stats = normalize(&mut module, opts.opt_level, opts.verify_each_pass)?;
+
+        // Stage 3: profile.
         let wpst = Wpst::build(&module);
         let mut interp = Interp::new(&module);
         let profiling_engine = interp.engine_name();
@@ -74,6 +131,7 @@ impl Application {
         let exec = interp.run(&[])?;
         let profile = Profile::aggregate(&module, &wpst, &exec);
 
+        // Stage 4: analyse.
         let mut accesses = Vec::new();
         let mut deps = Vec::new();
         let mut trips = Vec::new();
@@ -102,6 +160,7 @@ impl Application {
             deps,
             trips,
             profiling_engine,
+            normalize_stats,
         })
     }
 
@@ -151,6 +210,55 @@ mod tests {
         assert_eq!(app.inputs().len(), 1);
         // Verified modules always profile under the decoded engine.
         assert_eq!(app.profiling_engine, "decoded");
+    }
+
+    #[test]
+    fn staged_analyse_normalizes_at_o1_but_not_o0() {
+        // A module with a constant-foldable chain and a duplicate address
+        // computation: -O1 must shrink it, -O0 must profile it verbatim, and
+        // both must agree on observable results.
+        let mut mb = ModuleBuilder::new("t");
+        let x = mb.array("x", Type::F64, &[16]);
+        mb.function("main", &[], Some(Type::F64), |fb| {
+            let init = fb.fconst(0.0);
+            let f = fb.counted_loop_carry(0, 16, 1, &[(Type::F64, init)], |fb, i, c| {
+                let a = fb.load_idx(x, &[i]);
+                let b = fb.load_idx(x, &[i]); // duplicate gep for GVN
+                let k = fb.fmul(fb.fconst(2.0), fb.fconst(1.5)); // folds to 3.0
+                let t = fb.fmul(a, k);
+                let u = fb.fadd(t, b);
+                vec![fb.fadd(c[0], u)]
+            });
+            fb.ret(Some(f[0]));
+        });
+        let module = mb.finish();
+
+        let raw = Application::analyse_with(module.clone(), None, &AnalyseOptions::o0())
+            .expect("analyses at O0");
+        let opts = AnalyseOptions {
+            verify_each_pass: true,
+            ..AnalyseOptions::default()
+        };
+        let opt = Application::analyse_with(module.clone(), None, &opts).expect("analyses at O1");
+
+        // O0 leaves the module exactly as built; O1 shrinks it.
+        assert_eq!(raw.normalize_stats.iterations, 0);
+        assert_eq!(raw.module.to_text(), module.to_text());
+        assert!(opt.normalize_stats.total_changes() > 0);
+        assert!(opt.normalize_stats.verify_runs > 0);
+        let count = |m: &Module| m.functions.iter().map(|f| f.instr_count()).sum::<usize>();
+        assert!(
+            count(&opt.module) < count(&raw.module),
+            "O1 should drop instructions: {} vs {}",
+            count(&opt.module),
+            count(&raw.module)
+        );
+
+        // Same observable outcome either way (zeroed memory → 0.0).
+        assert_eq!(raw.exec.return_value, opt.exec.return_value);
+        // Analyses cover the same structure.
+        assert_eq!(raw.trips[0], opt.trips[0]);
+        assert_eq!(raw.accesses.len(), opt.accesses.len());
     }
 
     #[test]

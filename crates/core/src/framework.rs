@@ -2,7 +2,7 @@
 //! Pareto-optimal accelerator solutions out, with baseline comparisons and
 //! budgeted reports.
 
-use crate::app::Application;
+use crate::app::{AnalyseOptions, Application};
 use crate::CaymanError;
 use cayman_baselines::{NoviaModel, QsCoresModel};
 use cayman_hls::CVA6_TILE_AREA;
@@ -58,26 +58,51 @@ pub struct BudgetReport {
 }
 
 impl Framework {
-    /// Builds the framework from a raw module (zeroed inputs).
+    /// Builds the framework from a raw module (zeroed inputs, default
+    /// [`AnalyseOptions`]: `-O1`).
     ///
     /// # Errors
     ///
     /// Fails when verification or profiling execution fails.
     pub fn from_module(module: cayman_ir::Module) -> Result<Self, CaymanError> {
+        Self::from_module_with(module, &AnalyseOptions::default())
+    }
+
+    /// Builds the framework from a raw module with explicit analyse staging
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Fails when verification or profiling execution fails.
+    pub fn from_module_with(
+        module: cayman_ir::Module,
+        opts: &AnalyseOptions,
+    ) -> Result<Self, CaymanError> {
         Ok(Framework {
-            app: Application::analyse(module)?,
+            app: Application::analyse_with(module, None, opts)?,
             cache: DesignCache::new(),
         })
     }
 
-    /// Builds the framework from a benchmark workload (realistic inputs).
+    /// Builds the framework from a benchmark workload (realistic inputs,
+    /// default [`AnalyseOptions`]: `-O1`).
     ///
     /// # Errors
     ///
     /// Fails when verification or profiling execution fails.
     pub fn from_workload(w: &Workload) -> Result<Self, CaymanError> {
+        Self::from_workload_with(w, &AnalyseOptions::default())
+    }
+
+    /// Builds the framework from a benchmark workload with explicit analyse
+    /// staging options.
+    ///
+    /// # Errors
+    ///
+    /// Fails when verification or profiling execution fails.
+    pub fn from_workload_with(w: &Workload, opts: &AnalyseOptions) -> Result<Self, CaymanError> {
         Ok(Framework {
-            app: Application::analyse_with_memory(w.module.clone(), Some(w.memory()))?,
+            app: Application::analyse_with(w.module.clone(), Some(w.memory()), opts)?,
             cache: DesignCache::new(),
         })
     }

@@ -43,7 +43,8 @@ pub mod framework;
 use std::error::Error;
 use std::fmt;
 
-pub use app::Application;
+pub use app::{AnalyseOptions, Application};
+pub use cayman_ir::transform::{OptLevel, PipelineStats};
 pub use framework::{BudgetReport, Framework};
 
 // Re-export the sub-crates under stable names so downstream users need only

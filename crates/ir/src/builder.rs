@@ -108,6 +108,7 @@ impl FunctionBuilder {
             instrs: Vec::new(),
             values,
             instr_results: Vec::new(),
+            block_map: Default::default(),
         };
         FunctionBuilder {
             func,
@@ -396,12 +397,11 @@ impl FunctionBuilder {
 
     /// Direct call to a previously built function.
     pub fn call(&mut self, callee: FuncId, args: &[Operand], ty: Option<Type>) -> Option<Operand> {
-        let res = self.push(Instr::Call {
+        self.push(Instr::Call {
             callee,
             args: args.to_vec(),
             ty,
-        });
-        res
+        })
     }
 
     // ---- terminators -----------------------------------------------------

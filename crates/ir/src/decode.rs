@@ -111,6 +111,19 @@ pub(crate) enum DecodedOp {
         array: ArrayId,
         dims: Box<[GepDim]>,
     },
+    /// `Gep` whose trailing indices are integer constants already proven in
+    /// bounds at decode time: their contribution is pre-summed into `base`,
+    /// and only the variable prefix `dims` is evaluated and bounds-checked
+    /// at runtime. Since the folded checks always pass, the remaining
+    /// checks fire in the same order with the same messages as the generic
+    /// form. After `-O1` normalization most fixed-column/row accesses take
+    /// this path.
+    GepConst {
+        dst: u32,
+        array: ArrayId,
+        dims: Box<[GepDim]>,
+        base: i64,
+    },
     Load {
         dst: u32,
         ptr: Opnd,
@@ -509,11 +522,34 @@ fn decode_func(module: &Module, func: &Function) -> Option<DecodedFunc> {
                             dim: k as u32,
                         });
                     }
-                    ops.push(DecodedOp::Gep {
-                        dst,
-                        array: *array,
-                        dims: dims.into_boxed_slice(),
-                    });
+                    // Fold the trailing run of in-bounds constant integer
+                    // indices into a precomputed offset. Constants that are
+                    // negative, out of bounds, or of the wrong runtime type
+                    // stay as dims so their error behavior is unchanged.
+                    let mut base = 0i64;
+                    while let Some(d) = dims.last() {
+                        match d.idx {
+                            Opnd::Imm(Value::I(i)) if i >= 0 && (i as usize) < d.size => {
+                                base += i * d.stride;
+                                dims.pop();
+                            }
+                            _ => break,
+                        }
+                    }
+                    if base != 0 || dims.len() < indices.len() {
+                        ops.push(DecodedOp::GepConst {
+                            dst,
+                            array: *array,
+                            dims: dims.into_boxed_slice(),
+                            base,
+                        });
+                    } else {
+                        ops.push(DecodedOp::Gep {
+                            dst,
+                            array: *array,
+                            dims: dims.into_boxed_slice(),
+                        });
+                    }
                 }
                 Instr::Load { ptr, .. } => ops.push(DecodedOp::Load {
                     dst,
@@ -753,6 +789,28 @@ impl ExecCtx<'_, '_> {
                 let a = self.memory.addr(array, flat as usize)?;
                 regs[dst as usize] = Value::P(a);
             }
+            DecodedOp::GepConst {
+                dst,
+                array,
+                ref dims,
+                base,
+            } => {
+                let mut flat: i64 = base;
+                for d in dims.iter() {
+                    let i = ev(regs, d.idx).as_i()?;
+                    if i < 0 || i as usize >= d.size {
+                        return Err(InterpError::new(format!(
+                            "index {i} out of bounds for dim {} (size {}) of `{}`",
+                            d.dim,
+                            d.size,
+                            self.module.array(array).name
+                        )));
+                    }
+                    flat += i * d.stride;
+                }
+                let a = self.memory.addr(array, flat as usize)?;
+                regs[dst as usize] = Value::P(a);
+            }
             DecodedOp::Load { dst, ptr } => {
                 let p = ev(regs, ptr).as_p()?;
                 regs[dst as usize] = self.memory.cells[p];
@@ -887,6 +945,124 @@ mod tests {
         assert_eq!(decoded.return_value, walked.return_value);
         assert_eq!(decoded.block_counts, walked.block_counts);
         assert_eq!(decoded.total_cycles, walked.total_cycles);
+    }
+
+    fn gep_const_ops(df: &DecodedFunc) -> Vec<(usize, i64)> {
+        df.blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter_map(|op| match op {
+                DecodedOp::GepConst { dims, base, .. } => Some((dims.len(), *base)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gep_constant_trailing_index_specialises() {
+        // A[i][3] over a 4×8 array: the trailing constant column folds into
+        // a base offset of 3, leaving one variable (bounds-checked) dim.
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[4, 8]);
+        mb.function("main", &[], Some(Type::F64), |fb| {
+            let init = fb.fconst(0.0);
+            let col = fb.iconst(3);
+            let f = fb.counted_loop_carry(0, 4, 1, &[(Type::F64, init)], |fb, i, c| {
+                let v = fb.load_idx(a, &[i, col]);
+                vec![fb.fadd(c[0], v)]
+            });
+            fb.ret(Some(f[0]));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        assert_eq!(gep_const_ops(&dm.funcs[0]), vec![(1, 3)]);
+
+        let mut di = Interp::new(&m);
+        let mut wi = Interp::reference(&m);
+        for k in 0..32 {
+            di.memory.set_f64(a, k, k as f64);
+            wi.memory.set_f64(a, k, k as f64);
+        }
+        let decoded = di.run(&[]).expect("runs");
+        let walked = wi.run(&[]).expect("runs");
+        // Σ A[i][3] for i in 0..4 = 3 + 11 + 19 + 27.
+        assert_eq!(decoded.return_value, Some(Value::F(60.0)));
+        assert_eq!(decoded.return_value, walked.return_value);
+        assert_eq!(decoded.block_counts, walked.block_counts);
+    }
+
+    #[test]
+    fn gep_all_constant_indices_fold_completely() {
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::I64, &[4, 8]);
+        mb.function("main", &[], Some(Type::I64), |fb| {
+            let r = fb.iconst(2);
+            let c = fb.iconst(5);
+            let v = fb.load_idx_ty(a, &[r, c], Type::I64);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        // 2*8 + 5 = 21, no runtime dims left.
+        assert_eq!(gep_const_ops(&dm.funcs[0]), vec![(0, 21)]);
+        let mut interp = Interp::new(&m);
+        for k in 0..32 {
+            interp.memory.set_i64(a, k, k as i64 * 10);
+        }
+        let out = interp.run(&[]).expect("runs");
+        assert_eq!(out.return_value, Some(Value::I(210)));
+    }
+
+    #[test]
+    fn gep_out_of_bounds_constant_is_not_folded() {
+        // A constant index past the dim extent must keep its runtime check
+        // so the error (message and dim number) matches the walker exactly.
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[4, 8]);
+        mb.function("main", &[], Some(Type::F64), |fb| {
+            let r = fb.iconst(1);
+            let c = fb.iconst(8);
+            let v = fb.load_idx(a, &[r, c]);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        assert!(gep_const_ops(&dm.funcs[0]).is_empty());
+        let e1 = Interp::new(&m).run(&[]).expect_err("oob");
+        let e2 = Interp::reference(&m).run(&[]).expect_err("oob");
+        assert_eq!(e1, e2);
+        assert!(
+            e1.message
+                .contains("index 8 out of bounds for dim 1 (size 8)"),
+            "{e1}"
+        );
+    }
+
+    #[test]
+    fn gep_zero_constant_still_specialises() {
+        // Folding a 0 index adds nothing to the base but still removes the
+        // runtime check; the decoder must pick GepConst, not generic Gep.
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("A", Type::F64, &[4, 8]);
+        mb.function("main", &[Type::I64], Some(Type::F64), |fb| {
+            let i = fb.param(0);
+            let z = fb.iconst(0);
+            let v = fb.load_idx(a, &[i, z]);
+            fb.ret(Some(v));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        assert_eq!(gep_const_ops(&dm.funcs[0]), vec![(1, 0)]);
+        let mut interp = Interp::new(&m);
+        for k in 0..32 {
+            interp.memory.set_f64(a, k, k as f64);
+        }
+        let out = interp.run(&[Value::I(2)]).expect("runs");
+        assert_eq!(out.return_value, Some(Value::F(16.0)));
     }
 
     #[test]

@@ -150,15 +150,9 @@ impl DomTree {
                 chain.push(p);
                 cur = p;
             }
-            let base = idom[cur.index()].map(|p| depth[p.index()]).unwrap_or(0);
-            let mut d = if idom[cur.index()].is_some() {
-                base + 1
-            } else {
-                0
-            };
-            for &c in chain.iter().rev() {
+            let start = idom[cur.index()].map(|p| depth[p.index()] + 1).unwrap_or(0);
+            for (d, &c) in (start..).zip(chain.iter().rev()) {
                 depth[c.index()] = d;
-                d += 1;
             }
         }
 

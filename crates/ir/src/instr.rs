@@ -371,6 +371,48 @@ impl Instr {
         }
     }
 
+    /// Visit every operand of the instruction mutably (the transform passes'
+    /// rewrite hook — e.g. replacing a value use with a folded constant).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Instr::Binary { lhs, rhs, .. } | Instr::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Instr::Unary { val, .. } => f(val),
+            Instr::Select {
+                cond,
+                then_val,
+                else_val,
+                ..
+            } => {
+                f(cond);
+                f(then_val);
+                f(else_val);
+            }
+            Instr::Gep { indices, .. } => {
+                for idx in indices {
+                    f(idx);
+                }
+            }
+            Instr::Load { ptr, .. } => f(ptr),
+            Instr::Store { ptr, value, .. } => {
+                f(ptr);
+                f(value);
+            }
+            Instr::Phi { incomings, .. } => {
+                for (_, v) in incomings {
+                    f(v);
+                }
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    f(a);
+                }
+            }
+        }
+    }
+
     /// A short opcode name for diagnostics and merging.
     pub fn opcode_name(&self) -> &'static str {
         match self {
@@ -414,6 +456,41 @@ impl Terminator {
                 then_bb, else_bb, ..
             } => vec![*then_bb, *else_bb],
             Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Visit every operand of the terminator (`CondBr` conditions and `Ret`
+    /// values — branch targets are not operands).
+    pub fn for_each_operand(&self, mut f: impl FnMut(Operand)) {
+        match self {
+            Terminator::Br(_) | Terminator::Ret(None) => {}
+            Terminator::CondBr { cond, .. } => f(*cond),
+            Terminator::Ret(Some(v)) => f(*v),
+        }
+    }
+
+    /// Visit every operand of the terminator mutably (`CondBr` conditions and
+    /// `Ret` values — branch targets are not operands).
+    pub fn for_each_operand_mut(&mut self, mut f: impl FnMut(&mut Operand)) {
+        match self {
+            Terminator::Br(_) | Terminator::Ret(None) => {}
+            Terminator::CondBr { cond, .. } => f(cond),
+            Terminator::Ret(Some(v)) => f(v),
+        }
+    }
+
+    /// Visit every successor block id mutably (used when blocks are renumbered
+    /// or merged).
+    pub fn for_each_successor_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
+        match self {
+            Terminator::Br(b) => f(b),
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => {
+                f(then_bb);
+                f(else_bb);
+            }
+            Terminator::Ret(_) => {}
         }
     }
 }

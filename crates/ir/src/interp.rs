@@ -114,7 +114,7 @@ impl Memory {
             } else {
                 Value::I(0)
             };
-            cells.extend(std::iter::repeat(zero).take(a.len()));
+            cells.extend(std::iter::repeat_n(zero, a.len()));
         }
         Memory { cells, base, len }
     }
@@ -174,6 +174,13 @@ impl Memory {
             other => panic!("expected i64 cell, got {other:?}"),
         }
     }
+
+    /// The raw memory image: every array's elements, concatenated in
+    /// declaration order. Two runs over modules with identical array
+    /// declarations are bit-comparable cell by cell (differential tests).
+    pub fn cells(&self) -> &[Value] {
+        &self.cells
+    }
 }
 
 /// Profiling outcome of one execution.
@@ -206,6 +213,22 @@ impl ExecProfile {
             .iter()
             .map(|per_block| per_block.iter().sum::<u64>())
             .sum()
+    }
+
+    /// Total dynamic instructions executed (block counts weighted by each
+    /// block's static instruction count, terminator included). The headline
+    /// metric for normalization: fewer dynamic instructions for the same
+    /// observable results.
+    pub fn dynamic_instrs(&self, module: &Module) -> u64 {
+        let mut total = 0u64;
+        for (f, per_block) in self.block_counts.iter().enumerate() {
+            let func = &module.functions[f];
+            for (b, &count) in per_block.iter().enumerate() {
+                let static_len = func.blocks[b].instrs.len() as u64 + 1;
+                total += count * static_len;
+            }
+        }
+        total
     }
 }
 

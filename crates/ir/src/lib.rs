@@ -53,6 +53,7 @@ pub mod loops;
 pub mod module;
 pub mod parse;
 pub mod print;
+pub mod transform;
 pub mod types;
 pub mod verify;
 

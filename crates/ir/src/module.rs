@@ -124,6 +124,45 @@ impl Block {
     }
 }
 
+/// Lazily computed instruction→block map (see [`Function::instr_block_map`]).
+///
+/// Derived data, so it compares equal to everything and clones as empty (a
+/// clone is typically about to be mutated). Code that mutates block
+/// membership directly must call [`Function::invalidate_block_map`]; the
+/// pass manager does so after every changing pass.
+#[derive(Default)]
+pub(crate) struct BlockMap(std::sync::OnceLock<Box<[u32]>>);
+
+impl Clone for BlockMap {
+    fn clone(&self) -> Self {
+        BlockMap::default()
+    }
+}
+
+impl PartialEq for BlockMap {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for BlockMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BlockMap({})",
+            if self.0.get().is_some() {
+                "cached"
+            } else {
+                "empty"
+            }
+        )
+    }
+}
+
+/// Sentinel entry in [`Function::instr_block_map`] for instructions that are
+/// in no block.
+pub const NO_BLOCK: u32 = u32::MAX;
+
 /// A function: parameters, an instruction arena and a CFG of basic blocks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Function {
@@ -142,6 +181,7 @@ pub struct Function {
     pub values: Vec<ValueDef>,
     /// For each instruction that produces a value, its `ValueId`.
     pub instr_results: Vec<Option<ValueId>>,
+    pub(crate) block_map: BlockMap,
 }
 
 impl Function {
@@ -183,13 +223,35 @@ impl Function {
         self.instrs.len()
     }
 
-    /// The block that contains an instruction, if any.
+    /// The instruction→block map, computed on first use and cached.
     ///
-    /// Linear scan — fine for analysis-time queries on benchmark-sized
-    /// functions; hot paths should precompute a map.
+    /// `map[i]` is the raw [`BlockId`] of the block containing `InstrId(i)`,
+    /// or [`NO_BLOCK`] when the instruction is in no block. Shared by
+    /// [`Function::containing_block`] and the analysis crate's `FuncCtx`.
+    pub fn instr_block_map(&self) -> &[u32] {
+        self.block_map.0.get_or_init(|| {
+            let mut map = vec![NO_BLOCK; self.instrs.len()];
+            for b in self.block_ids() {
+                for &iid in &self.block(b).instrs {
+                    map[iid.index()] = b.0;
+                }
+            }
+            map.into_boxed_slice()
+        })
+    }
+
+    /// The block that contains an instruction, if any (cached map lookup).
     pub fn containing_block(&self, id: InstrId) -> Option<BlockId> {
-        self.block_ids()
-            .find(|&b| self.block(b).instrs.contains(&id))
+        match self.instr_block_map().get(id.index()) {
+            Some(&b) if b != NO_BLOCK => Some(BlockId(b)),
+            _ => None,
+        }
+    }
+
+    /// Drops the cached instruction→block map. Must be called after mutating
+    /// block membership (adding/removing/moving instructions or blocks).
+    pub fn invalidate_block_map(&mut self) {
+        self.block_map = BlockMap::default();
     }
 }
 

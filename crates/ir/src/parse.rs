@@ -189,7 +189,7 @@ impl<'a> Parser<'a> {
         let mut params = Vec::new();
         if !params_str.trim().is_empty() {
             for p in params_str.split(',') {
-                let ty_tok = p.trim().split_whitespace().next().unwrap_or("");
+                let ty_tok = p.split_whitespace().next().unwrap_or("");
                 params.push(self.parse_type(hln, ty_tok)?);
             }
         }
@@ -275,6 +275,7 @@ impl<'a> Parser<'a> {
                 .map(|(i, &ty)| ValueDef::Param(i as u32, ty))
                 .collect(),
             instr_results: Vec::new(),
+            block_map: Default::default(),
         };
         let mut cur: Option<BlockId> = None;
         let mut next_value = params.len() as u32;

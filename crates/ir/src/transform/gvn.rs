@@ -1,0 +1,170 @@
+//! Dominator-based global value numbering / common-subexpression
+//! elimination.
+
+use super::{Changed, Pass};
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::instr::{BinOp, CmpPred, Imm, Instr, Operand, UnaryOp};
+use crate::module::{ArrayId, BlockId, Function, InstrId, Module, ValueId};
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// Deletes pure instructions that recompute an expression already computed
+/// by a dominating instruction with identical SSA operands, rewriting uses
+/// to the surviving value.
+///
+/// Only pure ops participate: binary/unary arithmetic, comparisons, selects
+/// and geps. Loads are excluded (memory may change between the two sites);
+/// stores, calls and phis likewise. Deleting the dominated copy is trap-safe
+/// because the dominating instance executes first on every path with the
+/// same operand values — if either would trap, the first one already did.
+///
+/// Keys are purely syntactic: no commutative normalization (for floats that
+/// would conflate `NaN`-payload-sensitive operand orders) and constants
+/// compare bit-exactly (`-0.0` ≠ `0.0`).
+pub struct Gvn;
+
+impl Pass for Gvn {
+    fn name(&self) -> &'static str {
+        "gvn"
+    }
+
+    fn run(&mut self, module: &mut Module) -> Changed {
+        let mut changed = false;
+        for func in &mut module.functions {
+            changed |= gvn_function(func);
+        }
+        Changed::from_bool(changed)
+    }
+}
+
+/// Operand in a value-number key; float constants keyed by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKey {
+    Val(ValueId),
+    Int(i64),
+    Float(u64),
+    Bool(bool),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Binary(BinOp, Type, OpKey, OpKey),
+    Unary(UnaryOp, Type, OpKey),
+    Cmp(CmpPred, Type, OpKey, OpKey),
+    Select(Type, OpKey, OpKey, OpKey),
+    Gep(ArrayId, Vec<OpKey>),
+}
+
+fn op_key(repl: &HashMap<ValueId, ValueId>, op: Operand) -> OpKey {
+    match op {
+        Operand::Value(v) => OpKey::Val(repl.get(&v).copied().unwrap_or(v)),
+        Operand::Const(Imm::Int(v)) => OpKey::Int(v),
+        Operand::Const(Imm::Float(v)) => OpKey::Float(v.to_bits()),
+        Operand::Const(Imm::Bool(v)) => OpKey::Bool(v),
+    }
+}
+
+fn expr_key(repl: &HashMap<ValueId, ValueId>, instr: &Instr) -> Option<ExprKey> {
+    let k = |op: &Operand| op_key(repl, *op);
+    Some(match instr {
+        Instr::Binary { op, ty, lhs, rhs } => ExprKey::Binary(*op, *ty, k(lhs), k(rhs)),
+        Instr::Unary { op, ty, val } => ExprKey::Unary(*op, *ty, k(val)),
+        Instr::Cmp { pred, ty, lhs, rhs } => ExprKey::Cmp(*pred, *ty, k(lhs), k(rhs)),
+        Instr::Select {
+            cond,
+            ty,
+            then_val,
+            else_val,
+        } => ExprKey::Select(*ty, k(cond), k(then_val), k(else_val)),
+        Instr::Gep { array, indices } => {
+            ExprKey::Gep(*array, indices.iter().map(|i| op_key(repl, *i)).collect())
+        }
+        Instr::Load { .. } | Instr::Store { .. } | Instr::Phi { .. } | Instr::Call { .. } => {
+            return None
+        }
+    })
+}
+
+fn gvn_function(func: &mut Function) -> bool {
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::dominators(func, &cfg);
+    let n = cfg.block_count();
+    let mut children: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for b in func.block_ids() {
+        if let Some(p) = dom.idom_of(b) {
+            children[p.index()].push(b);
+        }
+    }
+
+    let mut table: HashMap<ExprKey, ValueId> = HashMap::new();
+    let mut repl: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut dead: Vec<InstrId> = Vec::new();
+
+    // Dominator-tree DFS with explicit enter/exit events; the expressions a
+    // block adds to the table go out of scope when its subtree is done.
+    enum Ev {
+        Enter(BlockId),
+        Exit(usize),
+    }
+    let mut stack = vec![Ev::Enter(func.entry())];
+    let mut scopes: Vec<Vec<ExprKey>> = Vec::new();
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(b) => {
+                let mut inserted = Vec::new();
+                for &iid in &func.block(b).instrs {
+                    let Some(key) = expr_key(&repl, func.instr(iid)) else {
+                        continue;
+                    };
+                    let result = func.result_of(iid).expect("pure instr has a result");
+                    match table.get(&key) {
+                        Some(&survivor) => {
+                            repl.insert(result, survivor);
+                            dead.push(iid);
+                        }
+                        None => {
+                            table.insert(key.clone(), result);
+                            inserted.push(key);
+                        }
+                    }
+                }
+                scopes.push(inserted);
+                stack.push(Ev::Exit(scopes.len() - 1));
+                for &c in children[b.index()].iter().rev() {
+                    stack.push(Ev::Enter(c));
+                }
+            }
+            Ev::Exit(scope) => {
+                for key in scopes[scope].drain(..) {
+                    table.remove(&key);
+                }
+            }
+        }
+    }
+
+    if repl.is_empty() {
+        return false;
+    }
+    let rewrite = |op: &mut Operand| {
+        if let Operand::Value(v) = op {
+            if let Some(&s) = repl.get(v) {
+                *op = Operand::Value(s);
+            }
+        }
+    };
+    for instr in &mut func.instrs {
+        instr.for_each_operand_mut(rewrite);
+    }
+    for block in &mut func.blocks {
+        if let Some(term) = &mut block.term {
+            term.for_each_operand_mut(rewrite);
+        }
+    }
+    let dead: std::collections::HashSet<InstrId> = dead.into_iter().collect();
+    for block in &mut func.blocks {
+        block.instrs.retain(|iid| !dead.contains(iid));
+    }
+    func.invalidate_block_map();
+    true
+}

@@ -1,0 +1,440 @@
+//! IR normalization: a pass manager and the standard `-O1` pipeline.
+//!
+//! Builder-generated (and especially parser-generated) modules carry
+//! redundancy — constant subexpressions, duplicate address computations,
+//! branches on known conditions — that inflates both profiling cost and the
+//! wPST the analysis crate builds on top of the CFG. The paper's flow
+//! piggybacks on LLVM `-O1` before instrumenting; this module is the
+//! reproduction's equivalent: a small pipeline of semantics-preserving
+//! rewrites run before profiling and region analysis.
+//!
+//! The pipeline ([`normalize`]) iterates four passes to a fixed point —
+//! [`SimplifyCfg`], [`ConstFold`], [`Gvn`], [`Dce`] — then runs [`Compact`]
+//! to rebuild the instruction arena without the dropped instructions.
+//!
+//! ## Semantics contract
+//!
+//! Passes preserve *observable behavior*: final memory image, return value,
+//! and whether/with which message execution errors. For well-typed modules
+//! this is exact. Verified-but-type-confused modules (the verifier does not
+//! type-check most non-phi operands) may lose a runtime type error when the
+//! offending instruction is unused — this mirrors LLVM, where UB-adjacent
+//! dead code may be deleted. Concretely:
+//!
+//! * constant folding evaluates through the interpreter's own
+//!   [`crate::interp`] kernels, so wrapping, `i32` narrowing and NaN
+//!   behavior are bit-identical; fold attempts that would error at runtime
+//!   (division by zero, type confusion) are simply not folded;
+//! * DCE only deletes unused instructions it can prove side-effect- and
+//!   trap-free (e.g. `sdiv` only with a non-zero constant divisor, `gep`
+//!   only with provably in-bounds constant indices);
+//! * GVN deletes an instruction only when an identical one (same opcode,
+//!   same SSA operands) dominates it, so the surviving instance executes
+//!   first on every path and traps first if either would.
+
+mod constfold;
+mod dce;
+mod gvn;
+mod simplify_cfg;
+
+pub use constfold::ConstFold;
+pub use dce::Dce;
+pub use gvn::Gvn;
+pub use simplify_cfg::SimplifyCfg;
+
+use crate::instr::Operand;
+use crate::module::{Function, InstrId, Module, ValueDef, ValueId};
+use crate::verify::VerifyError;
+use std::fmt;
+use std::time::Instant;
+
+/// Whether a pass changed the module — drives fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Changed {
+    /// The pass rewrote something.
+    Yes,
+    /// The pass was a no-op on this module.
+    No,
+}
+
+impl Changed {
+    /// From a bool (`true` = changed).
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Changed::Yes
+        } else {
+            Changed::No
+        }
+    }
+
+    /// As a bool (`true` = changed).
+    pub fn as_bool(self) -> bool {
+        self == Changed::Yes
+    }
+}
+
+/// A module-level rewrite. Implementations must keep the module verifiable
+/// (see the module docs for the semantics contract) and must report
+/// [`Changed::Yes`] iff they mutated something — fixed-point iteration
+/// relies on accurate reports for termination.
+pub trait Pass {
+    /// Short kebab-case name for stats and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass over every function of `module`.
+    fn run(&mut self, module: &mut Module) -> Changed;
+}
+
+/// How aggressively [`normalize`] rewrites a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No rewrites; the module is analysed as built.
+    O0,
+    /// The standard pipeline: simplify-cfg, constant folding, GVN, DCE,
+    /// iterated to a fixed point, then arena compaction.
+    #[default]
+    O1,
+}
+
+impl OptLevel {
+    /// Parses `"O0"` / `"-O0"` / `"O1"` / `"-O1"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim_start_matches('-') {
+            "O0" => Some(OptLevel::O0),
+            "O1" => Some(OptLevel::O1),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "O0"),
+            OptLevel::O1 => write!(f, "O1"),
+        }
+    }
+}
+
+/// Per-pass counters accumulated by [`PassManager::run`].
+#[derive(Debug, Clone)]
+pub struct PassStats {
+    /// Pass name.
+    pub name: &'static str,
+    /// Number of times the pass ran.
+    pub runs: u32,
+    /// Number of runs that reported a change.
+    pub changed: u32,
+    /// Total time spent inside the pass, in microseconds.
+    pub micros: u128,
+}
+
+/// Aggregate outcome of one [`PassManager::run`], printable in the same
+/// single-line style as the selection engine's `SelectStats`.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineStats {
+    /// Per-pass counters, in pipeline order.
+    pub passes: Vec<PassStats>,
+    /// Fixed-point iterations executed.
+    pub iterations: u32,
+    /// Number of inter-pass verifier runs.
+    pub verify_runs: u32,
+    /// Wall-clock time of the whole run, in microseconds.
+    pub wall_micros: u128,
+}
+
+impl PipelineStats {
+    /// Total number of changing pass runs across the pipeline.
+    pub fn total_changes(&self) -> u32 {
+        self.passes.iter().map(|p| p.changed).sum()
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "normalize: {} iteration(s)", self.iterations)?;
+        for p in &self.passes {
+            write!(
+                f,
+                ", {} {}/{} changed in {:.2}ms",
+                p.name,
+                p.changed,
+                p.runs,
+                p.micros as f64 / 1000.0
+            )?;
+        }
+        if self.verify_runs > 0 {
+            write!(f, ", verified {}x", self.verify_runs)?;
+        }
+        write!(f, ", wall {:.2}ms", self.wall_micros as f64 / 1000.0)
+    }
+}
+
+/// Runs a declarative list of passes, optionally to a fixed point, with
+/// per-pass timing/changed counters and optional verification between
+/// passes.
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each: bool,
+    max_iters: u32,
+}
+
+impl PassManager {
+    /// An empty manager that runs its passes once, without verification.
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            verify_each: false,
+            max_iters: 1,
+        }
+    }
+
+    /// The standard `-O1` pipeline: simplify-cfg → constfold → gvn → dce →
+    /// compact, iterated to a fixed point.
+    pub fn standard() -> Self {
+        PassManager::new()
+            .add(SimplifyCfg)
+            .add(ConstFold)
+            .add(Gvn)
+            .add(Dce)
+            .add(Compact)
+            .fixpoint(10)
+    }
+
+    /// Appends a pass. (`add` is the established pass-manager idiom, not an
+    /// arithmetic operation.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Runs the verifier after every pass that changed the module (and once
+    /// before the first pass), aborting the pipeline on the first failure.
+    pub fn verify_each_pass(mut self, on: bool) -> Self {
+        self.verify_each = on;
+        self
+    }
+
+    /// Iterates the whole pass list until no pass reports a change, up to
+    /// `max_iters` sweeps.
+    pub fn fixpoint(mut self, max_iters: u32) -> Self {
+        self.max_iters = max_iters.max(1);
+        self
+    }
+
+    /// Runs the pipeline over `module`.
+    ///
+    /// With `verify_each_pass` enabled, returns the first verifier failure
+    /// (the module is left in its mid-pipeline state for inspection).
+    pub fn run(&mut self, module: &mut Module) -> Result<PipelineStats, VerifyError> {
+        let wall = Instant::now();
+        let mut stats = PipelineStats {
+            passes: self
+                .passes
+                .iter()
+                .map(|p| PassStats {
+                    name: p.name(),
+                    runs: 0,
+                    changed: 0,
+                    micros: 0,
+                })
+                .collect(),
+            ..PipelineStats::default()
+        };
+        if self.verify_each {
+            module.verify()?;
+            stats.verify_runs += 1;
+        }
+        for _ in 0..self.max_iters {
+            stats.iterations += 1;
+            let mut any = false;
+            for (i, pass) in self.passes.iter_mut().enumerate() {
+                let t = Instant::now();
+                let changed = pass.run(module).as_bool();
+                stats.passes[i].micros += t.elapsed().as_micros();
+                stats.passes[i].runs += 1;
+                if changed {
+                    stats.passes[i].changed += 1;
+                    any = true;
+                    if self.verify_each {
+                        module.verify().map_err(|e| VerifyError {
+                            func: e.func,
+                            message: format!("after pass `{}`: {}", pass.name(), e.message),
+                        })?;
+                        stats.verify_runs += 1;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        stats.wall_micros = wall.elapsed().as_micros();
+        Ok(stats)
+    }
+}
+
+impl Default for PassManager {
+    fn default() -> Self {
+        PassManager::new()
+    }
+}
+
+/// Normalizes `module` at the given [`OptLevel`].
+///
+/// `O0` is a no-op (empty stats); `O1` runs [`PassManager::standard`]. With
+/// `verify_each_pass`, the verifier runs before the pipeline and after every
+/// changing pass.
+pub fn normalize(
+    module: &mut Module,
+    level: OptLevel,
+    verify_each_pass: bool,
+) -> Result<PipelineStats, VerifyError> {
+    match level {
+        OptLevel::O0 => Ok(PipelineStats::default()),
+        OptLevel::O1 => PassManager::standard()
+            .verify_each_pass(verify_each_pass)
+            .run(module),
+    }
+}
+
+/// Replaces every use of `from` (in placed instructions and terminators of
+/// `func`) with `to`. Returns the number of uses rewritten.
+pub fn replace_all_uses(func: &mut Function, from: ValueId, to: Operand) -> usize {
+    let mut n = 0;
+    let mut rewrite = |op: &mut Operand| {
+        if *op == Operand::Value(from) {
+            *op = to;
+            n += 1;
+        }
+    };
+    for instr in &mut func.instrs {
+        instr.for_each_operand_mut(&mut rewrite);
+    }
+    for block in &mut func.blocks {
+        if let Some(term) = &mut block.term {
+            term.for_each_operand_mut(&mut rewrite);
+        }
+    }
+    n
+}
+
+/// Per-value use counts over placed instructions and terminators.
+pub(crate) fn use_counts(func: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; func.values.len()];
+    let mut count = |op: Operand| {
+        if let Operand::Value(v) = op {
+            counts[v.index()] += 1;
+        }
+    };
+    for b in func.block_ids() {
+        let block = func.block(b);
+        for &iid in &block.instrs {
+            func.instr(iid).for_each_operand(&mut count);
+        }
+        if let Some(term) = &block.term {
+            term.for_each_operand(&mut count);
+        }
+    }
+    counts
+}
+
+/// Rebuilds each function's instruction arena and value list without
+/// instructions that are in no block (the leftovers DCE / GVN / simplify-cfg
+/// unlink), renumbering [`InstrId`]s and [`ValueId`]s.
+///
+/// Idempotent: reports [`Changed::No`] once every arena instruction is
+/// placed. Functions in which a *placed* instruction uses the result of an
+/// *unplaced* one (legal per the verifier, which treats unplaced defs as
+/// entry-block defs) are left untouched.
+pub struct Compact;
+
+impl Pass for Compact {
+    fn name(&self) -> &'static str {
+        "compact"
+    }
+
+    fn run(&mut self, module: &mut Module) -> Changed {
+        let mut changed = false;
+        for func in &mut module.functions {
+            changed |= compact_function(func);
+        }
+        Changed::from_bool(changed)
+    }
+}
+
+fn compact_function(func: &mut Function) -> bool {
+    let placed = func.instr_block_map().to_vec();
+    let live = placed
+        .iter()
+        .filter(|&&b| b != crate::module::NO_BLOCK)
+        .count();
+    if live == func.instrs.len() {
+        return false;
+    }
+    // Bail if any placed instruction (or terminator) uses an unplaced def.
+    let counts = use_counts(func);
+    for (v, def) in func.values.iter().enumerate() {
+        if let ValueDef::Instr(i) = def {
+            if placed[i.index()] == crate::module::NO_BLOCK && counts[v] > 0 {
+                return false;
+            }
+        }
+    }
+
+    // Renumber live instructions in arena order.
+    let mut instr_map = vec![u32::MAX; func.instrs.len()];
+    let mut new_instrs = Vec::with_capacity(live);
+    for (i, instr) in func.instrs.iter().enumerate() {
+        if placed[i] != crate::module::NO_BLOCK {
+            instr_map[i] = new_instrs.len() as u32;
+            new_instrs.push(instr.clone());
+        }
+    }
+    // Rebuild values (params keep their slots; results of dropped
+    // instructions disappear) and instr_results.
+    let mut value_map = vec![u32::MAX; func.values.len()];
+    let mut new_values = Vec::with_capacity(func.values.len());
+    let mut new_results = vec![None; new_instrs.len()];
+    for (v, def) in func.values.iter().enumerate() {
+        match def {
+            ValueDef::Param(..) => {
+                value_map[v] = new_values.len() as u32;
+                new_values.push(*def);
+            }
+            ValueDef::Instr(i) => {
+                let ni = instr_map[i.index()];
+                if ni != u32::MAX {
+                    value_map[v] = new_values.len() as u32;
+                    new_values.push(ValueDef::Instr(InstrId(ni)));
+                    new_results[ni as usize] = Some(ValueId(new_values.len() as u32 - 1));
+                }
+            }
+        }
+    }
+    // Rewrite operands and block instruction lists.
+    let remap_op = |op: &mut Operand| {
+        if let Operand::Value(v) = op {
+            let nv = value_map[v.index()];
+            debug_assert_ne!(nv, u32::MAX, "use of dropped value survived compaction");
+            *v = ValueId(nv);
+        }
+    };
+    for instr in &mut new_instrs {
+        instr.for_each_operand_mut(remap_op);
+    }
+    for block in &mut func.blocks {
+        for iid in &mut block.instrs {
+            *iid = InstrId(instr_map[iid.index()]);
+        }
+        if let Some(term) = &mut block.term {
+            term.for_each_operand_mut(remap_op);
+        }
+    }
+    func.instrs = new_instrs;
+    func.values = new_values;
+    func.instr_results = new_results;
+    func.invalidate_block_map();
+    true
+}

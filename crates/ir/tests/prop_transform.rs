@@ -1,0 +1,221 @@
+//! Property-based differential testing of the normalization pipeline:
+//! random loop nests (carried reductions, branches, calls, memory traffic,
+//! division-by-zero paths) must behave identically before and after `-O1`
+//! normalization — same return value bits, same final memory image, same
+//! error message when execution traps — with the verifier green after every
+//! changing pass.
+//!
+//! No step limits here: block merging legitimately changes the step count,
+//! so a shared limit could make one side trip it and not the other.
+
+use cayman_ir::builder::ModuleBuilder;
+use cayman_ir::interp::{Interp, InterpError, Memory, Value};
+use cayman_ir::transform::{normalize, OptLevel};
+use cayman_ir::{Module, Type};
+use cayman_testkit::{prop_assert, prop_check};
+
+fn values_bit_equal(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (Some(Value::F(x)), Some(Value::F(y))) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+fn cell_bits_equal(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+/// Runs `module` to completion on a copy of `memory`, returning the outcome
+/// and the final memory image.
+fn run(module: &Module, memory: &Memory) -> (Result<Option<Value>, InterpError>, Vec<Value>) {
+    let mut interp = Interp::new(module);
+    interp.memory = memory.clone();
+    let out = interp.run(&[]).map(|p| p.return_value);
+    let cells = interp.memory.cells().to_vec();
+    (out, cells)
+}
+
+/// The random program generator from the decode differential, reused: loop
+/// nests with carried reductions, optional branches and calls, stores, and a
+/// sometimes-zero divisor for the error path.
+#[allow(clippy::too_many_arguments)]
+fn random_program(
+    size: usize,
+    outer: i64,
+    inner: i64,
+    swap: bool,
+    with_if: bool,
+    with_call: bool,
+    divisor: i64,
+    c0: f64,
+    c1: f64,
+) -> Module {
+    let mut mb = ModuleBuilder::new("prop");
+    let a = mb.array("A", Type::F64, &[size, size]);
+    let helper = mb.function("helper", &[Type::I64], Some(Type::I64), |fb| {
+        let p = fb.param(0);
+        let one = fb.iconst(1);
+        let r = fb.add(p, one);
+        fb.ret(Some(r));
+    });
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        let init0 = fb.fconst(c0);
+        let init1 = fb.fconst(c1);
+        let sz = fb.iconst(size as i64);
+        let finals = fb.counted_loop_carry(
+            0,
+            outer,
+            1,
+            &[(Type::F64, init0), (Type::F64, init1)],
+            |fb, i, c| {
+                let im = fb.srem(i, sz);
+                let zero = fb.fconst(0.0);
+                let inner_fin =
+                    fb.counted_loop_carry(0, inner, 1, &[(Type::F64, zero)], |fb, j, cc| {
+                        let jm = fb.srem(j, sz);
+                        let v = fb.load_idx(a, &[im, jm]);
+                        vec![fb.fadd(cc[0], v)]
+                    });
+                let mut x = inner_fin[0];
+                if with_if {
+                    let two = fb.iconst(2);
+                    let rem = fb.srem(i, two);
+                    let one = fb.iconst(1);
+                    let odd = fb.icmp_eq(rem, one);
+                    x = fb.if_then_else_val(
+                        odd,
+                        Type::F64,
+                        |fb| fb.fmul(x, fb.fconst(1.5)),
+                        |fb| fb.fsub(x, fb.fconst(0.25)),
+                    );
+                }
+                let idx = if with_call {
+                    let next = fb.call(helper, &[im], Some(Type::I64)).expect("returns");
+                    fb.srem(next, sz)
+                } else {
+                    im
+                };
+                let dvs = fb.iconst(divisor);
+                let q = fb.sdiv(i, dvs); // divisor 0 errors identically
+                let qf = fb.sitofp(q);
+                let y = fb.fadd(c[1], qf);
+                fb.store_idx(a, &[idx, im], x);
+                let n0 = fb.fadd(c[0], x);
+                if swap {
+                    vec![y, n0]
+                } else {
+                    vec![n0, y]
+                }
+            },
+        );
+        let out = fb.fadd(finals[0], finals[1]);
+        fb.ret(Some(out));
+    });
+    mb.finish()
+}
+
+#[test]
+fn normalized_programs_match_raw_semantics() {
+    prop_check!(cases = 96, |rng| {
+        let size = rng.range_usize(4, 12);
+        let outer = rng.range_i64(1, 10);
+        let inner = rng.range_i64(1, 8);
+        let swap = rng.bool();
+        let with_if = rng.bool();
+        let with_call = rng.bool();
+        let divisor = rng.range_i64(0, 4); // 0 → division-by-zero error path
+        let c0 = rng.range_f64(-2.0, 2.0);
+        let c1 = rng.range_f64(-2.0, 2.0);
+        let fill: Vec<f64> = (0..size * size).map(|_| rng.range_f64(-4.0, 4.0)).collect();
+
+        let m = random_program(
+            size, outer, inner, swap, with_if, with_call, divisor, c0, c1,
+        );
+        m.verify().expect("builder modules verify");
+        let mut mem = Memory::for_module(&m);
+        let array = m.array_ids().next().expect("array A");
+        for (flat, &v) in fill.iter().enumerate() {
+            mem.set_f64(array, flat, v);
+        }
+
+        let mut opt = m.clone();
+        let stats = normalize(&mut opt, OptLevel::O1, true)
+            .map_err(|e| format!("pipeline verification failed: {e}"))?;
+        opt.verify()
+            .map_err(|e| format!("result fails verify: {e}"))?;
+        prop_assert!(
+            opt.functions.iter().map(|f| f.instr_count()).sum::<usize>()
+                <= m.functions.iter().map(|f| f.instr_count()).sum::<usize>(),
+            "normalization grew the module ({stats})"
+        );
+
+        let (raw_out, raw_cells) = run(&m, &mem);
+        let (opt_out, opt_cells) = run(&opt, &mem);
+        match (&raw_out, &opt_out) {
+            (Ok(rv), Ok(ov)) => {
+                prop_assert!(
+                    values_bit_equal(rv, ov),
+                    "return values diverge: raw {rv:?} vs normalized {ov:?}"
+                );
+            }
+            (Err(re), Err(oe)) => {
+                prop_assert!(re == oe, "errors diverge: raw {re:?} vs normalized {oe:?}");
+            }
+            _ => {
+                return Err(format!(
+                    "outcomes diverge: raw {raw_out:?} vs normalized {opt_out:?}"
+                ));
+            }
+        }
+        prop_assert!(
+            raw_cells.len() == opt_cells.len()
+                && raw_cells
+                    .iter()
+                    .zip(&opt_cells)
+                    .all(|(a, b)| cell_bits_equal(a, b)),
+            "final memory images diverge"
+        );
+        if divisor == 0 {
+            let err = raw_out.err().ok_or("division by zero must error")?;
+            prop_assert!(
+                err.message.contains("division by zero"),
+                "unexpected error: {}",
+                err.message
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn normalization_is_idempotent_on_random_programs() {
+    prop_check!(cases = 32, |rng| {
+        let size = rng.range_usize(4, 10);
+        let outer = rng.range_i64(1, 6);
+        let inner = rng.range_i64(1, 5);
+        let m = random_program(
+            size,
+            outer,
+            inner,
+            rng.bool(),
+            rng.bool(),
+            rng.bool(),
+            rng.range_i64(1, 4),
+            rng.range_f64(-1.0, 1.0),
+            rng.range_f64(-1.0, 1.0),
+        );
+        let mut opt = m.clone();
+        normalize(&mut opt, OptLevel::O1, true).map_err(|e| e.to_string())?;
+        let text = opt.to_text();
+        let again = normalize(&mut opt, OptLevel::O1, true).map_err(|e| e.to_string())?;
+        prop_assert!(
+            again.total_changes() == 0,
+            "second normalize still changed things: {again}"
+        );
+        prop_assert!(opt.to_text() == text, "module text changed on re-run");
+        Ok(())
+    });
+}

@@ -191,6 +191,7 @@ mod tests {
         mb.finish()
     }
 
+    #[allow(clippy::type_complexity)]
     fn analyse(
         module: &cayman_ir::Module,
     ) -> (

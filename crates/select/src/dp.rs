@@ -141,8 +141,7 @@ impl SelectionResult {
     pub fn best_under(&self, budget: f64) -> &Solution {
         self.pareto
             .iter()
-            .filter(|s| s.area <= budget)
-            .last()
+            .rfind(|s| s.area <= budget)
             .unwrap_or(&self.pareto[0])
     }
 }

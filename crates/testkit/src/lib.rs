@@ -9,6 +9,16 @@
 //! failure it reports the case index and the 64-bit seed that reproduces it,
 //! so a failing case can be replayed with [`Rng::new`] in a scratch test.
 //!
+//! ## Shrinking
+//!
+//! On failure the harness additionally *shrinks*: it replays the failing
+//! seed with the generator's draw ranges narrowed toward their lower bounds
+//! ([`Rng::with_shrink`]), from most to least aggressive factor, and reports
+//! the smallest case that still fails alongside the original. Generators get
+//! this for free when they put the "simpler" end of every range at `lo` and
+//! the simpler variants first in [`Rng::choose`] slices — sizes shrink,
+//! optional features (drawn via [`Rng::bool`]) drop out.
+//!
 //! ```
 //! use cayman_testkit::{prop_check, prop_assert, prop_assert_eq};
 //!
@@ -32,12 +42,41 @@ pub const DEFAULT_CASES: u64 = 96;
 #[derive(Debug, Clone)]
 pub struct Rng {
     state: u64,
+    /// Shrink factor in `[0, 1]`: `0.0` draws from full ranges, larger
+    /// values narrow every `range_*` toward its lower bound and bias
+    /// [`Rng::bool`] toward `false`.
+    shrink: f64,
 }
 
 impl Rng {
-    /// Creates a generator from a seed.
+    /// Creates a generator from a seed (no shrinking).
     pub fn new(seed: u64) -> Self {
-        Rng { state: seed }
+        Rng::with_shrink(seed, 0.0)
+    }
+
+    /// Creates a generator whose draws are shrunk by `shrink`: every
+    /// `range_*(lo, hi)` keeps only the lowest `1 - shrink` fraction of its
+    /// span (at least one value), and [`Rng::bool`] returns `true` with
+    /// probability `(1 - shrink) / 2`. `with_shrink(seed, 0.0)` is exactly
+    /// [`Rng::new`]`(seed)`, draw for draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shrink` is not in `[0, 1]`.
+    pub fn with_shrink(seed: u64, shrink: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&shrink),
+            "shrink factor {shrink} outside [0, 1]"
+        );
+        Rng {
+            state: seed,
+            shrink,
+        }
+    }
+
+    /// The shrink factor this generator was built with.
+    pub fn shrink_factor(&self) -> f64 {
+        self.shrink
     }
 
     /// The next raw 64-bit value (the splitmix64 step).
@@ -66,17 +105,21 @@ impl Rng {
     /// Panics if `lo >= hi`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        lo + self.f64() * (hi - lo)
+        lo + self.f64() * (hi - lo) * (1.0 - self.shrink)
     }
 
-    /// A uniform `i64` in `[lo, hi)`.
+    /// A uniform `i64` in `[lo, hi)`; under shrinking, in the lowest
+    /// `1 - shrink` fraction of that range.
     ///
     /// # Panics
     ///
     /// Panics if `lo >= hi`.
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        let span = hi.wrapping_sub(lo) as u64;
+        let mut span = hi.wrapping_sub(lo) as u64;
+        if self.shrink > 0.0 {
+            span = ((span as f64 * (1.0 - self.shrink)).ceil() as u64).clamp(1, span);
+        }
         lo.wrapping_add((self.next_u64() % span) as i64)
     }
 
@@ -98,9 +141,14 @@ impl Rng {
         self.range_i64(lo as i64, hi as i64) as u32
     }
 
-    /// A fair coin flip.
+    /// A fair coin flip; under shrinking, biased toward `false` (so
+    /// bool-gated generator features drop out of shrunk cases).
     pub fn bool(&mut self) -> bool {
-        self.next_u64() & 1 == 1
+        if self.shrink > 0.0 {
+            self.f64() < 0.5 * (1.0 - self.shrink)
+        } else {
+            self.next_u64() & 1 == 1
+        }
     }
 
     /// A uniformly chosen element of a non-empty slice.
@@ -127,9 +175,47 @@ pub fn case_seed(name: &str, case: u64) -> u64 {
     Rng::new(h ^ case.wrapping_mul(0x2545_F491_4F6C_DD1D)).next_u64()
 }
 
+/// The shrink factors `run_prop` tries on a failing seed, most aggressive
+/// first; the first that still fails is reported as the minimal case.
+pub const SHRINK_FACTORS: [f64; 3] = [0.75, 0.5, 0.25];
+
+/// Extracts a displayable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(p) => match p.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "<non-string panic>".to_string(),
+        },
+    }
+}
+
+/// Replays `property` on `seed` at each [`SHRINK_FACTORS`] entry (most
+/// aggressive narrowing first) and returns the first factor that still
+/// fails, with its failure message. Panics inside the property count as
+/// failures: a shrunk case may trip a different assertion than the original.
+fn shrink_failure<F>(seed: u64, property: &mut F) -> Option<(f64, String)>
+where
+    F: FnMut(&mut Rng) -> Result<(), String>,
+{
+    for &factor in &SHRINK_FACTORS {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            property(&mut Rng::with_shrink(seed, factor))
+        }));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => return Some((factor, msg)),
+            Err(payload) => return Some((factor, panic_message(payload))),
+        }
+    }
+    None
+}
+
 /// Runs `cases` deterministic cases of `property`, panicking with a
-/// seed-report on the first failure. Prefer the [`prop_check!`] macro, which
-/// fills in the enclosing test's name.
+/// seed-report on the first failure. Before reporting, the failing seed is
+/// replayed at the [`SHRINK_FACTORS`] to find a smaller case that still
+/// fails (see the module docs on shrinking). Prefer the [`prop_check!`]
+/// macro, which fills in the enclosing test's name.
 ///
 /// # Panics
 ///
@@ -145,9 +231,21 @@ where
             let mut report = String::new();
             let _ = write!(
                 report,
-                "property `{name}` failed at case {case}/{cases} (seed {seed:#018x}):\n  {msg}\n\
-                 replay with `Rng::new({seed:#018x})`"
+                "property `{name}` failed at case {case}/{cases} (seed {seed:#018x}):\n  {msg}\n"
             );
+            match shrink_failure(seed, &mut property) {
+                Some((factor, small)) => {
+                    let _ = write!(
+                        report,
+                        "minimal case (shrink factor {factor}):\n  {small}\n\
+                         replay with `Rng::with_shrink({seed:#018x}, {factor:?})` \
+                         (unshrunk: `Rng::new({seed:#018x})`)"
+                    );
+                }
+                None => {
+                    let _ = write!(report, "replay with `Rng::new({seed:#018x})`");
+                }
+            }
             panic!("{report}");
         }
     }
@@ -258,6 +356,114 @@ mod tests {
         assert_ne!(case_seed("a", 0), case_seed("a", 1));
         assert_ne!(case_seed("a", 0), case_seed("b", 0));
         assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+
+    #[test]
+    fn shrink_zero_matches_plain_rng_draw_for_draw() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::with_shrink(5, 0.0);
+        for _ in 0..200 {
+            assert_eq!(a.range_i64(-50, 50), b.range_i64(-50, 50));
+            assert_eq!(a.bool(), b.bool());
+            assert_eq!(a.range_f64(0.0, 3.0), b.range_f64(0.0, 3.0));
+        }
+    }
+
+    #[test]
+    fn shrunk_draws_narrow_toward_the_lower_bound() {
+        let mut rng = Rng::with_shrink(11, 0.75);
+        let mut trues = 0;
+        for _ in 0..2000 {
+            let v = rng.range_i64(0, 100);
+            assert!((0..25).contains(&v), "{v} outside shrunk range");
+            let f = rng.range_f64(1.0, 9.0);
+            assert!((1.0..3.0).contains(&f), "{f} outside shrunk range");
+            trues += rng.bool() as u32;
+        }
+        // bool() should be true with probability (1 - 0.75) / 2 = 12.5%.
+        assert!((100..400).contains(&trues), "{trues} trues out of 2000");
+        // Even full shrink keeps every range non-empty.
+        let mut hard = Rng::with_shrink(11, 1.0);
+        assert_eq!(hard.range_i64(7, 20), 7);
+        assert_eq!(hard.range_usize(3, 9), 3);
+    }
+
+    #[test]
+    fn failing_seed_is_shrunk_to_a_minimal_case() {
+        // Fails for any x >= 1: virtually every case fails, and the shrunk
+        // replays fail too, so the report must carry a minimal case whose
+        // value is drawn from a narrowed range.
+        let failed = std::panic::catch_unwind(|| {
+            run_prop("shrinks-to-minimal", 8, |rng| {
+                let x = rng.range_i64(0, 1000);
+                if x >= 1 {
+                    Err(format!("x={x}"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *failed
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string");
+        assert!(msg.contains("minimal case (shrink factor 0.75)"), "{msg}");
+        assert!(msg.contains("with_shrink"), "{msg}");
+        // The shrunk failing value must come from the narrowed range
+        // [0, 250) — parse it back out of the minimal-case line.
+        let small: i64 = msg
+            .lines()
+            .skip_while(|l| !l.contains("minimal case"))
+            .nth(1)
+            .and_then(|l| l.trim().strip_prefix("x="))
+            .expect("minimal case line")
+            .parse()
+            .expect("number");
+        assert!(small < 250, "shrunk value {small} not narrowed");
+    }
+
+    #[test]
+    fn unshrinkable_failure_reports_the_original_seed_only() {
+        // Fails only for large x: every shrunk replay draws from at most
+        // [0, 750) and passes, so the report falls back to the plain seed
+        // line.
+        let failed = std::panic::catch_unwind(|| {
+            run_prop("never-shrinks", 64, |rng| {
+                let x = rng.range_i64(0, 1000);
+                if x >= 750 {
+                    Err(format!("x={x}"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *failed
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string");
+        assert!(msg.contains("replay with `Rng::new("), "{msg}");
+        assert!(!msg.contains("minimal case"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_shrunk_replay_counts_as_a_reproduction() {
+        let failed = std::panic::catch_unwind(|| {
+            run_prop("panics-when-shrunk", 4, |rng| {
+                let x = rng.range_i64(0, 1000);
+                assert!(rng.shrink_factor() == 0.0, "boom at shrink");
+                if x >= 0 {
+                    Err("always".into())
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *failed
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string");
+        assert!(msg.contains("boom at shrink"), "{msg}");
+        assert!(msg.contains("minimal case"), "{msg}");
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn uni() -> Fill {
 }
 
 /// Builds a dense matrix-multiply function `Z = X · Y` (`n×m · m×p`).
+#[allow(clippy::too_many_arguments)]
 fn mm_func(
     mb: &mut ModuleBuilder,
     name: &str,

@@ -40,13 +40,13 @@ fn atax_matches_reference() {
         let tmp: f64 = (0..mm)
             .map(|j| before.get_f64(a, i * mm + j) * before.get_f64(x, j))
             .sum();
-        for j in 0..mm {
-            yref[j] += before.get_f64(a, i * mm + j) * tmp;
+        for (j, yj) in yref.iter_mut().enumerate() {
+            *yj += before.get_f64(a, i * mm + j) * tmp;
         }
     }
-    for j in 0..mm {
+    for (j, &want) in yref.iter().enumerate() {
         let got = after.get_f64(y, j);
-        assert!((got - yref[j]).abs() < 1e-9, "y[{j}]: {got} vs {}", yref[j]);
+        assert!((got - want).abs() < 1e-9, "y[{j}]: {got} vs {want}");
     }
 }
 

@@ -1,0 +1,101 @@
+//! Differential proof that `-O1` normalization is observationally
+//! equivalent to `-O0` on every benchmark of the evaluation: bit-identical
+//! final memory image and return value under realistic inputs.
+//!
+//! Dynamic block counts and cycle totals are *expected* to change — that is
+//! the point of normalization — so only the observable outputs are compared.
+
+use cayman_ir::interp::{Interp, Value};
+use cayman_ir::transform::{normalize, OptLevel};
+
+fn values_bit_equal(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (Some(Value::F(x)), Some(Value::F(y))) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+fn cells_bit_equal(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+            (x, y) => x == y,
+        })
+}
+
+/// Every benchmark normalizes with the verifier green after every pass, and
+/// the normalized module computes a bit-identical memory image and return
+/// value while executing no more dynamic instructions than the original.
+#[test]
+fn o1_matches_o0_on_all_benchmarks() {
+    let mut checked = 0;
+    for w in cayman_workloads::all() {
+        let mut raw = Interp::new(&w.module);
+        raw.memory = w.memory();
+        let raw_profile = raw
+            .run(&[])
+            .unwrap_or_else(|e| panic!("{}: -O0 run failed: {e}", w.name));
+        let raw_instrs = raw_profile.dynamic_instrs(&w.module);
+
+        let mut opt_module = w.module.clone();
+        let stats = normalize(&mut opt_module, OptLevel::O1, true)
+            .unwrap_or_else(|e| panic!("{}: normalize failed: {e}", w.name));
+        assert!(stats.iterations >= 1, "{}: pipeline did not run", w.name);
+        opt_module
+            .verify()
+            .unwrap_or_else(|e| panic!("{}: normalized module broken: {e}", w.name));
+
+        let mut opt = Interp::new(&opt_module);
+        opt.memory = w.memory();
+        let opt_profile = opt
+            .run(&[])
+            .unwrap_or_else(|e| panic!("{}: -O1 run failed: {e}", w.name));
+        let opt_instrs = opt_profile.dynamic_instrs(&opt_module);
+
+        assert!(
+            values_bit_equal(&raw_profile.return_value, &opt_profile.return_value),
+            "{}: return values diverge: {:?} vs {:?}",
+            w.name,
+            raw_profile.return_value,
+            opt_profile.return_value
+        );
+        assert!(
+            cells_bit_equal(raw.memory.cells(), opt.memory.cells()),
+            "{}: final memory diverges",
+            w.name
+        );
+        assert!(
+            opt_instrs <= raw_instrs,
+            "{}: -O1 executes more instructions ({opt_instrs} > {raw_instrs})",
+            w.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 28, "expected the full 28-benchmark evaluation set");
+}
+
+/// Normalization is idempotent: a second `-O1` run changes nothing.
+#[test]
+fn normalization_is_idempotent() {
+    for w in cayman_workloads::all() {
+        let mut m = w.module.clone();
+        normalize(&mut m, OptLevel::O1, false).expect("first run");
+        let stats = normalize(&mut m, OptLevel::O1, true).expect("second run");
+        assert_eq!(
+            stats.total_changes(),
+            0,
+            "{}: second normalize still changed the module",
+            w.name
+        );
+    }
+}
+
+/// `-O0` is the identity.
+#[test]
+fn o0_is_identity() {
+    let w = &cayman_workloads::all()[0];
+    let mut m = w.module.clone();
+    let stats = normalize(&mut m, OptLevel::O0, true).expect("O0 never fails");
+    assert_eq!(stats.iterations, 0);
+    assert_eq!(m, w.module);
+}

@@ -12,6 +12,9 @@ cargo test -q --workspace --offline
 echo "== formatting =="
 cargo fmt --all --check
 
+echo "== lints (clippy, offline) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "== profiling throughput (smoke) =="
 cargo bench -p cayman-bench --bench profiling --offline -- --smoke
 
