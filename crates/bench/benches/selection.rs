@@ -8,17 +8,23 @@
 //!   (independent wPST subtrees evaluated on scoped threads),
 //! * `selection_cache/*` — cold vs memoised selection,
 //! * `alpha_sweep/*` — the ablation for the `filter` spacing parameter,
-//! * `workload/*` — end-to-end selection on representative real benchmarks.
+//! * `workload/*` — end-to-end selection on representative real benchmarks,
+//! * `selection_sched/*` — static chunking vs work stealing on balanced and
+//!   skewed wPSTs across thread budgets, written to `BENCH_selection.json`.
 //!
 //! ```text
-//! cargo bench -p cayman-bench --bench selection
+//! cargo bench -p cayman-bench --bench selection            # full, writes BENCH_selection.json
+//! cargo bench -p cayman-bench --bench selection -- --smoke # CI smoke: scheduler equivalence only
 //! ```
 
-use cayman::ir::builder::ModuleBuilder;
-use cayman::ir::Type;
+use cayman::ir::builder::{FunctionBuilder, ModuleBuilder};
+use cayman::ir::{ArrayId, Type};
 use cayman::select::{run_selection_cached, CaymanModel, DesignCache};
-use cayman::{Framework, SelectOptions};
+use cayman::{Framework, SchedKind, SelectOptions, Solution};
 use cayman_bench::harness::{fmt_duration, run};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
 
 /// An application with `k` independent streaming kernels (scales the wPST).
 fn synthetic_app(k: usize) -> cayman::ir::Module {
@@ -140,10 +146,315 @@ fn bench_real_workloads() {
     }
 }
 
+/// One heavy 16×8 loop nest: enough instructions per wPST vertex that
+/// `accel(v, R)` does real scheduling/pipelining work and dominates the
+/// run (the regime the schedulers compete in).
+fn emit_nest(fb: &mut FunctionBuilder, x: ArrayId, y: ArrayId, seed: f64) {
+    fb.counted_loop(0, 16, 1, |fb, i| {
+        fb.counted_loop(0, 8, 1, |fb, j| {
+            let xv = fb.load_idx(x, &[i, j]);
+            let yv = fb.load_idx(y, &[i, j]);
+            let mut acc = fb.fmul(xv, yv);
+            for k in 0..48 {
+                acc = if k % 2 == 0 {
+                    fb.fadd(acc, xv)
+                } else {
+                    fb.fmul(acc, fb.fconst(seed))
+                };
+            }
+            fb.store_idx(y, &[i, j], acc);
+        });
+    });
+}
+
+/// Balanced wPST: 16 sibling functions, one heavy nest each — every root
+/// child costs the same, so static chunking already spreads the work well.
+fn balanced_app() -> cayman::ir::Module {
+    let mut mb = ModuleBuilder::new("balanced");
+    let arrays: Vec<_> = (0..16)
+        .map(|i| {
+            (
+                mb.array(format!("x{i}"), Type::F64, &[16, 8]),
+                mb.array(format!("y{i}"), Type::F64, &[16, 8]),
+            )
+        })
+        .collect();
+    let funcs: Vec<_> = arrays
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| {
+            mb.function(format!("k{i}"), &[], None, |fb| {
+                emit_nest(fb, x, y, 1.25 + i as f64 * 0.125);
+                fb.ret(None);
+            })
+        })
+        .collect();
+    mb.function("main", &[], None, |fb| {
+        for &f in &funcs {
+            fb.call(f, &[], None);
+        }
+        fb.ret(None);
+    });
+    mb.finish()
+}
+
+/// Skewed wPST: one hot function holding 12 heavy nests plus 8 trivial
+/// siblings. Static chunking assigns the hot function — and with it almost
+/// all the work — to a single sibling chunk, so its nests are evaluated with
+/// only that chunk's slice of the thread budget; work stealing treats every
+/// nest as an independent task and spreads them over all workers.
+fn skewed_app() -> cayman::ir::Module {
+    let mut mb = ModuleBuilder::new("skewed");
+    let x = mb.array("x", Type::F64, &[16, 8]);
+    let y = mb.array("y", Type::F64, &[16, 8]);
+    let hot = mb.function("hot", &[], None, |fb| {
+        for n in 0..12 {
+            emit_nest(fb, x, y, 1.25 + n as f64 * 0.125);
+        }
+        fb.ret(None);
+    });
+    let trivial: Vec<_> = (0..8)
+        .map(|i| {
+            let z = mb.array(format!("z{i}"), Type::F64, &[4]);
+            mb.function(format!("t{i}"), &[], None, |fb| {
+                fb.counted_loop(0, 4, 1, |fb, j| {
+                    let v = fb.load_idx(z, &[j]);
+                    let w = fb.fadd(v, fb.fconst(1.0));
+                    fb.store_idx(z, &[j], w);
+                });
+                fb.ret(None);
+            })
+        })
+        .collect();
+    mb.function("main", &[], None, |fb| {
+        fb.call(hot, &[], None);
+        for &f in &trivial {
+            fb.call(f, &[], None);
+        }
+        fb.ret(None);
+    });
+    mb.finish()
+}
+
+fn fronts_identical(a: &[Solution], b: &[Solution]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.area.to_bits() == y.area.to_bits()
+                && x.saved_seconds.to_bits() == y.saved_seconds.to_bits()
+                && x.kernels.len() == y.kernels.len()
+                && x.kernels
+                    .iter()
+                    .zip(&y.kernels)
+                    .all(|(k, l)| k.node == l.node && k.design.blocks == l.design.blocks)
+        })
+}
+
+/// One `(threads, scheduler)` measurement on one shape.
+struct SchedPoint {
+    threads: usize,
+    sched: &'static str,
+    wall_s: f64,
+    busy_s: f64,
+    makespan_s: f64,
+    balance: f64,
+}
+
+/// Scheduler comparison over one wPST shape.
+struct ShapeResult {
+    shape: &'static str,
+    wall_seq_s: f64,
+    points: Vec<SchedPoint>,
+}
+
+impl ShapeResult {
+    /// Modeled makespan of a `(threads, sched)` point, in seconds.
+    fn makespan(&self, threads: usize, sched: &str) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.threads == threads && p.sched == sched)
+            .map(|p| p.makespan_s)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The tentpole's tracked benchmark: selection wall time and per-worker busy
+/// time on a balanced and a skewed wPST at 1/2/4/8 threads, under both the
+/// static splitter and the work-stealing scheduler. Every parallel run's
+/// front is asserted bit-identical to the sequential one.
+///
+/// Wall time only shows parallel speedup when the host has free cores; the
+/// *modeled* makespan (see [`cayman::SelectStats::makespan_seconds`]) —
+/// built from measured per-worker and per-task CPU time — compares
+/// scheduler quality even on a saturated or single-core host.
+fn bench_scheduler_comparison(smoke: bool) -> Vec<ShapeResult> {
+    println!("# selection_sched — static chunking vs work stealing (uncached)");
+    let mut out = Vec::new();
+    for (shape, module) in [("balanced", balanced_app()), ("skewed", skewed_app())] {
+        let fw = Framework::from_module(module).expect("analyses");
+        // A wider α-spacing keeps the per-vertex Pareto sequences short, so
+        // the runs are dominated by `accel(v, R)` model calls — the
+        // distributable work — rather than by the serial root-level combine.
+        let seq_opts = SelectOptions {
+            alpha: 2.0,
+            ..Default::default()
+        };
+        let reference = select_uncached(&fw, &seq_opts);
+        let wall_seq_s = if smoke {
+            let t0 = Instant::now();
+            select_uncached(&fw, &seq_opts);
+            t0.elapsed().as_secs_f64()
+        } else {
+            run(&format!("selection_sched/{shape}/seq"), || {
+                select_uncached(&fw, &seq_opts)
+            })
+            .min_s
+        };
+        let mut points = Vec::new();
+        for threads in [2usize, 4, 8] {
+            for sched in [SchedKind::Static, SchedKind::WorkSteal] {
+                let opts = SelectOptions {
+                    threads,
+                    sched,
+                    ..seq_opts.clone()
+                };
+                let label = format!("selection_sched/{shape}/{}x{threads}", sched.label());
+                let t0 = Instant::now();
+                let res = select_uncached(&fw, &opts);
+                let one_shot_s = t0.elapsed().as_secs_f64();
+                assert!(
+                    fronts_identical(&reference.pareto, &res.pareto),
+                    "{shape}: {sched:?} threads={threads} diverged from sequential"
+                );
+                assert_eq!(res.visited, reference.visited, "{label}");
+                assert_eq!(
+                    res.configs_evaluated, reference.configs_evaluated,
+                    "{label}"
+                );
+                let wall_s = if smoke {
+                    one_shot_s
+                } else {
+                    run(&label, || select_uncached(&fw, &opts)).min_s
+                };
+                if threads == 8 {
+                    println!(
+                        "{:<36} {}x8: model {} + combine {}, max task {}, busy {}",
+                        "",
+                        res.stats.scheduler,
+                        fmt_duration(res.stats.model_seconds()),
+                        fmt_duration(res.stats.combine_seconds()),
+                        fmt_duration(res.stats.max_task_nanos as f64 * 1e-9),
+                        fmt_duration(res.stats.busy_seconds()),
+                    );
+                }
+                points.push(SchedPoint {
+                    threads,
+                    sched: res.stats.scheduler,
+                    wall_s,
+                    busy_s: res.stats.busy_seconds(),
+                    makespan_s: res.stats.makespan_seconds(),
+                    balance: res.stats.load_balance(),
+                });
+            }
+        }
+        let result = ShapeResult {
+            shape,
+            wall_seq_s,
+            points,
+        };
+        let (st, wk) = (result.makespan(8, "static"), result.makespan(8, "steal"));
+        println!(
+            "{:<36} modeled makespan @8 threads: static {} vs steal {} ({:.2}x)",
+            "",
+            fmt_duration(st),
+            fmt_duration(wk),
+            st / wk.max(1e-12)
+        );
+        out.push(result);
+    }
+    out
+}
+
+/// Hand-rolled JSON (no external dependencies) for machine consumption.
+fn sched_json(results: &[ShapeResult]) -> String {
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\n  \"bench\": \"selection_sched\",\n  \"host_parallelism\": {host},\n  \
+         \"note\": \"wall_s shows no parallel speedup when the host has fewer free cores than \
+         threads; makespan_s is the modeled parallel completion time from measured CPU time \
+         (static: the busiest thread, including the caller's serial spine; steal: the greedy \
+         bound max(total work / workers, most expensive single task))\",\n  \"shapes\": [\n"
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"shape\": \"{}\", \"wall_seq_s\": {:.6}, \"runs\": [",
+            r.shape, r.wall_seq_s
+        );
+        for (j, p) in r.points.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "      {{\"threads\": {}, \"sched\": \"{}\", \"wall_s\": {:.6}, \
+                 \"busy_s\": {:.6}, \"makespan_s\": {:.6}, \"balance\": {:.3}}}{}",
+                p.threads,
+                p.sched,
+                p.wall_s,
+                p.busy_s,
+                p.makespan_s,
+                p.balance,
+                if j + 1 < r.points.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(s, "    ]}}{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    s.push_str("  ],\n  \"modeled_speedup_at_8_threads\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let ratio = r.makespan(8, "static") / r.makespan(8, "steal").max(1e-12);
+        let _ = writeln!(
+            s,
+            "    \"{}_steal_vs_static\": {:.2}{}",
+            r.shape,
+            ratio,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        bench_scheduler_comparison(true);
+        println!(
+            "smoke mode: fronts bit-identical across schedulers and thread budgets; \
+             BENCH_selection.json left untouched"
+        );
+        return;
+    }
     bench_selection_scaling();
     bench_selection_threads();
     bench_selection_cache();
     bench_alpha_sweep();
     bench_real_workloads();
+    let results = bench_scheduler_comparison(false);
+    for r in &results {
+        let ratio = r.makespan(8, "static") / r.makespan(8, "steal").max(1e-12);
+        if r.shape == "skewed" && ratio < 1.5 {
+            eprintln!(
+                "WARNING: skewed steal-vs-static modeled speedup {ratio:.2}x below the 1.5x target"
+            );
+        }
+        if r.shape == "balanced" && ratio < 0.95 {
+            eprintln!(
+                "WARNING: balanced work stealing modeled {ratio:.2}x vs static (target: within 5%)"
+            );
+        }
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_selection.json");
+    std::fs::write(&path, sched_json(&results)).expect("write BENCH_selection.json");
+    println!("wrote {}", path.display());
 }

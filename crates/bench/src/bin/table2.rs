@@ -87,6 +87,15 @@ fn main() {
     println!();
     println!("selection stats (warm re-runs, aggregated): {}", avg.stats);
     println!(
+        "selection scheduler: {} with {} thread(s) per run (steer with CAYMAN_SELECT_SCHED=static|steal and SelectOptions::threads)",
+        if avg.stats.scheduler.is_empty() {
+            "seq"
+        } else {
+            avg.stats.scheduler
+        },
+        avg.stats.threads.max(1)
+    );
+    println!(
         "design cache: cold {:.1} ms total -> warm {:.1} ms total ({:.1}x faster)",
         cold * 1e3,
         warm * 1e3,

@@ -238,12 +238,17 @@ pub fn average_row(rows: &[Table2Row]) -> Table2Row {
             stats.combine_nanos += s.combine_nanos;
             stats.wall_nanos += s.wall_nanos;
             stats.threads = stats.threads.max(s.threads);
+            stats.scheduler = s.scheduler;
+            stats
+                .worker_busy_nanos
+                .extend_from_slice(&s.worker_busy_nanos);
             stats.top_accel.extend(s.top_accel.iter().cloned());
         }
         stats
             .top_accel
             .sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
         stats.top_accel.truncate(cayman::TOP_ACCEL_K);
+        stats.worker_busy_nanos.sort_unstable_by(|a, b| b.cmp(a));
         stats
     };
     Table2Row {

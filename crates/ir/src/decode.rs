@@ -181,6 +181,20 @@ pub(crate) enum DecodedOp {
         lhs: Opnd,
         rhs: Opnd,
     },
+    /// An `FMul` whose single-use product feeds the *immediately following*
+    /// `FAdd`, fused into one dispatch by [`fuse_fmul_fadd`]. The product
+    /// and the sum keep their **separate IEEE roundings** — only the
+    /// dispatch, the product's register write and its re-read are fused, so
+    /// results stay bit-identical to the unfused pair. `product_on_lhs`
+    /// records which side of the add the product sat on, preserving the
+    /// add's operand order (NaN payload propagation) exactly.
+    FMulAdd {
+        dst: u32,
+        a: Opnd,
+        b: Opnd,
+        c: Opnd,
+        product_on_lhs: bool,
+    },
 }
 
 /// Rewrites a generic `Binary`/`Cmp` into its specialised form when one
@@ -238,6 +252,54 @@ fn specialise(op: DecodedOp) -> DecodedOp {
         } if !ty.is_float() => DecodedOp::ICmpEq { dst, lhs, rhs },
         other => other,
     }
+}
+
+/// Fuses an [`DecodedOp::FMul`] directly followed by an [`DecodedOp::FAdd`]
+/// that consumes its result as that result's only static use into one
+/// [`DecodedOp::FMulAdd`].
+///
+/// Only *adjacent* pairs fuse: with no ops between the multiply and the
+/// add, deferring the product's register write cannot reorder it past any
+/// other effect or error, so operand evaluation order — and with it every
+/// type-confusion error and both roundings — is exactly the unfused
+/// sequence's. The single-use requirement (checked against whole-function
+/// static use counts, phi incomings and terminators included) makes the
+/// elided product register unobservable; `t + t` shapes keep both reads and
+/// are left unfused, as is anything writing to the trash slot (its index is
+/// past `use_count` and never qualifies).
+fn fuse_fmul_fadd(ops: Vec<DecodedOp>, use_count: &[u32]) -> Vec<DecodedOp> {
+    let mut out: Vec<DecodedOp> = Vec::with_capacity(ops.len());
+    for op in ops {
+        if let DecodedOp::FAdd { dst, lhs, rhs } = op {
+            if let Some(&DecodedOp::FMul {
+                dst: t,
+                lhs: a,
+                rhs: b,
+            }) = out.last()
+            {
+                let lhs_is_t = matches!(lhs, Opnd::Reg(r) if r == t);
+                let rhs_is_t = matches!(rhs, Opnd::Reg(r) if r == t);
+                if (lhs_is_t != rhs_is_t)
+                    && (t as usize) < use_count.len()
+                    && use_count[t as usize] == 1
+                {
+                    out.pop();
+                    out.push(DecodedOp::FMulAdd {
+                        dst,
+                        a,
+                        b,
+                        c: if lhs_is_t { rhs } else { lhs },
+                        product_on_lhs: lhs_is_t,
+                    });
+                    continue;
+                }
+            }
+            out.push(DecodedOp::FAdd { dst, lhs, rhs });
+        } else {
+            out.push(op);
+        }
+    }
+    out
 }
 
 /// A decoded terminator with direct block and edge-table indices.
@@ -360,6 +422,31 @@ fn decode_func(module: &Module, func: &Function) -> Option<DecodedFunc> {
 
     let cfg = Cfg::compute(func);
     let dom = DomTree::dominators(func, &cfg);
+
+    // Whole-function static use counts per value (operands, phi incomings
+    // and terminators all included), for the fmul→fadd fusion below: a
+    // product consumed exactly once may have its register write elided.
+    let mut use_count = vec![0u32; nvalues];
+    {
+        let mut count = |op: Operand| {
+            if let Operand::Value(v) = op {
+                if v.index() < nvalues {
+                    use_count[v.index()] += 1;
+                }
+            }
+        };
+        for b in func.block_ids() {
+            let blk = func.block(b);
+            for &iid in &blk.instrs {
+                if iid.index() < func.instrs.len() {
+                    func.instr(iid).for_each_operand(&mut count);
+                }
+            }
+            if let Some(term) = blk.term.as_ref() {
+                term.for_each_operand(&mut count);
+            }
+        }
+    }
 
     // Defining block per value; `None` for instruction results whose
     // instruction is in no block (such values are never assigned).
@@ -585,7 +672,7 @@ fn decode_func(module: &Module, func: &Function) -> Option<DecodedFunc> {
                 defined_here[v.index()] = true;
             }
         }
-        block_ops.push(ops);
+        block_ops.push(fuse_fmul_fadd(ops, &use_count));
 
         match blk.terminator() {
             Terminator::CondBr { cond, .. } => {
@@ -862,6 +949,25 @@ impl ExecCtx<'_, '_> {
             DecodedOp::ICmpEq { dst, lhs, rhs } => {
                 let (a, b) = (ev(regs, lhs).as_i()?, ev(regs, rhs).as_i()?);
                 regs[dst as usize] = Value::B(a == b);
+            }
+            DecodedOp::FMulAdd {
+                dst,
+                a,
+                b,
+                c,
+                product_on_lhs,
+            } => {
+                // Product operands first, then the addend — the unfused
+                // pair's evaluation (and error) order. Two roundings: the
+                // product is rounded before the add, not contracted. The add
+                // keeps the original operand order too: it only matters when
+                // both sides are NaN (payload selection follows the lhs).
+                let (x, y) = (ev(regs, a).as_f()?, ev(regs, b).as_f()?);
+                let p = x * y;
+                let cv = ev(regs, c).as_f()?;
+                #[allow(clippy::if_same_then_else)]
+                let sum = if product_on_lhs { p + cv } else { cv + p };
+                regs[dst as usize] = Value::F(sum);
             }
         }
         Ok(())
@@ -1142,5 +1248,166 @@ mod tests {
         let e2 = Interp::reference(&m).run(&[]).expect_err("arity");
         assert_eq!(e1, e2);
         assert!(e1.message.contains("expects 1 args"), "{e1}");
+    }
+
+    fn fma_ops(df: &DecodedFunc) -> usize {
+        df.blocks
+            .iter()
+            .flat_map(|b| b.ops.iter())
+            .filter(|op| matches!(op, DecodedOp::FMulAdd { .. }))
+            .count()
+    }
+
+    #[test]
+    fn fmul_fadd_single_use_chain_fuses_and_matches_walker_bitwise() {
+        // The canonical reduction shape: the loop-carried accumulator is
+        // already in a register, so the fmul is immediately followed by the
+        // fadd consuming its product — the pair must fuse and stay
+        // bit-identical to the walker (separate roundings, no contraction).
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("a", Type::F64, &[16]);
+        let b = mb.array("b", Type::F64, &[16]);
+        mb.function("main", &[], Some(Type::F64), |fb| {
+            let init = fb.fconst(0.0);
+            let f = fb.counted_loop_carry(0, 16, 1, &[(Type::F64, init)], |fb, i, c| {
+                let av = fb.load_idx(a, &[i]);
+                let bv = fb.load_idx(b, &[i]);
+                let p = fb.fmul(av, bv);
+                vec![fb.fadd(c[0], p)]
+            });
+            fb.ret(Some(f[0]));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        assert_eq!(fma_ops(&dm.funcs[0]), 1, "fmul→fadd chain fused");
+
+        let mut di = Interp::new(&m);
+        let mut wi = Interp::reference(&m);
+        for k in 0..16 {
+            // Values whose products round: a contracted (single-rounding)
+            // fma would diverge bitwise and fail the comparison below.
+            let x = 1.0 / (k as f64 + 3.0);
+            let y = (k as f64 + 0.25).sqrt();
+            di.memory.set_f64(a, k, x);
+            wi.memory.set_f64(a, k, x);
+            di.memory.set_f64(b, k, y);
+            wi.memory.set_f64(b, k, y);
+        }
+        let decoded = di.run(&[]).expect("runs");
+        let walked = wi.run(&[]).expect("runs");
+        let (Some(Value::F(dv)), Some(Value::F(wv))) = (decoded.return_value, walked.return_value)
+        else {
+            panic!("float returns expected");
+        };
+        assert_eq!(dv.to_bits(), wv.to_bits(), "{dv} vs {wv}");
+        assert_eq!(decoded.block_counts, walked.block_counts);
+        assert_eq!(decoded.total_cycles, walked.total_cycles);
+    }
+
+    #[test]
+    fn fused_chain_handles_product_on_either_side() {
+        // fadd(p, c) and fadd(c, p) both fuse; the preserved operand order
+        // must keep results bit-identical to the walker in both shapes.
+        for product_first in [true, false] {
+            let mut mb = ModuleBuilder::new("t");
+            mb.function("main", &[Type::F64, Type::F64], Some(Type::F64), |fb| {
+                let x = fb.param(0);
+                let y = fb.param(1);
+                let p = fb.fmul(x, y);
+                let s = if product_first {
+                    fb.fadd(p, y)
+                } else {
+                    fb.fadd(y, p)
+                };
+                fb.ret(Some(s));
+            });
+            let m = mb.finish();
+            m.verify().expect("verifies");
+            let dm = decode(&m).expect("decodes");
+            assert_eq!(fma_ops(&dm.funcs[0]), 1, "product_first={product_first}");
+            let args = [Value::F(1.1e-3), Value::F(-7.3)];
+            let decoded = Interp::new(&m).run(&args).expect("runs");
+            let walked = Interp::reference(&m).run(&args).expect("runs");
+            let (Some(Value::F(dv)), Some(Value::F(wv))) =
+                (decoded.return_value, walked.return_value)
+            else {
+                panic!("float returns expected");
+            };
+            assert_eq!(dv.to_bits(), wv.to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_use_product_does_not_fuse() {
+        // p feeds the adjacent fadd *and* a later op: eliding its register
+        // write would lose the second read, so the pair must stay unfused.
+        let mut mb = ModuleBuilder::new("t");
+        mb.function("main", &[Type::F64], Some(Type::F64), |fb| {
+            let x = fb.param(0);
+            let p = fb.fmul(x, x);
+            let s = fb.fadd(p, x);
+            let t = fb.fadd(s, p);
+            fb.ret(Some(t));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        assert_eq!(fma_ops(&dm.funcs[0]), 0, "double-used product fused");
+        let args = [Value::F(0.3)];
+        let decoded = Interp::new(&m).run(&args).expect("runs");
+        let walked = Interp::reference(&m).run(&args).expect("runs");
+        assert_eq!(decoded.return_value, walked.return_value);
+    }
+
+    #[test]
+    fn non_adjacent_fmul_fadd_does_not_fuse() {
+        // A load sits between the multiply and the add (the in-memory
+        // accumulation shape): deferring the multiply past it would reorder
+        // errors, so only adjacent pairs fuse.
+        let mut mb = ModuleBuilder::new("t");
+        let a = mb.array("a", Type::F64, &[8]);
+        let z = mb.array("z", Type::F64, &[8]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                let av = fb.load_idx(a, &[i]);
+                let p = fb.fmul(av, av);
+                let zv = fb.load_idx(z, &[i]);
+                let s = fb.fadd(zv, p);
+                fb.store_idx(z, &[i], s);
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let dm = decode(&m).expect("decodes");
+        assert_eq!(fma_ops(&dm.funcs[0]), 0, "non-adjacent pair fused");
+    }
+
+    #[test]
+    fn fused_chain_error_order_matches_walker() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.function("main", &[Type::F64, Type::F64], Some(Type::F64), |fb| {
+            let x = fb.param(0);
+            let y = fb.param(1);
+            let p = fb.fmul(x, x);
+            let s = fb.fadd(p, y);
+            fb.ret(Some(s));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        assert_eq!(fma_ops(&decode(&m).expect("decodes").funcs[0]), 1);
+        // Non-float addend: the fused op must report the add-side type error
+        // after evaluating the product operands, exactly like the walker.
+        let bad_addend = [Value::F(1.0), Value::I(7)];
+        let e1 = Interp::new(&m).run(&bad_addend).expect_err("type");
+        let e2 = Interp::reference(&m).run(&bad_addend).expect_err("type");
+        assert_eq!(e1, e2);
+        // Non-float product operand errors first even when the addend is
+        // also non-float.
+        let both_bad = [Value::I(1), Value::I(7)];
+        let e1 = Interp::new(&m).run(&both_bad).expect_err("type");
+        let e2 = Interp::reference(&m).run(&both_bad).expect_err("type");
+        assert_eq!(e1, e2);
     }
 }

@@ -21,6 +21,7 @@
 use cayman_hls::design::AcceleratorDesign;
 use cayman_hls::inputs::CandidateKey;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -44,17 +45,66 @@ pub struct DesignKey {
     pub candidate: CandidateKey,
 }
 
+/// Number of independent lock stripes. A power of two so the stripe pick is
+/// a mask; 16 stripes keep the probability of two of ≤16 workers colliding
+/// on one lock low without bloating the cache with empty maps.
+const STRIPES: usize = 16;
+
+/// 64-bit FNV-1a — a deterministic, dependency-free [`Hasher`] so stripe
+/// assignment is stable across runs and processes (the `HashMap`s inside
+/// each stripe still use `RandomState`; only the stripe pick needs to be
+/// deterministic).
+struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Which lock stripe a key lives on.
+fn stripe_of(key: &DesignKey) -> usize {
+    let mut h = Fnv1a(0xCBF2_9CE4_8422_2325);
+    key.hash(&mut h);
+    // splitmix64 finaliser: FNV-1a's low bits alone mix the tail weakly.
+    let mut z = h.finish();
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z as usize) & (STRIPES - 1)
+}
+
 /// Memoised `accel(v, R)` results, shareable across selection runs and
 /// across threads within a run.
 ///
 /// Entries are `Arc`ed so hits hand out cheap clones of the design vector.
-/// Hit/miss counters are global to the cache (lifetime totals); per-run
-/// counts are tracked by the DP's own stats.
-#[derive(Debug, Default)]
+/// The table is sharded into [`STRIPES`] independently locked stripes keyed
+/// by a deterministic hash of the [`DesignKey`], so parallel workers probing
+/// different candidates do not serialise on one global lock. Hit/miss
+/// counters are global to the cache (lifetime totals) and are bumped outside
+/// the critical section; per-run counts are tracked by the DP's own stats.
+#[derive(Debug)]
 pub struct DesignCache {
-    entries: Mutex<HashMap<DesignKey, Arc<Vec<AcceleratorDesign>>>>,
+    stripes: [Mutex<HashMap<DesignKey, Arc<Vec<AcceleratorDesign>>>>; STRIPES],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for DesignCache {
+    fn default() -> Self {
+        DesignCache {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl DesignCache {
@@ -63,14 +113,15 @@ impl DesignCache {
         DesignCache::default()
     }
 
-    /// Looks up memoised designs, counting a hit or a miss.
+    /// Looks up memoised designs, counting a hit or a miss. Only the key's
+    /// stripe is locked, and only for the probe itself.
     pub fn lookup(&self, key: &DesignKey) -> Option<Arc<Vec<AcceleratorDesign>>> {
-        let found = self
-            .entries
-            .lock()
-            .expect("design cache poisoned")
-            .get(key)
-            .cloned();
+        let found = {
+            let stripe = self.stripes[stripe_of(key)]
+                .lock()
+                .expect("design cache poisoned");
+            stripe.get(key).cloned()
+        };
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -87,16 +138,19 @@ impl DesignCache {
         designs: Vec<AcceleratorDesign>,
     ) -> Arc<Vec<AcceleratorDesign>> {
         let arc = Arc::new(designs);
-        self.entries
+        self.stripes[stripe_of(&key)]
             .lock()
             .expect("design cache poisoned")
             .insert(key, Arc::clone(&arc));
         arc
     }
 
-    /// Number of memoised candidate entries.
+    /// Number of memoised candidate entries, summed over stripes.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("design cache poisoned").len()
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("design cache poisoned").len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -114,7 +168,9 @@ impl DesignCache {
 
     /// Drops all entries and resets the lifetime counters.
     pub fn clear(&self) {
-        self.entries.lock().expect("design cache poisoned").clear();
+        for stripe in &self.stripes {
+            stripe.lock().expect("design cache poisoned").clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -175,5 +231,45 @@ mod tests {
             options: 2,
         };
         assert!(cache.lookup(&a).is_none(), "different options must miss");
+    }
+
+    #[test]
+    fn stripe_assignment_is_deterministic_and_spreads() {
+        let keys: Vec<DesignKey> = (0..64).map(|i| key(i, u64::from(i))).collect();
+        let stripes: Vec<usize> = keys.iter().map(stripe_of).collect();
+        // stable across repeated hashing
+        assert_eq!(stripes, keys.iter().map(stripe_of).collect::<Vec<_>>());
+        let used: std::collections::HashSet<usize> = stripes.iter().copied().collect();
+        assert!(
+            used.len() > STRIPES / 2,
+            "64 distinct keys landed on only {} stripe(s)",
+            used.len()
+        );
+        assert!(used.iter().all(|&s| s < STRIPES));
+    }
+
+    #[test]
+    fn striped_cache_survives_concurrent_mixed_use() {
+        let cache = DesignCache::new();
+        for i in 0..64 {
+            cache.insert(key(i, 1), Vec::new());
+        }
+        assert_eq!(cache.len(), 64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..64 {
+                        assert!(cache.lookup(&key(i, 1)).is_some(), "pre-seeded key missing");
+                        cache.insert(key(i, t + 2), Vec::new());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64 * 5, "64 seeded + 4×64 distinct inserts");
+        let (hits, misses) = cache.totals();
+        assert_eq!((hits, misses), (4 * 64, 0));
+        cache.clear();
+        assert!(cache.is_empty());
     }
 }

@@ -34,7 +34,8 @@
 
 use crate::cache::{DesignCache, DesignKey, ModelId};
 use crate::pareto::{combine, filter, pareto, Solution};
-use crate::stats::{AtomicStats, SelectStats};
+use crate::sched::{self, SchedKind};
+use crate::stats::{thread_cpu_nanos, AtomicStats, SelectStats};
 use cayman_analysis::profile::Profile;
 use cayman_analysis::wpst::{Wpst, WpstNodeId};
 use cayman_hls::design::{generate_designs, AcceleratorDesign};
@@ -96,6 +97,11 @@ pub struct SelectOptions {
     /// `1` (the default) runs fully sequentially; the Pareto front is
     /// identical for every value.
     pub threads: usize,
+    /// Which parallel engine to use when `threads > 1`: work-stealing
+    /// tasks (the default) or the static sibling-chunk splitter. Both are
+    /// bit-identical to sequential; the default honours the
+    /// `CAYMAN_SELECT_SCHED` environment variable (`static` / `steal`).
+    pub sched: SchedKind,
 }
 
 impl Default for SelectOptions {
@@ -105,6 +111,7 @@ impl Default for SelectOptions {
             alpha: 1.1,
             prune_share: 0.001,
             threads: 1,
+            sched: SchedKind::from_env(),
         }
     }
 }
@@ -138,11 +145,22 @@ pub struct SelectionResult {
 
 impl SelectionResult {
     /// The best solution whose area fits `budget` (largest saving).
+    ///
+    /// Falls back to the front's first entry (the empty solution) when
+    /// nothing fits — a negative budget, say — and to a static empty
+    /// solution when the front itself is empty, so an empty selection can
+    /// never panic a budget sweep.
     pub fn best_under(&self, budget: f64) -> &Solution {
+        static EMPTY: Solution = Solution {
+            kernels: Vec::new(),
+            area: 0.0,
+            saved_seconds: 0.0,
+        };
         self.pareto
             .iter()
             .rfind(|s| s.area <= budget)
-            .unwrap_or(&self.pareto[0])
+            .or_else(|| self.pareto.first())
+            .unwrap_or(&EMPTY)
     }
 }
 
@@ -202,10 +220,30 @@ pub fn run_selection_cached(
         cache,
         stats: AtomicStats::default(),
     };
-    let f_root = engine.dp(wpst.root(), opts.threads.max(1));
+    let threads = opts.threads.max(1);
+    let f_root = if threads > 1 && opts.sched == SchedKind::WorkSteal {
+        sched::run_work_stealing(&engine, threads)
+    } else if threads > 1 {
+        // The caller thread carries the static splitter's serial spine —
+        // root-level combines and chain vertices — which is on the critical
+        // path, so record it alongside the chunk workers' busy entries.
+        let cpu0 = thread_cpu_nanos();
+        let f = engine.dp(wpst.root(), threads);
+        engine
+            .stats
+            .record_worker_busy(thread_cpu_nanos().saturating_sub(cpu0));
+        f
+    } else {
+        engine.dp(wpst.root(), threads)
+    };
+    let scheduler = if threads <= 1 {
+        "seq"
+    } else {
+        opts.sched.label()
+    };
     let stats = engine
         .stats
-        .snapshot(t0.elapsed().as_nanos() as u64, opts.threads.max(1));
+        .snapshot(t0.elapsed().as_nanos() as u64, threads, scheduler);
     SelectionResult {
         pareto: f_root,
         visited: stats.visited,
@@ -214,15 +252,15 @@ pub fn run_selection_cached(
     }
 }
 
-struct Engine<'a> {
+pub(crate) struct Engine<'a> {
     module: &'a Module,
-    wpst: &'a Wpst,
-    profile: &'a Profile,
+    pub(crate) wpst: &'a Wpst,
+    pub(crate) profile: &'a Profile,
     inputs: &'a [FuncInputs<'a>],
-    opts: &'a SelectOptions,
+    pub(crate) opts: &'a SelectOptions,
     model: &'a dyn AccelModel,
     cache: &'a DesignCache,
-    stats: AtomicStats,
+    pub(crate) stats: AtomicStats,
 }
 
 impl Engine<'_> {
@@ -273,19 +311,28 @@ impl Engine<'_> {
             return children.iter().map(|&u| self.dp(u, 1)).collect();
         }
         // Spawn at most `threads` workers; each takes a contiguous chunk of
-        // siblings (preserving order) and shares the leftover budget.
+        // siblings (preserving order). Uneven chunking can materialise fewer
+        // chunks than `workers`, so the budget is split over the *actual*
+        // chunk count — the old `threads / workers` divided by the wrong
+        // denominator and silently dropped the remainder.
         let workers = threads.min(children.len());
         let chunk_size = children.len().div_ceil(workers);
-        let sub_budget = (threads / workers).max(1);
+        let nchunks = children.len().div_ceil(chunk_size);
+        let budgets = split_budget(threads, nchunks);
         std::thread::scope(|scope| {
             let handles: Vec<_> = children
                 .chunks(chunk_size)
-                .map(|chunk| {
+                .zip(&budgets)
+                .map(|(chunk, &budget)| {
                     scope.spawn(move || {
-                        chunk
+                        let cpu0 = thread_cpu_nanos();
+                        let fronts = chunk
                             .iter()
-                            .map(|&u| self.dp(u, sub_budget))
-                            .collect::<Vec<_>>()
+                            .map(|&u| self.dp(u, budget))
+                            .collect::<Vec<_>>();
+                        self.stats
+                            .record_worker_busy(thread_cpu_nanos().saturating_sub(cpu0));
+                        fronts
                     })
                 })
                 .collect();
@@ -298,7 +345,7 @@ impl Engine<'_> {
 
     /// `accel(v, R)`: configurations for accelerating vertex `v` as a single
     /// extracted kernel, answered from the design cache when possible.
-    fn accel(&self, v: WpstNodeId) -> Vec<Solution> {
+    pub(crate) fn accel(&self, v: WpstNodeId) -> Vec<Solution> {
         let Some((region, func)) = self.wpst.region(v) else {
             return Vec::new();
         };
@@ -358,6 +405,16 @@ impl Engine<'_> {
             None => Arc::new(designs),
         }
     }
+}
+
+/// Splits a thread budget of `threads` over `nchunks` workers so that the
+/// whole budget is used: every worker gets at least `threads / nchunks`, and
+/// the first `threads % nchunks` workers get one more. The sum is always
+/// exactly `threads`, and every entry is ≥ 1 whenever `threads >= nchunks`.
+pub(crate) fn split_budget(threads: usize, nchunks: usize) -> Vec<usize> {
+    let base = threads / nchunks;
+    let rem = threads % nchunks;
+    (0..nchunks).map(|i| base + usize::from(i < rem)).collect()
 }
 
 #[cfg(test)]
@@ -604,25 +661,85 @@ mod tests {
             &inputs,
             &SelectOptions::default(),
         );
-        for threads in [2usize, 3, 8] {
-            let par = run_selection(
-                &app.module,
-                &app.wpst,
-                &app.profile,
-                &inputs,
-                &SelectOptions {
+        assert_eq!(seq.stats.scheduler, "seq");
+        assert!(seq.stats.worker_busy_nanos.is_empty());
+        for sched in [SchedKind::Static, SchedKind::WorkSteal] {
+            for threads in [2usize, 3, 8] {
+                let opts = SelectOptions {
                     threads,
+                    sched,
                     ..Default::default()
-                },
-            );
-            assert!(
-                fronts_identical(&seq.pareto, &par.pareto),
-                "threads={threads} changed the front"
-            );
-            assert_eq!(par.visited, seq.visited);
-            assert_eq!(par.configs_evaluated, seq.configs_evaluated);
-            assert_eq!(par.stats.threads, threads);
+                };
+                let par = run_selection(&app.module, &app.wpst, &app.profile, &inputs, &opts);
+                assert!(
+                    fronts_identical(&seq.pareto, &par.pareto),
+                    "{sched:?} threads={threads} changed the front"
+                );
+                assert_eq!(par.visited, seq.visited, "{sched:?} threads={threads}");
+                assert_eq!(par.stats.pruned, seq.stats.pruned);
+                assert_eq!(par.configs_evaluated, seq.configs_evaluated);
+                assert_eq!(par.stats.threads, threads);
+                assert_eq!(par.stats.scheduler, sched.label());
+                assert!(
+                    !par.stats.worker_busy_nanos.is_empty(),
+                    "{sched:?} spawned no workers"
+                );
+                // A repeated run must also be bit-identical: no steal
+                // interleaving or chunk assignment may leak into the front.
+                let again = run_selection(&app.module, &app.wpst, &app.profile, &inputs, &opts);
+                assert!(
+                    fronts_identical(&par.pareto, &again.pareto),
+                    "{sched:?} threads={threads} is not reproducible"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn split_budget_spends_the_whole_thread_budget() {
+        // The old splitter computed (threads / workers).max(1) with the
+        // worker count instead of the materialised chunk count: 8 threads
+        // over 9 children → chunk_size 2 → 5 chunks, but budget 1 each,
+        // silently dropping 3 threads.
+        assert_eq!(split_budget(8, 5), vec![2, 2, 2, 1, 1]);
+        assert_eq!(split_budget(8, 3), vec![3, 3, 2]);
+        assert_eq!(split_budget(4, 4), vec![1, 1, 1, 1]);
+        assert_eq!(split_budget(7, 2), vec![4, 3]);
+        for threads in 1..24usize {
+            for nchunks in 1..=threads {
+                let budgets = split_budget(threads, nchunks);
+                assert_eq!(budgets.len(), nchunks);
+                assert_eq!(budgets.iter().sum::<usize>(), threads, "budget lost");
+                assert!(budgets.iter().all(|&b| b >= 1));
+                assert!(budgets.windows(2).all(|w| w[0] >= w[1]), "non-increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn best_under_on_an_empty_front_returns_the_empty_solution() {
+        let res = SelectionResult {
+            pareto: Vec::new(),
+            visited: 0,
+            configs_evaluated: 0,
+            stats: SelectStats::default(),
+        };
+        let sol = res.best_under(0.5);
+        assert!(sol.kernels.is_empty());
+        assert_eq!(sol.area, 0.0);
+        assert_eq!(sol.saved_seconds, 0.0);
+        // And a budget nothing fits still yields the empty fallback rather
+        // than a panic on a populated front.
+        let app = App::analyse(two_kernel_app());
+        let inputs = app.inputs();
+        let full = run_selection(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            &SelectOptions::default(),
+        );
+        assert!(full.best_under(-1.0).kernels.is_empty());
     }
 
     #[test]

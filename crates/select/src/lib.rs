@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod dp;
 pub mod pareto;
+pub mod sched;
 pub mod stats;
 
 pub use cache::{DesignCache, DesignKey, ModelId};
@@ -30,4 +31,5 @@ pub use dp::{
     SelectOptions, SelectionResult,
 };
 pub use pareto::{combine, filter, pareto, SelectedKernel, Solution};
+pub use sched::SchedKind;
 pub use stats::{AccelCallStat, SelectStats, TOP_ACCEL_K};

@@ -50,6 +50,22 @@ pub struct SelectStats {
     /// The up-to-[`TOP_ACCEL_K`] most expensive `accel(v, R)` model
     /// invocations, most expensive first.
     pub top_accel: Vec<AccelCallStat>,
+    /// Which subtree engine ran the DP: `"seq"`, `"static"` or `"steal"`
+    /// (empty on hand-built snapshots).
+    pub scheduler: &'static str,
+    /// Per-worker busy CPU nanoseconds, largest first; empty for sequential
+    /// runs. The work-stealing scheduler records exactly one entry per
+    /// worker thread; the static splitter records one per spawned chunk
+    /// worker across its nested scopes plus one for the caller thread
+    /// (which carries the serial spine: root-level combines and chain
+    /// vertices). Each entry excludes time its own nested children
+    /// consumed, so entries never double-count work.
+    pub worker_busy_nanos: Vec<u64>,
+    /// CPU nanoseconds of the most expensive single task the work-stealing
+    /// scheduler executed (a model call, or a fold cascade reaching the
+    /// root); `0` for sequential and static runs. An indivisible-work floor
+    /// for the modeled makespan.
+    pub max_task_nanos: u64,
 }
 
 impl SelectStats {
@@ -80,6 +96,49 @@ impl SelectStats {
     /// threads).
     pub fn combine_seconds(&self) -> f64 {
         self.combine_nanos as f64 * 1e-9
+    }
+
+    /// Total worker CPU seconds — the parallelisable work the schedulers
+    /// distribute. `0` for sequential runs (no workers were spawned).
+    pub fn busy_seconds(&self) -> f64 {
+        self.worker_busy_nanos.iter().sum::<u64>() as f64 * 1e-9
+    }
+
+    /// Modeled makespan in seconds: how long the run would take on a host
+    /// with at least `threads` free cores. `0` for sequential runs.
+    ///
+    /// For the static splitter the busiest recorded thread *is* the model:
+    /// the partition is fixed up front, so whichever chunk (or the caller's
+    /// serial spine) carries the most CPU time bounds the run.
+    ///
+    /// For the work-stealing scheduler the per-worker split measured on an
+    /// oversubscribed host is an artefact of OS scheduling — one worker can
+    /// drain every queue before the others are even dispatched — so the
+    /// greedy-scheduling bound `max(total work / workers, most expensive
+    /// single task)` is used instead. Both terms are measured CPU time, and
+    /// the bound never exceeds the busiest worker.
+    pub fn makespan_seconds(&self) -> f64 {
+        let n = self.worker_busy_nanos.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if self.scheduler == "steal" {
+            let ideal = self.busy_seconds() / n as f64;
+            ideal.max(self.max_task_nanos as f64 * 1e-9)
+        } else {
+            self.worker_busy_nanos[0] as f64 * 1e-9
+        }
+    }
+
+    /// Load balance in `(0, 1]`: total busy time over `workers × busiest
+    /// worker`. `1.0` means every worker carried the same load (and for runs
+    /// with no workers, where there is nothing to balance).
+    pub fn load_balance(&self) -> f64 {
+        let n = self.worker_busy_nanos.len();
+        if n == 0 || self.worker_busy_nanos[0] == 0 {
+            return 1.0;
+        }
+        self.busy_seconds() / (n as f64 * self.makespan_seconds())
     }
 
     /// The top-k `accel(v, R)` breakdown as printable lines, most expensive
@@ -116,7 +175,14 @@ impl fmt::Display for SelectStats {
             self.combine_seconds() * 1e3,
             self.wall_seconds() * 1e3,
             self.threads.max(1),
-        )
+        )?;
+        if !self.scheduler.is_empty() {
+            write!(f, " [{}]", self.scheduler)?;
+        }
+        if !self.worker_busy_nanos.is_empty() {
+            write!(f, ", balance {:.2}", self.load_balance())?;
+        }
+        Ok(())
     }
 }
 
@@ -138,6 +204,12 @@ pub(crate) struct AtomicStats {
     /// model invocations are orders of magnitude more expensive than the
     /// push, so contention is negligible.
     top_accel: Mutex<Vec<AccelCallStat>>,
+    /// One busy-CPU-nanoseconds entry per worker (pushed once at worker
+    /// exit, so contention is a non-issue).
+    worker_busy: Mutex<Vec<u64>>,
+    /// CPU nanoseconds of the most expensive single scheduler task seen so
+    /// far (work-stealing runs only).
+    max_task: AtomicU64,
 }
 
 impl AtomicStats {
@@ -165,11 +237,36 @@ impl AtomicStats {
         }
     }
 
+    /// Records one scheduler task's CPU time; keeps the maximum.
+    pub fn record_task_nanos(&self, nanos: u64) {
+        self.max_task.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one worker thread's busy CPU time, called as the worker
+    /// exits.
+    pub fn record_worker_busy(&self, nanos: u64) {
+        self.worker_busy
+            .lock()
+            .expect("stats mutex poisoned")
+            .push(nanos);
+    }
+
     /// Freezes the accumulator into a snapshot.
-    pub fn snapshot(&self, wall_nanos: u64, threads: usize) -> SelectStats {
+    pub fn snapshot(
+        &self,
+        wall_nanos: u64,
+        threads: usize,
+        scheduler: &'static str,
+    ) -> SelectStats {
         let mut top_accel = self.top_accel.lock().expect("stats mutex poisoned").clone();
         top_accel.sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
         top_accel.truncate(TOP_ACCEL_K);
+        let mut worker_busy = self
+            .worker_busy
+            .lock()
+            .expect("stats mutex poisoned")
+            .clone();
+        worker_busy.sort_unstable_by(|a, b| b.cmp(a));
         SelectStats {
             visited: self.visited.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
@@ -182,8 +279,55 @@ impl AtomicStats {
             wall_nanos,
             threads,
             top_accel,
+            scheduler,
+            worker_busy_nanos: worker_busy,
+            max_task_nanos: self.max_task.load(Ordering::Relaxed),
         }
     }
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+///
+/// Used for per-worker busy accounting: on a host with fewer cores than
+/// workers (CI containers are often single-core), wall-clock attribution
+/// would charge preemption gaps to whichever worker happened to be
+/// descheduled, while thread CPU time measures the work itself — the
+/// quantity that becomes the per-worker wall time on a sufficiently
+/// parallel host.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub(crate) fn thread_cpu_nanos() -> u64 {
+    // Raw clock_gettime(CLOCK_THREAD_CPUTIME_ID): std exposes no
+    // thread-CPU clock and the workspace links no libc crate.
+    const SYS_CLOCK_GETTIME: i64 = 228;
+    const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+    let mut ts = [0i64; 2]; // timespec { tv_sec, tv_nsec }
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_CLOCK_GETTIME => ret,
+            in("rdi") CLOCK_THREAD_CPUTIME_ID,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    if ret != 0 {
+        return 0;
+    }
+    (ts[0] as u64).saturating_mul(1_000_000_000) + ts[1] as u64
+}
+
+/// Portable fallback: wall time from a process-global epoch. Overcounts a
+/// preempted worker's busy time, but keeps balance numbers meaningful on
+/// uncontended hosts.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub(crate) fn thread_cpu_nanos() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 #[cfg(test)]
@@ -210,7 +354,13 @@ mod tests {
         AtomicStats::add_u64(&a.cache_misses, 6);
         AtomicStats::add_u64(&a.model_nanos, 1_000);
         AtomicStats::add_u64(&a.combine_nanos, 2_000);
-        let s = a.snapshot(5_000, 4);
+        a.record_worker_busy(300);
+        a.record_worker_busy(900);
+        a.record_worker_busy(600);
+        a.record_task_nanos(400);
+        a.record_task_nanos(700);
+        a.record_task_nanos(250);
+        let s = a.snapshot(5_000, 4, "steal");
         assert_eq!(s.visited, 5);
         assert_eq!(s.pruned, 2);
         assert_eq!(s.configs_considered, 10);
@@ -219,10 +369,48 @@ mod tests {
         assert_eq!(s.cache_misses, 6);
         assert_eq!(s.wall_nanos, 5_000);
         assert_eq!(s.threads, 4);
+        assert_eq!(s.scheduler, "steal");
+        assert_eq!(s.worker_busy_nanos, vec![900, 600, 300], "sorted desc");
+        assert_eq!(s.max_task_nanos, 700, "fetch_max keeps the largest task");
+        assert!((s.busy_seconds() - 1_800e-9).abs() < 1e-15);
+        // steal: greedy bound = max(1800/3, 700) = 700ns
+        assert!((s.makespan_seconds() - 700e-9).abs() < 1e-15);
+        assert!((s.load_balance() - 1800.0 / (3.0 * 700.0)).abs() < 1e-12);
+        // static: the busiest recorded thread bounds the run
+        let mut st = s.clone();
+        st.scheduler = "static";
+        assert!((st.makespan_seconds() - 900e-9).abs() < 1e-15);
+        // steal with no dominant task: ideal split = 1800/3 = 600ns
+        let mut even = s.clone();
+        even.max_task_nanos = 0;
+        assert!((even.makespan_seconds() - 600e-9).abs() < 1e-15);
         // the Display line mentions the key numbers
         let line = s.to_string();
         assert!(line.contains("visited 5"), "{line}");
         assert!(line.contains("40%"), "{line}");
+        assert!(line.contains("[steal]"), "{line}");
+        assert!(line.contains("balance"), "{line}");
+    }
+
+    #[test]
+    fn busy_helpers_handle_no_workers() {
+        let s = SelectStats::default();
+        assert_eq!(s.busy_seconds(), 0.0);
+        assert_eq!(s.makespan_seconds(), 0.0);
+        assert_eq!(s.load_balance(), 1.0);
+        assert!(!s.to_string().contains("balance"));
+    }
+
+    #[test]
+    fn thread_cpu_clock_is_monotone_and_advances() {
+        let a = thread_cpu_nanos();
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i ^ x.rotate_left(7));
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_nanos();
+        assert!(b > a, "spin consumed no CPU time ({a} → {b})");
     }
 
     #[test]
@@ -233,7 +421,7 @@ mod tests {
             a.record_accel(format!("f#v{i}"), (i as u64 % 37) * 1000, i);
         }
         a.record_accel("hot#v0".into(), 1_000_000, 3);
-        let s = a.snapshot(1, 1);
+        let s = a.snapshot(1, 1, "seq");
         assert_eq!(s.top_accel.len(), TOP_ACCEL_K);
         assert_eq!(s.top_accel[0].label, "hot#v0");
         assert_eq!(s.top_accel[0].designs, 3);

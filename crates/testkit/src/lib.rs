@@ -31,6 +31,8 @@
 //! });
 //! ```
 
+pub mod tree;
+
 use std::fmt::Write as _;
 
 /// Default number of cases [`prop_check!`] runs when none is given.

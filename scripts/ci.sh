@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== profiling throughput (smoke) =="
 cargo bench -p cayman-bench --bench profiling --offline -- --smoke
 
+echo "== selection schedulers (smoke: fronts bit-identical) =="
+cargo bench -p cayman-bench --bench selection --offline -- --smoke
+
 echo "ci: OK"
