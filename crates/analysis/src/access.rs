@@ -55,6 +55,7 @@ pub struct AccessAnalysis {
 impl AccessAnalysis {
     /// Analyses every memory access of `func`.
     pub fn run(module: &Module, func: &Function, ctx: &FuncCtx, scev: &mut Scev<'_>) -> Self {
+        let _s = cayman_obs::span!("analyse.access");
         let mut accesses = Vec::new();
         for b in func.block_ids() {
             if !ctx.cfg.is_reachable(b) {

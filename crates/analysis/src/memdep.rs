@@ -103,6 +103,7 @@ pub fn analyse_loop_deps(
     scev: &mut Scev<'_>,
     accesses: &AccessAnalysis,
 ) -> Vec<LoopDeps> {
+    let _s = cayman_obs::span!("analyse.memdep");
     ctx.forest
         .ids()
         .map(|l| analyse_one_loop(func, ctx, scev, accesses, l))

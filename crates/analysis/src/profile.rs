@@ -34,6 +34,7 @@ pub struct Profile {
 impl Profile {
     /// Aggregates an interpreter run onto the wPST.
     pub fn aggregate(module: &Module, wpst: &Wpst, exec: &ExecProfile) -> Self {
+        let _s = cayman_obs::span!("profile.aggregate");
         // Static per-block cycles.
         let static_cycles: Vec<Vec<u64>> = module
             .functions

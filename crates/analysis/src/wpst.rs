@@ -64,6 +64,7 @@ pub struct Wpst {
 impl Wpst {
     /// Builds the wPST of a module.
     pub fn build(module: &Module) -> Self {
+        let _s = cayman_obs::span!("analyse.wpst", functions = module.functions.len());
         let mut nodes = vec![WpstNode {
             kind: WpstKind::Root,
             children: Vec::new(),

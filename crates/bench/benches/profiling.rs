@@ -15,7 +15,7 @@
 use cayman::ir::interp::Interp;
 use cayman::workloads::{self, Suite, Workload};
 use cayman_bench::harness::bench;
-use std::fmt::Write as _;
+use cayman_bench::json;
 use std::path::Path;
 
 /// One suite's measurement.
@@ -96,45 +96,39 @@ fn measure_suite(suite: Suite, ws: &[&Workload]) -> SuiteResult {
     r
 }
 
-/// Hand-rolled JSON (no external dependencies) for machine consumption.
+/// Machine-readable output via the shared `cayman_bench::json` writer.
 fn to_json(results: &[SuiteResult]) -> String {
-    let mut s = String::new();
-    s.push_str(
-        "{\n  \"bench\": \"profiling\",\n  \"unit\": \"blocks_per_second\",\n  \"suites\": [\n",
-    );
-    for (i, r) in results.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"suite\": \"{}\", \"benchmarks\": {}, \"blocks_per_run\": {}, \
-             \"decoded_blocks_per_s\": {:.0}, \"reference_blocks_per_s\": {:.0}, \"speedup\": {:.2}}}{}",
-            r.label,
-            r.benchmarks,
-            r.blocks,
-            r.decoded_blocks_per_s,
-            r.reference_blocks_per_s,
-            r.speedup(),
-            if i + 1 < results.len() { "," } else { "" }
-        );
-    }
-    let total_blocks: u64 = results.iter().map(|r| r.blocks).sum();
-    let dec_s: f64 = results
-        .iter()
-        .map(|r| r.blocks as f64 / r.decoded_blocks_per_s)
-        .sum();
-    let walk_s: f64 = results
-        .iter()
-        .map(|r| r.blocks as f64 / r.reference_blocks_per_s)
-        .sum();
-    let _ = write!(
-        s,
-        "  ],\n  \"overall\": {{\"blocks_per_run\": {}, \"decoded_blocks_per_s\": {:.0}, \
-         \"reference_blocks_per_s\": {:.0}, \"speedup\": {:.2}}}\n}}\n",
-        total_blocks,
-        total_blocks as f64 / dec_s,
-        total_blocks as f64 / walk_s,
-        walk_s / dec_s
-    );
-    s
+    json::document(|o| {
+        o.str("bench", "profiling");
+        o.str("unit", "blocks_per_second");
+        o.arr("suites", |a| {
+            for r in results {
+                a.obj(|o| {
+                    o.str("suite", r.label);
+                    o.u64("benchmarks", r.benchmarks as u64);
+                    o.u64("blocks_per_run", r.blocks);
+                    o.f64("decoded_blocks_per_s", r.decoded_blocks_per_s, 0);
+                    o.f64("reference_blocks_per_s", r.reference_blocks_per_s, 0);
+                    o.f64("speedup", r.speedup(), 2);
+                });
+            }
+        });
+        let total_blocks: u64 = results.iter().map(|r| r.blocks).sum();
+        let dec_s: f64 = results
+            .iter()
+            .map(|r| r.blocks as f64 / r.decoded_blocks_per_s)
+            .sum();
+        let walk_s: f64 = results
+            .iter()
+            .map(|r| r.blocks as f64 / r.reference_blocks_per_s)
+            .sum();
+        o.obj("overall", |o| {
+            o.u64("blocks_per_run", total_blocks);
+            o.f64("decoded_blocks_per_s", total_blocks as f64 / dec_s, 0);
+            o.f64("reference_blocks_per_s", total_blocks as f64 / walk_s, 0);
+            o.f64("speedup", walk_s / dec_s, 2);
+        });
+    })
 }
 
 fn main() {

@@ -22,7 +22,7 @@ use cayman::ir::{ArrayId, Type};
 use cayman::select::{run_selection_cached, CaymanModel, DesignCache};
 use cayman::{Framework, SchedKind, SelectOptions, Solution};
 use cayman_bench::harness::{fmt_duration, run};
-use std::fmt::Write as _;
+use cayman_bench::json;
 use std::path::Path;
 use std::time::Instant;
 
@@ -374,61 +374,87 @@ fn bench_scheduler_comparison(smoke: bool) -> Vec<ShapeResult> {
     out
 }
 
-/// Hand-rolled JSON (no external dependencies) for machine consumption.
-fn sched_json(results: &[ShapeResult]) -> String {
+/// The tentpole's near-zero-cost claim, as a tracked number: nanoseconds per
+/// disabled `span!` + counter pair on the selection hot-path shape. The
+/// per-event cost must stay within a couple of atomic loads (the CI smoke
+/// run asserts a generous microsecond bound; the zero-allocation property is
+/// unit-tested in `cayman-obs`).
+fn measure_obs_disabled_ns() -> f64 {
+    assert!(
+        !cayman_obs::enabled(),
+        "tracing must stay disabled during benches"
+    );
+    let iters = 1_000_000u64;
+    // Warm the thread-local tid/seq cells out of the measurement.
+    let _ = std::hint::black_box(cayman_obs::span!("bench.obs.warmup"));
+    let t0 = Instant::now();
+    for i in 0..iters {
+        let guard = cayman_obs::span!("select.task.accel", vertex = i);
+        cayman_obs::counter("select.cache.hit", 1);
+        let _ = std::hint::black_box(guard);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!(
+        "{:<36} disabled span+counter: {ns:.1} ns/pair",
+        "obs_overhead"
+    );
+    ns
+}
+
+/// Machine-readable output via the shared `cayman_bench::json` writer.
+fn sched_json(results: &[ShapeResult], obs_disabled_ns: f64) -> String {
     let host = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "{{\n  \"bench\": \"selection_sched\",\n  \"host_parallelism\": {host},\n  \
-         \"note\": \"wall_s shows no parallel speedup when the host has fewer free cores than \
-         threads; makespan_s is the modeled parallel completion time from measured CPU time \
-         (static: the busiest thread, including the caller's serial spine; steal: the greedy \
-         bound max(total work / workers, most expensive single task))\",\n  \"shapes\": [\n"
-    );
-    for (i, r) in results.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "    {{\"shape\": \"{}\", \"wall_seq_s\": {:.6}, \"runs\": [",
-            r.shape, r.wall_seq_s
+    json::document(|o| {
+        o.str("bench", "selection_sched");
+        o.u64("host_parallelism", host as u64);
+        o.str(
+            "note",
+            "wall_s shows no parallel speedup when the host has fewer free cores than \
+             threads; makespan_s is the modeled parallel completion time from measured CPU time \
+             (static: the busiest thread, including the caller's serial spine; steal: the greedy \
+             bound max(total work / workers, most expensive single task))",
         );
-        for (j, p) in r.points.iter().enumerate() {
-            let _ = writeln!(
-                s,
-                "      {{\"threads\": {}, \"sched\": \"{}\", \"wall_s\": {:.6}, \
-                 \"busy_s\": {:.6}, \"makespan_s\": {:.6}, \"balance\": {:.3}}}{}",
-                p.threads,
-                p.sched,
-                p.wall_s,
-                p.busy_s,
-                p.makespan_s,
-                p.balance,
-                if j + 1 < r.points.len() { "," } else { "" }
-            );
-        }
-        let _ = writeln!(s, "    ]}}{}", if i + 1 < results.len() { "," } else { "" });
-    }
-    s.push_str("  ],\n  \"modeled_speedup_at_8_threads\": {\n");
-    for (i, r) in results.iter().enumerate() {
-        let ratio = r.makespan(8, "static") / r.makespan(8, "steal").max(1e-12);
-        let _ = writeln!(
-            s,
-            "    \"{}_steal_vs_static\": {:.2}{}",
-            r.shape,
-            ratio,
-            if i + 1 < results.len() { "," } else { "" }
-        );
-    }
-    s.push_str("  }\n}\n");
-    s
+        o.f64("obs_disabled_span_ns", obs_disabled_ns, 1);
+        o.arr("shapes", |a| {
+            for r in results {
+                a.obj(|o| {
+                    o.str("shape", r.shape);
+                    o.f64("wall_seq_s", r.wall_seq_s, 6);
+                    o.arr("runs", |a| {
+                        for p in &r.points {
+                            a.obj(|o| {
+                                o.u64("threads", p.threads as u64);
+                                o.str("sched", p.sched);
+                                o.f64("wall_s", p.wall_s, 6);
+                                o.f64("busy_s", p.busy_s, 6);
+                                o.f64("makespan_s", p.makespan_s, 6);
+                                o.f64("balance", p.balance, 3);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        o.obj("modeled_speedup_at_8_threads", |o| {
+            for r in results {
+                let ratio = r.makespan(8, "static") / r.makespan(8, "steal").max(1e-12);
+                o.f64(&format!("{}_steal_vs_static", r.shape), ratio, 2);
+            }
+        });
+    })
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
         bench_scheduler_comparison(true);
+        let obs_ns = measure_obs_disabled_ns();
+        assert!(
+            obs_ns < 1_000.0,
+            "disabled tracing costs {obs_ns:.0} ns per span — not near-zero"
+        );
         println!(
             "smoke mode: fronts bit-identical across schedulers and thread budgets; \
              BENCH_selection.json left untouched"
@@ -441,6 +467,7 @@ fn main() {
     bench_alpha_sweep();
     bench_real_workloads();
     let results = bench_scheduler_comparison(false);
+    let obs_ns = measure_obs_disabled_ns();
     for r in &results {
         let ratio = r.makespan(8, "static") / r.makespan(8, "steal").max(1e-12);
         if r.shape == "skewed" && ratio < 1.5 {
@@ -455,6 +482,6 @@ fn main() {
         }
     }
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_selection.json");
-    std::fs::write(&path, sched_json(&results)).expect("write BENCH_selection.json");
+    std::fs::write(&path, sched_json(&results, obs_ns)).expect("write BENCH_selection.json");
     println!("wrote {}", path.display());
 }

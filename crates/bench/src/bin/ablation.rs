@@ -13,11 +13,14 @@
 //!   the area delta instead).
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin ablation [-- -O0|-O1]
+//! cargo run --release -p cayman-bench --bin ablation [-- -O0|-O1] [--json] [benchmark...]
 //! ```
+//!
+//! Positional arguments restrict the study to the named picks; `--json`
+//! emits one machine-readable document on stdout instead of the table.
 
 use cayman::{Framework, ModelOptions, SelectOptions, CVA6_TILE_AREA};
-use cayman_bench::analyse_options_from_args;
+use cayman_bench::{json, BenchArgs};
 
 const PICKS: [&str; 6] = ["3mm", "atax", "jacobi-2d", "spmv", "epic", "nnet-test"];
 
@@ -36,16 +39,28 @@ fn warm_rerun(fw: &Framework) -> cayman::SelectionResult {
     fw.select(&SelectOptions::default())
 }
 
+struct AblationRow {
+    name: &'static str,
+    full: f64,
+    no_iface: f64,
+    no_unroll: f64,
+    no_dup: f64,
+    merge_save: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    top_accel: Vec<String>,
+    warm_stats: String,
+    cache_len: usize,
+}
+
 fn main() {
-    let analyse = analyse_options_from_args();
-    println!(
-        "{:<12} | {:>8} {:>8} {:>8} {:>8} | {:>10}",
-        "benchmark", "full", "-iface", "-unroll", "-dup", "merge-save"
-    );
-    println!("{}", "-".repeat(66));
-    for name in PICKS {
+    let args = BenchArgs::parse();
+    cayman_obs::init_from_env();
+
+    let mut rows = Vec::new();
+    for name in args.select_names(&PICKS) {
         let w = cayman::workloads::by_name(name).expect("benchmark exists");
-        let fw = Framework::from_workload_with(&w, &analyse).expect("analyses");
+        let fw = Framework::from_workload_with(&w, &args.analyse).expect("analyses");
 
         // The full-model pass is the cold one: keep its result so the top-k
         // accel(v, R) cost breakdown (populated only when the model actually
@@ -69,17 +84,74 @@ fn main() {
         );
         let sel = warm_rerun(&fw);
         let merge_save = fw.report(&sel, 0.65).area_saving_pct;
+        let (hits, misses) = fw.cache_totals();
 
+        rows.push(AblationRow {
+            name,
+            full,
+            no_iface,
+            no_unroll,
+            no_dup,
+            merge_save,
+            cache_hits: hits,
+            cache_misses: misses,
+            top_accel: full_sel
+                .stats
+                .top_accel_lines()
+                .iter()
+                .take(3)
+                .cloned()
+                .collect(),
+            warm_stats: sel.stats.to_string(),
+            cache_len: fw.cache_len(),
+        });
+    }
+
+    if args.json {
+        let doc = json::document(|o| {
+            o.str("bench", "ablation");
+            o.str("opt_level", &args.analyse.opt_level.to_string());
+            o.f64("budget", 0.65, 2);
+            o.arr("rows", |a| {
+                for r in &rows {
+                    a.obj(|o| {
+                        o.str("name", r.name);
+                        o.f64("full", r.full, 2);
+                        o.f64("no_iface", r.no_iface, 2);
+                        o.f64("no_unroll", r.no_unroll, 2);
+                        o.f64("no_dup", r.no_dup, 2);
+                        o.f64("merge_save_pct", r.merge_save, 1);
+                        o.u64("cache_hits", r.cache_hits);
+                        o.u64("cache_misses", r.cache_misses);
+                        o.arr("top_accel", |a| {
+                            for line in &r.top_accel {
+                                a.str(line);
+                            }
+                        });
+                    });
+                }
+            });
+        });
+        print!("{doc}");
+        cayman_bench::flush_obs_outputs();
+        return;
+    }
+
+    println!(
+        "{:<12} | {:>8} {:>8} {:>8} {:>8} | {:>10}",
+        "benchmark", "full", "-iface", "-unroll", "-dup", "merge-save"
+    );
+    println!("{}", "-".repeat(66));
+    for r in &rows {
         println!(
             "{:<12} | {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x | {:>9.0}%",
-            name, full, no_iface, no_unroll, no_dup, merge_save
+            r.name, r.full, r.no_iface, r.no_unroll, r.no_dup, r.merge_save
         );
-        let (hits, misses) = fw.cache_totals();
         println!(
-            "{:<12} |   warm re-run {} | framework cache: {} entries, {hits} hits / {misses} misses",
-            "", sel.stats, fw.cache_len()
+            "{:<12} |   warm re-run {} | framework cache: {} entries, {} hits / {} misses",
+            "", r.warm_stats, r.cache_len, r.cache_hits, r.cache_misses
         );
-        for line in full_sel.stats.top_accel_lines().iter().take(3) {
+        for line in &r.top_accel {
             println!("{:<12} |   accel {line}", "");
         }
     }
@@ -87,4 +159,6 @@ fn main() {
     println!("-iface  : all accesses forced to the coupled interface");
     println!("-unroll : no inner-loop unrolling / partial-sum reductions");
     println!("-dup    : no parallel pipeline instances (outer-loop unrolling)");
+
+    cayman_bench::flush_obs_outputs();
 }

@@ -44,6 +44,7 @@ fn saxpy(n: i64) -> cayman::ir::Module {
 
 fn main() {
     let analyse = cayman_bench::analyse_options_from_args();
+    cayman_obs::init_from_env();
     println!("Fig. 4 — data-access interface impact on `y[i] = k*x[i]+b`");
     println!(
         "{:>6} | {:>11} {:>11} | {:>8} {:>8} | {:>11} {:>11}",
@@ -101,4 +102,5 @@ fn main() {
     println!();
     println!("expected shape (paper): sequential 6N → 4N; pipelined II 3 → 1;");
     println!("unrolled-by-2 coupled ≫ scratchpad (9(N/2) → 4(N/2) in the paper's units).");
+    cayman_bench::flush_obs_outputs();
 }

@@ -15,6 +15,7 @@ use cayman_bench::fig6_series;
 const BENCHMARKS: [&str; 4] = ["3mm", "fft", "cjpeg", "loops-all-mid-10k-sp"];
 
 fn main() {
+    cayman_obs::init_from_env();
     println!("Fig. 6 — Pareto fronts (speedup vs area fraction of a CVA6 tile)");
     for name in BENCHMARKS {
         let w = cayman::workloads::by_name(name).expect("benchmark exists");
@@ -47,4 +48,5 @@ fn main() {
              coupled-only best {cs:.2} full best ({fa:.3},{fs:.2})"
         );
     }
+    cayman_bench::flush_obs_outputs();
 }

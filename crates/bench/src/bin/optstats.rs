@@ -5,10 +5,14 @@
 //! generated from this output.
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin optstats
+//! cargo run --release -p cayman-bench --bin optstats [-- --json] [benchmark...]
 //! ```
+//!
+//! Positional arguments restrict the run to the named benchmarks; `--json`
+//! emits one machine-readable document on stdout instead of the tables.
 
 use cayman::{AnalyseOptions, Application};
+use cayman_bench::{json, BenchArgs};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -36,8 +40,82 @@ fn static_instrs(m: &cayman::ir::Module) -> u64 {
     m.functions.iter().map(|f| f.instr_count() as u64).sum()
 }
 
+fn pct(a: u64, b: u64) -> f64 {
+    if a == 0 {
+        0.0
+    } else {
+        100.0 * (a as f64 - b as f64) / a as f64
+    }
+}
+
 fn main() {
-    println!("IR normalization impact, -O0 vs -O1 (28 benchmarks)");
+    let args = BenchArgs::parse();
+    cayman_obs::init_from_env();
+
+    let mut rows = Vec::new();
+    for w in args.select_workloads(cayman::workloads::all()) {
+        let (app0, t0) = analysed(&w, &AnalyseOptions::o0());
+        let (app1, t1) = analysed(&w, &AnalyseOptions::default());
+        rows.push(Row {
+            suite: w.suite.to_string(),
+            name: w.name,
+            static0: static_instrs(&app0.module),
+            static1: static_instrs(&app1.module),
+            dyn0: app0.exec.dynamic_instrs(&app0.module),
+            dyn1: app1.exec.dynamic_instrs(&app1.module),
+            regions0: app0.wpst.region_count(),
+            regions1: app1.wpst.region_count(),
+            analyse0_ms: t0,
+            analyse1_ms: t1,
+        });
+    }
+
+    if args.json {
+        let doc = json::document(|o| {
+            o.str("bench", "optstats");
+            o.arr("rows", |a| {
+                for r in &rows {
+                    a.obj(|o| {
+                        o.str("suite", &r.suite);
+                        o.str("name", r.name);
+                        o.u64("static_o0", r.static0);
+                        o.u64("static_o1", r.static1);
+                        o.u64("dynamic_o0", r.dyn0);
+                        o.u64("dynamic_o1", r.dyn1);
+                        o.u64("regions_o0", r.regions0 as u64);
+                        o.u64("regions_o1", r.regions1 as u64);
+                        o.f64("analyse_o0_ms", r.analyse0_ms, 3);
+                        o.f64("analyse_o1_ms", r.analyse1_ms, 3);
+                    });
+                }
+            });
+            let all0 = rows.iter().map(|r| r.dyn0).sum::<u64>();
+            let all1 = rows.iter().map(|r| r.dyn1).sum::<u64>();
+            o.obj("totals", |o| {
+                o.u64("dynamic_o0", all0);
+                o.u64("dynamic_o1", all1);
+                o.f64("dynamic_reduction_pct", pct(all0, all1), 1);
+                o.f64(
+                    "analyse_o0_ms",
+                    rows.iter().map(|r| r.analyse0_ms).sum::<f64>(),
+                    1,
+                );
+                o.f64(
+                    "analyse_o1_ms",
+                    rows.iter().map(|r| r.analyse1_ms).sum::<f64>(),
+                    1,
+                );
+            });
+        });
+        print!("{doc}");
+        cayman_bench::flush_obs_outputs();
+        return;
+    }
+
+    println!(
+        "IR normalization impact, -O0 vs -O1 ({} benchmarks)",
+        rows.len()
+    );
     println!(
         "{:<6} {:<26} | {:>8} {:>8} {:>6} | {:>11} {:>11} {:>6} | {:>5} {:>5} | {:>8} {:>8}",
         "suite",
@@ -55,31 +133,6 @@ fn main() {
     );
     println!("{}", "-".repeat(130));
 
-    let mut rows = Vec::new();
-    for w in cayman::workloads::all() {
-        let (app0, t0) = analysed(&w, &AnalyseOptions::o0());
-        let (app1, t1) = analysed(&w, &AnalyseOptions::default());
-        rows.push(Row {
-            suite: w.suite.to_string(),
-            name: w.name,
-            static0: static_instrs(&app0.module),
-            static1: static_instrs(&app1.module),
-            dyn0: app0.exec.dynamic_instrs(&app0.module),
-            dyn1: app1.exec.dynamic_instrs(&app1.module),
-            regions0: app0.wpst.region_count(),
-            regions1: app1.wpst.region_count(),
-            analyse0_ms: t0,
-            analyse1_ms: t1,
-        });
-    }
-
-    let pct = |a: u64, b: u64| {
-        if a == 0 {
-            0.0
-        } else {
-            100.0 * (a as f64 - b as f64) / a as f64
-        }
-    };
     for r in &rows {
         println!(
             "{:<6} {:<26} | {:>8} {:>8} {:>5.1}% | {:>11} {:>11} {:>5.1}% | {:>5} {:>5} | {:>8.2} {:>8.2}",
@@ -122,4 +175,6 @@ fn main() {
         "total: dynamic instructions {all0} -> {all1} ({:.1}% fewer), analyse wall {ta0:.1} -> {ta1:.1} ms",
         pct(all0, all1)
     );
+
+    cayman_bench::flush_obs_outputs();
 }

@@ -6,17 +6,20 @@
 //! Rows are computed in parallel (one framework per benchmark, scoped
 //! threads); set `CAYMAN_TABLE2_THREADS` to override the worker count
 //! (`1` recovers the fully sequential run — same numbers either way).
+//! Within each row, selection itself runs on `CAYMAN_SELECT_THREADS`
+//! work-stealing workers (default: host parallelism clamped to 2..=4).
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin table2 [-- -O0|-O1]
+//! cargo run --release -p cayman-bench --bin table2 [-- -O0|-O1] [--json] [benchmark...]
 //! ```
 //!
 //! `-O1` (the default) normalizes each module through the IR transform
 //! pipeline before profiling; `-O0` analyses modules exactly as built.
+//! Positional arguments restrict the run to the named benchmarks; `--json`
+//! emits one machine-readable document on stdout instead of the table.
+//! Set `CAYMAN_TRACE=out.json` to capture a Chrome trace of the whole run.
 
-use cayman_bench::{
-    analyse_options_from_args, average_row, table2_rows_with, top_accel_across, Table2Row,
-};
+use cayman_bench::{average_row, json, table2_rows_with, top_accel_across, BenchArgs, Table2Row};
 
 fn print_row(r: &Table2Row) {
     let b0 = &r.budgets[0];
@@ -49,20 +52,34 @@ fn print_row(r: &Table2Row) {
     );
 }
 
+fn json_row(o: &mut json::Obj, r: &Table2Row) {
+    o.str("suite", &r.suite);
+    o.str("name", &r.name);
+    o.f64("runtime_s", r.runtime_s, 6);
+    o.f64("runtime_warm_s", r.runtime_warm_s, 6);
+    o.f64("cache_hit_rate", r.stats.cache_hit_rate(), 3);
+    o.arr("budgets", |a| {
+        for b in &r.budgets {
+            a.obj(|o| {
+                o.f64("budget", b.budget, 2);
+                o.f64("over_novia", b.over_novia, 2);
+                o.f64("over_qscores", b.over_qscores, 2);
+                o.f64("cayman_speedup", b.cayman_speedup, 2);
+                o.u64("sb", b.sb as u64);
+                o.u64("pr", b.pr as u64);
+                o.u64("c", b.c as u64);
+                o.u64("d", b.d as u64);
+                o.u64("s", b.s as u64);
+                o.f64("area_saving_pct", b.area_saving_pct, 1);
+                o.f64("avg_regions_per_reusable", b.avg_regions_per_reusable, 2);
+            });
+        }
+    });
+}
+
 fn main() {
-    let analyse = analyse_options_from_args();
-    println!(
-        "Table II — results under two area budgets (25% and 65% of a CVA6 tile), -{}",
-        analyse.opt_level
-    );
-    println!(
-        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8} {:>8} {:>5}",
-        "Suite", "Benchmark",
-        "ovN25", "ovQ25", "spd25", "#SB", "#PR", "#C", "#D", "#S", "sav%",
-        "ovN65", "ovQ65", "spd65", "#SB", "#PR", "#C", "#D", "#S", "sav%",
-        "cold(ms)", "warm(ms)", "hit%"
-    );
-    println!("{}", "-".repeat(176));
+    let args = BenchArgs::parse();
+    cayman_obs::init_from_env();
 
     let threads = std::env::var("CAYMAN_TABLE2_THREADS")
         .ok()
@@ -72,13 +89,51 @@ fn main() {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)
         });
-    let workloads = cayman::workloads::all();
-    let rows = table2_rows_with(&workloads, threads, &analyse);
+    let workloads = args.select_workloads(cayman::workloads::all());
+    let rows = table2_rows_with(&workloads, threads, &args.analyse);
+    let avg = average_row(&rows);
+
+    if args.json {
+        let doc = json::document(|o| {
+            o.str("bench", "table2");
+            o.str("opt_level", &args.analyse.opt_level.to_string());
+            o.arr("rows", |a| {
+                for r in &rows {
+                    a.obj(|o| json_row(o, r));
+                }
+            });
+            o.obj("average", |o| json_row(o, &avg));
+            o.arr("top_accel", |a| {
+                for c in top_accel_across(&rows) {
+                    a.obj(|o| {
+                        o.str("label", &c.label);
+                        o.f64("ms", c.nanos as f64 * 1e-6, 3);
+                        o.u64("designs", c.designs as u64);
+                    });
+                }
+            });
+        });
+        print!("{doc}");
+        cayman_bench::flush_obs_outputs();
+        return;
+    }
+
+    println!(
+        "Table II — results under two area budgets (25% and 65% of a CVA6 tile), -{}",
+        args.analyse.opt_level
+    );
+    println!(
+        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8} {:>8} {:>5}",
+        "Suite", "Benchmark",
+        "ovN25", "ovQ25", "spd25", "#SB", "#PR", "#C", "#D", "#S", "sav%",
+        "ovN65", "ovQ65", "spd65", "#SB", "#PR", "#C", "#D", "#S", "sav%",
+        "cold(ms)", "warm(ms)", "hit%"
+    );
+    println!("{}", "-".repeat(176));
     for row in &rows {
         print_row(row);
     }
     println!("{}", "-".repeat(176));
-    let avg = average_row(&rows);
     print_row(&avg);
 
     // Selection observability: cold vs memoised re-run, aggregated.
@@ -87,7 +142,7 @@ fn main() {
     println!();
     println!("selection stats (warm re-runs, aggregated): {}", avg.stats);
     println!(
-        "selection scheduler: {} with {} thread(s) per run (steer with CAYMAN_SELECT_SCHED=static|steal and SelectOptions::threads)",
+        "selection scheduler: {} with {} thread(s) per run (steer with CAYMAN_SELECT_SCHED=static|steal and CAYMAN_SELECT_THREADS)",
         if avg.stats.scheduler.is_empty() {
             "seq"
         } else {
@@ -105,7 +160,7 @@ fn main() {
     // Where the model time goes: the globally most expensive accel(v, R)
     // invocations across all cold runs.
     println!();
-    println!("most expensive accel(v, R) calls (cold runs, benchmark/function#vertex):");
+    println!("most expensive accel(v, R) calls (cold runs, benchmark/function#vertex:kind):");
     for c in top_accel_across(&rows) {
         println!(
             "  {:<40} {:>9.3} ms {:>4} designs",
@@ -130,4 +185,6 @@ fn main() {
             .max(1) as f64;
     println!();
     println!("avg regions per reusable accelerator: {avg_regions:.1} (paper: ~3)");
+
+    cayman_bench::flush_obs_outputs();
 }

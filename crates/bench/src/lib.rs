@@ -21,6 +21,7 @@ use cayman::{
 use std::time::Instant;
 
 pub mod harness;
+pub mod json;
 
 /// Parses the shared bench-binary CLI: an optional `-O0` / `-O1` flag
 /// (default `-O1`, matching [`AnalyseOptions::default`]). Any other
@@ -37,6 +38,109 @@ pub fn analyse_options_from_args() -> AnalyseOptions {
         }
     }
     opts
+}
+
+/// The shared CLI of the table-producing binaries (`table2`, `optstats`,
+/// `ablation`): `-O0`/`-O1` staging, a `--json` switch for machine-readable
+/// output (via [`json`]), and positional benchmark-name filters.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Analyse staging options (`-O0` / `-O1`).
+    pub analyse: AnalyseOptions,
+    /// Emit one JSON document on stdout instead of the human tables.
+    pub json: bool,
+    /// Benchmark names to restrict the run to (empty: all).
+    pub filters: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`; prints usage and exits on unknown flags.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        for arg in std::env::args().skip(1) {
+            if let Some(level) = OptLevel::parse(&arg) {
+                args.analyse.opt_level = level;
+            } else if arg == "--json" {
+                args.json = true;
+            } else if arg.starts_with('-') {
+                eprintln!("unknown argument `{arg}`; usage: [-O0|-O1] [--json] [benchmark...]");
+                std::process::exit(2);
+            } else {
+                args.filters.push(arg);
+            }
+        }
+        args
+    }
+
+    /// Applies the positional benchmark-name filters to a workload list,
+    /// preserving order. Exits with usage status when a filter matches no
+    /// workload (a typo should not silently produce an empty table).
+    pub fn select_workloads(&self, all: Vec<Workload>) -> Vec<Workload> {
+        if self.filters.is_empty() {
+            return all;
+        }
+        for f in &self.filters {
+            if !all.iter().any(|w| w.name == f.as_str()) {
+                eprintln!("unknown benchmark `{f}`");
+                std::process::exit(2);
+            }
+        }
+        all.into_iter()
+            .filter(|w| self.filters.iter().any(|f| f.as_str() == w.name))
+            .collect()
+    }
+
+    /// Keeps only names that pass the filters (for binaries with a built-in
+    /// benchmark pick list).
+    pub fn select_names(&self, names: &[&'static str]) -> Vec<&'static str> {
+        if self.filters.is_empty() {
+            return names.to_vec();
+        }
+        for f in &self.filters {
+            if !names.contains(&f.as_str()) {
+                eprintln!("unknown benchmark `{f}` (choices: {})", names.join(", "));
+                std::process::exit(2);
+            }
+        }
+        names
+            .iter()
+            .copied()
+            .filter(|n| self.filters.iter().any(|f| f.as_str() == *n))
+            .collect()
+    }
+}
+
+/// Drains the trace recorder into the sinks named by the environment
+/// (`CAYMAN_TRACE`, `CAYMAN_OBS_JSONL`, `CAYMAN_OBS_SUMMARY`) and reports
+/// every written file on stderr — stdout stays machine-readable under
+/// `--json`. Every bench binary calls this once before exiting.
+pub fn flush_obs_outputs() {
+    for (kind, path) in cayman_obs::flush_to_env() {
+        eprintln!("{kind}: wrote {path}");
+    }
+}
+
+/// Selection options for the Table II protocol: the thread count comes from
+/// `CAYMAN_SELECT_THREADS`, defaulting to the host parallelism clamped to
+/// `2..=4` so the work-stealing scheduler — and its per-worker trace lanes —
+/// is exercised even on single-core CI hosts. The Pareto front is
+/// bit-identical for every thread count (asserted by the scheduler tests),
+/// so this only affects wall time and observability.
+pub fn select_options_from_env() -> SelectOptions {
+    let threads = std::env::var("CAYMAN_SELECT_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .clamp(2, 4)
+        });
+    SelectOptions {
+        threads,
+        ..Default::default()
+    }
 }
 
 /// One benchmark's Table II row.
@@ -108,7 +212,7 @@ pub fn table2_row(w: &Workload) -> Table2Row {
 /// Panics if the workload fails to verify or execute.
 pub fn table2_row_with(w: &Workload, analyse: &AnalyseOptions) -> Table2Row {
     let fw = Framework::from_workload_with(w, analyse).expect("workload analyses");
-    let opts = SelectOptions::default();
+    let opts = select_options_from_env();
 
     let t0 = Instant::now();
     let cayman = fw.select(&opts);

@@ -116,22 +116,33 @@ impl Application {
         opts: &AnalyseOptions,
     ) -> Result<Self, CaymanError> {
         // Stage 1: verify.
-        module.verify()?;
+        {
+            let _s = cayman_obs::span!("analyse.verify");
+            module.verify()?;
+        }
 
         // Stage 2: normalize.
-        let normalize_stats = normalize(&mut module, opts.opt_level, opts.verify_each_pass)?;
+        let normalize_stats = {
+            let _s = cayman_obs::span!("analyse.normalize");
+            normalize(&mut module, opts.opt_level, opts.verify_each_pass)?
+        };
 
         // Stage 3: profile.
-        let wpst = Wpst::build(&module);
-        let mut interp = Interp::new(&module);
-        let profiling_engine = interp.engine_name();
-        if let Some(mem) = memory {
-            interp.memory = mem;
-        }
-        let exec = interp.run(&[])?;
-        let profile = Profile::aggregate(&module, &wpst, &exec);
+        let (wpst, exec, profile, profiling_engine) = {
+            let _s = cayman_obs::span!("analyse.profile");
+            let wpst = Wpst::build(&module);
+            let mut interp = Interp::new(&module);
+            let profiling_engine = interp.engine_name();
+            if let Some(mem) = memory {
+                interp.memory = mem;
+            }
+            let exec = interp.run(&[])?;
+            let profile = Profile::aggregate(&module, &wpst, &exec);
+            (wpst, exec, profile, profiling_engine)
+        };
 
         // Stage 4: analyse.
+        let dataflow = cayman_obs::span!("analyse.dataflow");
         let mut accesses = Vec::new();
         let mut deps = Vec::new();
         let mut trips = Vec::new();
@@ -150,6 +161,7 @@ impl Application {
             deps.push(dd);
             trips.push(tt);
         }
+        drop(dataflow);
 
         Ok(Application {
             module,

@@ -104,6 +104,7 @@ pub fn generate_designs(
     cand: &Candidate,
     opts: &ModelOptions,
 ) -> Vec<AcceleratorDesign> {
+    let _s = cayman_obs::span!("hls.generate", blocks = cand.blocks.len(), bb = cand.is_bb,);
     if cand.entries == 0 {
         return Vec::new();
     }

@@ -270,7 +270,15 @@ impl<'m> Interp<'m> {
     pub fn new(module: &'m Module) -> Self {
         let engine = match crate::decode::decode(module) {
             Some(dm) => Engine::Decoded(dm),
-            None => Engine::Reference,
+            None => {
+                // Library code never prints; the silent fallback becomes a
+                // structured diagnostic in the trace instead.
+                cayman_obs::counter("profile.decode_fallback", 1);
+                cayman_obs::diag("interp.fallback", || {
+                    "decoder rejected module; using reference walker".to_string()
+                });
+                Engine::Reference
+            }
         };
         Self::with_engine(module, engine)
     }
@@ -329,6 +337,25 @@ impl<'m> Interp<'m> {
     /// integer division, step-limit exhaustion, or dynamic type confusion
     /// (the latter indicates the module was not [verified](Module::verify)).
     pub fn run(&mut self, args: &[Value]) -> Result<ExecProfile, InterpError> {
+        let span = cayman_obs::timed_with("profile.interp", || {
+            vec![("engine", cayman_obs::ArgValue::from(self.engine_name()))]
+        });
+        let result = self.run_inner(args);
+        let nanos = span.finish();
+        if let Ok(profile) = &result {
+            let blocks = profile.blocks_executed();
+            cayman_obs::counter("profile.blocks", blocks);
+            if nanos > 0 {
+                cayman_obs::gauge(
+                    "profile.blocks_per_sec",
+                    blocks as f64 / (nanos as f64 / 1e9),
+                );
+            }
+        }
+        result
+    }
+
+    fn run_inner(&mut self, args: &[Value]) -> Result<ExecProfile, InterpError> {
         // A previous `run` moved the count table into its profile; rebuild
         // zeroed counts so each run profiles independently.
         if self.counts.len() != self.module.functions.len() {

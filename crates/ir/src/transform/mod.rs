@@ -46,7 +46,6 @@ use crate::instr::Operand;
 use crate::module::{Function, InstrId, Module, ValueDef, ValueId};
 use crate::verify::VerifyError;
 use std::fmt;
-use std::time::Instant;
 
 /// Whether a pass changed the module — drives fixed-point iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,7 +227,9 @@ impl PassManager {
     /// With `verify_each_pass` enabled, returns the first verifier failure
     /// (the module is left in its mid-pipeline state for inspection).
     pub fn run(&mut self, module: &mut Module) -> Result<PipelineStats, VerifyError> {
-        let wall = Instant::now();
+        // One measurement source: the obs timed span both feeds the trace
+        // (when enabled) and yields the nanos `PipelineStats` reports.
+        let wall = cayman_obs::timed("normalize.pipeline");
         let mut stats = PipelineStats {
             passes: self
                 .passes
@@ -250,9 +251,9 @@ impl PassManager {
             stats.iterations += 1;
             let mut any = false;
             for (i, pass) in self.passes.iter_mut().enumerate() {
-                let t = Instant::now();
+                let t = cayman_obs::timed(("normalize.", pass.name()));
                 let changed = pass.run(module).as_bool();
-                stats.passes[i].micros += t.elapsed().as_micros();
+                stats.passes[i].micros += u128::from(t.finish()) / 1_000;
                 stats.passes[i].runs += 1;
                 if changed {
                     stats.passes[i].changed += 1;
@@ -270,7 +271,7 @@ impl PassManager {
                 break;
             }
         }
-        stats.wall_micros = wall.elapsed().as_micros();
+        stats.wall_micros = u128::from(wall.finish()) / 1_000;
         Ok(stats)
     }
 }

@@ -68,6 +68,7 @@ impl MergeResult {
 ///    sequential datapaths already share functional units internally),
 /// 3. stop when no pair saves area.
 pub fn merge_solution(module: &Module, solution: &Solution) -> MergeResult {
+    let _s = cayman_obs::span!("merge.solution", kernels = solution.kernels.len());
     let mut units: Vec<DatapathUnit> = Vec::new();
     for (i, k) in solution.kernels.iter().enumerate() {
         units.extend(units_of_design(module, i, &k.design));

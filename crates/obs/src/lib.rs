@@ -1,0 +1,79 @@
+//! # cayman-obs
+//!
+//! Dependency-free observability substrate for the whole Cayman pipeline:
+//! one instrumentation mechanism shared by every crate, one artifact out.
+//!
+//! * **Spans** — hierarchical begin/end pairs ([`span!`],
+//!   [`SpanGuard`], [`timed`]) recorded per thread with nanosecond
+//!   timestamps. [`timed`] additionally returns the elapsed nanoseconds so
+//!   per-run statistics snapshots (`SelectStats`, `PipelineStats`) are
+//!   *views over the same measurement* rather than parallel `Instant`
+//!   plumbing.
+//! * **Counters / gauges / instants** — named numeric streams
+//!   ([`counter`], [`gauge`], [`instant`], [`diag`]) that become Chrome
+//!   counter tracks and instant markers.
+//! * **Lanes** — [`lane`] names the calling thread (one lane per
+//!   work-stealing worker in the trace viewer).
+//! * **Sinks** — [`drain`] freezes everything into a [`Trace`], exportable
+//!   as (a) a human summary, (b) JSONL events, and (c) a Chrome
+//!   trace-format file loadable in `chrome://tracing` / Perfetto.
+//!   [`init_from_env`] / [`flush_to_env`] wire the `CAYMAN_TRACE`,
+//!   `CAYMAN_OBS_JSONL` and `CAYMAN_OBS_SUMMARY` environment variables so
+//!   binaries need exactly two calls.
+//!
+//! ## Cost model
+//!
+//! Tracing is **off by default**. Every recording entry point starts with a
+//! single relaxed atomic load ([`enabled`]); when disabled, no event is
+//! constructed, no argument expression of [`span!`] is evaluated, and no
+//! allocation happens (verified by the `zero_overhead` test with a counting
+//! global allocator). When enabled, events are appended to one of
+//! [`STRIPES`] independently locked stripes picked by thread id, so worker
+//! threads do not serialise on a global lock.
+//!
+//! Determinism: the recorder only *observes* — it never feeds back into
+//! selection, profiling, or merging, so fronts and profiles are bit-identical
+//! with tracing on or off.
+
+mod export;
+pub mod pool;
+mod recorder;
+pub mod time;
+pub mod trace;
+
+pub use export::Trace;
+pub use recorder::{
+    counter, diag, disable, drain, enable, enabled, flush_to_env, gauge, init_from_env, instant,
+    instant_with, lane, timed, timed_with, ArgValue, Event, EventKind, Name, SpanGuard, TimedSpan,
+    STRIPES,
+};
+pub use time::thread_cpu_nanos;
+
+/// Opens a span over the enclosing scope; the returned guard ends it on
+/// drop. Near-zero cost when tracing is disabled: one relaxed atomic check,
+/// and the argument expressions are **not** evaluated.
+///
+/// ```
+/// let _g = cayman_obs::span!("select.dp");
+/// let _g = cayman_obs::span!("select.task.bb", vertex = 7usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter($name)
+        } else {
+            $crate::SpanGuard::noop()
+        }
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter_with(
+                $name,
+                vec![$((stringify!($k), $crate::ArgValue::from($v))),+],
+            )
+        } else {
+            $crate::SpanGuard::noop()
+        }
+    };
+}

@@ -1,0 +1,68 @@
+//! A bounded top-k candidate pool for "most expensive N" breakdowns.
+
+use std::sync::Mutex;
+
+/// A thread-shared pool that keeps roughly the top-`cap` items by a
+/// caller-supplied ordering, with memory bounded at `4 * cap`: pushes are
+/// cheap appends, and once the pool grows well past `cap` the cheap tail is
+/// dropped. [`TopPool::snapshot`] returns the exact, fully sorted top-`cap`.
+pub struct TopPool<T> {
+    cap: usize,
+    /// Total ordering: greater-first (`a` before `b` when
+    /// `cmp(a, b) == Less` is *not* how it reads — `cmp` returns the order
+    /// in which items should appear, so "most expensive" compares Less).
+    cmp: fn(&T, &T) -> std::cmp::Ordering,
+    items: Mutex<Vec<T>>,
+}
+
+impl<T: Clone> TopPool<T> {
+    /// Creates a pool keeping the first `cap` items under `cmp` order
+    /// (items that compare `Less` sort first and survive truncation).
+    pub fn new(cap: usize, cmp: fn(&T, &T) -> std::cmp::Ordering) -> Self {
+        TopPool {
+            cap,
+            cmp,
+            items: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Appends one candidate; amortised O(1), occasionally sorting and
+    /// truncating to keep memory bounded.
+    pub fn push(&self, item: T) {
+        let mut pool = self.items.lock().expect("pool mutex poisoned");
+        pool.push(item);
+        if pool.len() > 4 * self.cap {
+            pool.sort_unstable_by(self.cmp);
+            pool.truncate(self.cap);
+        }
+    }
+
+    /// The exact top-`cap`, sorted under `cmp`.
+    pub fn snapshot(&self) -> Vec<T> {
+        let mut pool = self.items.lock().expect("pool mutex poisoned").clone();
+        pool.sort_unstable_by(self.cmp);
+        pool.truncate(self.cap);
+        pool
+    }
+}
+
+impl<T> std::fmt::Debug for TopPool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopPool").field("cap", &self.cap).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_exact_top_k_under_overflow() {
+        let pool: TopPool<u64> = TopPool::new(4, |a, b| b.cmp(a));
+        for i in 0..100 {
+            // Insertion order scrambled so truncation sees mixed values.
+            pool.push((i * 37) % 100);
+        }
+        assert_eq!(pool.snapshot(), vec![99, 98, 97, 96]);
+    }
+}

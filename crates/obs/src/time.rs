@@ -1,0 +1,62 @@
+//! Clocks used by the recorder and by per-worker busy accounting.
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+///
+/// Used for per-worker busy accounting: on a host with fewer cores than
+/// workers (CI containers are often single-core), wall-clock attribution
+/// would charge preemption gaps to whichever worker happened to be
+/// descheduled, while thread CPU time measures the work itself — the
+/// quantity that becomes the per-worker wall time on a sufficiently
+/// parallel host.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn thread_cpu_nanos() -> u64 {
+    // Raw clock_gettime(CLOCK_THREAD_CPUTIME_ID): std exposes no
+    // thread-CPU clock and the workspace links no libc crate.
+    const SYS_CLOCK_GETTIME: i64 = 228;
+    const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
+    let mut ts = [0i64; 2]; // timespec { tv_sec, tv_nsec }
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_CLOCK_GETTIME => ret,
+            in("rdi") CLOCK_THREAD_CPUTIME_ID,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    if ret != 0 {
+        return 0;
+    }
+    (ts[0] as u64).saturating_mul(1_000_000_000) + ts[1] as u64
+}
+
+/// Portable fallback: wall time from a process-global epoch. Overcounts a
+/// preempted worker's busy time, but keeps balance numbers meaningful on
+/// uncontended hosts.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn thread_cpu_nanos() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_is_monotone_and_advances() {
+        let a = thread_cpu_nanos();
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i ^ x.rotate_left(7));
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_nanos();
+        assert!(b > a, "spin consumed no CPU time ({a} → {b})");
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end recorder → export → validator round trip. A single test
+//! function owns the process-global recorder so enable/disable cannot race
+//! with other tests in this binary.
+
+use cayman_obs::trace::{parse_json, validate_chrome};
+
+#[test]
+fn record_export_validate_roundtrip() {
+    cayman_obs::enable();
+    assert!(cayman_obs::enabled());
+
+    cayman_obs::lane(|| "main".to_string());
+    {
+        let _stage = cayman_obs::span!("analyse.profile", benchmark = "trisolv");
+        let t = cayman_obs::timed("profile.interp");
+        cayman_obs::counter("profile.blocks", 128);
+        cayman_obs::gauge("profile.blocks_per_sec", 2.5e6);
+        cayman_obs::diag("interp.fallback", || "decode unsupported".to_string());
+        assert!(t.finish() > 0);
+    }
+    let worker = std::thread::spawn(|| {
+        cayman_obs::lane(|| "select.worker.0".to_string());
+        let _task = cayman_obs::span!("select.task.accel", vertex = 3usize);
+        cayman_obs::instant("select.steal");
+        cayman_obs::counter("select.cache.miss", 1);
+    });
+    worker.join().unwrap();
+    cayman_obs::disable();
+
+    let trace = cayman_obs::drain();
+    assert!(!trace.is_empty());
+
+    // Chrome export passes the structural validator and reports what we
+    // recorded.
+    let chrome = trace.to_chrome();
+    let summary = validate_chrome(&chrome).unwrap_or_else(|e| panic!("invalid trace: {e}"));
+    assert_eq!(summary.spans, 3, "analyse.profile + profile.interp + task");
+    assert!(summary.has_span_prefix("analyse."));
+    assert!(summary.has_span_prefix("select.task."));
+    assert!(summary.lanes.contains(&"main".to_string()));
+    assert!(summary.lanes.contains(&"select.worker.0".to_string()));
+    assert!(summary.counters.contains(&"profile.blocks".to_string()));
+    assert!(summary.instants.iter().any(|n| n == "select.steal"));
+
+    // Every JSONL line is a standalone JSON object.
+    let jsonl = trace.to_jsonl();
+    let lines: Vec<_> = jsonl.lines().collect();
+    assert_eq!(lines.len(), trace.len());
+    for line in lines {
+        let obj = parse_json(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        assert!(obj.get("kind").is_some() && obj.get("ts_nanos").is_some());
+    }
+
+    // The human summary names the heavy hitters.
+    let human = trace.summary();
+    assert!(human.contains("analyse.profile"), "{human}");
+    assert!(human.contains("select.cache.miss"), "{human}");
+    assert!(human.contains("select.worker.0"), "{human}");
+
+    // Drain cleared the buffers.
+    assert!(cayman_obs::drain().is_empty());
+}

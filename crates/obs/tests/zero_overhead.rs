@@ -1,0 +1,61 @@
+//! Verifies the disabled-tracing cost model: the selection hot path's obs
+//! calls (`span!` with args, `counter`, `timed`) must not allocate at all
+//! when tracing is off. A counting global allocator makes "no allocations"
+//! a hard assertion rather than a benchmark judgement call.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracing_allocates_nothing_on_the_hot_path() {
+    cayman_obs::disable();
+    // Warm up once outside the measured window, then measure a hot loop of
+    // exactly the calls the selection DP makes per vertex/config.
+    hot_path_iteration(0);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000usize {
+        hot_path_iteration(i);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing allocated {} times over 10k hot-path iterations",
+        after - before
+    );
+}
+
+fn hot_path_iteration(i: usize) {
+    let _g = cayman_obs::span!("select.task.bb", vertex = i);
+    cayman_obs::counter("select.cache.hit", 1);
+    cayman_obs::counter("select.cache.miss", 1);
+    let t = cayman_obs::timed("model.accel");
+    let nanos = t.finish();
+    std::hint::black_box(nanos);
+    cayman_obs::instant("select.steal");
+    cayman_obs::diag("interp.fallback", || format!("vertex {i}"));
+    cayman_obs::lane(|| format!("select.worker.{i}"));
+}

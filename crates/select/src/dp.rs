@@ -43,7 +43,6 @@ use cayman_hls::inputs::{Candidate, FuncInputs};
 use cayman_hls::interface::ModelOptions;
 use cayman_ir::Module;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// An accelerator model: turns a candidate region into configured designs.
 ///
@@ -209,7 +208,9 @@ pub fn run_selection_cached(
     model: &dyn AccelModel,
     cache: &DesignCache,
 ) -> SelectionResult {
-    let t0 = Instant::now();
+    // The obs span is the single wall-clock measurement: it feeds both the
+    // trace (when enabled) and the `SelectStats` snapshot.
+    let wall = cayman_obs::timed("select.run");
     let engine = Engine {
         module,
         wpst,
@@ -241,9 +242,7 @@ pub fn run_selection_cached(
     } else {
         opts.sched.label()
     };
-    let stats = engine
-        .stats
-        .snapshot(t0.elapsed().as_nanos() as u64, threads, scheduler);
+    let stats = engine.stats.snapshot(wall.finish(), threads, scheduler);
     SelectionResult {
         pareto: f_root,
         visited: stats.visited,
@@ -283,19 +282,19 @@ impl Engine<'_> {
 
         // Combine strictly in child order — this keeps the float summation
         // order, and therefore the front, identical across thread budgets.
-        let t0 = Instant::now();
+        let t0 = cayman_obs::timed("select.combine");
         let mut f = vec![Solution::empty()];
         for fu in &child_fronts {
             f = combine(&f, fu, self.opts.alpha);
         }
-        AtomicStats::add_u64(&self.stats.combine_nanos, t0.elapsed().as_nanos() as u64);
+        AtomicStats::add_u64(&self.stats.combine_nanos, t0.finish());
 
         if self.wpst.is_ctrl_flow(v) {
             let mut all = f;
             all.extend(self.accel(v));
-            let t1 = Instant::now();
+            let t1 = cayman_obs::timed("select.combine");
             f = filter(pareto(all), self.opts.alpha);
-            AtomicStats::add_u64(&self.stats.combine_nanos, t1.elapsed().as_nanos() as u64);
+            AtomicStats::add_u64(&self.stats.combine_nanos, t1.finish());
         }
         f
     }
@@ -386,20 +385,29 @@ impl Engine<'_> {
         if let Some(key) = &key {
             if let Some(hit) = self.cache.lookup(key) {
                 AtomicStats::add_u64(&self.stats.cache_hits, 1);
+                cayman_obs::counter("select.cache.hit", 1);
                 return hit;
             }
             AtomicStats::add_u64(&self.stats.cache_misses, 1);
+            cayman_obs::counter("select.cache.miss", 1);
         }
-        let t0 = Instant::now();
+        // Label the invocation by function, vertex, and region kind — the
+        // same naming trace spans use, so the printed top-k and the trace
+        // agree.
+        let label = format!(
+            "{}#v{}:{}",
+            self.module.function(func).name,
+            v.index(),
+            if cand.is_bb { "bb" } else { "ctrl-flow" }
+        );
+        let t0 = cayman_obs::timed_with("model.accel", || {
+            vec![("region", cayman_obs::ArgValue::Str(label.clone()))]
+        });
         let designs = self.model.designs(&self.inputs[func.index()], cand);
-        let nanos = t0.elapsed().as_nanos() as u64;
+        let nanos = t0.finish();
         AtomicStats::add_u64(&self.stats.model_nanos, nanos);
         AtomicStats::add_usize(&self.stats.configs_evaluated, designs.len());
-        self.stats.record_accel(
-            format!("{}#v{}", self.module.function(func).name, v.index()),
-            nanos,
-            designs.len(),
-        );
+        self.stats.record_accel(label, nanos, designs.len());
         match key {
             Some(key) => self.cache.insert(key, designs),
             None => Arc::new(designs),

@@ -38,7 +38,6 @@ use cayman_analysis::wpst::WpstNodeId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
 
 /// Which engine evaluates independent wPST subtrees when
 /// [`crate::SelectOptions::threads`] > 1. Both produce bit-identical fronts;
@@ -106,6 +105,17 @@ enum Task {
     /// An internal vertex whose slots were all pre-filled at plan time
     /// (every child pruned, or no children): just run its fold.
     Ready { inner: u32 },
+}
+
+impl Task {
+    /// Trace span name for executing this task.
+    fn trace_name(&self) -> &'static str {
+        match self {
+            Task::Bb { .. } => "select.task.bb",
+            Task::Accel { .. } => "select.task.accel",
+            Task::Ready { .. } => "select.task.fold",
+        }
+    }
 }
 
 /// Runs the DP over the whole wPST on `threads` work-stealing workers.
@@ -213,10 +223,15 @@ struct Sched<'e, 'a> {
 
 impl Sched<'_, '_> {
     fn worker(&self, w: usize) {
+        // Name this thread's trace lane so every worker shows up as its own
+        // row in chrome://tracing.
+        cayman_obs::lane(|| format!("select.worker.{w}"));
         let cpu0 = thread_cpu_nanos();
         let mut t0 = cpu0;
         while let Some(task) = self.pop(w) {
+            let span = cayman_obs::span!(task.trace_name());
             self.run_task(task);
+            drop(span);
             // Per-task CPU time (including any fold cascade the task
             // triggered): the indivisible-work floor of the makespan model.
             let t1 = thread_cpu_nanos();
@@ -241,8 +256,15 @@ impl Sched<'_, '_> {
         }
         let n = self.queues.len();
         for k in 1..n {
-            let victim = &self.queues[(w + k) % n];
-            if let Some(task) = victim.lock().expect("sched queue poisoned").pop_back() {
+            let victim = (w + k) % n;
+            if let Some(task) = self.queues[victim]
+                .lock()
+                .expect("sched queue poisoned")
+                .pop_back()
+            {
+                cayman_obs::instant_with("select.steal", || {
+                    vec![("victim", cayman_obs::ArgValue::from(victim))]
+                });
                 return Some(task);
             }
         }
@@ -306,25 +328,19 @@ impl Sched<'_, '_> {
         let mut slots = std::mem::take(&mut *node.slots.lock().expect("sched slots poisoned"));
         let alpha = self.engine.opts.alpha;
         let nchildren = slots.len() - usize::from(node.ctrl);
-        let t0 = Instant::now();
+        let t0 = cayman_obs::timed("select.combine");
         let mut f = vec![Solution::empty()];
         for fu in &slots[..nchildren] {
             f = combine(&f, fu.as_ref().expect("child front delivered"), alpha);
         }
-        AtomicStats::add_u64(
-            &self.engine.stats.combine_nanos,
-            t0.elapsed().as_nanos() as u64,
-        );
+        AtomicStats::add_u64(&self.engine.stats.combine_nanos, t0.finish());
         if node.ctrl {
             let accel = slots[nchildren].take().expect("accel slot delivered");
             let mut all = f;
             all.extend(accel);
-            let t1 = Instant::now();
+            let t1 = cayman_obs::timed("select.combine");
             f = filter(pareto(all), alpha);
-            AtomicStats::add_u64(
-                &self.engine.stats.combine_nanos,
-                t1.elapsed().as_nanos() as u64,
-            );
+            AtomicStats::add_u64(&self.engine.stats.combine_nanos, t1.finish());
         }
         f
     }

@@ -1,7 +1,11 @@
 //! Observability for Algorithm 1: per-phase wall time, design-cache
 //! effectiveness, and search-space counters, collected lock-free so the
-//! parallel DP can update them from every worker thread.
+//! parallel DP can update them from every worker thread. Timing numbers
+//! come from `cayman-obs` [`TimedSpan`](cayman_obs::TimedSpan)s — the
+//! snapshot here is a *view over the same recorder* that feeds the Chrome
+//! trace, not a parallel measurement mechanism.
 
+use cayman_obs::pool::TopPool;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -14,7 +18,9 @@ pub const TOP_ACCEL_K: usize = 8;
 /// hits cost nothing and are not recorded).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccelCallStat {
-    /// `function#vN` — the vertex whose candidate was modeled.
+    /// `function#vN:kind` — the vertex whose candidate was modeled, with
+    /// the region kind (`bb` / `ctrl-flow`), matching the `model.accel`
+    /// trace span's `region` argument.
     pub label: String,
     /// Nanoseconds spent inside the model for this call.
     pub nanos: u64,
@@ -190,7 +196,7 @@ impl fmt::Display for SelectStats {
 /// are relaxed atomics: counters are independent, and the final snapshot
 /// happens after every worker has joined (scoped threads), so no ordering
 /// stronger than `Relaxed` is needed.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct AtomicStats {
     pub visited: AtomicUsize,
     pub pruned: AtomicUsize,
@@ -200,16 +206,37 @@ pub(crate) struct AtomicStats {
     pub cache_misses: AtomicU64,
     pub model_nanos: AtomicU64,
     pub combine_nanos: AtomicU64,
-    /// Candidate pool for the top-k `accel` breakdown. Guarded by a mutex:
-    /// model invocations are orders of magnitude more expensive than the
-    /// push, so contention is negligible.
-    top_accel: Mutex<Vec<AccelCallStat>>,
+    /// Candidate pool for the top-k `accel` breakdown (most expensive
+    /// first, label as tiebreak). Bounded by the pool itself: model
+    /// invocations are orders of magnitude more expensive than the push, so
+    /// contention is negligible.
+    top_accel: TopPool<AccelCallStat>,
     /// One busy-CPU-nanoseconds entry per worker (pushed once at worker
     /// exit, so contention is a non-issue).
     worker_busy: Mutex<Vec<u64>>,
     /// CPU nanoseconds of the most expensive single scheduler task seen so
     /// far (work-stealing runs only).
     max_task: AtomicU64,
+}
+
+impl Default for AtomicStats {
+    fn default() -> Self {
+        AtomicStats {
+            visited: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            configs_considered: AtomicUsize::new(0),
+            configs_evaluated: AtomicUsize::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            model_nanos: AtomicU64::new(0),
+            combine_nanos: AtomicU64::new(0),
+            top_accel: TopPool::new(TOP_ACCEL_K, |a, b| {
+                b.nanos.cmp(&a.nanos).then_with(|| a.label.cmp(&b.label))
+            }),
+            worker_busy: Mutex::new(Vec::new()),
+            max_task: AtomicU64::new(0),
+        }
+    }
 }
 
 impl AtomicStats {
@@ -223,18 +250,11 @@ impl AtomicStats {
 
     /// Records one `accel(v, R)` model invocation for the top-k breakdown.
     pub fn record_accel(&self, label: String, nanos: u64, designs: usize) {
-        let mut pool = self.top_accel.lock().expect("stats mutex poisoned");
-        pool.push(AccelCallStat {
+        self.top_accel.push(AccelCallStat {
             label,
             nanos,
             designs,
         });
-        // Keep the pool bounded without disturbing the final ordering: once
-        // it grows well past k, drop the cheap tail.
-        if pool.len() > 4 * TOP_ACCEL_K {
-            pool.sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
-            pool.truncate(TOP_ACCEL_K);
-        }
     }
 
     /// Records one scheduler task's CPU time; keeps the maximum.
@@ -258,9 +278,7 @@ impl AtomicStats {
         threads: usize,
         scheduler: &'static str,
     ) -> SelectStats {
-        let mut top_accel = self.top_accel.lock().expect("stats mutex poisoned").clone();
-        top_accel.sort_unstable_by(|a, b| b.nanos.cmp(&a.nanos).then(a.label.cmp(&b.label)));
-        top_accel.truncate(TOP_ACCEL_K);
+        let top_accel = self.top_accel.snapshot();
         let mut worker_busy = self
             .worker_busy
             .lock()
@@ -286,49 +304,10 @@ impl AtomicStats {
     }
 }
 
-/// CPU time consumed by the calling thread, in nanoseconds.
-///
-/// Used for per-worker busy accounting: on a host with fewer cores than
-/// workers (CI containers are often single-core), wall-clock attribution
-/// would charge preemption gaps to whichever worker happened to be
-/// descheduled, while thread CPU time measures the work itself — the
-/// quantity that becomes the per-worker wall time on a sufficiently
-/// parallel host.
-#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
-pub(crate) fn thread_cpu_nanos() -> u64 {
-    // Raw clock_gettime(CLOCK_THREAD_CPUTIME_ID): std exposes no
-    // thread-CPU clock and the workspace links no libc crate.
-    const SYS_CLOCK_GETTIME: i64 = 228;
-    const CLOCK_THREAD_CPUTIME_ID: i64 = 3;
-    let mut ts = [0i64; 2]; // timespec { tv_sec, tv_nsec }
-    let ret: i64;
-    unsafe {
-        std::arch::asm!(
-            "syscall",
-            inlateout("rax") SYS_CLOCK_GETTIME => ret,
-            in("rdi") CLOCK_THREAD_CPUTIME_ID,
-            in("rsi") ts.as_mut_ptr(),
-            lateout("rcx") _,
-            lateout("r11") _,
-            options(nostack),
-        );
-    }
-    if ret != 0 {
-        return 0;
-    }
-    (ts[0] as u64).saturating_mul(1_000_000_000) + ts[1] as u64
-}
-
-/// Portable fallback: wall time from a process-global epoch. Overcounts a
-/// preempted worker's busy time, but keeps balance numbers meaningful on
-/// uncontended hosts.
-#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
-pub(crate) fn thread_cpu_nanos() -> u64 {
-    use std::sync::OnceLock;
-    use std::time::Instant;
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
-}
+/// CPU time consumed by the calling thread, in nanoseconds — now provided
+/// by the shared observability substrate so busy accounting and trace
+/// timestamps come from the same clock family.
+pub(crate) use cayman_obs::thread_cpu_nanos;
 
 #[cfg(test)]
 mod tests {

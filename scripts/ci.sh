@@ -21,4 +21,19 @@ cargo bench -p cayman-bench --bench profiling --offline -- --smoke
 echo "== selection schedulers (smoke: fronts bit-identical) =="
 cargo bench -p cayman-bench --bench selection --offline -- --smoke
 
+echo "== trace capture (smoke: one traced benchmark, validated) =="
+trace="$(mktemp /tmp/cayman-trace.XXXXXX.json)"
+CAYMAN_TRACE="$trace" cargo run -q --release -p cayman-bench --offline --bin table2 -- trisolv >/dev/null
+cargo run -q --release -p cayman-bench --offline --bin tracecheck -- "$trace" \
+  --require-prefix normalize. --require-prefix profile. --require-prefix select. \
+  --require-prefix model. --require-prefix merge. --require-lane select.worker.
+rm -f "$trace"
+
+echo "== library crates stay silent (diagnostics go through cayman-obs) =="
+if grep -rn --include='*.rs' -E '\b(println!|eprintln!|print!|eprint!)' \
+    crates/ir/src crates/analysis/src crates/hls/src crates/merge/src crates/select/src crates/core/src; then
+  echo "error: library crate prints directly; route diagnostics through cayman_obs::diag" >&2
+  exit 1
+fi
+
 echo "ci: OK"
