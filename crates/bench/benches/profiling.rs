@@ -40,6 +40,9 @@ fn suite_label(s: Suite) -> &'static str {
         Suite::MachSuite => "machsuite",
         Suite::MediaBench => "mediabench",
         Suite::CoreMarkPro => "coremark",
+        Suite::Stencil => "stencil",
+        Suite::Control => "control",
+        Suite::Generated => "generated",
     }
 }
 

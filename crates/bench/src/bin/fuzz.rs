@@ -1,0 +1,175 @@
+//! `cayman-fuzz` — generative differential fuzzing of the full pipeline.
+//!
+//! Generates structured programs with `testkit::program` and pushes each
+//! through every crossed configuration (see [`cayman_bench::diff`]): decoded
+//! vs reference interpreter, `-O0` vs `-O1`, static vs work-steal scheduler
+//! at 2/3/8 threads, plus the merged best solution. Any divergence prints
+//! the offending kernel as re-parseable text — after shrinking it to the
+//! smallest derivation of the same seed that still fails — and exits 1.
+//!
+//! The run is seed-deterministic: the same `--seed`/`--count` produce the
+//! same programs and the same verdicts on every platform.
+//!
+//! ```text
+//! fuzz [--seed N] [--count N] [--trap-share PCT] [--corpus-gate]
+//!
+//!   --seed N          base seed (default 0xCA11)
+//!   --count N         number of generated programs (default 50)
+//!   --trap-share PCT  percent of cases generated with `allow_trap`, to
+//!                     exercise the interpreter error paths (default 10)
+//!   --corpus-gate     additionally parse + verify + run every checked-in
+//!                     corpus kernel (fails fast on a broken .cir file)
+//! ```
+
+use cayman_bench::diff::check_module;
+use cayman_testkit::program::{arbitrary_module_with, GenOptions};
+use cayman_testkit::{Rng, SHRINK_FACTORS};
+
+struct Args {
+    seed: u64,
+    count: u64,
+    trap_share: u64,
+    corpus_gate: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz [--seed N] [--count N] [--trap-share PCT] [--corpus-gate]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0xCA11,
+        count: 50,
+        trap_share: 10,
+        corpus_gate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            let Some(v) = it.next() else {
+                eprintln!("{name} needs a value");
+                usage();
+            };
+            // Accept decimal or 0x-prefixed hex seeds.
+            let parsed = v
+                .strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| v.parse());
+            parsed.unwrap_or_else(|_| {
+                eprintln!("{name}: not a number: `{v}`");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--seed" => args.seed = num("--seed"),
+            "--count" => args.count = num("--count"),
+            "--trap-share" => args.trap_share = num("--trap-share").min(100),
+            "--corpus-gate" => args.corpus_gate = true,
+            _ => {
+                eprintln!("unknown argument `{arg}`");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// Derives the per-case seed. Splitmix-style mixing keeps neighbouring
+/// cases decorrelated while staying reproducible from `(seed, case)`.
+fn case_seed(base: u64, case: u64) -> u64 {
+    Rng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+fn options_for(case: u64, trap_share: u64) -> GenOptions {
+    GenOptions {
+        // Trapping programs only exercise surface 1 (both engines must
+        // report the identical error), so keep them a configurable minority.
+        allow_trap: trap_share > 0 && case % 100 < trap_share,
+        ..GenOptions::default()
+    }
+}
+
+/// Re-checks a failing case at each shrink factor (most aggressive first)
+/// and returns the smallest still-failing kernel with its factor and
+/// failure, or `None` when only the unshrunk case fails.
+fn shrink_case(
+    seed: u64,
+    opts: &GenOptions,
+) -> Option<(f64, String, cayman_bench::diff::DiffFailure)> {
+    for &factor in &SHRINK_FACTORS {
+        let m = arbitrary_module_with(&mut Rng::with_shrink(seed, factor), opts);
+        if let Err(f) = check_module(&m) {
+            return Some((factor, m.to_text(), f));
+        }
+    }
+    None
+}
+
+fn run_corpus_gate() -> usize {
+    let ws = cayman::workloads::corpus::corpus();
+    for w in &ws {
+        w.module.verify().unwrap_or_else(|e| {
+            eprintln!("corpus gate: {}: verification failed: {e}", w.name);
+            std::process::exit(1);
+        });
+        let prof = w.run().unwrap_or_else(|e| {
+            eprintln!("corpus gate: {}: execution failed: {e}", w.name);
+            std::process::exit(1);
+        });
+        if prof.total_cycles == 0 {
+            eprintln!("corpus gate: {}: did no work", w.name);
+            std::process::exit(1);
+        }
+    }
+    ws.len()
+}
+
+fn main() {
+    let args = parse_args();
+
+    if args.corpus_gate {
+        let n = run_corpus_gate();
+        println!("corpus gate: {n} kernels parse, verify and run");
+    }
+
+    let mut clean = 0u64;
+    let mut trapped = 0u64;
+    for case in 0..args.count {
+        let seed = case_seed(args.seed, case);
+        let opts = options_for(case, args.trap_share);
+        let m = arbitrary_module_with(&mut Rng::new(seed), &opts);
+        match check_module(&m) {
+            Ok(true) => clean += 1,
+            Ok(false) => trapped += 1,
+            Err(failure) => {
+                eprintln!(
+                    "fuzz: case {case}/{} (seed {seed:#018x}) diverged: {failure}",
+                    args.count
+                );
+                match shrink_case(seed, &opts) {
+                    Some((factor, text, small)) => {
+                        eprintln!("shrunk (factor {factor}) failure: {small}");
+                        eprintln!("minimal kernel (re-parseable):\n{text}");
+                        eprintln!(
+                            "replay: arbitrary_module_with(&mut Rng::with_shrink({seed:#018x}, \
+                             {factor:?}), &opts)"
+                        );
+                    }
+                    None => {
+                        eprintln!("kernel (re-parseable):\n{}", m.to_text());
+                        eprintln!(
+                            "replay: arbitrary_module_with(&mut Rng::new({seed:#018x}), &opts)"
+                        );
+                    }
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "fuzz: {} programs agree across all configurations \
+         ({clean} full pipeline, {trapped} identical-trap) [seed {:#x}]",
+        args.count, args.seed
+    );
+}

@@ -53,9 +53,15 @@ fn main() {
     cayman_obs::init_from_env();
 
     let mut rows = Vec::new();
-    for w in args.select_workloads(cayman::workloads::all()) {
+    // Dynamic executions still hitting the generic `(op, ty)` dispatch of
+    // the decoded interpreter after -O1 — the specialization shortlist.
+    let mut mix: BTreeMap<String, u64> = BTreeMap::new();
+    for w in args.select_workloads(args.workload_set()) {
         let (app0, t0) = analysed(&w, &AnalyseOptions::o0());
         let (app1, t1) = analysed(&w, &AnalyseOptions::default());
+        for (label, n) in cayman::ir::generic_dispatch_mix(&app1.module, &app1.exec) {
+            *mix.entry(label).or_insert(0) += n;
+        }
         rows.push(Row {
             suite: w.suite.to_string(),
             name: w.name,
@@ -86,6 +92,16 @@ fn main() {
                         o.u64("regions_o1", r.regions1 as u64);
                         o.f64("analyse_o0_ms", r.analyse0_ms, 3);
                         o.f64("analyse_o1_ms", r.analyse1_ms, 3);
+                    });
+                }
+            });
+            o.arr("generic_dispatch_mix", |a| {
+                let mut sorted: Vec<(&String, &u64)> = mix.iter().collect();
+                sorted.sort_by(|x, y| y.1.cmp(x.1).then(x.0.cmp(y.0)));
+                for (label, n) in sorted {
+                    a.obj(|o| {
+                        o.str("op", label);
+                        o.u64("dynamic", *n);
                     });
                 }
             });
@@ -175,6 +191,22 @@ fn main() {
         "total: dynamic instructions {all0} -> {all1} ({:.1}% fewer), analyse wall {ta0:.1} -> {ta1:.1} ms",
         pct(all0, all1)
     );
+
+    let total_generic = mix.values().sum::<u64>();
+    let mut sorted: Vec<(&String, &u64)> = mix.iter().collect();
+    sorted.sort_by(|x, y| y.1.cmp(x.1).then(x.0.cmp(y.0)));
+    println!(
+        "\ngeneric dispatch mix after -O1 ({} dynamic executions on the generic path):",
+        total_generic
+    );
+    for (label, n) in sorted.iter().take(12) {
+        println!(
+            "  {:<16} {:>12}  ({:>4.1}%)",
+            label,
+            n,
+            100.0 * **n as f64 / total_generic.max(1) as f64
+        );
+    }
 
     cayman_bench::flush_obs_outputs();
 }

@@ -1,0 +1,276 @@
+//! Differential checking of one IR module across the full pipeline.
+//!
+//! This is the shared core of the `fuzz` binary and the root-crate
+//! `pipeline_fuzz` property test: a module (typically from
+//! `testkit::program`) is pushed through every crossed configuration the
+//! repo supports, and any divergence is reported as a [`DiffFailure`]
+//! naming the stage and the mismatching observable.
+//!
+//! The crossed surfaces, and what must be *bit-identical* on each:
+//!
+//! 1. **decoded vs reference interpreter** — dynamic block counts, total
+//!    cycles, return-value bits, final memory cells; or, for trapping
+//!    programs, the exact same error message.
+//! 2. **`-O0` vs `-O1` normalization** — return-value bits and final memory
+//!    cells (counts and cycles legitimately change; observables must not).
+//! 3. **static vs work-steal scheduler × {2, 3, 8} threads** — the selection
+//!    Pareto front (area and saved-seconds bits per solution), the visited
+//!    vertex count, and the merged best solution's area accounting.
+
+use cayman::ir::interp::{Interp, Value};
+use cayman::ir::transform::{normalize, OptLevel};
+use cayman::ir::Module;
+use cayman::{Framework, SchedKind, SelectOptions};
+use std::fmt;
+
+/// Runaway guard: generated programs terminate by construction, so the
+/// limit only exists to convert a harness bug into a clean failure.
+const STEP_LIMIT: u64 = 50_000_000;
+
+/// The first divergence found for a module, with enough context to debug it
+/// once the caller attaches the kernel text.
+#[derive(Debug)]
+pub struct DiffFailure {
+    /// Which differential surface diverged.
+    pub stage: &'static str,
+    /// What diverged, with both sides.
+    pub detail: String,
+}
+
+impl fmt::Display for DiffFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+impl std::error::Error for DiffFailure {}
+
+fn fail(stage: &'static str, detail: impl Into<String>) -> Result<(), DiffFailure> {
+    Err(DiffFailure {
+        stage,
+        detail: detail.into(),
+    })
+}
+
+fn values_bit_equal(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (Some(Value::F(x)), Some(Value::F(y))) => x.to_bits() == y.to_bits(),
+        (x, y) => x == y,
+    }
+}
+
+fn cells_bit_equal(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Value::F(x), Value::F(y)) => x.to_bits() == y.to_bits(),
+            (x, y) => x == y,
+        })
+}
+
+/// Runs every differential surface over `m`.
+///
+/// Returns `Ok(true)` when the module executed cleanly and all surfaces
+/// were compared, `Ok(false)` when the module traps identically under both
+/// interpreters (the remaining surfaces need a clean profile and are
+/// skipped), and the first [`DiffFailure`] otherwise.
+///
+/// # Errors
+///
+/// Any observable divergence between two configurations that must agree.
+pub fn check_module(m: &Module) -> Result<bool, DiffFailure> {
+    if let Err(e) = m.verify() {
+        fail("verify", format!("generated module does not verify: {e}"))?;
+    }
+
+    // Surface 1: decoded vs reference interpreter on the raw module.
+    let mut dec = Interp::new(m).with_step_limit(STEP_LIMIT);
+    let dec_out = dec.run(&[]);
+    let mut refi = Interp::reference(m).with_step_limit(STEP_LIMIT);
+    let ref_out = refi.run(&[]);
+    match (&dec_out, &ref_out) {
+        (Err(de), Err(re)) => {
+            if de.to_string() != re.to_string() {
+                fail(
+                    "decoded-vs-reference",
+                    format!("error messages diverge:\n  decoded:   {de}\n  reference: {re}"),
+                )?;
+            }
+            // Identical trap on both engines: nothing further to compare —
+            // the pipeline (rightly) refuses trapping programs.
+            return Ok(false);
+        }
+        (Ok(_), Err(re)) => fail(
+            "decoded-vs-reference",
+            format!("decoded runs clean but reference traps: {re}"),
+        )?,
+        (Err(de), Ok(_)) => fail(
+            "decoded-vs-reference",
+            format!("reference runs clean but decoded traps: {de}"),
+        )?,
+        (Ok(_), Ok(_)) => {}
+    }
+    let (dp, rp) = (dec_out.unwrap(), ref_out.unwrap());
+    if dp.block_counts != rp.block_counts {
+        fail("decoded-vs-reference", "dynamic block counts diverge")?;
+    }
+    if dp.total_cycles != rp.total_cycles {
+        fail(
+            "decoded-vs-reference",
+            format!("cycles diverge: {} vs {}", dp.total_cycles, rp.total_cycles),
+        )?;
+    }
+    if !values_bit_equal(&dp.return_value, &rp.return_value) {
+        fail(
+            "decoded-vs-reference",
+            format!(
+                "return values diverge: {:?} vs {:?}",
+                dp.return_value, rp.return_value
+            ),
+        )?;
+    }
+    if !cells_bit_equal(dec.memory.cells(), refi.memory.cells()) {
+        fail("decoded-vs-reference", "final memory images diverge")?;
+    }
+
+    // Surface 2: -O0 vs -O1 observables.
+    let mut opt_module = m.clone();
+    match normalize(&mut opt_module, OptLevel::O1, true) {
+        Ok(_) => {}
+        Err(e) => fail("o0-vs-o1", format!("normalization broke the module: {e}"))?,
+    }
+    let mut opt = Interp::new(&opt_module).with_step_limit(STEP_LIMIT);
+    match opt.run(&[]) {
+        Err(e) => fail(
+            "o0-vs-o1",
+            format!("-O0 runs clean but the -O1 module traps: {e}"),
+        )?,
+        Ok(op) => {
+            if !values_bit_equal(&dp.return_value, &op.return_value) {
+                fail(
+                    "o0-vs-o1",
+                    format!(
+                        "return values diverge: {:?} vs {:?}",
+                        dp.return_value, op.return_value
+                    ),
+                )?;
+            }
+            if !cells_bit_equal(dec.memory.cells(), opt.memory.cells()) {
+                fail("o0-vs-o1", "final memory images diverge")?;
+            }
+        }
+    }
+
+    // Surface 3: scheduler × thread cross on selection and merging.
+    let fw = match Framework::from_module(m.clone()) {
+        Ok(fw) => fw,
+        Err(e) => {
+            fail("select", format!("pipeline front-end failed: {e}"))?;
+            unreachable!()
+        }
+    };
+    let reference = fw.select(&SelectOptions::default());
+    if reference.pareto.is_empty() {
+        fail("select", "selection produced an empty Pareto front")?;
+    }
+    let ref_merge = fw.merge(reference.best_under(f64::INFINITY));
+    for sched in [SchedKind::Static, SchedKind::WorkSteal] {
+        for threads in [2usize, 3, 8] {
+            let opts = SelectOptions {
+                threads,
+                sched,
+                ..SelectOptions::default()
+            };
+            let res = fw.select(&opts);
+            let cfg = format!("{sched:?}×{threads}");
+            if res.pareto.len() != reference.pareto.len() {
+                fail(
+                    "select-cross",
+                    format!(
+                        "{cfg}: front size {} vs reference {}",
+                        res.pareto.len(),
+                        reference.pareto.len()
+                    ),
+                )?;
+            }
+            for (i, (a, b)) in res.pareto.iter().zip(&reference.pareto).enumerate() {
+                if a.area.to_bits() != b.area.to_bits()
+                    || a.saved_seconds.to_bits() != b.saved_seconds.to_bits()
+                    || a.kernels.len() != b.kernels.len()
+                {
+                    fail(
+                        "select-cross",
+                        format!(
+                            "{cfg}: front entry {i} diverges: \
+                             (area {}, saved {}, kernels {}) vs (area {}, saved {}, kernels {})",
+                            a.area,
+                            a.saved_seconds,
+                            a.kernels.len(),
+                            b.area,
+                            b.saved_seconds,
+                            b.kernels.len()
+                        ),
+                    )?;
+                }
+            }
+            if res.visited != reference.visited {
+                fail(
+                    "select-cross",
+                    format!(
+                        "{cfg}: visited {} vs reference {}",
+                        res.visited, reference.visited
+                    ),
+                )?;
+            }
+            let merged = fw.merge(res.best_under(f64::INFINITY));
+            if merged.area_before.to_bits() != ref_merge.area_before.to_bits()
+                || merged.area_after.to_bits() != ref_merge.area_after.to_bits()
+                || merged.merges != ref_merge.merges
+                || merged.reusable.len() != ref_merge.reusable.len()
+                || merged.units.len() != ref_merge.units.len()
+            {
+                fail(
+                    "merge-cross",
+                    format!(
+                        "{cfg}: merged solution diverges: \
+                         (before {}, after {}, merges {}, reusable {}, units {}) vs \
+                         (before {}, after {}, merges {}, reusable {}, units {})",
+                        merged.area_before,
+                        merged.area_after,
+                        merged.merges,
+                        merged.reusable.len(),
+                        merged.units.len(),
+                        ref_merge.area_before,
+                        ref_merge.area_after,
+                        ref_merge.merges,
+                        ref_merge.reusable.len(),
+                        ref_merge.units.len()
+                    ),
+                )?;
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_testkit::program::arbitrary_module;
+    use cayman_testkit::Rng;
+
+    #[test]
+    fn a_known_benchmark_passes_all_surfaces() {
+        let w = cayman::workloads::by_name("atax").expect("atax exists");
+        assert!(check_module(&w.module).expect("no divergence"));
+    }
+
+    #[test]
+    fn generated_programs_pass_and_verdicts_are_deterministic() {
+        for seed in [1u64, 7, 42] {
+            let m = arbitrary_module(&mut Rng::new(seed));
+            let a = check_module(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let b = check_module(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(a, b, "verdict changed between identical runs");
+        }
+    }
+}

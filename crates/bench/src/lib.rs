@@ -20,6 +20,7 @@ use cayman::{
 };
 use std::time::Instant;
 
+pub mod diff;
 pub mod harness;
 pub mod json;
 
@@ -49,6 +50,9 @@ pub struct BenchArgs {
     pub analyse: AnalyseOptions,
     /// Emit one JSON document on stdout instead of the human tables.
     pub json: bool,
+    /// Include the text-kernel corpus (`workloads::full()`) alongside the
+    /// 28 builder benchmarks.
+    pub corpus: bool,
     /// Benchmark names to restrict the run to (empty: all).
     pub filters: Vec<String>,
 }
@@ -62,14 +66,28 @@ impl BenchArgs {
                 args.analyse.opt_level = level;
             } else if arg == "--json" {
                 args.json = true;
+            } else if arg == "--corpus" {
+                args.corpus = true;
             } else if arg.starts_with('-') {
-                eprintln!("unknown argument `{arg}`; usage: [-O0|-O1] [--json] [benchmark...]");
+                eprintln!(
+                    "unknown argument `{arg}`; usage: [-O0|-O1] [--json] [--corpus] [benchmark...]"
+                );
                 std::process::exit(2);
             } else {
                 args.filters.push(arg);
             }
         }
         args
+    }
+
+    /// The workload set this run profiles: the 28 builder benchmarks, plus
+    /// the text-kernel corpus when `--corpus` was passed.
+    pub fn workload_set(&self) -> Vec<Workload> {
+        if self.corpus {
+            cayman::workloads::full()
+        } else {
+            cayman::workloads::all()
+        }
     }
 
     /// Applies the positional benchmark-name filters to a workload list,

@@ -84,6 +84,17 @@ impl Framework {
         })
     }
 
+    /// Builds the framework from a textual kernel (the `.cir` fixture
+    /// format): parse → verify → profile → analyse, with zeroed inputs and
+    /// default [`AnalyseOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when parsing, verification or profiling execution fails.
+    pub fn from_text(text: &str) -> Result<Self, CaymanError> {
+        Self::from_module(cayman_ir::Module::parse_text(text)?)
+    }
+
     /// Builds the framework from a benchmark workload (realistic inputs,
     /// default [`AnalyseOptions`]: `-O1`).
     ///

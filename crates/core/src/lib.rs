@@ -68,6 +68,8 @@ pub use cayman_select::{
 /// Top-level framework error.
 #[derive(Debug)]
 pub enum CaymanError {
+    /// The textual input failed to parse.
+    Parse(cayman_ir::parse::ParseError),
     /// The input module failed structural verification.
     Verify(cayman_ir::verify::VerifyError),
     /// Profiling execution failed.
@@ -77,6 +79,7 @@ pub enum CaymanError {
 impl fmt::Display for CaymanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CaymanError::Parse(e) => write!(f, "parsing failed: {e}"),
             CaymanError::Verify(e) => write!(f, "verification failed: {e}"),
             CaymanError::Interp(e) => write!(f, "profiling execution failed: {e}"),
         }
@@ -86,9 +89,16 @@ impl fmt::Display for CaymanError {
 impl Error for CaymanError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            CaymanError::Parse(e) => Some(e),
             CaymanError::Verify(e) => Some(e),
             CaymanError::Interp(e) => Some(e),
         }
+    }
+}
+
+impl From<cayman_ir::parse::ParseError> for CaymanError {
+    fn from(e: cayman_ir::parse::ParseError) -> Self {
+        CaymanError::Parse(e)
     }
 }
 

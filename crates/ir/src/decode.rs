@@ -254,6 +254,64 @@ fn specialise(op: DecodedOp) -> DecodedOp {
     }
 }
 
+/// Dynamic dispatch mix of the *generic* decoded ops: every
+/// [`Instr::Binary`] / [`Instr::Cmp`] that [`specialise`] leaves on the
+/// generic `(op, ty)` dispatch path, weighted by how often its block
+/// executed in `exec`. Returns `(label, dynamic_count)` pairs sorted by
+/// descending count — the specialization shortlist for future fast-path
+/// [`DecodedOp`] variants.
+pub fn generic_dispatch_mix(
+    module: &Module,
+    exec: &crate::interp::ExecProfile,
+) -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (fi, func) in module.functions.iter().enumerate() {
+        let Some(bc) = exec.block_counts.get(fi) else {
+            continue;
+        };
+        for b in func.block_ids() {
+            let weight = bc.get(b.index()).copied().unwrap_or(0);
+            if weight == 0 {
+                continue;
+            }
+            for &iid in &func.block(b).instrs {
+                // Re-run the real specialiser on a dummy decoding so the
+                // shortlist can never drift from the dispatcher's rules.
+                let probe = match *func.instr(iid) {
+                    Instr::Binary { op, ty, .. } => DecodedOp::Binary {
+                        op,
+                        ty,
+                        dst: 0,
+                        lhs: Opnd::Reg(0),
+                        rhs: Opnd::Reg(0),
+                    },
+                    Instr::Cmp { pred, ty, .. } => DecodedOp::Cmp {
+                        pred,
+                        ty,
+                        dst: 0,
+                        lhs: Opnd::Reg(0),
+                        rhs: Opnd::Reg(0),
+                    },
+                    _ => continue,
+                };
+                let label = match specialise(probe) {
+                    DecodedOp::Binary { op, ty, .. } => {
+                        format!("{} {ty}", op.mnemonic())
+                    }
+                    DecodedOp::Cmp { pred, ty, .. } => {
+                        format!("cmp {} {ty}", pred.mnemonic())
+                    }
+                    _ => continue, // has a fast path already
+                };
+                *counts.entry(label).or_insert(0) += weight;
+            }
+        }
+    }
+    let mut mix: Vec<(String, u64)> = counts.into_iter().collect();
+    mix.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    mix
+}
+
 /// Fuses an [`DecodedOp::FMul`] directly followed by an [`DecodedOp::FAdd`]
 /// that consumes its result as that result's only static use into one
 /// [`DecodedOp::FMulAdd`].
@@ -979,6 +1037,32 @@ mod tests {
     use super::*;
     use crate::builder::ModuleBuilder;
     use crate::interp::Interp;
+
+    #[test]
+    fn generic_dispatch_mix_counts_only_unspecialised_ops() {
+        // `add i64` and `fadd` have fast paths; `sub i64` and `cmp ge i64`
+        // stay generic. Each loop body runs 8 times.
+        let mut mb = ModuleBuilder::new("mix");
+        mb.function("main", &[], Some(Type::I64), |fb| {
+            let zero = fb.iconst(0);
+            let out = fb.counted_loop_carry(0, 8, 1, &[(Type::I64, zero)], |fb, i, c| {
+                let a = fb.add(c[0], i); // specialised: IAdd64
+                let b = fb.sub(a, fb.iconst(1)); // generic
+                let ge = fb.cmp(CmpPred::Ge, Type::I64, b, fb.iconst(3)); // generic
+                vec![fb.select(ge, Type::I64, b, a)]
+            });
+            fb.ret(Some(out[0]));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let exec = Interp::new(&m).run(&[]).expect("runs");
+        let mix = generic_dispatch_mix(&m, &exec);
+        assert_eq!(
+            mix,
+            vec![("cmp ge i64".to_string(), 8), ("sub i64".to_string(), 8)],
+            "exactly the unspecialised ops, weighted by 8 iterations"
+        );
+    }
 
     #[test]
     fn verified_builder_modules_decode() {

@@ -57,6 +57,7 @@ pub mod transform;
 pub mod types;
 pub mod verify;
 
+pub use decode::generic_dispatch_mix;
 pub use instr::{BinOp, CmpPred, Imm, Instr, Operand, Terminator, UnaryOp};
 pub use module::{ArrayDecl, ArrayId, Block, BlockId, FuncId, Function, InstrId, Module, ValueId};
 pub use types::Type;

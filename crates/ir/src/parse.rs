@@ -27,18 +27,61 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-/// A parse failure with its 1-based source line.
+/// A parse failure with its 1-based source position and, when one can be
+/// identified, the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token within the source line
+    /// (`1` when no more precise position is known).
+    pub col: usize,
+    /// The offending token, empty when the failure concerns the line or
+    /// construct as a whole (e.g. an unterminated function body).
+    pub token: String,
     /// Human-readable description.
     pub message: String,
 }
 
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            col: 1,
+            token: String::new(),
+            message: message.into(),
+        }
+    }
+
+    /// Positions the error at `token`'s first occurrence in `source_line`.
+    fn at_token(
+        line: usize,
+        source_line: &str,
+        token: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        let token = token.into();
+        let col = if token.is_empty() {
+            1
+        } else {
+            source_line.find(&token).map_or(1, |i| i + 1)
+        };
+        ParseError {
+            line,
+            col,
+            token,
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -84,10 +127,7 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            line,
-            message: msg.into(),
-        })
+        Err(ParseError::new(line, msg))
     }
 
     fn peek(&self) -> Option<(usize, &'a str)> {
@@ -126,27 +166,19 @@ impl<'a> Parser<'a> {
         // array f64 @x [4x5]
         let rest = t.strip_prefix("array ").expect("checked");
         let mut parts = rest.split_whitespace();
-        let ty = self.parse_type(ln, parts.next().unwrap_or(""))?;
+        let ty = self.parse_type(ln, t, parts.next().unwrap_or(""))?;
         let name = parts
             .next()
             .and_then(|s| s.strip_prefix('@'))
-            .ok_or_else(|| ParseError {
-                line: ln,
-                message: "expected `@name`".into(),
-            })?;
+            .ok_or_else(|| ParseError::new(ln, "expected `@name`"))?;
         let dims_str = parts
             .next()
             .and_then(|s| s.strip_prefix('['))
             .and_then(|s| s.strip_suffix(']'))
-            .ok_or_else(|| ParseError {
-                line: ln,
-                message: "expected `[dims]`".into(),
-            })?;
+            .ok_or_else(|| ParseError::new(ln, "expected `[dims]`"))?;
         let dims: Result<Vec<usize>, _> = dims_str.split('x').map(str::parse).collect();
-        let dims = dims.map_err(|e| ParseError {
-            line: ln,
-            message: format!("bad dimensions: {e}"),
-        })?;
+        let dims = dims
+            .map_err(|e| ParseError::at_token(ln, t, dims_str, format!("bad dimensions: {e}")))?;
         let id = ArrayId(self.module.arrays.len() as u32);
         self.module.arrays.push(ArrayDecl {
             name: name.to_string(),
@@ -157,7 +189,7 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    fn parse_type(&self, ln: usize, s: &str) -> Result<Type, ParseError> {
+    fn parse_type(&self, ln: usize, source_line: &str, s: &str) -> Result<Type, ParseError> {
         match s {
             "i1" => Ok(Type::I1),
             "i32" => Ok(Type::I32),
@@ -165,10 +197,12 @@ impl<'a> Parser<'a> {
             "f32" => Ok(Type::F32),
             "f64" => Ok(Type::F64),
             "ptr" => Ok(Type::Ptr),
-            other => Err(ParseError {
-                line: ln,
-                message: format!("unknown type `{other}`"),
-            }),
+            other => Err(ParseError::at_token(
+                ln,
+                source_line,
+                other,
+                format!("unknown type `{other}`"),
+            )),
         }
     }
 
@@ -176,47 +210,48 @@ impl<'a> Parser<'a> {
         let (hln, header) = self.next().expect("caller checked");
         // fn @name(i64 %0, f64 %1) -> void {
         let h = header.trim();
-        let open = h.find('(').ok_or_else(|| ParseError {
-            line: hln,
-            message: "missing `(`".into(),
-        })?;
-        let close = h.rfind(')').ok_or_else(|| ParseError {
-            line: hln,
-            message: "missing `)`".into(),
-        })?;
+        let open = h
+            .find('(')
+            .ok_or_else(|| ParseError::new(hln, "missing `(`"))?;
+        let close = h
+            .rfind(')')
+            .ok_or_else(|| ParseError::new(hln, "missing `)`"))?;
         let name = h["fn @".len()..open].to_string();
         let params_str = &h[open + 1..close];
         let mut params = Vec::new();
         if !params_str.trim().is_empty() {
             for p in params_str.split(',') {
                 let ty_tok = p.split_whitespace().next().unwrap_or("");
-                params.push(self.parse_type(hln, ty_tok)?);
+                params.push(self.parse_type(hln, header, ty_tok)?);
             }
         }
         let ret_part = h[close + 1..]
             .trim()
             .strip_prefix("->")
             .map(|s| s.trim().trim_end_matches('{').trim().to_string())
-            .ok_or_else(|| ParseError {
-                line: hln,
-                message: "missing `-> ret {`".into(),
-            })?;
+            .ok_or_else(|| ParseError::new(hln, "missing `-> ret {`"))?;
         let ret = if ret_part == "void" {
             None
         } else {
-            Some(self.parse_type(hln, &ret_part)?)
+            Some(self.parse_type(hln, header, &ret_part)?)
         };
 
-        // Collect the body lines up to the closing `}`.
+        // Collect the body lines up to the closing `}`. Raw (untrimmed)
+        // lines are kept so error columns refer to the real source text.
         let mut body: Vec<(usize, &str)> = Vec::new();
         loop {
             let Some((ln, line)) = self.next() else {
-                return self.err(hln, "unterminated function body");
+                return Err(ParseError::at_token(
+                    hln,
+                    header,
+                    h,
+                    format!("unterminated body of function `@{}`", name),
+                ));
             };
             if line.trim() == "}" {
                 break;
             }
-            body.push((ln, line.trim()));
+            body.push((ln, line));
         }
 
         // Pass 1: block labels and value-id mapping (supports forward refs).
@@ -228,7 +263,8 @@ impl<'a> Parser<'a> {
             let _ = ty;
             value_map.insert(i as u32, ValueId(i as u32));
         }
-        for &(ln, line) in &body {
+        for &(ln, raw) in &body {
+            let line = raw.trim();
             if let Some(label) = line
                 .strip_suffix(':')
                 .or_else(|| line.split_once(": ;").map(|(l, _)| l))
@@ -252,7 +288,12 @@ impl<'a> Parser<'a> {
             if let Some((lhs, _)) = line.split_once(" = ") {
                 let lhs = lhs.trim();
                 let Some(num) = lhs.strip_prefix('%').and_then(|s| s.parse::<u32>().ok()) else {
-                    return self.err(ln, format!("bad result `{lhs}`"));
+                    return Err(ParseError::at_token(
+                        ln,
+                        raw,
+                        lhs,
+                        format!("bad result `{lhs}`"),
+                    ));
                 };
                 value_map.insert(num, ValueId(next_value));
                 next_value += 1;
@@ -279,7 +320,8 @@ impl<'a> Parser<'a> {
         };
         let mut cur: Option<BlockId> = None;
         let mut next_value = params.len() as u32;
-        for &(ln, line) in &body {
+        for &(ln, raw) in &body {
+            let line = raw.trim();
             if line.starts_with("bb")
                 && (line.ends_with(':') || line.contains(": ;"))
                 && !line.contains('=')
@@ -293,6 +335,7 @@ impl<'a> Parser<'a> {
             };
             let ctx = LineCtx {
                 ln,
+                text: raw,
                 value_map: &value_map,
                 block_names: &block_names,
                 array_names: &self.array_names,
@@ -324,6 +367,8 @@ impl<'a> Parser<'a> {
 
 struct LineCtx<'a> {
     ln: usize,
+    /// The raw source line, used to locate offending tokens by column.
+    text: &'a str,
     value_map: &'a HashMap<u32, ValueId>,
     block_names: &'a HashMap<String, BlockId>,
     array_names: &'a HashMap<String, ArrayId>,
@@ -336,23 +381,25 @@ impl LineCtx<'_> {
         if let Some(num) = t.strip_prefix('%') {
             let n: u32 = num
                 .parse()
-                .map_err(|_| self.e(format!("bad value `{t}`")))?;
+                .map_err(|_| self.et(t, format!("bad value `{t}`")))?;
             let v = self
                 .value_map
                 .get(&n)
-                .ok_or_else(|| self.e(format!("undefined value `{t}`")))?;
+                .ok_or_else(|| self.et(t, format!("undefined value `{t}`")))?;
             return Ok(Operand::Value(*v));
         }
         if t == "true" || t == "false" {
             return Ok(Operand::Const(Imm::Bool(t == "true")));
         }
         if t.contains('.') || t.contains("inf") || t.contains("NaN") || t.contains('e') {
-            let f: f64 = t.parse().map_err(|_| self.e(format!("bad float `{t}`")))?;
+            let f: f64 = t
+                .parse()
+                .map_err(|_| self.et(t, format!("bad float `{t}`")))?;
             return Ok(Operand::Const(Imm::Float(f)));
         }
         let i: i64 = t
             .parse()
-            .map_err(|_| self.e(format!("bad operand `{t}`")))?;
+            .map_err(|_| self.et(t, format!("bad operand `{t}`")))?;
         Ok(Operand::Const(Imm::Int(i)))
     }
 
@@ -360,14 +407,16 @@ impl LineCtx<'_> {
         self.block_names
             .get(tok.trim())
             .copied()
-            .ok_or_else(|| self.e(format!("unknown block `{tok}`")))
+            .ok_or_else(|| self.et(tok.trim(), format!("unknown block `{}`", tok.trim())))
     }
 
     fn e(&self, message: String) -> ParseError {
-        ParseError {
-            line: self.ln,
-            message,
-        }
+        ParseError::new(self.ln, message)
+    }
+
+    /// An error located at `token` within this line.
+    fn et(&self, token: &str, message: String) -> ParseError {
+        ParseError::at_token(self.ln, self.text, token, message)
     }
 }
 
@@ -411,7 +460,7 @@ fn parse_instr(
     let rest: Vec<&str> = toks.collect();
 
     let bin = |o: BinOp| -> Result<Instr, ParseError> {
-        let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+        let ty = p.parse_type(ctx.ln, ctx.text, rest.first().copied().unwrap_or(""))?;
         Ok(Instr::Binary {
             op: o,
             ty,
@@ -420,7 +469,7 @@ fn parse_instr(
         })
     };
     let un = |o: UnaryOp| -> Result<Instr, ParseError> {
-        let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+        let ty = p.parse_type(ctx.ln, ctx.text, rest.first().copied().unwrap_or(""))?;
         Ok(Instr::Unary {
             op: o,
             ty,
@@ -464,9 +513,9 @@ fn parse_instr(
                 "le" => CmpPred::Le,
                 "gt" => CmpPred::Gt,
                 "ge" => CmpPred::Ge,
-                other => return Err(ctx.e(format!("bad predicate `{other}`"))),
+                other => return Err(ctx.et(other, format!("bad predicate `{other}`"))),
             };
-            let ty = p.parse_type(ctx.ln, rest.get(1).copied().unwrap_or(""))?;
+            let ty = p.parse_type(ctx.ln, ctx.text, rest.get(1).copied().unwrap_or(""))?;
             Instr::Cmp {
                 pred,
                 ty,
@@ -475,7 +524,7 @@ fn parse_instr(
             }
         }
         "select" => {
-            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+            let ty = p.parse_type(ctx.ln, ctx.text, rest.first().copied().unwrap_or(""))?;
             Instr::Select {
                 ty,
                 cond: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
@@ -511,6 +560,7 @@ fn parse_instr(
             // load f64, %7
             let ty = p.parse_type(
                 ctx.ln,
+                ctx.text,
                 rest.first().copied().unwrap_or("").trim_end_matches(','),
             )?;
             Instr::Load {
@@ -520,7 +570,7 @@ fn parse_instr(
         }
         "store" => {
             // store f64 %8, %7
-            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+            let ty = p.parse_type(ctx.ln, ctx.text, rest.first().copied().unwrap_or(""))?;
             Instr::Store {
                 ty,
                 value: ctx.operand(rest.get(1).copied().unwrap_or(""))?,
@@ -529,7 +579,7 @@ fn parse_instr(
         }
         "phi" => {
             // phi i64 [bb0: 0], [bb2: %8]
-            let ty = p.parse_type(ctx.ln, rest.first().copied().unwrap_or(""))?;
+            let ty = p.parse_type(ctx.ln, ctx.text, rest.first().copied().unwrap_or(""))?;
             let mut incomings = Vec::new();
             let joined = rest[1..].join(" ");
             for part in joined.split("],") {
@@ -550,7 +600,7 @@ fn parse_instr(
             let ty = if ty_tok == "void" {
                 None
             } else {
-                Some(p.parse_type(ctx.ln, ty_tok)?)
+                Some(p.parse_type(ctx.ln, ctx.text, ty_tok)?)
             };
             let spec = rest[1..].join(" ");
             let open = spec
@@ -574,7 +624,7 @@ fn parse_instr(
             }
             Instr::Call { callee, args, ty }
         }
-        other => return Err(ctx.e(format!("unknown opcode `{other}`"))),
+        other => return Err(ctx.et(other, format!("unknown opcode `{other}`"))),
     };
     Ok((result, instr))
 }
@@ -667,6 +717,74 @@ mod tests {
         let e = Module::parse_text(bad).expect_err("must fail");
         assert_eq!(e.line, 4);
         assert!(e.message.contains("frobnicate"), "{e}");
+        // `  %0 = frobnicate ...` — the opcode starts at column 8.
+        assert_eq!(e.token, "frobnicate");
+        assert_eq!(e.col, 8);
+    }
+
+    #[test]
+    fn unterminated_function_body_is_reported_at_the_header() {
+        let bad = "; module m\nfn @f() -> void {\nbb0: ; entry\n  ret\n";
+        let e = Module::parse_text(bad).expect_err("must fail");
+        assert_eq!(e.line, 2, "{e}");
+        assert!(e.message.contains("unterminated"), "{e}");
+        assert!(e.message.contains("@f"), "{e}");
+    }
+
+    #[test]
+    fn undefined_value_reports_token_and_column() {
+        let bad = "fn @f() -> i64 {\nbb0: ; entry\n  %0 = add i64 1, %9\n  ret %0\n}\n";
+        let e = Module::parse_text(bad).expect_err("must fail");
+        assert_eq!(e.line, 3, "{e}");
+        assert_eq!(e.token, "%9", "{e}");
+        // `  %0 = add i64 1, %9` — the undefined operand starts at column 19.
+        assert_eq!(e.col, 19, "{e}");
+        assert!(e.message.contains("undefined value"), "{e}");
+    }
+
+    #[test]
+    fn unknown_type_reports_token_and_column() {
+        let bad = "fn @f() -> void {\nbb0: ; entry\n  %0 = add i65 1, 2\n  ret\n}\n";
+        let e = Module::parse_text(bad).expect_err("must fail");
+        assert_eq!(e.line, 3, "{e}");
+        assert_eq!(e.token, "i65", "{e}");
+        assert_eq!(e.col, 12, "{e}");
+        assert!(e.message.contains("unknown type"), "{e}");
+    }
+
+    #[test]
+    fn unknown_block_reports_token() {
+        let bad = "fn @f() -> void {\nbb0: ; entry\n  br bb7\n}\n";
+        let e = Module::parse_text(bad).expect_err("must fail");
+        assert_eq!(e.line, 3, "{e}");
+        assert_eq!(e.token, "bb7", "{e}");
+        assert!(e.message.contains("unknown block"), "{e}");
+    }
+
+    #[test]
+    fn type_mismatch_is_caught_by_verify_after_parsing() {
+        // Parses fine (syntax is well-formed) but feeding the i64 result of
+        // `add` into an f64 `fadd` must be rejected by the verifier — the
+        // documented division of labour between `parse_text` and `verify`.
+        let src = "fn @f() -> f64 {\nbb0: ; entry\n  %0 = add i64 1, 2\n  %1 = fadd f64 %0, 2.0\n  ret %1\n}\n";
+        let m = Module::parse_text(src).expect("syntax is fine");
+        let e = m
+            .verify()
+            .expect_err("verify must reject the type mismatch");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("type i64, expected f64") || msg.contains("expected"),
+            "unexpected verifier message: {msg}"
+        );
+    }
+
+    #[test]
+    fn display_includes_line_and_column() {
+        let bad = "fn @f() -> void {\nbb0: ; entry\n  %0 = add i65 1, 2\n  ret\n}\n";
+        let e = Module::parse_text(bad).expect_err("must fail");
+        let shown = e.to_string();
+        assert!(shown.contains("line 3"), "{shown}");
+        assert!(shown.contains("column 12"), "{shown}");
     }
 
     #[test]

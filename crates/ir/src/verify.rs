@@ -53,6 +53,10 @@ impl Module {
             message: m,
         };
 
+        if func.blocks.is_empty() {
+            return Err(err("function has no blocks".into()));
+        }
+
         // Terminators and target ranges.
         for b in func.block_ids() {
             let blk = func.block(b);
@@ -203,6 +207,35 @@ impl Module {
 
     fn check_instr(&self, func: &Function, instr: &Instr) -> Result<(), String> {
         match instr {
+            Instr::Binary { ty, lhs, rhs, .. } => {
+                self.check_operand_type(func, *lhs, Some(*ty))?;
+                self.check_operand_type(func, *rhs, Some(*ty))?;
+            }
+            // `ty` is the result type; the conversions (sitofp/fptosi) take
+            // an operand of the other class, so only same-type ops are
+            // checked.
+            Instr::Unary { op, ty, val }
+                if !matches!(
+                    op,
+                    crate::instr::UnaryOp::SiToFp | crate::instr::UnaryOp::FpToSi
+                ) =>
+            {
+                self.check_operand_type(func, *val, Some(*ty))?;
+            }
+            Instr::Cmp { ty, lhs, rhs, .. } => {
+                self.check_operand_type(func, *lhs, Some(*ty))?;
+                self.check_operand_type(func, *rhs, Some(*ty))?;
+            }
+            Instr::Select {
+                ty,
+                cond,
+                then_val,
+                else_val,
+            } => {
+                self.check_operand_type(func, *cond, Some(Type::I1))?;
+                self.check_operand_type(func, *then_val, Some(*ty))?;
+                self.check_operand_type(func, *else_val, Some(*ty))?;
+            }
             Instr::Gep { array, indices } => {
                 if array.index() >= self.arrays.len() {
                     return Err(format!("gep references undeclared array {array}"));
@@ -218,6 +251,9 @@ impl Module {
                 }
             }
             Instr::Load { ptr, ty } | Instr::Store { ptr, ty, .. } => {
+                if let Instr::Store { value, .. } = instr {
+                    self.check_operand_type(func, *value, Some(*ty))?;
+                }
                 // Where the pointer is a direct gep result we can check the
                 // element type.
                 if let Operand::Value(v) = ptr {

@@ -1,0 +1,122 @@
+//! Verifier edge cases: degenerate shapes the pipeline must either reject
+//! cleanly (empty function, unreachable block, duplicate phi incomings,
+//! operand type mismatches) or handle exactly (zero-trip loops).
+
+use cayman_ir::builder::ModuleBuilder;
+use cayman_ir::interp::Interp;
+use cayman_ir::{Module, Type};
+
+#[test]
+fn empty_function_is_rejected() {
+    let mut m = Module::parse_text("fn @f() -> void {\nbb0: ; entry\n  ret\n}\n").expect("parses");
+    m.functions[0].blocks.clear();
+    let e = m
+        .verify()
+        .expect_err("a function with no blocks must not verify");
+    assert!(e.message.contains("no blocks"), "{e}");
+    assert_eq!(e.func, "f");
+}
+
+#[test]
+fn unreachable_block_is_rejected() {
+    let src = "fn @f() -> void {\n\
+               bb0: ; entry\n  ret\n\
+               bb1: ; island\n  ret\n}\n";
+    let m = Module::parse_text(src).expect("parses");
+    let e = m.verify().expect_err("unreachable block must not verify");
+    assert!(e.message.contains("unreachable"), "{e}");
+}
+
+#[test]
+fn phi_with_duplicate_incoming_edges_is_rejected() {
+    // bb2 has exactly one predecessor (bb1) yet the phi claims two incomings
+    // from it — the incoming multiset must match the CFG predecessors.
+    let src = "fn @f() -> i64 {\n\
+               bb0: ; entry\n  br bb1\n\
+               bb1: ; mid\n  br bb2\n\
+               bb2: ; join\n  %0 = phi i64 [bb1: 1], [bb1: 2]\n  ret %0\n}\n";
+    let m = Module::parse_text(src).expect("parses");
+    let e = m
+        .verify()
+        .expect_err("duplicate phi incomings must not verify");
+    assert!(e.message.contains("do not match predecessors"), "{e}");
+}
+
+#[test]
+fn phi_missing_a_predecessor_is_rejected() {
+    // bb2 is reached from both bb0 and bb1 but the phi only covers bb1.
+    let src = "fn @f(i1 %0) -> i64 {\n\
+               bb0: ; entry\n  br %0 ? bb1 : bb2\n\
+               bb1: ; then\n  br bb2\n\
+               bb2: ; join\n  %1 = phi i64 [bb1: 1]\n  ret %1\n}\n";
+    let m = Module::parse_text(src).expect("parses");
+    let e = m.verify().expect_err("incomplete phi must not verify");
+    assert!(e.message.contains("do not match predecessors"), "{e}");
+}
+
+#[test]
+fn binary_operand_type_mismatch_is_rejected() {
+    let src = "fn @f() -> f64 {\n\
+               bb0: ; entry\n  %0 = add i64 1, 2\n  %1 = fadd f64 %0, 2.0\n  ret %1\n}\n";
+    let m = Module::parse_text(src).expect("parses");
+    let e = m
+        .verify()
+        .expect_err("i64 fed to an f64 fadd must not verify");
+    assert!(e.message.contains("expected f64"), "{e}");
+}
+
+#[test]
+fn select_condition_must_be_i1() {
+    let src = "fn @f() -> i64 {\n\
+               bb0: ; entry\n  %0 = add i64 1, 2\n  %1 = select i64 %0, 1, 2\n  ret %1\n}\n";
+    let m = Module::parse_text(src).expect("parses");
+    let e = m
+        .verify()
+        .expect_err("non-i1 select condition must not verify");
+    assert!(e.message.contains("expected i1"), "{e}");
+}
+
+#[test]
+fn store_value_type_mismatch_is_rejected() {
+    let src = "; module m\narray f64 @x [4]\n\
+               fn @f() -> void {\n\
+               bb0: ; entry\n  %0 = add i64 1, 2\n  %1 = gep @x[0]\n  store f64 %0, %1\n  ret\n}\n";
+    let m = Module::parse_text(src).expect("parses");
+    let e = m.verify().expect_err("i64 stored as f64 must not verify");
+    assert!(e.message.contains("expected f64"), "{e}");
+}
+
+#[test]
+fn zero_trip_loop_verifies_and_never_runs_its_body() {
+    // A counted loop over [0, 0): the body must verify like any other loop
+    // body and execute exactly zero times.
+    let mut mb = ModuleBuilder::new("zero-trip");
+    let x = mb.array("x", Type::F64, &[4]);
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        let zero = fb.fconst(0.0);
+        let sum = fb.counted_loop_carry(0, 0, 1, &[(Type::F64, zero)], |fb, i, c| {
+            let v = fb.load_idx(x, &[i]);
+            vec![fb.fadd(c[0], v)]
+        });
+        fb.ret(Some(sum[0]));
+    });
+    let m = mb.finish();
+    m.verify().expect("zero-trip loop verifies");
+
+    let mut interp = Interp::new(&m);
+    for i in 0..4 {
+        interp.memory.set_f64(x, i, 9.0);
+    }
+    let p = interp.run(&[]).expect("runs");
+    assert_eq!(
+        p.return_value,
+        Some(cayman_ir::interp::Value::F(0.0)),
+        "body must not execute"
+    );
+    // The body block runs zero times; entry and exit still run once each.
+    let body_counts = &p.block_counts[0];
+    assert!(
+        body_counts.contains(&0),
+        "some block (the loop body) must have count 0: {body_counts:?}"
+    );
+}

@@ -31,6 +31,7 @@
 //! });
 //! ```
 
+pub mod program;
 pub mod tree;
 
 use std::fmt::Write as _;

@@ -1,0 +1,854 @@
+//! Regenerates the text-fixture kernel corpus under `crates/workloads/kernels/`.
+//!
+//! The corpus has three domains, each a subdirectory of `kernels/`:
+//!
+//! * `stencil/` — line-buffer-friendly image stencils (conv2d, sobel,
+//!   gaussian, erosion, ...) built explicitly against `ir::builder`,
+//! * `control/` — control-heavy CGRA-style kernels (state machines inside
+//!   loops, data-dependent branches and stores),
+//! * `gen/` — structured programs from `testkit::program` at fixed seeds.
+//!
+//! Every emitted kernel is verified, executed under the profiling
+//! interpreter (it must terminate cleanly with a finite checksum) and
+//! round-tripped through `parse_text` before it is written, so a committed
+//! `.cir` file is a known-good pipeline input by construction. Output is
+//! byte-deterministic: running this binary twice produces identical files.
+//!
+//! Usage: `cargo run -p cayman-workloads --bin corpusgen`
+
+use cayman_ir::builder::{FunctionBuilder, ModuleBuilder};
+use cayman_ir::interp::Interp;
+use cayman_ir::{ArrayId, BinOp, CmpPred, Module, Operand, Type};
+use cayman_testkit::program::{arbitrary_module_with, GenOptions};
+use cayman_testkit::Rng;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Image side length for the stencil domain (interior = 10×10 pixels).
+const IMG: i64 = 12;
+/// Input length for the control domain.
+const SIG: i64 = 96;
+/// Number of generated (`gen/`) kernels.
+const GEN_COUNT: u64 = 80;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("kernels");
+    let mut written = 0usize;
+    written += emit_domain(&root, "stencil", stencil_kernels());
+    written += emit_domain(&root, "control", control_kernels());
+    written += emit_domain(&root, "gen", generated_kernels());
+    println!(
+        "corpusgen: wrote {written} kernels under {}",
+        root.display()
+    );
+}
+
+/// Writes one domain directory, replacing any stale `.cir` files.
+fn emit_domain(root: &Path, domain: &str, kernels: Vec<(String, Module)>) -> usize {
+    let dir = root.join(domain);
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    for stale in stale_files(&dir) {
+        fs::remove_file(&stale).unwrap_or_else(|e| panic!("remove {}: {e}", stale.display()));
+    }
+    let n = kernels.len();
+    for (name, module) in kernels {
+        check(&name, &module);
+        let path = dir.join(format!("{name}.cir"));
+        fs::write(&path, module.to_text())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    }
+    println!("  {domain}: {n} kernels");
+    n
+}
+
+fn stale_files(dir: &Path) -> Vec<PathBuf> {
+    let Ok(rd) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    rd.filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cir"))
+        .collect()
+}
+
+/// A committed kernel must verify, terminate with a finite checksum, and
+/// survive the text round-trip.
+fn check(name: &str, m: &Module) {
+    m.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    let profile = Interp::new(m)
+        .run(&[])
+        .unwrap_or_else(|e| panic!("{name}: does not run: {e}"));
+    assert!(profile.total_cycles > 0, "{name}: did no work");
+    if let Some(cayman_ir::interp::Value::F(f)) = profile.return_value {
+        assert!(f.is_finite(), "{name}: non-finite checksum {f}");
+    }
+    let reparsed = Module::parse_text(&m.to_text())
+        .unwrap_or_else(|e| panic!("{name}: emitted text does not parse: {e}"));
+    reparsed
+        .verify()
+        .unwrap_or_else(|e| panic!("{name}: reparsed module broken: {e}"));
+}
+
+// ---- stencil domain --------------------------------------------------------
+
+/// What to do with a convolution sum before storing it.
+#[derive(Clone, Copy)]
+enum Post {
+    /// Store the raw sum.
+    Id,
+    /// Store `|sum|` (gradient magnitude style).
+    Abs,
+    /// Store `max(sum, 0)` (ReLU-clamped response).
+    Relu,
+}
+
+fn stencil_kernels() -> Vec<(String, Module)> {
+    let mut v: Vec<(String, Module)> = Vec::new();
+    let conv = |name: &str, taps: [[f64; 3]; 3], post: Post| {
+        (name.to_string(), conv3x3_module(name, taps, post))
+    };
+    v.push(conv(
+        "conv2d-3x3",
+        [[0.05, 0.1, 0.05], [0.1, 0.4, 0.1], [0.05, 0.1, 0.05]],
+        Post::Id,
+    ));
+    let g = 1.0 / 16.0;
+    v.push(conv(
+        "gaussian-3x3",
+        [
+            [g, 2.0 * g, g],
+            [2.0 * g, 4.0 * g, 2.0 * g],
+            [g, 2.0 * g, g],
+        ],
+        Post::Id,
+    ));
+    let b = 1.0 / 9.0;
+    v.push(conv("box-blur", [[b; 3]; 3], Post::Id));
+    v.push(conv(
+        "sharpen",
+        [[0.0, -1.0, 0.0], [-1.0, 5.0, -1.0], [0.0, -1.0, 0.0]],
+        Post::Id,
+    ));
+    v.push(conv(
+        "sobel-x",
+        [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]],
+        Post::Abs,
+    ));
+    v.push(conv(
+        "sobel-y",
+        [[-1.0, -2.0, -1.0], [0.0, 0.0, 0.0], [1.0, 2.0, 1.0]],
+        Post::Abs,
+    ));
+    v.push(conv(
+        "prewitt-x",
+        [[-1.0, 0.0, 1.0], [-1.0, 0.0, 1.0], [-1.0, 0.0, 1.0]],
+        Post::Abs,
+    ));
+    v.push(conv(
+        "laplacian",
+        [[0.0, 1.0, 0.0], [1.0, -4.0, 1.0], [0.0, 1.0, 0.0]],
+        Post::Relu,
+    ));
+    v.push(conv(
+        "emboss",
+        [[-2.0, -1.0, 0.0], [-1.0, 1.0, 1.0], [0.0, 1.0, 2.0]],
+        Post::Id,
+    ));
+    v.push((
+        "erosion-3x3".into(),
+        morph3x3_module("erosion-3x3", BinOp::FMin),
+    ));
+    v.push((
+        "dilation-3x3".into(),
+        morph3x3_module("dilation-3x3", BinOp::FMax),
+    ));
+    v.push(("gradient-mag".into(), gradient_mag_module()));
+    v
+}
+
+/// `src[i][j] = 0.25 * ((i*7 + j*3) mod 13 - 6)` — a deterministic, sign-rich
+/// test pattern shared by the whole stencil domain.
+fn init_image(fb: &mut FunctionBuilder, src: ArrayId) {
+    fb.counted_loop(0, IMG, 1, |fb, i| {
+        fb.counted_loop(0, IMG, 1, |fb, j| {
+            let ti = fb.mul(i, fb.iconst(7));
+            let tj = fb.mul(j, fb.iconst(3));
+            let s = fb.add(ti, tj);
+            let r = fb.srem(s, fb.iconst(13));
+            let c = fb.sub(r, fb.iconst(6));
+            let f = fb.sitofp(c);
+            let v = fb.fmul(f, fb.fconst(0.25));
+            fb.store_idx(src, &[i, j], v);
+        });
+    });
+}
+
+/// Sums `dst` into a carried `f64` and returns it.
+fn checksum_image(fb: &mut FunctionBuilder, dst: ArrayId) -> Operand {
+    let zero = fb.fconst(0.0);
+    let outer = fb.counted_loop_carry(0, IMG, 1, &[(Type::F64, zero)], |fb, i, c| {
+        let inner = fb.counted_loop_carry(0, IMG, 1, &[(Type::F64, c[0])], |fb, j, cc| {
+            let v = fb.load_idx(dst, &[i, j]);
+            vec![fb.fadd(cc[0], v)]
+        });
+        vec![inner[0]]
+    });
+    outer[0]
+}
+
+/// One 3×3 convolution over the interior, taps applied at build time
+/// (zero taps are skipped, matching what an unroller would emit).
+fn conv3x3_module(name: &str, taps: [[f64; 3]; 3], post: Post) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let src = mb.array("src", Type::F64, &[IMG as usize, IMG as usize]);
+    let dst = mb.array("dst", Type::F64, &[IMG as usize, IMG as usize]);
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        init_image(fb, src);
+        fb.counted_loop(1, IMG - 1, 1, |fb, i| {
+            fb.counted_loop(1, IMG - 1, 1, |fb, j| {
+                let mut acc = fb.fconst(0.0);
+                for (di, row) in taps.iter().enumerate() {
+                    for (dj, &w) in row.iter().enumerate() {
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let ri = fb.add(i, fb.iconst(di as i64 - 1));
+                        let rj = fb.add(j, fb.iconst(dj as i64 - 1));
+                        let px = fb.load_idx(src, &[ri, rj]);
+                        let t = fb.fmul(px, fb.fconst(w));
+                        acc = fb.fadd(acc, t);
+                    }
+                }
+                let out = match post {
+                    Post::Id => acc,
+                    Post::Abs => fb.fabs(acc),
+                    Post::Relu => fb.fmax(acc, fb.fconst(0.0)),
+                };
+                fb.store_idx(dst, &[i, j], out);
+            });
+        });
+        let sum = checksum_image(fb, dst);
+        fb.ret(Some(sum));
+    });
+    mb.finish()
+}
+
+/// Morphological erosion/dilation: running `fmin`/`fmax` over the 3×3 window.
+fn morph3x3_module(name: &str, op: BinOp) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let src = mb.array("src", Type::F64, &[IMG as usize, IMG as usize]);
+    let dst = mb.array("dst", Type::F64, &[IMG as usize, IMG as usize]);
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        init_image(fb, src);
+        fb.counted_loop(1, IMG - 1, 1, |fb, i| {
+            fb.counted_loop(1, IMG - 1, 1, |fb, j| {
+                let mut acc = None;
+                for di in -1i64..=1 {
+                    for dj in -1i64..=1 {
+                        let ri = fb.add(i, fb.iconst(di));
+                        let rj = fb.add(j, fb.iconst(dj));
+                        let px = fb.load_idx(src, &[ri, rj]);
+                        acc = Some(match acc {
+                            None => px,
+                            Some(a) => fb.binary(op, Type::F64, a, px),
+                        });
+                    }
+                }
+                fb.store_idx(dst, &[i, j], acc.expect("window is non-empty"));
+            });
+        });
+        let sum = checksum_image(fb, dst);
+        fb.ret(Some(sum));
+    });
+    mb.finish()
+}
+
+/// Sobel gradient magnitude: two directional convolutions fused in one loop
+/// nest, combined with `sqrt(gx² + gy²)` — a long straight-line float chain.
+fn gradient_mag_module() -> Module {
+    let mut mb = ModuleBuilder::new("gradient-mag");
+    let src = mb.array("src", Type::F64, &[IMG as usize, IMG as usize]);
+    let dst = mb.array("dst", Type::F64, &[IMG as usize, IMG as usize]);
+    let gx_taps = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
+    let gy_taps = [[-1.0, -2.0, -1.0], [0.0, 0.0, 0.0], [1.0, 2.0, 1.0]];
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        init_image(fb, src);
+        fb.counted_loop(1, IMG - 1, 1, |fb, i| {
+            fb.counted_loop(1, IMG - 1, 1, |fb, j| {
+                let mut gx = fb.fconst(0.0);
+                let mut gy = fb.fconst(0.0);
+                for di in 0..3usize {
+                    for dj in 0..3usize {
+                        let (wx, wy) = (gx_taps[di][dj], gy_taps[di][dj]);
+                        if wx == 0.0 && wy == 0.0 {
+                            continue;
+                        }
+                        let ri = fb.add(i, fb.iconst(di as i64 - 1));
+                        let rj = fb.add(j, fb.iconst(dj as i64 - 1));
+                        let px = fb.load_idx(src, &[ri, rj]);
+                        if wx != 0.0 {
+                            let t = fb.fmul(px, fb.fconst(wx));
+                            gx = fb.fadd(gx, t);
+                        }
+                        if wy != 0.0 {
+                            let t = fb.fmul(px, fb.fconst(wy));
+                            gy = fb.fadd(gy, t);
+                        }
+                    }
+                }
+                let gx2 = fb.fmul(gx, gx);
+                let gy2 = fb.fmul(gy, gy);
+                let s = fb.fadd(gx2, gy2);
+                let mag = fb.sqrt(s);
+                fb.store_idx(dst, &[i, j], mag);
+            });
+        });
+        let sum = checksum_image(fb, dst);
+        fb.ret(Some(sum));
+    });
+    mb.finish()
+}
+
+// ---- control domain --------------------------------------------------------
+
+fn control_kernels() -> Vec<(String, Module)> {
+    vec![
+        ("fsm-scan".into(), fsm_scan_module()),
+        ("rle-encode".into(), rle_encode_module()),
+        ("saturate-acc".into(), saturate_acc_module()),
+        ("hysteresis".into(), hysteresis_module()),
+        ("zero-cross".into(), zero_cross_module()),
+        ("peak-detect".into(), peak_detect_module()),
+        ("quantize-ladder".into(), quantize_ladder_module()),
+        ("debounce".into(), debounce_module()),
+        ("clip-count".into(), clip_count_module()),
+        ("branch-mix".into(), branch_mix_module()),
+        ("argmax-scan".into(), argmax_scan_module()),
+        ("run-threshold".into(), run_threshold_module()),
+    ]
+}
+
+/// `data[i] = (i*a + b) mod m` over an `i64` signal array.
+fn init_isignal(fb: &mut FunctionBuilder, data: ArrayId, a: i64, b: i64, m: i64) {
+    fb.counted_loop(0, SIG, 1, |fb, i| {
+        let t = fb.mul(i, fb.iconst(a));
+        let s = fb.add(t, fb.iconst(b));
+        let r = fb.srem(s, fb.iconst(m));
+        fb.store_idx_ty(data, &[i], r, Type::I64);
+    });
+}
+
+/// `data[i] = 0.2 * ((i*a + b) mod m - m/2)` over an `f64` signal array —
+/// oscillates through zero so threshold kernels exercise both arms.
+fn init_fsignal(fb: &mut FunctionBuilder, data: ArrayId, a: i64, b: i64, m: i64) {
+    fb.counted_loop(0, SIG, 1, |fb, i| {
+        let t = fb.mul(i, fb.iconst(a));
+        let s = fb.add(t, fb.iconst(b));
+        let r = fb.srem(s, fb.iconst(m));
+        let c = fb.sub(r, fb.iconst(m / 2));
+        let f = fb.sitofp(c);
+        let v = fb.fmul(f, fb.fconst(0.2));
+        fb.store_idx(data, &[i], v);
+    });
+}
+
+/// Four-state accept scanner: `state' = d > 4 ? min(state+1, 3) : 0`,
+/// counting visits to the accept state — the MLIR-CGRA style loop-carried
+/// state machine with a data-dependent diamond in the loop body.
+fn fsm_scan_module() -> Module {
+    let mut mb = ModuleBuilder::new("fsm-scan");
+    let data = mb.array("data", Type::I64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_isignal(fb, data, 13, 5, 9);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            0,
+            SIG,
+            1,
+            &[(Type::I64, zero), (Type::I64, zero)],
+            |fb, i, c| {
+                let (state, accepts) = (c[0], c[1]);
+                let d = fb.load_idx_ty(data, &[i], Type::I64);
+                let hot = fb.cmp(CmpPred::Gt, Type::I64, d, fb.iconst(4));
+                let next = fb.if_then_else_val(
+                    hot,
+                    Type::I64,
+                    |fb| {
+                        let s1 = fb.add(state, fb.iconst(1));
+                        fb.binary(BinOp::Min, Type::I64, s1, fb.iconst(3))
+                    },
+                    |fb| fb.iconst(0),
+                );
+                let accept = fb.icmp_eq(next, fb.iconst(3));
+                let inc = fb.select(accept, Type::I64, fb.iconst(1), fb.iconst(0));
+                let accepts2 = fb.add(accepts, inc);
+                vec![next, accepts2]
+            },
+        );
+        fb.ret(Some(finals[1]));
+    });
+    mb.finish()
+}
+
+/// Run-length encoder: emits `(value, run)` pairs when the carried previous
+/// value changes; the emission happens inside the taken branch only.
+fn rle_encode_module() -> Module {
+    let mut mb = ModuleBuilder::new("rle-encode");
+    let data = mb.array("data", Type::I64, &[SIG as usize]);
+    let runs = mb.array("runs", Type::I64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        // Plateau-shaped input: d[i] = (i/7) mod 5 — runs of length 7.
+        fb.counted_loop(0, SIG, 1, |fb, i| {
+            let q = fb.sdiv(i, fb.iconst(7));
+            let r = fb.srem(q, fb.iconst(5));
+            fb.store_idx_ty(data, &[i], r, Type::I64);
+        });
+        let first = fb.load_idx_ty(data, &[fb.iconst(0)], Type::I64);
+        let zero = fb.iconst(0);
+        let one = fb.iconst(1);
+        let finals = fb.counted_loop_carry(
+            1,
+            SIG,
+            1,
+            &[
+                (Type::I64, first), // prev value
+                (Type::I64, one),   // current run length
+                (Type::I64, zero),  // output cursor
+            ],
+            |fb, i, c| {
+                let (prev, run, pos) = (c[0], c[1], c[2]);
+                let d = fb.load_idx_ty(data, &[i], Type::I64);
+                let same = fb.icmp_eq(d, prev);
+                let run2 = fb.if_then_else_val(
+                    same,
+                    Type::I64,
+                    |fb| fb.add(run, fb.iconst(1)),
+                    |fb| {
+                        fb.store_idx_ty(runs, &[pos], run, Type::I64);
+                        fb.iconst(1)
+                    },
+                );
+                let pos_inc = fb.select(same, Type::I64, fb.iconst(0), fb.iconst(1));
+                let pos2 = fb.add(pos, pos_inc);
+                vec![d, run2, pos2]
+            },
+        );
+        fb.ret(Some(finals[2]));
+    });
+    mb.finish()
+}
+
+/// Saturating accumulator: the sum is clamped to a cap through a branch (not
+/// a select), and saturation events are counted.
+fn saturate_acc_module() -> Module {
+    let mut mb = ModuleBuilder::new("saturate-acc");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        init_fsignal(fb, data, 31, 3, 17);
+        let fzero = fb.fconst(0.0);
+        let izero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            0,
+            SIG,
+            1,
+            &[(Type::F64, fzero), (Type::I64, izero)],
+            |fb, i, c| {
+                let (acc, sats) = (c[0], c[1]);
+                let x = fb.load_idx(data, &[i]);
+                let ax = fb.fabs(x);
+                let sum = fb.fadd(acc, ax);
+                let over = fb.fcmp_gt(sum, fb.fconst(8.0));
+                let acc2 = fb.if_then_else_val(over, Type::F64, |fb| fb.fconst(8.0), |_| sum);
+                let inc = fb.select(over, Type::I64, fb.iconst(1), fb.iconst(0));
+                let sats2 = fb.add(sats, inc);
+                vec![acc2, sats2]
+            },
+        );
+        let sf = fb.sitofp(finals[1]);
+        let out = fb.fadd(finals[0], sf);
+        fb.ret(Some(out));
+    });
+    mb.finish()
+}
+
+/// Schmitt-trigger hysteresis: distinct high/low thresholds keyed on a
+/// carried on/off state — nested data-dependent diamonds.
+fn hysteresis_module() -> Module {
+    let mut mb = ModuleBuilder::new("hysteresis");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_fsignal(fb, data, 37, 11, 19);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            0,
+            SIG,
+            1,
+            &[(Type::I64, zero), (Type::I64, zero)],
+            |fb, i, c| {
+                let (state, edges) = (c[0], c[1]);
+                let x = fb.load_idx(data, &[i]);
+                let off = fb.icmp_eq(state, fb.iconst(0));
+                let next = fb.if_then_else_val(
+                    off,
+                    Type::I64,
+                    |fb| {
+                        let hi = fb.fcmp_gt(x, fb.fconst(1.2));
+                        fb.select(hi, Type::I64, fb.iconst(1), fb.iconst(0))
+                    },
+                    |fb| {
+                        let lo = fb.cmp(CmpPred::Lt, Type::F64, x, fb.fconst(-0.8));
+                        fb.select(lo, Type::I64, fb.iconst(0), fb.iconst(1))
+                    },
+                );
+                let flipped = fb.cmp(CmpPred::Ne, Type::I64, next, state);
+                let inc = fb.select(flipped, Type::I64, fb.iconst(1), fb.iconst(0));
+                let edges2 = fb.add(edges, inc);
+                vec![next, edges2]
+            },
+        );
+        fb.ret(Some(finals[1]));
+    });
+    mb.finish()
+}
+
+/// Zero-crossing counter over a carried previous sample.
+fn zero_cross_module() -> Module {
+    let mut mb = ModuleBuilder::new("zero-cross");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_fsignal(fb, data, 23, 7, 15);
+        let first = fb.load_idx(data, &[fb.iconst(0)]);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            1,
+            SIG,
+            1,
+            &[(Type::F64, first), (Type::I64, zero)],
+            |fb, i, c| {
+                let (prev, count) = (c[0], c[1]);
+                let x = fb.load_idx(data, &[i]);
+                let prod = fb.fmul(prev, x);
+                let neg = fb.cmp(CmpPred::Lt, Type::F64, prod, fb.fconst(0.0));
+                let count2 = fb.if_then_else_val(
+                    neg,
+                    Type::I64,
+                    |fb| fb.add(count, fb.iconst(1)),
+                    |_| count,
+                );
+                vec![x, count2]
+            },
+        );
+        fb.ret(Some(finals[1]));
+    });
+    mb.finish()
+}
+
+/// Local-maximum detector: nested `if` with a store on the doubly-guarded
+/// path, so the hot path has memory side effects behind two branches.
+fn peak_detect_module() -> Module {
+    let mut mb = ModuleBuilder::new("peak-detect");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    let peaks = mb.array("peaks", Type::I64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_fsignal(fb, data, 29, 2, 23);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(1, SIG - 1, 1, &[(Type::I64, zero)], |fb, i, c| {
+            let count = c[0];
+            let im1 = fb.sub(i, fb.iconst(1));
+            let ip1 = fb.add(i, fb.iconst(1));
+            let a = fb.load_idx(data, &[im1]);
+            let b = fb.load_idx(data, &[i]);
+            let cc = fb.load_idx(data, &[ip1]);
+            let gt_prev = fb.fcmp_gt(b, a);
+            let count2 = fb.if_then_else_val(
+                gt_prev,
+                Type::I64,
+                |fb| {
+                    let gt_next = fb.fcmp_gt(b, cc);
+                    fb.if_then_else_val(
+                        gt_next,
+                        Type::I64,
+                        |fb| {
+                            fb.store_idx_ty(peaks, &[count], i, Type::I64);
+                            fb.add(count, fb.iconst(1))
+                        },
+                        |_| count,
+                    )
+                },
+                |_| count,
+            );
+            vec![count2]
+        });
+        fb.ret(Some(finals[0]));
+    });
+    mb.finish()
+}
+
+/// Four-level quantizer: an if/else ladder whose result indexes a histogram —
+/// a data-dependent store address fed by control flow.
+fn quantize_ladder_module() -> Module {
+    let mut mb = ModuleBuilder::new("quantize-ladder");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    let hist = mb.array("hist", Type::I64, &[4]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_fsignal(fb, data, 41, 13, 21);
+        fb.counted_loop(0, SIG, 1, |fb, i| {
+            let x = fb.load_idx(data, &[i]);
+            let lt0 = fb.cmp(CmpPred::Lt, Type::F64, x, fb.fconst(-1.0));
+            let level = fb.if_then_else_val(
+                lt0,
+                Type::I64,
+                |fb| fb.iconst(0),
+                |fb| {
+                    let lt1 = fb.cmp(CmpPred::Lt, Type::F64, x, fb.fconst(0.0));
+                    fb.if_then_else_val(
+                        lt1,
+                        Type::I64,
+                        |fb| fb.iconst(1),
+                        |fb| {
+                            let lt2 = fb.cmp(CmpPred::Lt, Type::F64, x, fb.fconst(1.0));
+                            fb.select(lt2, Type::I64, fb.iconst(2), fb.iconst(3))
+                        },
+                    )
+                },
+            );
+            let old = fb.load_idx_ty(hist, &[level], Type::I64);
+            let new = fb.add(old, fb.iconst(1));
+            fb.store_idx_ty(hist, &[level], new, Type::I64);
+        });
+        let h0 = fb.load_idx_ty(hist, &[fb.iconst(0)], Type::I64);
+        let h1 = fb.load_idx_ty(hist, &[fb.iconst(1)], Type::I64);
+        let h3 = fb.load_idx_ty(hist, &[fb.iconst(3)], Type::I64);
+        let s = fb.add(h0, h1);
+        let t = fb.mul(h3, fb.iconst(1000));
+        let out = fb.add(s, t);
+        fb.ret(Some(out));
+    });
+    mb.finish()
+}
+
+/// Debouncer: a counter-based state machine that only commits a new level
+/// after three consecutive confirming samples.
+fn debounce_module() -> Module {
+    let mut mb = ModuleBuilder::new("debounce");
+    let data = mb.array("data", Type::I64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_isignal(fb, data, 19, 4, 11);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            0,
+            SIG,
+            1,
+            &[
+                (Type::I64, zero), // committed level
+                (Type::I64, zero), // confirmation counter
+                (Type::I64, zero), // commits
+            ],
+            |fb, i, c| {
+                let (level, cnt, commits) = (c[0], c[1], c[2]);
+                let d = fb.load_idx_ty(data, &[i], Type::I64);
+                let raw = fb.cmp(CmpPred::Gt, Type::I64, d, fb.iconst(5));
+                let raw_lvl = fb.select(raw, Type::I64, fb.iconst(1), fb.iconst(0));
+                let same = fb.icmp_eq(raw_lvl, level);
+                let cnt2 = fb.if_then_else_val(
+                    same,
+                    Type::I64,
+                    |fb| fb.iconst(0),
+                    |fb| fb.add(cnt, fb.iconst(1)),
+                );
+                let commit = fb.cmp(CmpPred::Ge, Type::I64, cnt2, fb.iconst(3));
+                let level2 = fb.select(commit, Type::I64, raw_lvl, level);
+                let cnt3 = fb.select(commit, Type::I64, fb.iconst(0), cnt2);
+                let inc = fb.select(commit, Type::I64, fb.iconst(1), fb.iconst(0));
+                let commits2 = fb.add(commits, inc);
+                vec![level2, cnt3, commits2]
+            },
+        );
+        fb.ret(Some(finals[2]));
+    });
+    mb.finish()
+}
+
+/// Clipper: clamps samples to `[-1, 1]` through a two-armed ladder of real
+/// branches and counts how many samples were clipped.
+fn clip_count_module() -> Module {
+    let mut mb = ModuleBuilder::new("clip-count");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    let out = mb.array("out", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        init_fsignal(fb, data, 43, 9, 25);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(0, SIG, 1, &[(Type::I64, zero)], |fb, i, c| {
+            let clips = c[0];
+            let x = fb.load_idx(data, &[i]);
+            let hi = fb.fcmp_gt(x, fb.fconst(1.0));
+            let clips2 = fb.if_then_else_val(
+                hi,
+                Type::I64,
+                |fb| {
+                    fb.store_idx(out, &[i], fb.fconst(1.0));
+                    fb.add(clips, fb.iconst(1))
+                },
+                |fb| {
+                    let lo = fb.cmp(CmpPred::Lt, Type::F64, x, fb.fconst(-1.0));
+                    fb.if_then_else_val(
+                        lo,
+                        Type::I64,
+                        |fb| {
+                            fb.store_idx(out, &[i], fb.fconst(-1.0));
+                            fb.add(clips, fb.iconst(1))
+                        },
+                        |fb| {
+                            fb.store_idx(out, &[i], x);
+                            clips
+                        },
+                    )
+                },
+            );
+            vec![clips2]
+        });
+        let sum = fb.counted_loop_carry(0, SIG, 1, &[(Type::F64, fb.fconst(0.0))], {
+            |fb, i, c| {
+                let v = fb.load_idx(out, &[i]);
+                vec![fb.fadd(c[0], v)]
+            }
+        });
+        let cf = fb.sitofp(finals[0]);
+        let r = fb.fadd(sum[0], cf);
+        fb.ret(Some(r));
+    });
+    mb.finish()
+}
+
+/// Parity-split update with a sign-dependent inner branch — the classic
+/// branch-mix microkernel for predication studies.
+fn branch_mix_module() -> Module {
+    let mut mb = ModuleBuilder::new("branch-mix");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    let out = mb.array("out", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::F64), |fb| {
+        init_fsignal(fb, data, 17, 6, 13);
+        fb.counted_loop(0, SIG, 1, |fb, i| {
+            let x = fb.load_idx(data, &[i]);
+            let par = fb.and(i, fb.iconst(1));
+            let even = fb.icmp_eq(par, fb.iconst(0));
+            let v = fb.if_then_else_val(
+                even,
+                Type::F64,
+                |fb| {
+                    let pos = fb.fcmp_gt(x, fb.fconst(0.0));
+                    fb.if_then_else_val(
+                        pos,
+                        Type::F64,
+                        |fb| fb.fmul(x, x),
+                        |fb| fb.fmul(x, fb.fconst(-0.5)),
+                    )
+                },
+                |fb| fb.fadd(x, fb.fconst(1.0)),
+            );
+            fb.store_idx(out, &[i], v);
+        });
+        let sum = fb.counted_loop_carry(0, SIG, 1, &[(Type::F64, fb.fconst(0.0))], {
+            |fb, i, c| {
+                let v = fb.load_idx(out, &[i]);
+                vec![fb.fadd(c[0], v)]
+            }
+        });
+        fb.ret(Some(sum[0]));
+    });
+    mb.finish()
+}
+
+/// Argmax scan: carries the running maximum and its index through a branch.
+fn argmax_scan_module() -> Module {
+    let mut mb = ModuleBuilder::new("argmax-scan");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_fsignal(fb, data, 47, 21, 29);
+        let first = fb.load_idx(data, &[fb.iconst(0)]);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            1,
+            SIG,
+            1,
+            &[(Type::F64, first), (Type::I64, zero)],
+            |fb, i, c| {
+                let (best, besti) = (c[0], c[1]);
+                let x = fb.load_idx(data, &[i]);
+                let better = fb.fcmp_gt(x, best);
+                let best2 = fb.if_then_else_val(better, Type::F64, |_| x, |_| best);
+                let besti2 = fb.select(better, Type::I64, i, besti);
+                vec![best2, besti2]
+            },
+        );
+        fb.ret(Some(finals[1]));
+    });
+    mb.finish()
+}
+
+/// Counts maximal runs of above-threshold samples: increments only on the
+/// rising edge of the carried in-run flag.
+fn run_threshold_module() -> Module {
+    let mut mb = ModuleBuilder::new("run-threshold");
+    let data = mb.array("data", Type::F64, &[SIG as usize]);
+    mb.function("main", &[], Some(Type::I64), |fb| {
+        init_fsignal(fb, data, 53, 17, 27);
+        let zero = fb.iconst(0);
+        let finals = fb.counted_loop_carry(
+            0,
+            SIG,
+            1,
+            &[(Type::I64, zero), (Type::I64, zero)],
+            |fb, i, c| {
+                let (inrun, runs) = (c[0], c[1]);
+                let x = fb.load_idx(data, &[i]);
+                let above = fb.fcmp_gt(x, fb.fconst(0.6));
+                let inrun2 = fb.select(above, Type::I64, fb.iconst(1), fb.iconst(0));
+                let was_out = fb.icmp_eq(inrun, fb.iconst(0));
+                let runs2 = fb.if_then_else_val(
+                    above,
+                    Type::I64,
+                    |fb| {
+                        let inc = fb.select(was_out, Type::I64, fb.iconst(1), fb.iconst(0));
+                        fb.add(runs, inc)
+                    },
+                    |_| runs,
+                );
+                vec![inrun2, runs2]
+            },
+        );
+        fb.ret(Some(finals[1]));
+    });
+    mb.finish()
+}
+
+// ---- generated domain ------------------------------------------------------
+
+/// Structured programs from `testkit::program` at fixed seeds, cycling three
+/// shape flavours: default, deep (nesting-heavy), wide (statement-heavy).
+fn generated_kernels() -> Vec<(String, Module)> {
+    let deep = GenOptions {
+        max_depth: 4,
+        max_stmts: 2,
+        ..GenOptions::default()
+    };
+    let wide = GenOptions {
+        max_stmts: 5,
+        max_arrays: 4,
+        ..GenOptions::default()
+    };
+    let default = GenOptions::default();
+    (0..GEN_COUNT)
+        .map(|seed| {
+            let opts = match seed % 3 {
+                0 => &default,
+                1 => &deep,
+                _ => &wide,
+            };
+            let mut m = arbitrary_module_with(&mut Rng::new(0xC0_0501 + seed), opts);
+            let name = format!("gen-s{seed:03}");
+            m.name = name.clone();
+            (name, m)
+        })
+        .collect()
+}

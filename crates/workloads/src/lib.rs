@@ -28,6 +28,7 @@
 //! ```
 
 pub mod coremark;
+pub mod corpus;
 pub mod data;
 pub mod machsuite;
 pub mod mediabench;
@@ -49,6 +50,12 @@ pub enum Suite {
     MediaBench,
     /// EEMBC CoreMark-Pro workloads.
     CoreMarkPro,
+    /// Image-processing stencil kernels (text corpus, `kernels/stencil/`).
+    Stencil,
+    /// Control-heavy CGRA-style kernels (text corpus, `kernels/control/`).
+    Control,
+    /// Generator-derived structured programs (text corpus, `kernels/gen/`).
+    Generated,
 }
 
 impl fmt::Display for Suite {
@@ -58,6 +65,9 @@ impl fmt::Display for Suite {
             Suite::MachSuite => "MachS",
             Suite::MediaBench => "Media",
             Suite::CoreMarkPro => "CoreM",
+            Suite::Stencil => "Stenc",
+            Suite::Control => "Contr",
+            Suite::Generated => "Gener",
         };
         f.write_str(s)
     }
@@ -117,9 +127,21 @@ pub fn all() -> Vec<Workload> {
     v
 }
 
-/// Looks a benchmark up by its Table II name.
+/// The full registry: the 28 builder benchmarks followed by the text-fixture
+/// [`corpus`] (100+ kernels under `kernels/`).
+pub fn full() -> Vec<Workload> {
+    let mut v = all();
+    v.extend(corpus::corpus());
+    v
+}
+
+/// Looks a workload up by name, searching the Table II benchmarks first and
+/// then the text corpus.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .or_else(|| corpus::corpus().into_iter().find(|w| w.name == name))
 }
 
 #[cfg(test)]

@@ -1,9 +1,13 @@
-//! Printer/parser round-trip over the entire benchmark suite: every one of
-//! the 28 workload modules must survive `to_text` → `parse_text` with
-//! structure, verification and profiled cycle counts intact.
+//! Printer/parser round-trip over the entire benchmark suite — the 28
+//! builder workloads, the text-fixture corpus, and *generated* programs
+//! (`testkit::program` with shrinking): every module must survive
+//! `to_text` → `parse_text` with structure, verification and profiled
+//! cycle counts intact, and the printed text must be a parse fixpoint.
 
 use cayman_ir::interp::Interp;
 use cayman_ir::Module;
+use cayman_testkit::program::arbitrary_module;
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 #[test]
 fn every_workload_round_trips_through_text() {
@@ -64,4 +68,84 @@ fn round_trip_is_a_fixpoint_for_every_workload() {
             Module::parse_text(&once.to_text()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert_eq!(once.to_text(), twice.to_text(), "{}", w.name);
     }
+}
+
+/// The corpus loader already parses each `.cir` file; here the parsed
+/// modules must also re-print to a parse fixpoint (corpus files are written
+/// by `to_text`, so the first parse is the identity on them).
+#[test]
+fn corpus_kernels_round_trip_as_fixpoints() {
+    let ws = cayman_workloads::corpus::corpus();
+    assert!(ws.len() >= 100, "corpus shrank: {}", ws.len());
+    for w in ws {
+        let text = w.module.to_text();
+        let again = Module::parse_text(&text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_eq!(again.to_text(), text, "{}: not a fixpoint", w.name);
+    }
+}
+
+/// `parse(print(m)) == m` over *generated* modules: structure counts match,
+/// the reparsed module verifies, semantics are preserved bit-for-bit
+/// (cycles, block counts, return value under zeroed inputs), and printing
+/// is a fixpoint after the first parse (value numbering may differ once —
+/// parse renumbers in textual order). Failures shrink to a minimal seed.
+#[test]
+fn generated_modules_round_trip_through_text() {
+    prop_check!(cases = 48, |rng| {
+        let m = arbitrary_module(rng);
+        let text = m.to_text();
+        let parsed = match Module::parse_text(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                prop_assert!(false, "printed module does not parse: {e}\n{text}");
+                unreachable!()
+            }
+        };
+        if let Err(e) = parsed.verify() {
+            prop_assert!(false, "reparsed module broken: {e}\n{text}");
+        }
+        prop_assert_eq!(parsed.functions.len(), m.functions.len());
+        prop_assert_eq!(parsed.arrays.len(), m.arrays.len());
+        for (a, b) in parsed.functions.iter().zip(&m.functions) {
+            prop_assert_eq!(a.blocks.len(), b.blocks.len());
+            prop_assert_eq!(a.instrs.len(), b.instrs.len());
+        }
+
+        let p1 = match Interp::new(&m).run(&[]) {
+            Ok(p) => p,
+            Err(e) => {
+                prop_assert!(false, "original does not run: {e}\n{text}");
+                unreachable!()
+            }
+        };
+        let p2 = match Interp::new(&parsed).run(&[]) {
+            Ok(p) => p,
+            Err(e) => {
+                prop_assert!(false, "reparsed does not run: {e}\n{text}");
+                unreachable!()
+            }
+        };
+        prop_assert_eq!(p1.total_cycles, p2.total_cycles);
+        prop_assert_eq!(p1.block_counts, p2.block_counts);
+        prop_assert!(
+            match (&p1.return_value, &p2.return_value) {
+                (Some(cayman_ir::interp::Value::F(x)), Some(cayman_ir::interp::Value::F(y))) =>
+                    x.to_bits() == y.to_bits(),
+                (x, y) => x == y,
+            },
+            "return values diverge: {:?} vs {:?}\n{text}",
+            p1.return_value,
+            p2.return_value
+        );
+
+        let twice = match Module::parse_text(&parsed.to_text()) {
+            Ok(p) => p,
+            Err(e) => {
+                prop_assert!(false, "second parse failed: {e}");
+                unreachable!()
+            }
+        };
+        prop_assert_eq!(twice.to_text(), parsed.to_text());
+        Ok(())
+    });
 }

@@ -21,6 +21,10 @@ cargo bench -p cayman-bench --bench profiling --offline -- --smoke
 echo "== selection schedulers (smoke: fronts bit-identical) =="
 cargo bench -p cayman-bench --bench selection --offline -- --smoke
 
+echo "== differential fuzz (smoke: 50 seeded programs + corpus gate) =="
+cargo run -q --release -p cayman-bench --offline --bin fuzz -- \
+  --seed 0xCA11 --count 50 --corpus-gate
+
 echo "== trace capture (smoke: one traced benchmark, validated) =="
 trace="$(mktemp /tmp/cayman-trace.XXXXXX.json)"
 CAYMAN_TRACE="$trace" cargo run -q --release -p cayman-bench --offline --bin table2 -- trisolv >/dev/null
