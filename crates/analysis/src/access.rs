@@ -46,7 +46,7 @@ impl AccessInfo {
 }
 
 /// All memory accesses of one function, with address expressions.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AccessAnalysis {
     /// One record per load/store, in instruction order.
     pub accesses: Vec<AccessInfo>,

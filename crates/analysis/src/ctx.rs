@@ -8,7 +8,7 @@ use cayman_ir::{BlockId, Function, InstrId};
 
 /// CFG + dominators + post-dominators + loop forest for one function, plus an
 /// instruction→block map.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FuncCtx {
     /// Control-flow graph.
     pub cfg: Cfg,

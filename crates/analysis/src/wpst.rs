@@ -65,19 +65,35 @@ impl Wpst {
     /// Builds the wPST of a module.
     pub fn build(module: &Module) -> Self {
         let _s = cayman_obs::span!("analyse.wpst", functions = module.functions.len());
+        let mut region_trees = Vec::with_capacity(module.functions.len());
+        let mut func_ctxs = Vec::with_capacity(module.functions.len());
+        for f in module.function_ids() {
+            let func = module.function(f);
+            let ctx = FuncCtx::compute(func);
+            region_trees.push(RegionTree::build(func, &ctx));
+            func_ctxs.push(ctx);
+        }
+        Self::from_parts(region_trees, func_ctxs)
+    }
+
+    /// Assembles a wPST from per-function analyses computed (or cached)
+    /// elsewhere. [`Wpst::build`] is exactly `from_parts` over freshly
+    /// computed parts, so the node numbering is identical between the two —
+    /// each function's subtree occupies a contiguous id range determined
+    /// only by the preceding functions' region counts and its own region
+    /// tree. Incremental re-analysis relies on this: a cached per-function
+    /// `(FuncCtx, RegionTree)` pair reassembles into a wPST bit-identical
+    /// to a from-scratch build.
+    pub fn from_parts(region_trees: Vec<RegionTree>, func_ctxs: Vec<FuncCtx>) -> Self {
+        assert_eq!(region_trees.len(), func_ctxs.len());
         let mut nodes = vec![WpstNode {
             kind: WpstKind::Root,
             children: Vec::new(),
             parent: None,
         }];
-        let mut region_trees = Vec::with_capacity(module.functions.len());
-        let mut func_ctxs = Vec::with_capacity(module.functions.len());
 
-        for f in module.function_ids() {
-            let func = module.function(f);
-            let ctx = FuncCtx::compute(func);
-            let tree = RegionTree::build(func, &ctx);
-
+        for (fidx, tree) in region_trees.iter().enumerate() {
+            let f = FuncId(fidx as u32);
             let fnode = WpstNodeId(nodes.len() as u32);
             nodes.push(WpstNode {
                 kind: WpstKind::Func(f),
@@ -104,9 +120,6 @@ impl Wpst {
                     stack.push((c, id));
                 }
             }
-
-            region_trees.push(tree);
-            func_ctxs.push(ctx);
         }
 
         Wpst {

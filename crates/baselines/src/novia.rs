@@ -156,8 +156,9 @@ mod tests {
             ctx: &o.ctx,
             accesses: &o.accesses,
             deps: &o.deps,
-            trips: vec![64.0],
-            block_counts: vec![1, 65, 64, 1],
+            trips: &[64.0],
+            block_counts: &[1, 65, 64, 1],
+            content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
         };
         let cand = Candidate {
             func: FuncId(0),
@@ -165,6 +166,7 @@ mod tests {
             entries: 64,
             cpu_cycles: 64 * 40,
             is_bb: true,
+            content_fp: inp.content_fp,
         };
         let designs = NoviaModel.designs(&inp, &cand);
         assert_eq!(designs.len(), 1);
@@ -187,8 +189,9 @@ mod tests {
             ctx: &o.ctx,
             accesses: &o.accesses,
             deps: &o.deps,
-            trips: vec![64.0],
-            block_counts: vec![1, 65, 64, 1],
+            trips: &[64.0],
+            block_counts: &[1, 65, 64, 1],
+            content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
         };
         let l = o.ctx.forest.ids().next().expect("loop");
         let cand = Candidate {
@@ -197,6 +200,7 @@ mod tests {
             entries: 1,
             cpu_cycles: 5000,
             is_bb: false,
+            content_fp: inp.content_fp,
         };
         assert!(NoviaModel.designs(&inp, &cand).is_empty());
     }
@@ -210,8 +214,9 @@ mod tests {
             ctx: &o.ctx,
             accesses: &o.accesses,
             deps: &o.deps,
-            trips: vec![64.0],
-            block_counts: vec![1, 65, 64, 1],
+            trips: &[64.0],
+            block_counts: &[1, 65, 64, 1],
+            content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
         };
         // entry block has no compute DFG
         let cand = Candidate {
@@ -220,6 +225,7 @@ mod tests {
             entries: 1,
             cpu_cycles: 10,
             is_bb: true,
+            content_fp: inp.content_fp,
         };
         assert!(NoviaModel.designs(&inp, &cand).is_empty());
     }

@@ -179,8 +179,9 @@ mod tests {
             ctx: &o.ctx,
             accesses: &o.accesses,
             deps: &o.deps,
-            trips: vec![512.0],
-            block_counts: o.counts.clone(),
+            trips: &[512.0],
+            block_counts: &o.counts,
+            content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
         };
         let l = o.ctx.forest.ids().next().expect("loop");
         let lp = o.ctx.forest.get(l);
@@ -195,6 +196,7 @@ mod tests {
             entries: 1,
             cpu_cycles: cpu,
             is_bb: false,
+            content_fp: inp.content_fp,
         };
         (inp, cand)
     }

@@ -58,6 +58,7 @@ fn bench_design_generation() {
         entries: 1,
         cpu_cycles: fw.app.total_cycles(),
         is_bb: false,
+        content_fp: inp.content_fp,
     };
     for beta in [2.0f64, 4.0, 8.0] {
         let opts = ModelOptions {

@@ -10,8 +10,17 @@
 //! The run is seed-deterministic: the same `--seed`/`--count` produce the
 //! same programs and the same verdicts on every platform.
 //!
+//! With `--incremental`, every generated program is additionally driven
+//! through the incremental-vs-from-scratch differential
+//! ([`cayman_bench::diff::check_incremental`]): seeded single-instruction
+//! edits through one `IncrementalApp`, each step compared bit for bit
+//! against a fresh `analyse → select`. `--incremental-corpus N` runs the
+//! same differential over the first `N` checked-in workload kernels
+//! (`0` = all of them) — the corpus-wide equivalence gate.
+//!
 //! ```text
 //! fuzz [--seed N] [--count N] [--trap-share PCT] [--corpus-gate]
+//!      [--incremental] [--incremental-corpus N] [--edits N]
 //!
 //!   --seed N          base seed (default 0xCA11)
 //!   --count N         number of generated programs (default 50)
@@ -19,9 +28,15 @@
 //!                     exercise the interpreter error paths (default 10)
 //!   --corpus-gate     additionally parse + verify + run every checked-in
 //!                     corpus kernel (fails fast on a broken .cir file)
+//!   --incremental     also check incremental re-analysis equivalence on
+//!                     every generated program
+//!   --incremental-corpus N
+//!                     check incremental equivalence over the first N
+//!                     workload kernels (0 = the full 132-kernel set)
+//!   --edits N         edits per incremental differential (default 3)
 //! ```
 
-use cayman_bench::diff::check_module;
+use cayman_bench::diff::{check_incremental, check_module};
 use cayman_testkit::program::{arbitrary_module_with, GenOptions};
 use cayman_testkit::{Rng, SHRINK_FACTORS};
 
@@ -30,10 +45,16 @@ struct Args {
     count: u64,
     trap_share: u64,
     corpus_gate: bool,
+    incremental: bool,
+    incremental_corpus: Option<u64>,
+    edits: u64,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fuzz [--seed N] [--count N] [--trap-share PCT] [--corpus-gate]");
+    eprintln!(
+        "usage: fuzz [--seed N] [--count N] [--trap-share PCT] [--corpus-gate] \
+             [--incremental] [--incremental-corpus N] [--edits N]"
+    );
     std::process::exit(2);
 }
 
@@ -43,6 +64,9 @@ fn parse_args() -> Args {
         count: 50,
         trap_share: 10,
         corpus_gate: false,
+        incremental: false,
+        incremental_corpus: None,
+        edits: 3,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,6 +90,11 @@ fn parse_args() -> Args {
             "--count" => args.count = num("--count"),
             "--trap-share" => args.trap_share = num("--trap-share").min(100),
             "--corpus-gate" => args.corpus_gate = true,
+            "--incremental" => args.incremental = true,
+            "--incremental-corpus" => {
+                args.incremental_corpus = Some(num("--incremental-corpus"));
+            }
+            "--edits" => args.edits = num("--edits").max(1),
             _ => {
                 eprintln!("unknown argument `{arg}`");
                 usage();
@@ -125,6 +154,30 @@ fn run_corpus_gate() -> usize {
     ws.len()
 }
 
+/// The corpus-wide incremental-equivalence gate: seeded single-instruction
+/// edits over the first `limit` workload kernels (`0` = all 132), each step
+/// compared bit for bit against from-scratch analysis.
+fn run_incremental_corpus_gate(seed: u64, limit: u64, edits: u64) -> usize {
+    let mut ws = cayman::workloads::full();
+    if limit > 0 {
+        ws.truncate(limit as usize);
+    }
+    for (i, w) in ws.iter().enumerate() {
+        let kseed = case_seed(seed, 0x1D00 + i as u64);
+        match check_incremental(&w.module, Some(w.memory()), kseed, edits as usize) {
+            Ok(_) => {}
+            Err(f) => {
+                eprintln!(
+                    "incremental corpus gate: {} (seed {kseed:#018x}) diverged: {f}",
+                    w.name
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    ws.len()
+}
+
 fn main() {
     let args = parse_args();
 
@@ -133,13 +186,29 @@ fn main() {
         println!("corpus gate: {n} kernels parse, verify and run");
     }
 
+    if let Some(limit) = args.incremental_corpus {
+        let n = run_incremental_corpus_gate(args.seed, limit, args.edits);
+        println!(
+            "incremental corpus gate: {n} kernels re-analyse bit-identically \
+             across {} seeded edits each",
+            args.edits
+        );
+    }
+
     let mut clean = 0u64;
     let mut trapped = 0u64;
     for case in 0..args.count {
         let seed = case_seed(args.seed, case);
         let opts = options_for(case, args.trap_share);
         let m = arbitrary_module_with(&mut Rng::new(seed), &opts);
-        match check_module(&m) {
+        let verdict = check_module(&m).and_then(|ok| {
+            if args.incremental {
+                check_incremental(&m, None, seed, args.edits as usize).map(|inc_ok| ok && inc_ok)
+            } else {
+                Ok(ok)
+            }
+        });
+        match verdict {
             Ok(true) => clean += 1,
             Ok(false) => trapped += 1,
             Err(failure) => {

@@ -16,11 +16,21 @@
 //! 3. **static vs work-steal scheduler × {2, 3, 8} threads** — the selection
 //!    Pareto front (area and saved-seconds bits per solution), the visited
 //!    vertex count, and the merged best solution's area accounting.
+//! 4. **incremental vs from-scratch re-analysis** ([`check_incremental`]) —
+//!    after every seeded single-instruction edit, the [`IncrementalApp`]
+//!    query pipeline must reproduce the from-scratch Pareto front, region
+//!    profile and merge accounting bit for bit. (The visited-vertex count is
+//!    deliberately *not* compared here: cached subtree fronts legitimately
+//!    skip visits.)
 
-use cayman::ir::interp::{Interp, Value};
+use cayman::ir::interp::{Interp, Memory, Value};
 use cayman::ir::transform::{normalize, OptLevel};
 use cayman::ir::Module;
-use cayman::{Framework, SchedKind, SelectOptions};
+use cayman::merging::merge_solution;
+use cayman::select::run_selection;
+use cayman::{
+    AnalyseOptions, Application, Edit, Framework, IncrementalApp, SchedKind, SelectOptions,
+};
 use std::fmt;
 
 /// Runaway guard: generated programs terminate by construction, so the
@@ -252,6 +262,252 @@ pub fn check_module(m: &Module) -> Result<bool, DiffFailure> {
     Ok(true)
 }
 
+/// Builds a single-instruction [`Edit`]: nudge one float immediate in one
+/// value position (binary/unary operand, select arm, stored value, phi
+/// incoming, call argument — `pick` chooses the site). Float immediates in
+/// those slots never feed address computations or integer loop bounds, so
+/// the edited module stays verifiable and terminates exactly like the
+/// original — only the computed values (and possibly value-dependent
+/// branches) change.
+///
+/// Returns `None` when the module has no float-immediate site to edit.
+pub fn single_instr_edit(m: &Module, pick: u64) -> Option<Edit> {
+    use cayman::ir::instr::{Imm, Instr, Operand};
+
+    // The value-only operand slots of an instruction — never pointers,
+    // indices or conditions, so a float nudge cannot break verification.
+    fn value_slots(instr: &mut Instr) -> Vec<&mut Operand> {
+        match instr {
+            Instr::Binary { lhs, rhs, .. } => vec![lhs, rhs],
+            Instr::Unary { val, .. } => vec![val],
+            Instr::Select {
+                then_val, else_val, ..
+            } => vec![then_val, else_val],
+            Instr::Store { value, .. } => vec![value],
+            Instr::Phi { incomings, .. } => incomings.iter_mut().map(|(_, v)| v).collect(),
+            Instr::Call { args, .. } => args.iter_mut().collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+    for (fi, func) in m.functions.iter().enumerate() {
+        let mut probe = func.clone();
+        for (ii, instr) in probe.instrs.iter_mut().enumerate() {
+            for (oi, op) in value_slots(instr).into_iter().enumerate() {
+                if matches!(op, Operand::Const(Imm::Float(_))) {
+                    sites.push((fi, ii, oi));
+                }
+            }
+        }
+    }
+    if sites.is_empty() {
+        return None;
+    }
+    let (fi, ii, oi) = sites[(pick % sites.len() as u64) as usize];
+    let mut body = m.functions[fi].clone();
+    if let Operand::Const(Imm::Float(v)) = *value_slots(&mut body.instrs[ii])[oi] {
+        *value_slots(&mut body.instrs[ii])[oi] = Operand::float(v + 0.5);
+    }
+    Some(Edit::ReplaceFunction {
+        func: cayman::ir::FuncId(fi as u32),
+        body,
+    })
+}
+
+/// Applies `edit` to a plain module the way [`IncrementalApp::apply`] would
+/// (the reference side of the differential).
+fn apply_to_module(m: &mut Module, edit: &Edit) {
+    match edit {
+        Edit::ReplaceFunction { func, body } => m.functions[func.index()] = body.clone(),
+        _ => unreachable!("the differential only generates ReplaceFunction edits"),
+    }
+}
+
+fn front_mismatch(cfg: &str, a: &[cayman::Solution], b: &[cayman::Solution]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!(
+            "{cfg}: front size {} vs fresh {}",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.area.to_bits() != y.area.to_bits()
+            || x.saved_seconds.to_bits() != y.saved_seconds.to_bits()
+            || x.kernels.len() != y.kernels.len()
+            || !x
+                .kernels
+                .iter()
+                .zip(&y.kernels)
+                .all(|(k, l)| k.node == l.node && k.design.blocks == l.design.blocks)
+        {
+            return Some(format!(
+                "{cfg}: front entry {i} diverges: (area {}, saved {}, kernels {}) vs \
+                 (area {}, saved {}, kernels {})",
+                x.area,
+                x.saved_seconds,
+                x.kernels.len(),
+                y.area,
+                y.saved_seconds,
+                y.kernels.len()
+            ));
+        }
+    }
+    None
+}
+
+/// Differential surface 4: incremental re-analysis vs from-scratch.
+///
+/// Drives `edits` seeded single-instruction edits (interleaved with
+/// occasional reverts, the salsa-style "change it back" path) through one
+/// [`IncrementalApp`] and, after every step, re-analyses the edited module
+/// from scratch. The incremental result must be **bit-identical** at every
+/// step: the selection Pareto front (area/saved-seconds bits, kernel node
+/// ids and block sets), the region profile (block counts and total cycles),
+/// and the merged best solution's area accounting.
+///
+/// Returns `Ok(false)` when the starting module traps under profiling (both
+/// paths must then fail identically), `Ok(true)` otherwise.
+///
+/// # Errors
+///
+/// Any divergence between the incremental and from-scratch pipelines.
+pub fn check_incremental(
+    m: &Module,
+    memory: Option<Memory>,
+    seed: u64,
+    edits: usize,
+) -> Result<bool, DiffFailure> {
+    let mut rng = cayman_testkit::Rng::new(seed ^ 0x1CAE);
+    let opts = AnalyseOptions::default();
+    let sel_opts = SelectOptions::default();
+    let mut inc = IncrementalApp::new(m.clone(), memory.clone(), opts.clone());
+    let mut reference = m.clone();
+
+    for step in 0..=edits {
+        if step > 0 {
+            // Revert ~every fourth edit to the original body of a random
+            // function (the cache-warm green path); otherwise nudge a float
+            // immediate somewhere.
+            let edit = if rng.range_usize(0, 3) == 0 {
+                let fi = rng.range_usize(0, m.functions.len());
+                Edit::ReplaceFunction {
+                    func: cayman::ir::FuncId(fi as u32),
+                    body: m.functions[fi].clone(),
+                }
+            } else {
+                match single_instr_edit(&reference, rng.next_u64()) {
+                    Some(e) => e,
+                    // No float immediate anywhere: re-apply a function's own
+                    // body (a content no-op that must still hit every cache).
+                    None => Edit::ReplaceFunction {
+                        func: cayman::ir::FuncId(0),
+                        body: reference.functions[0].clone(),
+                    },
+                }
+            };
+            apply_to_module(&mut reference, &edit);
+            if let Err(e) = inc.apply(edit) {
+                fail("incremental", format!("step {step}: apply failed: {e}"))?;
+            }
+        }
+
+        let fresh = Application::analyse_with(reference.clone(), memory.clone(), &opts);
+        let inc_sel = inc.select(&sel_opts);
+        let fresh_app = match (fresh, &inc_sel) {
+            (Err(fe), Err(ie)) => {
+                if fe.to_string() != ie.to_string() {
+                    fail(
+                        "incremental",
+                        format!(
+                            "step {step}: error messages diverge:\n  fresh:       {fe}\n  \
+                             incremental: {ie}"
+                        ),
+                    )?;
+                }
+                return Ok(false);
+            }
+            (Ok(_), Err(ie)) => {
+                fail(
+                    "incremental",
+                    format!("step {step}: fresh analyses but incremental fails: {ie}"),
+                )?;
+                unreachable!()
+            }
+            (Err(fe), Ok(_)) => {
+                fail(
+                    "incremental",
+                    format!("step {step}: incremental analyses but fresh fails: {fe}"),
+                )?;
+                unreachable!()
+            }
+            (Ok(app), Ok(_)) => app,
+        };
+        let inc_sel = inc_sel.unwrap();
+        let inc_app = inc.analyse().expect("selection already analysed");
+
+        if fresh_app.profile.block_counts != inc_app.profile.block_counts {
+            fail(
+                "incremental",
+                format!("step {step}: region-profile block counts diverge"),
+            )?;
+        }
+        if fresh_app.profile.total_cycles != inc_app.profile.total_cycles {
+            fail(
+                "incremental",
+                format!(
+                    "step {step}: total cycles diverge: {} vs {}",
+                    fresh_app.profile.total_cycles, inc_app.profile.total_cycles
+                ),
+            )?;
+        }
+
+        let fresh_inputs = fresh_app.inputs();
+        let fresh_sel = run_selection(
+            &fresh_app.module,
+            &fresh_app.wpst,
+            &fresh_app.profile,
+            &fresh_inputs,
+            &sel_opts,
+        );
+        if let Some(msg) =
+            front_mismatch(&format!("step {step}"), &inc_sel.pareto, &fresh_sel.pareto)
+        {
+            fail("incremental", msg)?;
+        }
+
+        let fresh_merge = merge_solution(&fresh_app.module, fresh_sel.best_under(f64::INFINITY));
+        let inc_merge = merge_solution(&inc_app.module, inc_sel.best_under(f64::INFINITY));
+        if fresh_merge.area_before.to_bits() != inc_merge.area_before.to_bits()
+            || fresh_merge.area_after.to_bits() != inc_merge.area_after.to_bits()
+            || fresh_merge.merges != inc_merge.merges
+            || fresh_merge.reusable.len() != inc_merge.reusable.len()
+            || fresh_merge.units.len() != inc_merge.units.len()
+        {
+            fail(
+                "incremental",
+                format!(
+                    "step {step}: merge accounting diverges: \
+                     (before {}, after {}, merges {}, reusable {}, units {}) vs \
+                     (before {}, after {}, merges {}, reusable {}, units {})",
+                    inc_merge.area_before,
+                    inc_merge.area_after,
+                    inc_merge.merges,
+                    inc_merge.reusable.len(),
+                    inc_merge.units.len(),
+                    fresh_merge.area_before,
+                    fresh_merge.area_after,
+                    fresh_merge.merges,
+                    fresh_merge.reusable.len(),
+                    fresh_merge.units.len()
+                ),
+            )?;
+        }
+    }
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +518,19 @@ mod tests {
     fn a_known_benchmark_passes_all_surfaces() {
         let w = cayman::workloads::by_name("atax").expect("atax exists");
         assert!(check_module(&w.module).expect("no divergence"));
+    }
+
+    #[test]
+    fn incremental_matches_fresh_on_a_benchmark_and_generated_programs() {
+        let w = cayman::workloads::by_name("bicg").expect("bicg exists");
+        assert!(
+            check_incremental(&w.module, Some(w.memory()), 7, 3).expect("no divergence"),
+            "bicg profiles cleanly"
+        );
+        for seed in [3u64, 11] {
+            let m = arbitrary_module(&mut Rng::new(seed));
+            check_incremental(&m, None, seed, 3).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The analysed application: one-stop ownership of everything the selection
 //! and merging stages consume.
 
+use crate::inc::QueryStore;
 use crate::CaymanError;
-use cayman_analysis::access::{trip_count, AccessAnalysis};
-use cayman_analysis::memdep::{analyse_loop_deps, LoopDeps};
+use cayman_analysis::access::AccessAnalysis;
+use cayman_analysis::memdep::LoopDeps;
 use cayman_analysis::profile::Profile;
-use cayman_analysis::scev::Scev;
 use cayman_analysis::wpst::Wpst;
 use cayman_hls::inputs::FuncInputs;
-use cayman_ir::interp::{ExecProfile, Interp, Memory};
-use cayman_ir::transform::{normalize, OptLevel, PipelineStats};
+use cayman_ir::interp::{ExecProfile, Memory};
+use cayman_ir::transform::{OptLevel, PipelineStats};
 use cayman_ir::Module;
+use std::sync::Arc;
 
 /// Options for [`Application::analyse_with`]: how the explicit pipeline
 /// stages (verify → normalize → profile → analyse) are run.
@@ -58,6 +59,10 @@ pub struct Application {
     /// Per-pass counters and timings from the normalization stage (empty at
     /// `-O0`).
     pub normalize_stats: PipelineStats,
+    /// Per-function content fingerprints of the *normalized* functions —
+    /// the content keys the incremental store and the selection-front/design
+    /// caches are addressed by.
+    pub content_fps: Vec<u64>,
 }
 
 impl std::fmt::Debug for Application {
@@ -106,77 +111,49 @@ impl Application {
     /// 4. **analyse** — build the wPST, region profile, access/dependence
     ///    analyses and trip counts consumed by Algorithm 1.
     ///
+    /// The stages are implemented as the keyed queries of
+    /// [`crate::inc`] — this batch entry assembles over a transient
+    /// cold [`QueryStore`] (every query misses exactly once), while
+    /// [`crate::inc::IncrementalApp`] keeps a store alive across edits so
+    /// repeated analyses only re-execute the queries whose content keys
+    /// changed. Both paths produce bit-identical applications.
+    ///
     /// # Errors
     ///
     /// Fails when verification (including inter-pass verification with
     /// `opts.verify_each_pass`) or interpretation fails.
     pub fn analyse_with(
-        mut module: Module,
+        module: Module,
         memory: Option<Memory>,
         opts: &AnalyseOptions,
     ) -> Result<Self, CaymanError> {
-        // Stage 1: verify.
-        {
-            let _s = cayman_obs::span!("analyse.verify");
-            module.verify()?;
-        }
-
-        // Stage 2: normalize.
-        let normalize_stats = {
-            let _s = cayman_obs::span!("analyse.normalize");
-            normalize(&mut module, opts.opt_level, opts.verify_each_pass)?
-        };
-
-        // Stage 3: profile.
-        let (wpst, exec, profile, profiling_engine) = {
-            let _s = cayman_obs::span!("analyse.profile");
-            let wpst = Wpst::build(&module);
-            let mut interp = Interp::new(&module);
-            let profiling_engine = interp.engine_name();
-            if let Some(mem) = memory {
-                interp.memory = mem;
-            }
-            let exec = interp.run(&[])?;
-            let profile = Profile::aggregate(&module, &wpst, &exec);
-            (wpst, exec, profile, profiling_engine)
-        };
-
-        // Stage 4: analyse.
-        let dataflow = cayman_obs::span!("analyse.dataflow");
-        let mut accesses = Vec::new();
-        let mut deps = Vec::new();
-        let mut trips = Vec::new();
-        for f in module.function_ids() {
-            let func = module.function(f);
-            let ctx = &wpst.func_ctxs[f.index()];
-            let mut scev = Scev::new(func, ctx);
-            let aa = AccessAnalysis::run(&module, func, ctx, &mut scev);
-            let dd = analyse_loop_deps(func, ctx, &mut scev, &aa);
-            let tt: Vec<f64> = ctx
-                .forest
-                .ids()
-                .map(|l| trip_count(&wpst, &profile, func, f, l).unwrap_or(1.0))
-                .collect();
-            accesses.push(aa);
-            deps.push(dd);
-            trips.push(tt);
-        }
-        drop(dataflow);
-
-        Ok(Application {
-            module,
-            wpst,
-            profile,
-            exec,
-            accesses,
-            deps,
-            trips,
-            profiling_engine,
-            normalize_stats,
-        })
+        let mut store = QueryStore::new();
+        let raw_fps: Vec<u64> = module
+            .functions
+            .iter()
+            .map(cayman_ir::fingerprint_function)
+            .collect();
+        let memory_fp = memory
+            .as_ref()
+            .map(cayman_ir::fingerprint_memory)
+            .unwrap_or(0);
+        let app = crate::inc::assemble(
+            &mut store,
+            &module,
+            memory.as_ref(),
+            memory_fp,
+            opts,
+            &raw_fps,
+        )?;
+        // The transient store holds the only other Arc; dropping it makes
+        // the application uniquely owned again.
+        drop(store);
+        Ok(Arc::try_unwrap(app).expect("transient store dropped"))
     }
 
-    /// Per-function model inputs (borrowing this application).
+    /// Per-function model inputs (borrowing this application — trip counts
+    /// and block counts are borrowed slices, so building inputs allocates
+    /// only the outer vector).
     pub fn inputs(&self) -> Vec<FuncInputs<'_>> {
         self.module
             .function_ids()
@@ -186,8 +163,9 @@ impl Application {
                 ctx: &self.wpst.func_ctxs[f.index()],
                 accesses: &self.accesses[f.index()],
                 deps: &self.deps[f.index()],
-                trips: self.trips[f.index()].clone(),
-                block_counts: self.profile.block_counts[f.index()].clone(),
+                trips: &self.trips[f.index()],
+                block_counts: &self.profile.block_counts[f.index()],
+                content_fp: self.content_fps[f.index()],
             })
             .collect()
     }

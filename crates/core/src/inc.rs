@@ -1,0 +1,903 @@
+//! Incremental re-analysis: content-keyed queries with dirty tracking.
+//!
+//! [`Application::analyse_with`] is no longer a monolithic batch pipeline —
+//! it is an *assembly* over keyed queries, each memoised in a
+//! [`QueryStore`]:
+//!
+//! | query | key | value |
+//! |---|---|---|
+//! | verify | raw module fp | () |
+//! | normalize | (raw fn fp, arrays fp, level, verify-each) | normalized `Function` + stats |
+//! | structure | normalized fn fp | `FuncCtx` + `RegionTree` |
+//! | decode | (normalized fn fp, arrays fp) | decoded interpreter function |
+//! | exec | (normalized module fp, memory fp) | `ExecProfile` |
+//! | dataflow | (normalized fn fp, arrays fp) | accesses + loop deps |
+//! | trips | (normalized fn fp, arrays fp, block-count fp) | trip counts |
+//! | app | (raw module fp, memory fp, analyse opts) | `Arc<Application>` |
+//! | select | (app key, model fp, α, prune) | `Arc<SelectionResult>` |
+//!
+//! Keys are **content fingerprints** ([`cayman_ir::fingerprint_function`]
+//! and friends), not revision counters: dirtiness is implicit — an edit
+//! changes exactly the fingerprints of what it touched, so the next
+//! assembly re-executes exactly the queries whose inputs changed and
+//! answers everything else from cache. Content addressing also gives the
+//! salsa-style "change it back" green path for free: reverting an edit
+//! restores the old fingerprints and every query (including the whole-app
+//! and selection queries) hits outright.
+//!
+//! [`IncrementalApp`] owns a raw module, a memory image and a store, takes
+//! [`Edit`]s, and maintains the per-function raw fingerprints incrementally
+//! — `apply` re-hashes only the touched function, which is the explicit
+//! dirty mark on the wPST spine (the root's child subtree for that
+//! function plus the whole-module exec/app/select keys above it). On the
+//! next [`IncrementalApp::select`], clean root subtrees are answered from
+//! the [`FrontStore`] (`accel(v, R)` design vectors from the sharded
+//! [`DesignCache`]), and only the dirty spine is re-folded.
+//!
+//! Every result is bit-identical to a from-scratch `analyse → select` at
+//! every step; `cayman-bench`'s differential and fuzz gates pin this over
+//! the whole workload corpus.
+
+use crate::app::{AnalyseOptions, Application};
+use crate::CaymanError;
+use cayman_analysis::access::{trip_count, AccessAnalysis};
+use cayman_analysis::ctx::FuncCtx;
+use cayman_analysis::memdep::{analyse_loop_deps, LoopDeps};
+use cayman_analysis::profile::Profile;
+use cayman_analysis::regions::RegionTree;
+use cayman_analysis::scev::Scev;
+use cayman_analysis::wpst::Wpst;
+use cayman_ir::interp::{DecodedFunction, ExecProfile, Interp, Memory};
+use cayman_ir::transform::{normalize_function, OptLevel, PipelineStats};
+use cayman_ir::verify::VerifyError;
+use cayman_ir::{
+    decode_function, fingerprint_arrays, fingerprint_function, fingerprint_memory,
+    fingerprint_module_from_parts, FuncId, Function, Instr, Module,
+};
+use cayman_select::{
+    run_selection_with_fronts, CaymanModel, DesignCache, FrontStore, SelectOptions, SelectionResult,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// FNV-1a over a `u64` slice (block-count fingerprints for trip keys).
+fn fnv_u64s(vals: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in vals {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Hit/miss counters for one query kind.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct QueryCounter {
+    /// Executions answered from cache.
+    pub hits: u64,
+    /// Executions that ran the query body.
+    pub misses: u64,
+}
+
+impl QueryCounter {
+    fn hit(&mut self, name: &'static str) {
+        self.hits += 1;
+        cayman_obs::counter(name, 1);
+    }
+
+    fn miss(&mut self, name: &'static str) {
+        self.misses += 1;
+        cayman_obs::counter(name, 1);
+    }
+}
+
+/// Per-query-kind hit/miss accounting plus edit counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IncStats {
+    /// Whole-module verification query.
+    pub verify: QueryCounter,
+    /// Per-function normalization query.
+    pub normalize: QueryCounter,
+    /// Per-function CFG/dominator/region-structure query.
+    pub structure: QueryCounter,
+    /// Per-function interpreter-decode query.
+    pub decode: QueryCounter,
+    /// Whole-module profiled-execution query.
+    pub exec: QueryCounter,
+    /// Per-function access/dependence-analysis query.
+    pub dataflow: QueryCounter,
+    /// Per-function trip-count query.
+    pub trips: QueryCounter,
+    /// Whole-application assembly query.
+    pub app: QueryCounter,
+    /// Whole-selection query.
+    pub select: QueryCounter,
+    /// Edits applied so far.
+    pub edits: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct NormKey {
+    raw_fp: u64,
+    arrays_fp: u64,
+    level: OptLevel,
+    verify_each: bool,
+}
+
+struct NormResult {
+    func: Function,
+    norm_fp: u64,
+    stats: PipelineStats,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct DecodeKey {
+    norm_fp: u64,
+    arrays_fp: u64,
+}
+
+struct FuncStructure {
+    ctx: FuncCtx,
+    tree: RegionTree,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct DataflowKey {
+    norm_fp: u64,
+    arrays_fp: u64,
+}
+
+struct FuncDataflow {
+    accesses: AccessAnalysis,
+    deps: Vec<LoopDeps>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ExecKey {
+    norm_module_fp: u64,
+    memory_fp: u64,
+}
+
+struct ExecResult {
+    exec: ExecProfile,
+    engine: &'static str,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct TripsKey {
+    norm_fp: u64,
+    arrays_fp: u64,
+    bc_fp: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct AppKey {
+    module_fp: u64,
+    memory_fp: u64,
+    level: OptLevel,
+    verify_each: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct SelectKey {
+    app: AppKey,
+    model_fp: u64,
+    alpha_bits: u64,
+    prune_bits: u64,
+}
+
+/// All memoised query results. One store serves one logical application
+/// across any number of edits — every key is content-derived, so stale
+/// entries are merely unreachable, never wrong.
+#[derive(Default)]
+pub struct QueryStore {
+    verified: HashSet<u64>,
+    normalize: HashMap<NormKey, Arc<NormResult>>,
+    structure: HashMap<u64, Arc<FuncStructure>>,
+    decode: HashMap<DecodeKey, Arc<Option<DecodedFunction>>>,
+    exec: HashMap<ExecKey, Arc<ExecResult>>,
+    dataflow: HashMap<DataflowKey, Arc<FuncDataflow>>,
+    trips: HashMap<TripsKey, Arc<Vec<f64>>>,
+    apps: HashMap<AppKey, Arc<Application>>,
+    selections: HashMap<SelectKey, Arc<SelectionResult>>,
+    /// Memoised `accel(v, R)` design vectors, shared across edits (keys
+    /// carry the function content fingerprint).
+    pub designs: DesignCache,
+    /// Memoised per-function-subtree Pareto fronts.
+    pub fronts: FrontStore,
+    /// Hit/miss accounting.
+    pub stats: IncStats,
+}
+
+impl QueryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        QueryStore::default()
+    }
+}
+
+/// Assembles a fully analysed [`Application`] over `store`'s queries.
+///
+/// `raw_fps` must be the per-function content fingerprints of `module`'s
+/// (pre-normalization) functions — [`IncrementalApp`] maintains them
+/// incrementally across edits; the batch path hashes them fresh.
+pub(crate) fn assemble(
+    store: &mut QueryStore,
+    module: &Module,
+    memory: Option<&Memory>,
+    memory_fp: u64,
+    opts: &AnalyseOptions,
+    raw_fps: &[u64],
+) -> Result<Arc<Application>, CaymanError> {
+    let arrays_fp = fingerprint_arrays(&module.arrays);
+    let module_fp = fingerprint_module_from_parts(&module.name, raw_fps, arrays_fp);
+    let app_key = AppKey {
+        module_fp,
+        memory_fp,
+        level: opts.opt_level,
+        verify_each: opts.verify_each_pass,
+    };
+    if let Some(app) = store.apps.get(&app_key) {
+        store.stats.app.hit("inc.query.app.hit");
+        return Ok(Arc::clone(app));
+    }
+    store.stats.app.miss("inc.query.app.miss");
+    let _app_span = cayman_obs::span!("inc.query.app", functions = module.functions.len());
+
+    // Stage 1: verify (whole-module; a hit means this exact raw content
+    // already verified clean).
+    {
+        let _s = cayman_obs::span!("analyse.verify");
+        if store.verified.contains(&module_fp) {
+            store.stats.verify.hit("inc.query.verify.hit");
+        } else {
+            store.stats.verify.miss("inc.query.verify.miss");
+            let _q = cayman_obs::span!("inc.query.verify");
+            module.verify()?;
+            store.verified.insert(module_fp);
+        }
+    }
+
+    // Stage 2: normalize, one keyed query per function.
+    let mut working = module.clone();
+    let mut norm_fps: Vec<u64> = Vec::with_capacity(working.functions.len());
+    let mut normalize_stats = PipelineStats::default();
+    {
+        let _s = cayman_obs::span!("analyse.normalize");
+        if opts.opt_level == OptLevel::O0 {
+            norm_fps.extend_from_slice(raw_fps);
+        } else {
+            for f in module.function_ids() {
+                let key = NormKey {
+                    raw_fp: raw_fps[f.index()],
+                    arrays_fp,
+                    level: opts.opt_level,
+                    verify_each: opts.verify_each_pass,
+                };
+                let cached = match store.normalize.get(&key) {
+                    Some(hit) => {
+                        store.stats.normalize.hit("inc.query.normalize.hit");
+                        Arc::clone(hit)
+                    }
+                    None => {
+                        store.stats.normalize.miss("inc.query.normalize.miss");
+                        let _q = cayman_obs::span!("inc.query.normalize", func = f.index());
+                        let stats = normalize_function(
+                            &mut working,
+                            f,
+                            opts.opt_level,
+                            opts.verify_each_pass,
+                        )?;
+                        let func = working.functions[f.index()].clone();
+                        let norm_fp = fingerprint_function(&func);
+                        let res = Arc::new(NormResult {
+                            func,
+                            norm_fp,
+                            stats,
+                        });
+                        store.normalize.insert(key, Arc::clone(&res));
+                        res
+                    }
+                };
+                working.functions[f.index()] = cached.func.clone();
+                norm_fps.push(cached.norm_fp);
+                normalize_stats.merge(&cached.stats);
+            }
+        }
+    }
+    let norm_module_fp = fingerprint_module_from_parts(&working.name, &norm_fps, arrays_fp);
+
+    // Stage 3: profile — wPST from per-function structure queries, then the
+    // whole-module execution query.
+    let (wpst, exec_res, profile) = {
+        let _s = cayman_obs::span!("analyse.profile");
+        let mut trees = Vec::with_capacity(working.functions.len());
+        let mut ctxs = Vec::with_capacity(working.functions.len());
+        for f in working.function_ids() {
+            let key = norm_fps[f.index()];
+            let parts = match store.structure.get(&key) {
+                Some(hit) => {
+                    store.stats.structure.hit("inc.query.structure.hit");
+                    Arc::clone(hit)
+                }
+                None => {
+                    store.stats.structure.miss("inc.query.structure.miss");
+                    let _q = cayman_obs::span!("inc.query.structure", func = f.index());
+                    let func = working.function(f);
+                    let ctx = FuncCtx::compute(func);
+                    let tree = RegionTree::build(func, &ctx);
+                    let parts = Arc::new(FuncStructure { ctx, tree });
+                    store.structure.insert(key, Arc::clone(&parts));
+                    parts
+                }
+            };
+            trees.push(parts.tree.clone());
+            ctxs.push(parts.ctx.clone());
+        }
+        let wpst = Wpst::from_parts(trees, ctxs);
+
+        let exec_key = ExecKey {
+            norm_module_fp,
+            memory_fp,
+        };
+        let exec_res = match store.exec.get(&exec_key) {
+            Some(hit) => {
+                store.stats.exec.hit("inc.query.exec.hit");
+                Arc::clone(hit)
+            }
+            None => {
+                store.stats.exec.miss("inc.query.exec.miss");
+                let _q = cayman_obs::span!("inc.query.exec");
+                // Decode is only needed to execute, so its per-function
+                // queries run lazily inside the exec miss.
+                let mut decoded = Vec::with_capacity(working.functions.len());
+                for f in working.function_ids() {
+                    let key = DecodeKey {
+                        norm_fp: norm_fps[f.index()],
+                        arrays_fp,
+                    };
+                    let d = match store.decode.get(&key) {
+                        Some(hit) => {
+                            store.stats.decode.hit("inc.query.decode.hit");
+                            Arc::clone(hit)
+                        }
+                        None => {
+                            store.stats.decode.miss("inc.query.decode.miss");
+                            let _q = cayman_obs::span!("inc.query.decode", func = f.index());
+                            let d = Arc::new(decode_function(&working, f));
+                            store.decode.insert(key, Arc::clone(&d));
+                            d
+                        }
+                    };
+                    decoded.push((*d).clone());
+                }
+                let mut interp = Interp::from_cached_decode(&working, decoded);
+                let engine = interp.engine_name();
+                if let Some(mem) = memory {
+                    interp.memory = mem.clone();
+                }
+                let exec = interp.run(&[])?;
+                let res = Arc::new(ExecResult { exec, engine });
+                store.exec.insert(exec_key, Arc::clone(&res));
+                res
+            }
+        };
+        let profile = Profile::aggregate(&working, &wpst, &exec_res.exec);
+        (wpst, exec_res, profile)
+    };
+
+    // Stage 4: analyse — per-function dataflow and trip-count queries.
+    let mut accesses = Vec::with_capacity(working.functions.len());
+    let mut deps = Vec::with_capacity(working.functions.len());
+    let mut trips = Vec::with_capacity(working.functions.len());
+    {
+        let _s = cayman_obs::span!("analyse.dataflow");
+        for f in working.function_ids() {
+            let func = working.function(f);
+            let ctx = &wpst.func_ctxs[f.index()];
+            let dkey = DataflowKey {
+                norm_fp: norm_fps[f.index()],
+                arrays_fp,
+            };
+            let df = match store.dataflow.get(&dkey) {
+                Some(hit) => {
+                    store.stats.dataflow.hit("inc.query.dataflow.hit");
+                    Arc::clone(hit)
+                }
+                None => {
+                    store.stats.dataflow.miss("inc.query.dataflow.miss");
+                    let _q = cayman_obs::span!("inc.query.dataflow", func = f.index());
+                    let mut scev = Scev::new(func, ctx);
+                    let aa = AccessAnalysis::run(&working, func, ctx, &mut scev);
+                    let dd = analyse_loop_deps(func, ctx, &mut scev, &aa);
+                    let df = Arc::new(FuncDataflow {
+                        accesses: aa,
+                        deps: dd,
+                    });
+                    store.dataflow.insert(dkey, Arc::clone(&df));
+                    df
+                }
+            };
+            let tkey = TripsKey {
+                norm_fp: norm_fps[f.index()],
+                arrays_fp,
+                bc_fp: fnv_u64s(&profile.block_counts[f.index()]),
+            };
+            let tt = match store.trips.get(&tkey) {
+                Some(hit) => {
+                    store.stats.trips.hit("inc.query.trips.hit");
+                    Arc::clone(hit)
+                }
+                None => {
+                    store.stats.trips.miss("inc.query.trips.miss");
+                    let _q = cayman_obs::span!("inc.query.trips", func = f.index());
+                    let tt: Vec<f64> = ctx
+                        .forest
+                        .ids()
+                        .map(|l| trip_count(&wpst, &profile, func, f, l).unwrap_or(1.0))
+                        .collect();
+                    let tt = Arc::new(tt);
+                    store.trips.insert(tkey, Arc::clone(&tt));
+                    tt
+                }
+            };
+            accesses.push(df.accesses.clone());
+            deps.push(df.deps.clone());
+            trips.push((*tt).clone());
+        }
+    }
+
+    let app = Arc::new(Application {
+        module: working,
+        wpst,
+        profile,
+        exec: exec_res.exec.clone(),
+        accesses,
+        deps,
+        trips,
+        profiling_engine: exec_res.engine,
+        normalize_stats,
+        content_fps: norm_fps,
+    });
+    store.apps.insert(app_key, Arc::clone(&app));
+    Ok(app)
+}
+
+/// One edit against an [`IncrementalApp`]'s raw module.
+#[derive(Debug, Clone)]
+pub enum Edit {
+    /// Replace the body of an existing function.
+    ReplaceFunction {
+        /// Which function.
+        func: FuncId,
+        /// The new body (verified on the next analyse).
+        body: Function,
+    },
+    /// Append a new function (it gets the next [`FuncId`]).
+    AddFunction {
+        /// The new function.
+        body: Function,
+    },
+    /// Remove a function nothing calls; later functions are renumbered and
+    /// callers of renumbered ids are rewritten (and thereby marked dirty).
+    RemoveFunction {
+        /// Which function.
+        func: FuncId,
+    },
+    /// Re-normalize the whole application at a different level.
+    SetOptLevel(OptLevel),
+}
+
+/// An application under edits: a raw module + memory image + query store.
+///
+/// `apply` is cheap — it mutates the raw module and re-fingerprints only
+/// the touched functions. `analyse` and `select` then re-execute only the
+/// queries whose keys changed; see the module docs for the full table.
+pub struct IncrementalApp {
+    module: Module,
+    memory: Option<Memory>,
+    memory_fp: u64,
+    opts: AnalyseOptions,
+    raw_fps: Vec<u64>,
+    store: QueryStore,
+}
+
+impl IncrementalApp {
+    /// Wraps a raw (pre-normalization) module with an empty store.
+    pub fn new(module: Module, memory: Option<Memory>, opts: AnalyseOptions) -> Self {
+        let raw_fps = module.functions.iter().map(fingerprint_function).collect();
+        let memory_fp = memory.as_ref().map(fingerprint_memory).unwrap_or(0);
+        IncrementalApp {
+            module,
+            memory,
+            memory_fp,
+            opts,
+            raw_fps,
+            store: QueryStore::new(),
+        }
+    }
+
+    /// The current raw module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The current analyse options.
+    pub fn options(&self) -> &AnalyseOptions {
+        &self.opts
+    }
+
+    /// Query hit/miss accounting so far.
+    pub fn stats(&self) -> &IncStats {
+        &self.store.stats
+    }
+
+    /// Applies one edit. Only the touched functions are re-fingerprinted.
+    ///
+    /// # Errors
+    ///
+    /// `RemoveFunction` fails (leaving the module untouched) when another
+    /// function still calls the target.
+    pub fn apply(&mut self, edit: Edit) -> Result<(), CaymanError> {
+        match edit {
+            Edit::ReplaceFunction { func, body } => {
+                self.raw_fps[func.index()] = fingerprint_function(&body);
+                self.module.functions[func.index()] = body;
+            }
+            Edit::AddFunction { body } => {
+                self.raw_fps.push(fingerprint_function(&body));
+                self.module.functions.push(body);
+            }
+            Edit::RemoveFunction { func } => {
+                for (i, caller) in self.module.functions.iter().enumerate() {
+                    if i == func.index() {
+                        continue;
+                    }
+                    let calls_target = caller
+                        .instrs
+                        .iter()
+                        .any(|ins| matches!(ins, Instr::Call { callee, .. } if *callee == func));
+                    if calls_target {
+                        return Err(CaymanError::Verify(VerifyError {
+                            func: caller.name.clone(),
+                            message: format!(
+                                "cannot remove `{}`: still called",
+                                self.module.functions[func.index()].name
+                            ),
+                        }));
+                    }
+                }
+                self.module.functions.remove(func.index());
+                self.raw_fps.remove(func.index());
+                // Renumber call targets above the removed id; the rewrite
+                // changes those callers' content, which re-fingerprints them
+                // (the content-addressed dirty mark).
+                for (i, caller) in self.module.functions.iter_mut().enumerate() {
+                    let mut changed = false;
+                    for ins in &mut caller.instrs {
+                        if let Instr::Call { callee, .. } = ins {
+                            if *callee > func {
+                                *callee = FuncId(callee.0 - 1);
+                                changed = true;
+                            }
+                        }
+                    }
+                    if changed {
+                        self.raw_fps[i] = fingerprint_function(caller);
+                    }
+                }
+            }
+            Edit::SetOptLevel(level) => {
+                self.opts.opt_level = level;
+            }
+        }
+        self.store.stats.edits += 1;
+        cayman_obs::counter("inc.edit", 1);
+        Ok(())
+    }
+
+    /// Replaces the profiling memory image (re-fingerprinted once, here).
+    pub fn set_memory(&mut self, memory: Option<Memory>) {
+        self.memory_fp = memory.as_ref().map(fingerprint_memory).unwrap_or(0);
+        self.memory = memory;
+    }
+
+    /// Analyses the current module state, reusing every clean query.
+    ///
+    /// # Errors
+    ///
+    /// Fails when verification or profiled execution fails; the store keeps
+    /// all previous results, so a failing edit can be reverted and
+    /// re-analysed at full cache warmth.
+    pub fn analyse(&mut self) -> Result<Arc<Application>, CaymanError> {
+        assemble(
+            &mut self.store,
+            &self.module,
+            self.memory.as_ref(),
+            self.memory_fp,
+            &self.opts,
+            &self.raw_fps,
+        )
+    }
+
+    /// Analyses and selects, reusing cached designs and per-function
+    /// subtree fronts for clean wPST subtrees.
+    ///
+    /// The selection key ignores `opts.threads`/`opts.sched` (the front is
+    /// thread-invariant); re-selection always runs the sequential reuse
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`IncrementalApp::analyse`].
+    pub fn select(&mut self, opts: &SelectOptions) -> Result<Arc<SelectionResult>, CaymanError> {
+        let app = self.analyse()?;
+        let arrays_fp = fingerprint_arrays(&self.module.arrays);
+        let key = SelectKey {
+            app: AppKey {
+                module_fp: fingerprint_module_from_parts(
+                    &self.module.name,
+                    &self.raw_fps,
+                    arrays_fp,
+                ),
+                memory_fp: self.memory_fp,
+                level: self.opts.opt_level,
+                verify_each: self.opts.verify_each_pass,
+            },
+            model_fp: opts.model.fingerprint(),
+            alpha_bits: opts.alpha.to_bits(),
+            prune_bits: opts.prune_share.to_bits(),
+        };
+        if let Some(hit) = self.store.selections.get(&key) {
+            self.store.stats.select.hit("inc.query.select.hit");
+            return Ok(Arc::clone(hit));
+        }
+        self.store.stats.select.miss("inc.query.select.miss");
+        let _q = cayman_obs::span!("inc.query.select");
+        let model = CaymanModel(opts.model.clone());
+        let inputs = app.inputs();
+        let result = run_selection_with_fronts(
+            &app.module,
+            &app.wpst,
+            &app.profile,
+            &inputs,
+            opts,
+            &model,
+            &self.store.designs,
+            &mut self.store.fronts,
+        );
+        drop(inputs);
+        let result = Arc::new(result);
+        self.store.selections.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cayman_ir::builder::ModuleBuilder;
+    use cayman_ir::instr::{Imm, Operand};
+    use cayman_ir::Type;
+
+    /// Two independent streaming kernels plus a caller — enough structure
+    /// for per-function queries to show selective invalidation.
+    fn two_kernel_module() -> Module {
+        let mut mb = ModuleBuilder::new("inc");
+        let x = mb.array("x", Type::F64, &[32]);
+        let y = mb.array("y", Type::F64, &[32]);
+        let ka = mb.function("ka", &[], None, |fb| {
+            fb.counted_loop(0, 32, 1, |fb, i| {
+                let v = fb.load_idx(x, &[i]);
+                let w = fb.fmul(v, fb.fconst(2.0));
+                fb.store_idx(x, &[i], w);
+            });
+            fb.ret(None);
+        });
+        let kb = mb.function("kb", &[], None, |fb| {
+            fb.counted_loop(0, 32, 1, |fb, i| {
+                let v = fb.load_idx(y, &[i]);
+                let w = fb.fadd(v, fb.fconst(1.0));
+                fb.store_idx(y, &[i], w);
+            });
+            fb.ret(None);
+        });
+        mb.function("main", &[], None, |fb| {
+            fb.call(ka, &[], None);
+            fb.call(kb, &[], None);
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
+    /// `ka` with its multiplier constant nudged — a single-instruction edit.
+    fn edited_ka(m: &Module) -> Function {
+        let mut body = m.functions[0].clone();
+        let mut edited = false;
+        'outer: for instr in &mut body.instrs {
+            if let Instr::Binary { lhs, rhs, .. } = instr {
+                for op in [&mut *lhs, rhs] {
+                    if let Operand::Const(Imm::Float(v)) = op {
+                        *op = Operand::float(*v + 0.5);
+                        edited = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(edited, "ka has a float immediate");
+        body
+    }
+
+    fn fronts_bits(sel: &SelectionResult) -> Vec<(u64, u64, usize)> {
+        sel.pareto
+            .iter()
+            .map(|s| (s.area.to_bits(), s.saved_seconds.to_bits(), s.kernels.len()))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_matches_batch_bit_for_bit() {
+        let m = two_kernel_module();
+        let batch = Application::analyse(m.clone()).expect("batch analyses");
+        let mut inc = IncrementalApp::new(m, None, AnalyseOptions::default());
+        let app = inc.analyse().expect("incremental analyses");
+        assert_eq!(app.module.to_text(), batch.module.to_text());
+        assert_eq!(app.content_fps, batch.content_fps);
+        assert_eq!(app.profile.block_counts, batch.profile.block_counts);
+        assert_eq!(app.profile.total_cycles, batch.profile.total_cycles);
+        assert_eq!(app.trips, batch.trips);
+        assert_eq!(app.profiling_engine, batch.profiling_engine);
+
+        let batch_inputs = batch.inputs();
+        let batch_sel = cayman_select::run_selection(
+            &batch.module,
+            &batch.wpst,
+            &batch.profile,
+            &batch_inputs,
+            &SelectOptions::default(),
+        );
+        let inc_sel = inc.select(&SelectOptions::default()).expect("selects");
+        assert_eq!(fronts_bits(&inc_sel), fronts_bits(&batch_sel));
+    }
+
+    #[test]
+    fn single_edit_reuses_clean_function_queries() {
+        let m = two_kernel_module();
+        let mut inc = IncrementalApp::new(m.clone(), None, AnalyseOptions::default());
+        inc.select(&SelectOptions::default()).expect("cold select");
+        let cold = *inc.stats();
+        assert_eq!(cold.normalize.misses, 3, "three functions normalized");
+
+        // Edit one function: the two clean functions answer from cache.
+        inc.apply(Edit::ReplaceFunction {
+            func: FuncId(0),
+            body: edited_ka(&m),
+        })
+        .expect("applies");
+        inc.select(&SelectOptions::default()).expect("re-select");
+        let warm = *inc.stats();
+        assert_eq!(warm.edits, 1);
+        assert_eq!(
+            warm.normalize.misses - cold.normalize.misses,
+            1,
+            "only the edited function re-normalizes"
+        );
+        assert_eq!(warm.normalize.hits - cold.normalize.hits, 2);
+        assert_eq!(warm.dataflow.misses - cold.dataflow.misses, 1);
+        // The module's dynamic behaviour changed, so execution re-runs...
+        assert_eq!(warm.exec.misses - cold.exec.misses, 1);
+        // ...but clean functions' decoded bodies are reused.
+        assert_eq!(warm.decode.hits - cold.decode.hits, 2);
+        assert_eq!(warm.app.misses - cold.app.misses, 1);
+        assert_eq!(warm.select.misses - cold.select.misses, 1);
+        // Clean sibling subtrees answer selection from the front store.
+        assert!(inc.store.fronts.hits > 0, "clean subtree fronts reused");
+    }
+
+    #[test]
+    fn reverting_an_edit_hits_every_cache() {
+        let m = two_kernel_module();
+        let mut inc = IncrementalApp::new(m.clone(), None, AnalyseOptions::default());
+        let first = inc.select(&SelectOptions::default()).expect("cold");
+        inc.apply(Edit::ReplaceFunction {
+            func: FuncId(0),
+            body: edited_ka(&m),
+        })
+        .expect("applies");
+        inc.select(&SelectOptions::default()).expect("edited");
+        inc.apply(Edit::ReplaceFunction {
+            func: FuncId(0),
+            body: m.functions[0].clone(),
+        })
+        .expect("reverts");
+        let before = *inc.stats();
+        let reverted = inc.select(&SelectOptions::default()).expect("reverted");
+        let after = *inc.stats();
+        // The salsa-style green path: content keys match the original state,
+        // so both the whole-app and the selection query hit outright.
+        assert_eq!(after.app.hits - before.app.hits, 1);
+        assert_eq!(after.select.hits - before.select.hits, 1);
+        assert_eq!(after.app.misses, before.app.misses);
+        assert!(
+            Arc::ptr_eq(&first, &reverted),
+            "reverted selection is the cached original"
+        );
+    }
+
+    #[test]
+    fn remove_function_renumbers_callers_and_rejects_live_targets() {
+        let m = two_kernel_module();
+        let mut inc = IncrementalApp::new(m.clone(), None, AnalyseOptions::default());
+        // ka is still called from main: removal must be rejected untouched.
+        let err = inc.apply(Edit::RemoveFunction { func: FuncId(0) });
+        assert!(err.is_err(), "live function cannot be removed");
+        assert_eq!(inc.module().functions.len(), 3);
+
+        // A module whose first function is genuinely dead: removal must
+        // renumber kb and rewrite main's call target (marking main dirty).
+        let mut mb = ModuleBuilder::new("inc2");
+        let y = mb.array("y", Type::F64, &[32]);
+        let dead = mb.function("dead", &[], None, |fb| {
+            fb.ret(None);
+        });
+        let kb = mb.function("kb", &[], None, |fb| {
+            fb.counted_loop(0, 32, 1, |fb, i| {
+                let v = fb.load_idx(y, &[i]);
+                let w = fb.fadd(v, fb.fconst(1.0));
+                fb.store_idx(y, &[i], w);
+            });
+            fb.ret(None);
+        });
+        mb.function("main", &[], None, |fb| {
+            fb.call(kb, &[], None);
+            fb.ret(None);
+        });
+        let _ = dead;
+        let m2 = mb.finish();
+        let mut inc2 = IncrementalApp::new(m2, None, AnalyseOptions::default());
+        inc2.apply(Edit::RemoveFunction { func: FuncId(0) })
+            .expect("dead function removes");
+        assert_eq!(inc2.module().functions.len(), 2);
+        assert_eq!(inc2.module().functions[0].name, "kb");
+        let app = inc2.analyse().expect("renumbered module analyses");
+        assert_eq!(app.module.functions.len(), 2);
+        assert!(app.total_cycles() > 0);
+    }
+
+    #[test]
+    fn set_opt_level_reanalyses_at_the_new_level() {
+        let m = two_kernel_module();
+        let mut inc = IncrementalApp::new(m, None, AnalyseOptions::o0());
+        let raw = inc.analyse().expect("O0 analyses");
+        assert_eq!(raw.normalize_stats.iterations, 0);
+        inc.apply(Edit::SetOptLevel(OptLevel::O1)).expect("applies");
+        let opt = inc.analyse().expect("O1 analyses");
+        assert!(opt.normalize_stats.total_changes() > 0 || opt.normalize_stats.iterations > 0);
+        // Observable behaviour unchanged across levels.
+        assert_eq!(raw.exec.return_value, opt.exec.return_value);
+        // Going back to O0 is a pure cache hit.
+        inc.apply(Edit::SetOptLevel(OptLevel::O0)).expect("applies");
+        let before = *inc.stats();
+        let raw2 = inc.analyse().expect("O0 again");
+        assert_eq!(inc.stats().app.hits - before.app.hits, 1);
+        assert!(Arc::ptr_eq(&raw, &raw2));
+    }
+
+    #[test]
+    fn add_function_extends_the_application() {
+        let m = two_kernel_module();
+        let mut inc = IncrementalApp::new(m.clone(), None, AnalyseOptions::default());
+        inc.analyse().expect("analyses");
+        inc.apply(Edit::AddFunction {
+            body: m.functions[1].clone(),
+        })
+        .expect("applies");
+        let app = inc.analyse().expect("re-analyses");
+        assert_eq!(app.module.functions.len(), 4);
+        assert_eq!(app.accesses.len(), 4);
+        assert_eq!(app.content_fps.len(), 4);
+    }
+}

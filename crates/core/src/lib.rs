@@ -39,6 +39,7 @@
 
 pub mod app;
 pub mod framework;
+pub mod inc;
 
 use std::error::Error;
 use std::fmt;
@@ -46,6 +47,7 @@ use std::fmt;
 pub use app::{AnalyseOptions, Application};
 pub use cayman_ir::transform::{OptLevel, PipelineStats};
 pub use framework::{BudgetReport, Framework};
+pub use inc::{Edit, IncStats, IncrementalApp, QueryStore};
 
 // Re-export the sub-crates under stable names so downstream users need only
 // one dependency.

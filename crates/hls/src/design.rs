@@ -435,7 +435,7 @@ mod tests {
         }
     }
 
-    fn inputs<'a>(o: &'a Owned, trips: Vec<f64>) -> FuncInputs<'a> {
+    fn inputs<'a>(o: &'a Owned, trips: &'a [f64]) -> FuncInputs<'a> {
         FuncInputs {
             module: &o.module,
             func_id: FuncId(0),
@@ -443,7 +443,8 @@ mod tests {
             accesses: &o.accesses,
             deps: &o.deps,
             trips,
-            block_counts: o.counts.clone(),
+            block_counts: &o.counts,
+            content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
         }
     }
 
@@ -468,6 +469,7 @@ mod tests {
             entries,
             cpu_cycles: cpu,
             is_bb: false,
+            content_fp: inp.content_fp,
         }
     }
 
@@ -490,7 +492,7 @@ mod tests {
     #[test]
     fn pipelined_designs_beat_sequential() {
         let o = prepare(streaming_kernel(256));
-        let inp = inputs(&o, vec![256.0]);
+        let inp = inputs(&o, &[256.0]);
         let cand = loop_candidate(&o, &inp);
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         assert!(designs.len() >= 3, "seq + several unrolls");
@@ -512,7 +514,7 @@ mod tests {
     #[test]
     fn coupled_only_is_slower() {
         let o = prepare(streaming_kernel(256));
-        let inp = inputs(&o, vec![256.0]);
+        let inp = inputs(&o, &[256.0]);
         let cand = loop_candidate(&o, &inp);
         let full = generate_designs(&inp, &cand, &ModelOptions::default());
         let coupled = generate_designs(&inp, &cand, &ModelOptions::coupled_only());
@@ -539,7 +541,7 @@ mod tests {
     #[test]
     fn interfaces_follow_the_heuristic() {
         let o = prepare(streaming_kernel(256));
-        let inp = inputs(&o, vec![256.0]);
+        let inp = inputs(&o, &[256.0]);
         let cand = loop_candidate(&o, &inp);
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         // pipelined design: stream accesses with footprint = trip count get
@@ -581,7 +583,7 @@ mod tests {
                 }
             })
             .collect();
-        let inp = inputs(&o, trips);
+        let inp = inputs(&o, &trips);
         let cand = loop_candidate(&o, &inp);
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         let any_spad = designs.iter().any(|d| d.iface_counts().2 > 0);
@@ -591,7 +593,7 @@ mod tests {
     #[test]
     fn bb_candidate_yields_one_sequential_design() {
         let o = prepare(streaming_kernel(64));
-        let inp = inputs(&o, vec![64.0]);
+        let inp = inputs(&o, &[64.0]);
         // candidate = the loop body block alone
         let body = cayman_ir::BlockId(2);
         let cand = Candidate {
@@ -600,6 +602,7 @@ mod tests {
             entries: inp.count(body),
             cpu_cycles: inp.count(body) * cayman_ir::cpu_model::block_cycles(inp.func(), body),
             is_bb: true,
+            content_fp: inp.content_fp,
         };
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         assert_eq!(designs.len(), 1);
@@ -610,13 +613,14 @@ mod tests {
     #[test]
     fn zero_entry_candidate_yields_nothing() {
         let o = prepare(streaming_kernel(64));
-        let inp = inputs(&o, vec![64.0]);
+        let inp = inputs(&o, &[64.0]);
         let cand = Candidate {
             func: FuncId(0),
             blocks: vec![cayman_ir::BlockId(2)],
             entries: 0,
             cpu_cycles: 0,
             is_bb: true,
+            content_fp: inp.content_fp,
         };
         assert!(generate_designs(&inp, &cand, &ModelOptions::default()).is_empty());
     }

@@ -24,10 +24,19 @@ pub struct FuncInputs<'a> {
     /// Loop-carried dependence analysis, indexed by `LoopId`.
     pub deps: &'a [LoopDeps],
     /// Trip count per loop (static when available, else profiled average),
-    /// indexed by `LoopId`.
-    pub trips: Vec<f64>,
+    /// indexed by `LoopId`. Borrowed from the analysis store so repeated
+    /// (incremental) selections never re-allocate per-function profile
+    /// vectors.
+    pub trips: &'a [f64],
     /// Profiled dynamic execution count per block, indexed by `BlockId`.
-    pub block_counts: Vec<u64>,
+    /// Borrowed like `trips`.
+    pub block_counts: &'a [u64],
+    /// Content fingerprint of the (normalized) function, from
+    /// [`cayman_ir::fingerprint_function`]. Part of [`CandidateKey`]: it
+    /// ties cached designs to the function body they were modelled against,
+    /// which is what lets one `DesignCache` be shared soundly across edits
+    /// of the same application.
+    pub content_fp: u64,
 }
 
 impl<'a> FuncInputs<'a> {
@@ -61,16 +70,24 @@ pub struct Candidate {
     pub cpu_cycles: u64,
     /// Whether the candidate is a single basic block (*bb* region).
     pub is_bb: bool,
+    /// Content fingerprint of the containing (normalized) function — see
+    /// [`FuncInputs::content_fp`].
+    pub content_fp: u64,
 }
 
 /// A hashable identity for a [`Candidate`]: everything the accelerator
-/// models read from the candidate itself. Two candidates with equal keys
-/// yield identical design vectors for the same model and [`FuncInputs`], so
-/// the key (plus a model identity) addresses a design cache.
+/// models read from the candidate itself, plus the content fingerprint of
+/// the function the candidate lives in. Two candidates with equal keys
+/// yield identical design vectors for the same model, because the model
+/// only ever reads the candidate and its function's analyses — and the
+/// fingerprint pins the function body, so a design cache keyed by this
+/// stays sound even when the module is edited between selections.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CandidateKey {
     /// Containing function.
     pub func: FuncId,
+    /// Content fingerprint of the containing (normalized) function.
+    pub content_fp: u64,
     /// Blocks spanned by the region (region block order is deterministic).
     pub blocks: Vec<BlockId>,
     /// Profiled entries.
@@ -86,6 +103,7 @@ impl Candidate {
     pub fn key(&self) -> CandidateKey {
         CandidateKey {
             func: self.func,
+            content_fp: self.content_fp,
             blocks: self.blocks.clone(),
             entries: self.entries,
             cpu_cycles: self.cpu_cycles,
@@ -158,6 +176,7 @@ mod tests {
             entries: 1,
             cpu_cycles: 1000,
             is_bb: false,
+            content_fp: cayman_ir::fingerprint_function(f),
         };
         assert_eq!(cand.loops_within(&ctx).len(), 2);
         let inner = cand.innermost_loops(&ctx);
@@ -171,6 +190,7 @@ mod tests {
             entries: 4,
             cpu_cycles: 800,
             is_bb: false,
+            content_fp: cayman_ir::fingerprint_function(f),
         };
         assert_eq!(cand2.loops_within(&ctx).len(), 1);
         assert_eq!(cand2.innermost_loops(&ctx).len(), 1);

@@ -60,8 +60,9 @@
 //!     ctx: &ctx,
 //!     accesses: &accesses,
 //!     deps: &deps,
-//!     trips: vec![128.0],
-//!     block_counts: exec.block_counts[0].clone(),
+//!     trips: &[128.0],
+//!     block_counts: &exec.block_counts[0],
+//!     content_fp: cayman_ir::fingerprint_function(f),
 //! };
 //! let lp = ctx.forest.ids().next().expect("one loop");
 //! let blocks = ctx.forest.get(lp).blocks.clone();
@@ -71,6 +72,7 @@
 //!     entries: 1,
 //!     cpu_cycles: exec.total_cycles,
 //!     is_bb: false,
+//!     content_fp: inputs.content_fp,
 //! };
 //! let designs = generate_designs(&inputs, &cand, &ModelOptions::default());
 //! assert!(!designs.is_empty());

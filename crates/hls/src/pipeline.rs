@@ -150,6 +150,7 @@ mod tests {
         ctx: FuncCtx,
         accesses: AccessAnalysis,
         deps: Vec<cayman_analysis::memdep::LoopDeps>,
+        counts: Vec<u64>,
     }
 
     fn prepare(module: Module) -> Owned {
@@ -158,18 +159,19 @@ mod tests {
         let mut scev = Scev::new(f, &ctx);
         let accesses = AccessAnalysis::run(&module, f, &ctx, &mut scev);
         let deps = analyse_loop_deps(f, &ctx, &mut scev, &accesses);
+        let counts = vec![1; module.function(FuncId(0)).blocks.len()];
         // SAFETY-free trick: re-borrow after moves by rebuilding.
         let ctx2 = FuncCtx::compute(module.function(FuncId(0)));
         Owned {
             ctx: ctx2,
             accesses,
             deps,
+            counts,
             module,
         }
     }
 
-    fn inputs<'a>(o: &'a Owned, trips: Vec<f64>) -> FuncInputs<'a> {
-        let n = o.module.function(FuncId(0)).blocks.len();
+    fn inputs<'a>(o: &'a Owned, trips: &'a [f64]) -> FuncInputs<'a> {
         FuncInputs {
             module: &o.module,
             func_id: FuncId(0),
@@ -177,7 +179,8 @@ mod tests {
             accesses: &o.accesses,
             deps: &o.deps,
             trips,
-            block_counts: vec![1; n],
+            block_counts: &o.counts,
+            content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
         }
     }
 
@@ -200,7 +203,7 @@ mod tests {
     #[test]
     fn decoupled_reaches_ii_1_coupled_does_not() {
         let o = prepare(saxpy());
-        let inp = inputs(&o, vec![64.0]);
+        let inp = inputs(&o, &[64.0]);
         let l = o.ctx.forest.ids().next().expect("loop");
         let coupled = |_: InstrId| Some(InterfaceKind::Coupled);
         let dec = |i: InstrId| {
@@ -237,7 +240,7 @@ mod tests {
             fb.ret(None);
         });
         let o = prepare(mb.finish());
-        let inp = inputs(&o, vec![64.0]);
+        let inp = inputs(&o, &[64.0]);
         let l = o.ctx.forest.ids().next().expect("loop");
         let dec = |_: InstrId| Some(InterfaceKind::Decoupled);
         let p = pipeline_loop(&inp, l, 1, &dec);
@@ -248,7 +251,7 @@ mod tests {
     #[test]
     fn unrolling_scales_iterations_with_scratchpad() {
         let o = prepare(saxpy());
-        let inp = inputs(&o, vec![64.0]);
+        let inp = inputs(&o, &[64.0]);
         let l = o.ctx.forest.ids().next().expect("loop");
         let spad = |i: InstrId| {
             let f = inp.func();

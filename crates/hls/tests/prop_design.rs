@@ -25,6 +25,7 @@ struct Owned {
     deps: Vec<LoopDeps>,
     counts: Vec<u64>,
     total: u64,
+    trips: Vec<f64>,
 }
 
 /// A parameterised 2-level kernel: outer `n`, inner `m`, with either an
@@ -62,35 +63,36 @@ fn build(n: i64, m: i64, reduction: bool) -> Owned {
     let mut scev = Scev::new(f, &ctx);
     let accesses = AccessAnalysis::run(&module, f, &ctx, &mut scev);
     let deps = analyse_loop_deps(f, &ctx, &mut scev, &accesses);
+    let trips: Vec<f64> = ctx
+        .forest
+        .ids()
+        .map(|l| {
+            cayman_analysis::access::static_trip_count(f, &ctx, l)
+                .map(|t| t as f64)
+                .unwrap_or(1.0)
+        })
+        .collect();
     Owned {
         ctx,
         accesses,
         deps,
         counts: exec.block_counts[0].clone(),
         total: exec.total_cycles,
+        trips,
         module,
     }
 }
 
 fn candidate(o: &Owned) -> (FuncInputs<'_>, Candidate) {
-    let trips: Vec<f64> = o
-        .ctx
-        .forest
-        .ids()
-        .map(|l| {
-            cayman_analysis::access::static_trip_count(o.module.function(FuncId(0)), &o.ctx, l)
-                .map(|t| t as f64)
-                .unwrap_or(1.0)
-        })
-        .collect();
     let inp = FuncInputs {
         module: &o.module,
         func_id: FuncId(0),
         ctx: &o.ctx,
         accesses: &o.accesses,
         deps: &o.deps,
-        trips,
-        block_counts: o.counts.clone(),
+        trips: &o.trips,
+        block_counts: &o.counts,
+        content_fp: cayman_ir::fingerprint_function(o.module.function(FuncId(0))),
     };
     let outer = o
         .ctx
@@ -105,6 +107,7 @@ fn candidate(o: &Owned) -> (FuncInputs<'_>, Candidate) {
         entries: 1,
         cpu_cycles: o.total,
         is_bb: false,
+        content_fp: inp.content_fp,
     };
     (inp, cand)
 }

@@ -68,7 +68,7 @@ fn imm_value(imm: Imm) -> Value {
 
 /// One decoded gep dimension: index operand plus the statically known
 /// stride/extent of that dimension.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct GepDim {
     idx: Opnd,
     stride: i64,
@@ -79,7 +79,7 @@ pub(crate) struct GepDim {
 
 /// A decoded instruction. `dst` slots for value-producing ops whose result
 /// is unused point at the trash register.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) enum DecodedOp {
     Binary {
         op: BinOp,
@@ -169,6 +169,20 @@ pub(crate) enum DecodedOp {
         lhs: Opnd,
         rhs: Opnd,
     },
+    /// `I64` subtract — with `IAnd64` it was 83% of the remaining generic
+    /// `(op, ty)` dispatch on the corpus (EXPERIMENTS.md dispatch mix).
+    ISub64 {
+        dst: u32,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
+    /// `I64` bitwise and (`&` needs no narrowing at any width, but only the
+    /// `I64` form is hot enough to earn a fast path).
+    IAnd64 {
+        dst: u32,
+        lhs: Opnd,
+        rhs: Opnd,
+    },
     /// Signed integer `<` (all integer widths compare on `i64` storage).
     ICmpLt {
         dst: u32,
@@ -236,6 +250,20 @@ fn specialise(op: DecodedOp) -> DecodedOp {
             lhs,
             rhs,
         } => DecodedOp::IAdd64 { dst, lhs, rhs },
+        DecodedOp::Binary {
+            op: BinOp::Sub,
+            ty: Type::I64,
+            dst,
+            lhs,
+            rhs,
+        } => DecodedOp::ISub64 { dst, lhs, rhs },
+        DecodedOp::Binary {
+            op: BinOp::And,
+            ty: Type::I64,
+            dst,
+            lhs,
+            rhs,
+        } => DecodedOp::IAnd64 { dst, lhs, rhs },
         DecodedOp::Cmp {
             pred: CmpPred::Lt,
             ty,
@@ -378,7 +406,7 @@ pub(crate) enum DecodedTerm {
 }
 
 /// The compiled phi moves for one CFG edge, applied when the edge is taken.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct EdgeMoves {
     moves: Box<[(u32, Opnd)]>,
     /// Whether any move reads a register another move writes — if so the
@@ -386,13 +414,13 @@ pub(crate) struct EdgeMoves {
     parallel: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct DecodedBlock {
     ops: Box<[DecodedOp]>,
     term: DecodedTerm,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct DecodedFunc {
     params: usize,
     /// Register-file size: one slot per SSA value plus the trash slot.
@@ -406,6 +434,16 @@ pub(crate) struct DecodedFunc {
 #[derive(Debug)]
 pub(crate) struct DecodedModule {
     funcs: Vec<DecodedFunc>,
+}
+
+impl DecodedModule {
+    /// Reassembles a decoded module from per-function decodings that were
+    /// cached across edits (see [`crate::interp::DecodedFunction`]). The
+    /// caller guarantees index alignment with the module the parts were
+    /// decoded against.
+    pub(crate) fn from_funcs(funcs: Vec<DecodedFunc>) -> DecodedModule {
+        DecodedModule { funcs }
+    }
 }
 
 /// Decodes a whole module, or `None` if any function has an irregularity
@@ -447,7 +485,7 @@ fn use_opnd(
     }
 }
 
-fn decode_func(module: &Module, func: &Function) -> Option<DecodedFunc> {
+pub(crate) fn decode_func(module: &Module, func: &Function) -> Option<DecodedFunc> {
     let nblocks = func.blocks.len();
     let nvalues = func.values.len();
     let trash = nvalues as u32;
@@ -1000,6 +1038,14 @@ impl ExecCtx<'_, '_> {
                 let (a, b) = (ev(regs, lhs).as_i()?, ev(regs, rhs).as_i()?);
                 regs[dst as usize] = Value::I(a.wrapping_add(b));
             }
+            DecodedOp::ISub64 { dst, lhs, rhs } => {
+                let (a, b) = (ev(regs, lhs).as_i()?, ev(regs, rhs).as_i()?);
+                regs[dst as usize] = Value::I(a.wrapping_sub(b));
+            }
+            DecodedOp::IAnd64 { dst, lhs, rhs } => {
+                let (a, b) = (ev(regs, lhs).as_i()?, ev(regs, rhs).as_i()?);
+                regs[dst as usize] = Value::I(a & b);
+            }
             DecodedOp::ICmpLt { dst, lhs, rhs } => {
                 let (a, b) = (ev(regs, lhs).as_i()?, ev(regs, rhs).as_i()?);
                 regs[dst as usize] = Value::B(a < b);
@@ -1040,14 +1086,16 @@ mod tests {
 
     #[test]
     fn generic_dispatch_mix_counts_only_unspecialised_ops() {
-        // `add i64` and `fadd` have fast paths; `sub i64` and `cmp ge i64`
-        // stay generic. Each loop body runs 8 times.
+        // `add i64`, `sub i64`, `and i64` and `fadd` have fast paths;
+        // `mul i64` and `cmp ge i64` stay generic. Each loop body runs 8
+        // times.
         let mut mb = ModuleBuilder::new("mix");
         mb.function("main", &[], Some(Type::I64), |fb| {
             let zero = fb.iconst(0);
             let out = fb.counted_loop_carry(0, 8, 1, &[(Type::I64, zero)], |fb, i, c| {
                 let a = fb.add(c[0], i); // specialised: IAdd64
-                let b = fb.sub(a, fb.iconst(1)); // generic
+                let s = fb.sub(a, fb.iconst(1)); // specialised: ISub64
+                let b = fb.binary(BinOp::Mul, Type::I64, s, fb.iconst(3)); // generic
                 let ge = fb.cmp(CmpPred::Ge, Type::I64, b, fb.iconst(3)); // generic
                 vec![fb.select(ge, Type::I64, b, a)]
             });
@@ -1059,8 +1107,40 @@ mod tests {
         let mix = generic_dispatch_mix(&m, &exec);
         assert_eq!(
             mix,
-            vec![("cmp ge i64".to_string(), 8), ("sub i64".to_string(), 8)],
+            vec![("cmp ge i64".to_string(), 8), ("mul i64".to_string(), 8)],
             "exactly the unspecialised ops, weighted by 8 iterations"
+        );
+    }
+
+    #[test]
+    fn isub64_iand64_fast_paths_match_reference() {
+        // A loop whose body leans on `sub i64` and `and i64` — the two ops
+        // the corpus dispatch mix flagged — plus wrapping edge cases. The
+        // decoded engine must agree bit-for-bit with the tree walker.
+        let mut mb = ModuleBuilder::new("suband");
+        mb.function("main", &[], Some(Type::I64), |fb| {
+            let init = fb.iconst(i64::MIN + 2);
+            let out = fb.counted_loop_carry(0, 16, 1, &[(Type::I64, init)], |fb, i, c| {
+                let d = fb.sub(c[0], i); // wraps past i64::MIN
+                let m = fb.and(d, fb.iconst(0x0f0f_0f0f_0f0f_0f0f));
+                let low = fb.and(i, fb.iconst(7));
+                vec![fb.sub(m, low)]
+            });
+            fb.ret(Some(out[0]));
+        });
+        let m = mb.finish();
+        m.verify().expect("verifies");
+        let mut fast = Interp::new(&m);
+        assert_eq!(fast.engine_name(), "decoded");
+        let a = fast.run(&[]).expect("decoded runs");
+        let b = Interp::reference(&m).run(&[]).expect("reference runs");
+        assert_eq!(a.return_value, b.return_value);
+        assert_eq!(a.block_counts, b.block_counts);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        // And both ops really left the generic dispatch path.
+        assert!(
+            generic_dispatch_mix(&m, &a).is_empty(),
+            "sub/and i64 must be specialised"
         );
     }
 

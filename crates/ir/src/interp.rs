@@ -232,6 +232,26 @@ impl ExecProfile {
     }
 }
 
+/// One function's pre-decoded opcode streams, detached from the whole-module
+/// [`crate::decode::DecodedModule`] so incremental pipelines can cache
+/// decodings per *function content* and reassemble an interpreter after an
+/// edit without re-running the decoder's init check (CFG + dominance walks)
+/// on untouched functions.
+///
+/// Obtain one with [`decode_function`]; hand a full, index-aligned set back
+/// to [`Interp::from_cached_decode`]. A handle is only meaningful for a
+/// function structurally identical to the one it was decoded from — key it
+/// by [`crate::fingerprint::fingerprint_function`].
+#[derive(Debug, Clone)]
+pub struct DecodedFunction(pub(crate) crate::decode::DecodedFunc);
+
+/// Decodes a single function for caching, or `None` if it fails the
+/// decoder's init check (such a function forces the whole module onto the
+/// reference walker, exactly as in [`Interp::new`]).
+pub fn decode_function(module: &Module, func: FuncId) -> Option<DecodedFunction> {
+    crate::decode::decode_func(module, module.function(func)).map(DecodedFunction)
+}
+
 /// Which execution engine an [`Interp`] uses.
 #[derive(Debug)]
 enum Engine {
@@ -273,6 +293,30 @@ impl<'m> Interp<'m> {
             None => {
                 // Library code never prints; the silent fallback becomes a
                 // structured diagnostic in the trace instead.
+                cayman_obs::counter("profile.decode_fallback", 1);
+                cayman_obs::diag("interp.fallback", || {
+                    "decoder rejected module; using reference walker".to_string()
+                });
+                Engine::Reference
+            }
+        };
+        Self::with_engine(module, engine)
+    }
+
+    /// Creates an interpreter from per-function decodings cached across
+    /// edits. `funcs` must index-align with [`Module::functions`]; pass
+    /// `None` for any function whose decoding failed — that forces the
+    /// whole module onto the reference walker with the same fallback
+    /// diagnostics as [`Interp::new`], keeping `run` semantics identical.
+    pub fn from_cached_decode(module: &'m Module, funcs: Vec<Option<DecodedFunction>>) -> Self {
+        debug_assert_eq!(funcs.len(), module.functions.len());
+        let all: Option<Vec<crate::decode::DecodedFunc>> =
+            funcs.into_iter().map(|f| f.map(|d| d.0)).collect();
+        let engine = match all {
+            Some(fs) if fs.len() == module.functions.len() => {
+                Engine::Decoded(crate::decode::DecodedModule::from_funcs(fs))
+            }
+            _ => {
                 cayman_obs::counter("profile.decode_fallback", 1);
                 cayman_obs::diag("interp.fallback", || {
                     "decoder rejected module; using reference walker".to_string()

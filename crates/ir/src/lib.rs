@@ -47,6 +47,7 @@ pub mod cfg;
 pub mod cpu_model;
 mod decode;
 pub mod dom;
+pub mod fingerprint;
 pub mod instr;
 pub mod interp;
 pub mod loops;
@@ -58,6 +59,11 @@ pub mod types;
 pub mod verify;
 
 pub use decode::generic_dispatch_mix;
+pub use fingerprint::{
+    fingerprint_arrays, fingerprint_function, fingerprint_memory, fingerprint_module,
+    fingerprint_module_from_parts,
+};
 pub use instr::{BinOp, CmpPred, Imm, Instr, Operand, Terminator, UnaryOp};
+pub use interp::{decode_function, DecodedFunction};
 pub use module::{ArrayDecl, ArrayId, Block, BlockId, FuncId, Function, InstrId, Module, ValueId};
 pub use types::Type;

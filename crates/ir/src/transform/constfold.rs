@@ -3,7 +3,7 @@
 use super::{replace_all_uses, Changed, Pass};
 use crate::instr::{Imm, Instr, Operand};
 use crate::interp::{exec_binary, exec_cmp, exec_unary, Value};
-use crate::module::{Function, InstrId, Module};
+use crate::module::{FuncId, Function, InstrId, Module};
 
 /// Replaces uses of instructions with all-constant inputs by their result.
 ///
@@ -32,6 +32,10 @@ impl Pass for ConstFold {
             changed |= fold_function(func);
         }
         Changed::from_bool(changed)
+    }
+
+    fn run_fn(&mut self, module: &mut Module, func: FuncId) -> Changed {
+        Changed::from_bool(fold_function(&mut module.functions[func.index()]))
     }
 }
 

@@ -2,7 +2,7 @@
 
 use super::{use_counts, Changed, Pass};
 use crate::instr::{BinOp, Instr, Operand, UnaryOp};
-use crate::module::{ArrayDecl, Function, InstrId, Module, ValueDef};
+use crate::module::{ArrayDecl, FuncId, Function, InstrId, Module, ValueDef};
 use crate::types::Type;
 use std::collections::HashSet;
 
@@ -38,6 +38,13 @@ impl Pass for Dce {
             changed |= dce_function(arrays, func);
         }
         Changed::from_bool(changed)
+    }
+
+    fn run_fn(&mut self, module: &mut Module, func: FuncId) -> Changed {
+        let Module {
+            arrays, functions, ..
+        } = module;
+        Changed::from_bool(dce_function(arrays, &mut functions[func.index()]))
     }
 }
 

@@ -5,7 +5,7 @@ use super::{Changed, Pass};
 use crate::cfg::Cfg;
 use crate::dom::DomTree;
 use crate::instr::{BinOp, CmpPred, Imm, Instr, Operand, UnaryOp};
-use crate::module::{ArrayId, BlockId, Function, InstrId, Module, ValueId};
+use crate::module::{ArrayId, BlockId, FuncId, Function, InstrId, Module, ValueId};
 use crate::types::Type;
 use std::collections::HashMap;
 
@@ -35,6 +35,10 @@ impl Pass for Gvn {
             changed |= gvn_function(func);
         }
         Changed::from_bool(changed)
+    }
+
+    fn run_fn(&mut self, module: &mut Module, func: FuncId) -> Changed {
+        Changed::from_bool(gvn_function(&mut module.functions[func.index()]))
     }
 }
 

@@ -43,7 +43,7 @@ pub use gvn::Gvn;
 pub use simplify_cfg::SimplifyCfg;
 
 use crate::instr::Operand;
-use crate::module::{Function, InstrId, Module, ValueDef, ValueId};
+use crate::module::{FuncId, Function, InstrId, Module, ValueDef, ValueId};
 use crate::verify::VerifyError;
 use std::fmt;
 
@@ -82,10 +82,20 @@ pub trait Pass {
 
     /// Runs the pass over every function of `module`.
     fn run(&mut self, module: &mut Module) -> Changed;
+
+    /// Runs the pass over a single function of `module`.
+    ///
+    /// Every standard pass is *function-local* — it never reads or writes
+    /// another function — so `run` is exactly this folded over all
+    /// functions, and a per-function fixed point converges to the same
+    /// content as the module-level one (extra sweeps at a function's fixed
+    /// point are no-ops). This is what lets `cayman-core`'s incremental
+    /// pipeline key normalization by function content.
+    fn run_fn(&mut self, module: &mut Module, func: FuncId) -> Changed;
 }
 
 /// How aggressively [`normalize`] rewrites a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OptLevel {
     /// No rewrites; the module is analysed as built.
     O0,
@@ -146,6 +156,27 @@ impl PipelineStats {
     /// Total number of changing pass runs across the pipeline.
     pub fn total_changes(&self) -> u32 {
         self.passes.iter().map(|p| p.changed).sum()
+    }
+
+    /// Folds another run's counters into this one. Used to aggregate
+    /// per-function [`PassManager::run_function`] stats into one
+    /// module-level summary: passes are aligned by name (run/changed/time
+    /// counters add), `iterations` reports the deepest per-function fixed
+    /// point, and verifier runs and wall time accumulate.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        for p in &other.passes {
+            match self.passes.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => {
+                    q.runs += p.runs;
+                    q.changed += p.changed;
+                    q.micros += p.micros;
+                }
+                None => self.passes.push(p.clone()),
+            }
+        }
+        self.iterations = self.iterations.max(other.iterations);
+        self.verify_runs += other.verify_runs;
+        self.wall_micros += other.wall_micros;
     }
 }
 
@@ -274,6 +305,70 @@ impl PassManager {
         stats.wall_micros = u128::from(wall.finish()) / 1_000;
         Ok(stats)
     }
+
+    /// Runs the pipeline over a single function of `module`, iterating to
+    /// the same per-pass-list fixed point as [`PassManager::run`] restricted
+    /// to that function.
+    ///
+    /// Because every standard pass is function-local (see [`Pass::run_fn`]),
+    /// the function's final content is bit-identical to what a module-level
+    /// run would leave in it — the module loop merely keeps sweeping other
+    /// functions' no-op rounds. This is the unit of `cayman-core`'s
+    /// content-keyed normalize query.
+    ///
+    /// With `verify_each_pass`, the whole module is verified before the
+    /// first pass and after every changing pass (function-local verification
+    /// would miss cross-function call-signature breaks).
+    pub fn run_function(
+        &mut self,
+        module: &mut Module,
+        func: FuncId,
+    ) -> Result<PipelineStats, VerifyError> {
+        let wall = cayman_obs::timed("normalize.pipeline");
+        let mut stats = PipelineStats {
+            passes: self
+                .passes
+                .iter()
+                .map(|p| PassStats {
+                    name: p.name(),
+                    runs: 0,
+                    changed: 0,
+                    micros: 0,
+                })
+                .collect(),
+            ..PipelineStats::default()
+        };
+        if self.verify_each {
+            module.verify()?;
+            stats.verify_runs += 1;
+        }
+        for _ in 0..self.max_iters {
+            stats.iterations += 1;
+            let mut any = false;
+            for (i, pass) in self.passes.iter_mut().enumerate() {
+                let t = cayman_obs::timed(("normalize.", pass.name()));
+                let changed = pass.run_fn(module, func).as_bool();
+                stats.passes[i].micros += u128::from(t.finish()) / 1_000;
+                stats.passes[i].runs += 1;
+                if changed {
+                    stats.passes[i].changed += 1;
+                    any = true;
+                    if self.verify_each {
+                        module.verify().map_err(|e| VerifyError {
+                            func: e.func,
+                            message: format!("after pass `{}`: {}", pass.name(), e.message),
+                        })?;
+                        stats.verify_runs += 1;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        stats.wall_micros = u128::from(wall.finish()) / 1_000;
+        Ok(stats)
+    }
 }
 
 impl Default for PassManager {
@@ -297,6 +392,23 @@ pub fn normalize(
         OptLevel::O1 => PassManager::standard()
             .verify_each_pass(verify_each_pass)
             .run(module),
+    }
+}
+
+/// Normalizes a single function of `module` at the given [`OptLevel`] —
+/// [`normalize`] restricted to `func`; same fixed point, same final content
+/// (see [`PassManager::run_function`] for why).
+pub fn normalize_function(
+    module: &mut Module,
+    func: FuncId,
+    level: OptLevel,
+    verify_each_pass: bool,
+) -> Result<PipelineStats, VerifyError> {
+    match level {
+        OptLevel::O0 => Ok(PipelineStats::default()),
+        OptLevel::O1 => PassManager::standard()
+            .verify_each_pass(verify_each_pass)
+            .run_function(module, func),
     }
 }
 
@@ -362,6 +474,10 @@ impl Pass for Compact {
             changed |= compact_function(func);
         }
         Changed::from_bool(changed)
+    }
+
+    fn run_fn(&mut self, module: &mut Module, func: FuncId) -> Changed {
+        Changed::from_bool(compact_function(&mut module.functions[func.index()]))
     }
 }
 

@@ -3,7 +3,7 @@
 
 use super::{replace_all_uses, Changed, Pass};
 use crate::instr::{Imm, Instr, Operand, Terminator};
-use crate::module::{BlockId, Function, Module};
+use crate::module::{BlockId, FuncId, Function, Module};
 
 /// Simplifies each function's CFG:
 ///
@@ -26,24 +26,34 @@ impl Pass for SimplifyCfg {
     fn run(&mut self, module: &mut Module) -> Changed {
         let mut changed = false;
         for func in &mut module.functions {
-            let mut local = false;
-            loop {
-                let mut round = false;
-                round |= fold_constant_branches(func);
-                round |= delete_unreachable_blocks(func);
-                round |= merge_block_chains(func);
-                if !round {
-                    break;
-                }
-                local = true;
-            }
-            if local {
-                func.invalidate_block_map();
-                changed = true;
-            }
+            changed |= simplify_function(func);
         }
         Changed::from_bool(changed)
     }
+
+    fn run_fn(&mut self, module: &mut Module, func: FuncId) -> Changed {
+        Changed::from_bool(simplify_function(&mut module.functions[func.index()]))
+    }
+}
+
+/// One function's simplify loop: iterate the three rewrites locally until
+/// none fires (they feed each other), then invalidate the block map once.
+fn simplify_function(func: &mut Function) -> bool {
+    let mut local = false;
+    loop {
+        let mut round = false;
+        round |= fold_constant_branches(func);
+        round |= delete_unreachable_blocks(func);
+        round |= merge_block_chains(func);
+        if !round {
+            break;
+        }
+        local = true;
+    }
+    if local {
+        func.invalidate_block_map();
+    }
+    local
 }
 
 /// The phis of `block` (they are required to be at the top).

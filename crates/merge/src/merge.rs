@@ -241,8 +241,9 @@ mod tests {
                 ctx: &wpst.func_ctxs[f.index()],
                 accesses: &accesses[f.index()],
                 deps: &deps[f.index()],
-                trips: trips[f.index()].clone(),
-                block_counts: profile.block_counts[f.index()].clone(),
+                trips: &trips[f.index()],
+                block_counts: &profile.block_counts[f.index()],
+                content_fp: cayman_ir::fingerprint_function(module.function(f)),
             })
             .collect();
         let res = run_selection(&module, &wpst, &profile, &inputs, &SelectOptions::default());
@@ -276,8 +277,9 @@ mod tests {
                 ctx: &wpst.func_ctxs[f.index()],
                 accesses: &accesses[f.index()],
                 deps: &deps[f.index()],
-                trips: trips[f.index()].clone(),
-                block_counts: profile.block_counts[f.index()].clone(),
+                trips: &trips[f.index()],
+                block_counts: &profile.block_counts[f.index()],
+                content_fp: cayman_ir::fingerprint_function(module.function(f)),
             })
             .collect();
         let res = run_selection(&module, &wpst, &profile, &inputs, &SelectOptions::default());

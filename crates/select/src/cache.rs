@@ -189,6 +189,7 @@ mod tests {
             },
             candidate: CandidateKey {
                 func: FuncId(func),
+                content_fp: 0xfeed,
                 blocks: vec![BlockId(0), BlockId(1)],
                 entries,
                 cpu_cycles: 100,

@@ -37,7 +37,7 @@ use crate::pareto::{combine, filter, pareto, Solution};
 use crate::sched::{self, SchedKind};
 use crate::stats::{thread_cpu_nanos, AtomicStats, SelectStats};
 use cayman_analysis::profile::Profile;
-use cayman_analysis::wpst::{Wpst, WpstNodeId};
+use cayman_analysis::wpst::{Wpst, WpstKind, WpstNodeId};
 use cayman_hls::design::{generate_designs, AcceleratorDesign};
 use cayman_hls::inputs::{Candidate, FuncInputs};
 use cayman_hls::interface::ModelOptions;
@@ -251,6 +251,190 @@ pub fn run_selection_cached(
     }
 }
 
+/// Identity of one root-child (function-vertex) subtree's folded Pareto
+/// front. Everything the DP reads below that vertex is pinned:
+///
+/// * `node`/`func` — wPST subtrees are numbered contiguously per function,
+///   so the function vertex's own id fixes every `WpstNodeId` below it
+///   (solutions embed node ids; a shifted numbering must miss);
+/// * `content_fp` — the normalized function body, which determines the
+///   region tree shape, analyses and static cycle model;
+/// * `bc_fp` — the function's profiled block counts (region entries/cycles
+///   and profiled trip counts);
+/// * `total_cycles` — the whole-program cycle total (`prune`'s denominator
+///   and every solution's saved-seconds scale);
+/// * `arrays_fp` — array declarations the model reads for interface sizing;
+/// * `model`/`alpha_bits`/`prune_bits` — model identity and the DP's own
+///   filter/prune parameters, bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrontKey {
+    /// The function vertex (root child) the front was folded under.
+    pub node: WpstNodeId,
+    /// The function id.
+    pub func: cayman_ir::FuncId,
+    /// Normalized-function content fingerprint.
+    pub content_fp: u64,
+    /// Fingerprint of the function's profiled block counts.
+    pub bc_fp: u64,
+    /// Whole-program profiled cycle total.
+    pub total_cycles: u64,
+    /// Fingerprint of the module's array declarations.
+    pub arrays_fp: u64,
+    /// Accelerator-model identity.
+    pub model: ModelId,
+    /// `SelectOptions::alpha` bit pattern.
+    pub alpha_bits: u64,
+    /// `SelectOptions::prune_share` bit pattern.
+    pub prune_bits: u64,
+}
+
+/// Memoised per-function-subtree Pareto fronts, shared across incremental
+/// re-selections. Where the [`DesignCache`] memoises `accel(v, R)` calls,
+/// this store memoises the *entire folded front* of a root-child subtree,
+/// so re-selection after an edit only re-runs the DP below function
+/// vertices whose key actually changed — clean subtrees are answered with
+/// an `Arc` clone.
+#[derive(Debug, Default)]
+pub struct FrontStore {
+    map: std::collections::HashMap<FrontKey, Arc<Vec<Solution>>>,
+    /// Subtree fronts answered from the store (across all runs).
+    pub hits: u64,
+    /// Subtree fronts computed and inserted (across all runs).
+    pub misses: u64,
+}
+
+impl FrontStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        FrontStore::default()
+    }
+
+    /// Number of memoised subtree fronts.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all memoised fronts (hit/miss counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// FNV-1a over a `u64` slice (block-count fingerprints for [`FrontKey`]).
+fn hash_u64_slice(vals: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in vals {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Runs Algorithm 1 reusing memoised per-function-subtree fronts.
+///
+/// Identical in result to [`run_selection_cached`] — the root fold combines
+/// child fronts strictly in child order exactly as `DP(root)` does — but
+/// each root-child subtree is answered from `fronts` when its [`FrontKey`]
+/// matches, skipping the subtree's DP *and* every model call under it.
+/// This is the incremental re-selection entry: after an edit, only the
+/// edited function's subtree (plus any function whose profile or vertex
+/// numbering shifted) misses.
+///
+/// Runs sequentially regardless of `opts.threads` — the reuse path exists
+/// to make re-selection cheap, and the front is thread-invariant anyway.
+/// `visited`/worker stats therefore reflect only the subtrees actually
+/// re-folded; they are not part of the front-equivalence surface.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selection_with_fronts(
+    module: &Module,
+    wpst: &Wpst,
+    profile: &Profile,
+    inputs: &[FuncInputs<'_>],
+    opts: &SelectOptions,
+    model: &dyn AccelModel,
+    cache: &DesignCache,
+    fronts: &mut FrontStore,
+) -> SelectionResult {
+    let wall = cayman_obs::timed("select.run");
+    let engine = Engine {
+        module,
+        wpst,
+        profile,
+        inputs,
+        opts,
+        model,
+        cache,
+        stats: AtomicStats::default(),
+    };
+    let root = wpst.root();
+    let f_root = if profile.share(root) < opts.prune_share {
+        AtomicStats::add_usize(&engine.stats.pruned, 1);
+        vec![Solution::empty()]
+    } else {
+        AtomicStats::add_usize(&engine.stats.visited, 1);
+        let arrays_fp = cayman_ir::fingerprint_arrays(&module.arrays);
+        let model_id = model.cache_id();
+        let children = &wpst.node(root).children;
+        let mut child_fronts: Vec<Arc<Vec<Solution>>> = Vec::with_capacity(children.len());
+        for &u in children {
+            // Only function vertices under a model with a cache identity are
+            // keyable; anything else (custom trees, identity-less models)
+            // falls back to a plain subtree DP.
+            let key = match (wpst.node(u).kind, model_id) {
+                (WpstKind::Func(f), Some(model)) => Some(FrontKey {
+                    node: u,
+                    func: f,
+                    content_fp: inputs[f.index()].content_fp,
+                    bc_fp: hash_u64_slice(&profile.block_counts[f.index()]),
+                    total_cycles: profile.total_cycles,
+                    arrays_fp,
+                    model,
+                    alpha_bits: opts.alpha.to_bits(),
+                    prune_bits: opts.prune_share.to_bits(),
+                }),
+                _ => None,
+            };
+            if let Some(hit) = key.as_ref().and_then(|k| fronts.map.get(k)) {
+                fronts.hits += 1;
+                cayman_obs::counter("select.front.hit", 1);
+                child_fronts.push(Arc::clone(hit));
+                continue;
+            }
+            let front = Arc::new(engine.dp(u, 1));
+            if let Some(key) = key {
+                fronts.misses += 1;
+                cayman_obs::counter("select.front.miss", 1);
+                fronts.map.insert(key, Arc::clone(&front));
+            }
+            child_fronts.push(front);
+        }
+        // Combine strictly in child order, exactly as `Engine::dp` folds the
+        // root — the root vertex is never bb or ctrl-flow, so the fold is
+        // the whole of `DP(root)`.
+        let t0 = cayman_obs::timed("select.combine");
+        let mut f = vec![Solution::empty()];
+        for fu in &child_fronts {
+            f = combine(&f, fu, opts.alpha);
+        }
+        AtomicStats::add_u64(&engine.stats.combine_nanos, t0.finish());
+        f
+    };
+    let stats = engine.stats.snapshot(wall.finish(), 1, "seq");
+    SelectionResult {
+        pareto: f_root,
+        visited: stats.visited,
+        configs_evaluated: stats.configs_considered,
+        stats,
+    }
+}
+
 pub(crate) struct Engine<'a> {
     module: &'a Module,
     pub(crate) wpst: &'a Wpst,
@@ -361,6 +545,7 @@ impl Engine<'_> {
             entries: rp.entries,
             cpu_cycles: rp.cycles,
             is_bb: matches!(region.kind, cayman_analysis::regions::RegionKind::Bb(_)),
+            content_fp: self.inputs[func.index()].content_fp,
         };
         let designs = self.designs_for(&cand, func, v);
         AtomicStats::add_usize(&self.stats.configs_considered, designs.len());
@@ -443,6 +628,7 @@ mod tests {
         pub accesses: Vec<AccessAnalysis>,
         pub deps: Vec<Vec<LoopDeps>>,
         pub trips: Vec<Vec<f64>>,
+        pub content_fps: Vec<u64>,
     }
 
     impl App {
@@ -469,6 +655,11 @@ mod tests {
                 deps.push(dd);
                 trips.push(tt);
             }
+            let content_fps = module
+                .functions
+                .iter()
+                .map(cayman_ir::fingerprint_function)
+                .collect();
             App {
                 module,
                 wpst,
@@ -476,6 +667,7 @@ mod tests {
                 accesses,
                 deps,
                 trips,
+                content_fps,
             }
         }
 
@@ -488,8 +680,9 @@ mod tests {
                     ctx: &self.wpst.func_ctxs[f.index()],
                     accesses: &self.accesses[f.index()],
                     deps: &self.deps[f.index()],
-                    trips: self.trips[f.index()].clone(),
-                    block_counts: self.profile.block_counts[f.index()].clone(),
+                    trips: &self.trips[f.index()],
+                    block_counts: &self.profile.block_counts[f.index()],
+                    content_fp: self.content_fps[f.index()],
                 })
                 .collect()
         }

@@ -27,8 +27,8 @@ pub mod stats;
 
 pub use cache::{DesignCache, DesignKey, ModelId};
 pub use dp::{
-    run_selection, run_selection_cached, run_selection_with, AccelModel, CaymanModel,
-    SelectOptions, SelectionResult,
+    run_selection, run_selection_cached, run_selection_with, run_selection_with_fronts, AccelModel,
+    CaymanModel, FrontKey, FrontStore, SelectOptions, SelectionResult,
 };
 pub use pareto::{combine, filter, pareto, SelectedKernel, Solution};
 pub use sched::SchedKind;

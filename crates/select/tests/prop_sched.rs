@@ -31,6 +31,7 @@ struct App {
     accesses: Vec<AccessAnalysis>,
     deps: Vec<Vec<LoopDeps>>,
     trips: Vec<Vec<f64>>,
+    content_fps: Vec<u64>,
 }
 
 impl App {
@@ -59,6 +60,11 @@ impl App {
             deps.push(dd);
             trips.push(tt);
         }
+        let content_fps = module
+            .functions
+            .iter()
+            .map(cayman_ir::fingerprint_function)
+            .collect();
         App {
             module,
             wpst,
@@ -66,6 +72,7 @@ impl App {
             accesses,
             deps,
             trips,
+            content_fps,
         }
     }
 
@@ -78,8 +85,9 @@ impl App {
                 ctx: &self.wpst.func_ctxs[f.index()],
                 accesses: &self.accesses[f.index()],
                 deps: &self.deps[f.index()],
-                trips: self.trips[f.index()].clone(),
-                block_counts: self.profile.block_counts[f.index()].clone(),
+                trips: &self.trips[f.index()],
+                block_counts: &self.profile.block_counts[f.index()],
+                content_fp: self.content_fps[f.index()],
             })
             .collect()
     }

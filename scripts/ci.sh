@@ -21,16 +21,20 @@ cargo bench -p cayman-bench --bench profiling --offline -- --smoke
 echo "== selection schedulers (smoke: fronts bit-identical) =="
 cargo bench -p cayman-bench --bench selection --offline -- --smoke
 
-echo "== differential fuzz (smoke: 50 seeded programs + corpus gate) =="
+echo "== incremental re-analysis (smoke: fronts bit-identical, warm toggles cache-hit) =="
+cargo bench -p cayman-bench --bench incremental --offline -- --smoke
+
+echo "== differential fuzz (smoke: 50 seeded programs + corpus gate + incremental equivalence) =="
 cargo run -q --release -p cayman-bench --offline --bin fuzz -- \
-  --seed 0xCA11 --count 50 --corpus-gate
+  --seed 0xCA11 --count 50 --corpus-gate --incremental --incremental-corpus 20
 
 echo "== trace capture (smoke: one traced benchmark, validated) =="
 trace="$(mktemp /tmp/cayman-trace.XXXXXX.json)"
 CAYMAN_TRACE="$trace" cargo run -q --release -p cayman-bench --offline --bin table2 -- trisolv >/dev/null
 cargo run -q --release -p cayman-bench --offline --bin tracecheck -- "$trace" \
   --require-prefix normalize. --require-prefix profile. --require-prefix select. \
-  --require-prefix model. --require-prefix merge. --require-lane select.worker.
+  --require-prefix model. --require-prefix merge. --require-prefix inc.query. \
+  --require-lane select.worker.
 rm -f "$trace"
 
 echo "== library crates stay silent (diagnostics go through cayman-obs) =="
