@@ -10,6 +10,8 @@
 //!   interpreter run,
 //! * [`scev`] — affine scalar evolution over loop induction variables,
 //! * [`access`] — *stream* access-pattern classification and footprints,
+//! * [`banking`] — bank-conflict legality and stencil-window detection for
+//!   partitioned memory interfaces,
 //! * [`memdep`] — loop-carried dependence analysis (memory and scalar
 //!   recurrences).
 //!
@@ -45,6 +47,7 @@
 //! ```
 
 pub mod access;
+pub mod banking;
 pub mod ctx;
 pub mod memdep;
 pub mod profile;
@@ -53,6 +56,7 @@ pub mod scev;
 pub mod wpst;
 
 pub use access::{AccessAnalysis, AccessInfo};
+pub use banking::{bank_conflict_free, max_conflict_free_unroll, stencil_window, StencilWindow};
 pub use ctx::FuncCtx;
 pub use memdep::{analyse_loop_deps, LoopDeps, MemRecurrence, ScalarRecurrence};
 pub use profile::{Profile, RegionProfile};

@@ -131,3 +131,85 @@ fn static_and_profiled_trips_agree() {
         Ok(())
     });
 }
+
+/// Bank-conflict legality against a brute-force oracle: the analyzer must
+/// never call a conflicting access conflict-free, and it must not be
+/// needlessly conservative either — `bank_conflict_free` is *exactly*
+/// pairwise distinctness of the copies' banks under cyclic interleaving.
+#[test]
+fn bank_conflict_freedom_matches_brute_force() {
+    use cayman_analysis::banking::{bank_conflict_free, max_conflict_free_unroll};
+    prop_check!(cases = 500, |rng| {
+        let stride = match rng.range_usize(0, 3) {
+            0 => rng.range_i64(-8, 9),
+            1 => rng.range_i64(-(1 << 20), 1 << 20),
+            _ => rng.range_i64(i64::MIN / 4, i64::MAX / 4),
+        };
+        let banks = *rng.choose(&[1u32, 2, 3, 4, 5, 6, 8, 12, 16, 32]);
+        let unroll = rng.range_u32(0, 20);
+        // Oracle: compute every copy's bank in i128 (no overflow) and check
+        // pairwise distinctness directly.
+        let mut seen = std::collections::HashSet::new();
+        let oracle = (0..unroll.max(1)).all(|c| {
+            let bank = (i128::from(stride) * i128::from(c)).rem_euclid(i128::from(banks));
+            seen.insert(bank)
+        });
+        prop_assert_eq!(bank_conflict_free(stride, banks, unroll), oracle);
+        // The claimed maximum is tight: conflict-free there, conflicting
+        // one past it (when one more copy exists to conflict with).
+        let max = max_conflict_free_unroll(stride, banks);
+        prop_assert!(bank_conflict_free(stride, banks, max));
+        prop_assert!(!bank_conflict_free(stride, banks, max + 1));
+        Ok(())
+    });
+}
+
+/// A stencil window reported by the analyzer really covers every load: each
+/// offset re-composes as `r * row_stride + c` inside the claimed rectangle,
+/// and translating all addresses by a common amount never changes the
+/// window shape.
+#[test]
+fn stencil_windows_cover_their_loads() {
+    use cayman_analysis::banking::stencil_window;
+    use cayman_analysis::scev::LinExpr;
+    use cayman_ir::loops::LoopId;
+    prop_check!(cases = 300, |rng| {
+        let (row, col) = (LoopId(0), LoopId(1));
+        let w = rng.range_i64(2, 64);
+        let n = rng.range_usize(1, 12);
+        let offs: Vec<i64> = (0..n)
+            .map(|_| rng.range_i64(-2, 3) * w + rng.range_i64(-2, 3))
+            .collect();
+        let addrs: Vec<LinExpr> = offs
+            .iter()
+            .map(|&o| {
+                LinExpr::iv(row, w)
+                    .add(&LinExpr::iv(col, 1))
+                    .add(&LinExpr::constant(o))
+            })
+            .collect();
+        if let Some(win) = stencil_window(&addrs, row, col) {
+            let base = offs.iter().copied().min().unwrap();
+            prop_assert!(win.rows >= 2);
+            prop_assert!(win.row_stride == w);
+            for &o in &offs {
+                let d = o - base;
+                let (r, c) = (d.div_euclid(w), d.rem_euclid(w));
+                prop_assert!(
+                    r < i64::from(win.rows) && c < i64::from(win.cols),
+                    "load offset {o} escapes the {}x{} window",
+                    win.rows,
+                    win.cols
+                );
+            }
+            // Shape is translation-invariant.
+            let shift = rng.range_i64(-100, 100);
+            let shifted: Vec<LinExpr> = addrs
+                .iter()
+                .map(|a| a.add(&LinExpr::constant(shift)))
+                .collect();
+            prop_assert_eq!(stencil_window(&shifted, row, col), Some(win));
+        }
+        Ok(())
+    });
+}

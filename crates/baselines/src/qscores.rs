@@ -10,7 +10,7 @@
 
 use cayman_hls::design::AcceleratorDesign;
 use cayman_hls::inputs::{Candidate, FuncInputs};
-use cayman_hls::interface::InterfaceKind;
+use cayman_hls::interface::InterfaceSpec;
 use cayman_hls::oplib::{accel_latency, fu_area, fu_class, FuClass, FSM_STATE_AREA, REG_AREA};
 use cayman_hls::schedule::critical_path_with;
 use cayman_ir::instr::Instr;
@@ -52,7 +52,7 @@ impl AccelModel for QsCoresModel {
         let mut seq_blocks = 0usize;
         let mut classes: BTreeMap<FuClass, f64> = BTreeMap::new();
         let mut regs = 0.0f64;
-        let mut interfaces: Vec<(InstrId, InterfaceKind)> = Vec::new();
+        let mut interfaces: Vec<(InstrId, InterfaceSpec)> = Vec::new();
 
         for &b in &cand.blocks {
             let instrs = &func.block(b).instrs;
@@ -81,7 +81,7 @@ impl AccelModel for QsCoresModel {
                 if matches!(instr, Instr::Load { .. } | Instr::Store { .. }) {
                     // QsCores' slow interface is closest to "coupled" in the
                     // taxonomy; counted for reporting symmetry.
-                    interfaces.push((i, InterfaceKind::Coupled));
+                    interfaces.push((i, InterfaceSpec::coupled()));
                 }
             }
             if nontrivial {

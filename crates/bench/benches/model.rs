@@ -13,7 +13,7 @@
 
 use cayman::hls::design::generate_designs;
 use cayman::hls::inputs::Candidate;
-use cayman::hls::interface::{InterfaceKind, ModelOptions};
+use cayman::hls::interface::{InterfaceSpec, ModelOptions};
 use cayman::hls::pipeline::pipeline_loop;
 use cayman::ir::builder::ModuleBuilder;
 use cayman::ir::{FuncId, InstrId, Type};
@@ -41,7 +41,7 @@ fn bench_fig4_model() {
     let inputs = fw.app.inputs();
     let inp = &inputs[0];
     let l = fw.app.wpst.func_ctxs[0].forest.ids().next().expect("loop");
-    let dec = |_: InstrId| Some(InterfaceKind::Decoupled);
+    let dec = |_: InstrId| Some(InterfaceSpec::decoupled());
     run("fig4_model", || pipeline_loop(inp, l, 2, &dec));
 }
 

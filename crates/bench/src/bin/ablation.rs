@@ -13,7 +13,7 @@
 //!   the area delta instead).
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin ablation [-- -O0|-O1] [--json] [benchmark...]
+//! cargo run --release -p cayman-bench --bin ablation [-- -O0|-O1|-O2] [--json] [benchmark...]
 //! ```
 //!
 //! Positional arguments restrict the study to the named picks; `--json`

@@ -15,10 +15,10 @@
 //! the reproduced shape.
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin fig4 [-- -O0|-O1]
+//! cargo run --release -p cayman-bench --bin fig4 [-- -O0|-O1|-O2]
 //! ```
 
-use cayman::hls::interface::InterfaceKind;
+use cayman::hls::interface::InterfaceSpec;
 use cayman::hls::pipeline::{pipeline_loop, res_mii};
 use cayman::hls::schedule::schedule_block;
 use cayman::ir::builder::ModuleBuilder;
@@ -59,22 +59,22 @@ fn main() {
         let l = ctx.forest.ids().next().expect("one loop");
         let body_bb = ctx.forest.get(l).blocks[1]; // header, body, ...
 
-        let force = |k: InterfaceKind| {
+        let force = |s: InterfaceSpec| {
             move |i: InstrId| {
                 if matches!(func.instr(i), Instr::Load { .. } | Instr::Store { .. }) {
-                    Some(k)
+                    Some(s)
                 } else {
-                    Some(InterfaceKind::Coupled)
+                    Some(InterfaceSpec::coupled())
                 }
             }
         };
-        let coupled = force(InterfaceKind::Coupled);
-        let decoupled = force(InterfaceKind::Decoupled);
-        let spad = force(InterfaceKind::Scratchpad);
+        let coupled = force(InterfaceSpec::coupled());
+        let decoupled = force(InterfaceSpec::decoupled());
+        let spad = force(InterfaceSpec::scratchpad(2));
 
         // Sequential loop: N × per-iteration schedule length.
-        let seq_coup = n as u64 * schedule_block(func, body_bb, &coupled, 1, 2).length;
-        let seq_dec = n as u64 * schedule_block(func, body_bb, &decoupled, 1, 2).length;
+        let seq_coup = n as u64 * schedule_block(func, body_bb, &coupled, 1).length;
+        let seq_dec = n as u64 * schedule_block(func, body_bb, &decoupled, 1).length;
 
         // Pipelined loop: achieved II.
         let pc = pipeline_loop(inp, l, 1, &coupled);
@@ -94,7 +94,6 @@ fn main() {
                 inp,
                 &cayman::hls::pipeline::loop_body_instrs(inp, l),
                 &coupled,
-                1,
                 1
             ) >= 2
         );

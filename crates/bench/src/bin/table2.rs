@@ -1,6 +1,6 @@
 //! Regenerates **Table II**: results under the 25% and 65% area budgets for
 //! all 28 benchmarks — Cayman's speedup over NOVIA and QsCores, selected
-//! kernel configuration counts (#SB, #PR), interface counts (#C, #D, #S),
+//! kernel configuration counts (#SB, #PR), interface counts (#C, #D, #S, #LB),
 //! accelerator-merging area savings, and selection runtime.
 //!
 //! Rows are computed in parallel (one framework per benchmark, scoped
@@ -10,7 +10,7 @@
 //! work-stealing workers (default: host parallelism clamped to 2..=4).
 //!
 //! ```text
-//! cargo run --release -p cayman-bench --bin table2 [-- -O0|-O1] [--json] [benchmark...]
+//! cargo run --release -p cayman-bench --bin table2 [-- -O0|-O1|-O2] [--json] [benchmark...]
 //! ```
 //!
 //! `-O1` (the default) normalizes each module through the IR transform
@@ -25,7 +25,7 @@ fn print_row(r: &Table2Row) {
     let b0 = &r.budgets[0];
     let b1 = &r.budgets[1];
     println!(
-        "{:<6} {:<26} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>8.2} {:>8.2} {:>5.0}",
+        "{:<6} {:<26} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>7.1} {:>7.1} {:>7.1} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>5.0} | {:>8.2} {:>8.2} {:>5.0}",
         r.suite,
         r.name,
         b0.over_novia,
@@ -36,6 +36,7 @@ fn print_row(r: &Table2Row) {
         b0.c,
         b0.d,
         b0.s,
+        b0.lb,
         b0.area_saving_pct,
         b1.over_novia,
         b1.over_qscores,
@@ -45,6 +46,7 @@ fn print_row(r: &Table2Row) {
         b1.c,
         b1.d,
         b1.s,
+        b1.lb,
         b1.area_saving_pct,
         r.runtime_s * 1e3,
         r.runtime_warm_s * 1e3,
@@ -70,6 +72,7 @@ fn json_row(o: &mut json::Obj, r: &Table2Row) {
                 o.u64("c", b.c as u64);
                 o.u64("d", b.d as u64);
                 o.u64("s", b.s as u64);
+                o.u64("lb", b.lb as u64);
                 o.f64("area_saving_pct", b.area_saving_pct, 1);
                 o.f64("avg_regions_per_reusable", b.avg_regions_per_reusable, 2);
             });
@@ -123,17 +126,17 @@ fn main() {
         args.analyse.opt_level
     );
     println!(
-        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8} {:>8} {:>5}",
+        "{:<6} {:<26} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>7} {:>7} {:>7} | {:>4} {:>4} {:>4} {:>4} {:>4} {:>4} {:>5} | {:>8} {:>8} {:>5}",
         "Suite", "Benchmark",
-        "ovN25", "ovQ25", "spd25", "#SB", "#PR", "#C", "#D", "#S", "sav%",
-        "ovN65", "ovQ65", "spd65", "#SB", "#PR", "#C", "#D", "#S", "sav%",
+        "ovN25", "ovQ25", "spd25", "#SB", "#PR", "#C", "#D", "#S", "#LB", "sav%",
+        "ovN65", "ovQ65", "spd65", "#SB", "#PR", "#C", "#D", "#S", "#LB", "sav%",
         "cold(ms)", "warm(ms)", "hit%"
     );
-    println!("{}", "-".repeat(176));
+    println!("{}", "-".repeat(186));
     for row in &rows {
         print_row(row);
     }
-    println!("{}", "-".repeat(176));
+    println!("{}", "-".repeat(186));
     print_row(&avg);
 
     // Selection observability: cold vs memoised re-run, aggregated.

@@ -16,7 +16,12 @@
 //! 3. **static vs work-steal scheduler × {2, 3, 8} threads** — the selection
 //!    Pareto front (area and saved-seconds bits per solution), the visited
 //!    vertex count, and the merged best solution's area accounting.
-//! 4. **incremental vs from-scratch re-analysis** ([`check_incremental`]) —
+//! 4. **`-O1` vs `-O2` staging** — the `-O2` application executes the
+//!    `-O1` body (the extra canonicalization lives in analysis shadows), so
+//!    the executed module text, region profile and return value must be
+//!    bit-identical; and whenever the shadows are no-ops (same content
+//!    fingerprints) the full selection Pareto front must match bit for bit.
+//! 5. **incremental vs from-scratch re-analysis** ([`check_incremental`]) —
 //!    after every seeded single-instruction edit, the [`IncrementalApp`]
 //!    query pipeline must reproduce the from-scratch Pareto front, region
 //!    profile and merge accounting bit for bit. (The visited-vertex count is
@@ -183,6 +188,50 @@ pub fn check_module(m: &Module) -> Result<bool, DiffFailure> {
         fail("select", "selection produced an empty Pareto front")?;
     }
     let ref_merge = fw.merge(reference.best_under(f64::INFINITY));
+
+    // Surface 4: -O1 vs -O2 staging, end to end.
+    let fw2 = match Framework::from_module_with(m.clone(), &AnalyseOptions::o2()) {
+        Ok(fw2) => fw2,
+        Err(e) => {
+            fail("o1-vs-o2", format!("-O2 pipeline front-end failed: {e}"))?;
+            unreachable!()
+        }
+    };
+    if fw.app.module.to_text() != fw2.app.module.to_text() {
+        fail("o1-vs-o2", "-O2 executed module is not the -O1 body")?;
+    }
+    if fw.app.profile.block_counts != fw2.app.profile.block_counts {
+        fail("o1-vs-o2", "region-profile block counts diverge")?;
+    }
+    if fw.app.profile.total_cycles != fw2.app.profile.total_cycles {
+        fail(
+            "o1-vs-o2",
+            format!(
+                "total cycles diverge: {} vs {}",
+                fw.app.profile.total_cycles, fw2.app.profile.total_cycles
+            ),
+        )?;
+    }
+    if !values_bit_equal(&fw.app.exec.return_value, &fw2.app.exec.return_value) {
+        fail(
+            "o1-vs-o2",
+            format!(
+                "return values diverge: {:?} vs {:?}",
+                fw.app.exec.return_value, fw2.app.exec.return_value
+            ),
+        )?;
+    }
+    let o2_sel = fw2.select(&SelectOptions::default());
+    if o2_sel.pareto.is_empty() {
+        fail("o1-vs-o2", "-O2 selection produced an empty Pareto front")?;
+    }
+    if fw.app.content_fps == fw2.app.content_fps {
+        // No function's shadow changed anything: the analysis facts are the
+        // same, so selection must land on the exact same front.
+        if let Some(msg) = front_mismatch("noop-shadow", &o2_sel.pareto, &reference.pareto) {
+            fail("o1-vs-o2", msg)?;
+        }
+    }
     for sched in [SchedKind::Static, SchedKind::WorkSteal] {
         for threads in [2usize, 3, 8] {
             let opts = SelectOptions {

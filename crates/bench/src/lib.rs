@@ -4,7 +4,7 @@
 //! `src/bin/` that regenerates it:
 //!
 //! * `table2` — Table II (speedups over NOVIA/QsCores at 25%/65% budgets,
-//!   #SB/#PR, #C/#D/#S, merging area savings, selection runtime),
+//!   #SB/#PR, #C/#D/#S/#LB, merging area savings, selection runtime),
 //! * `fig4`  — Fig. 4 (interface impact on sequential/pipelined/unrolled
 //!   loop latency),
 //! * `fig6`  — Fig. 6 (Pareto fronts for NOVIA, QsCores, coupled-only
@@ -33,7 +33,7 @@ pub fn analyse_options_from_args() -> AnalyseOptions {
         match OptLevel::parse(&arg) {
             Some(level) => opts.opt_level = level,
             None => {
-                eprintln!("unknown argument `{arg}`; usage: [-O0|-O1] (default -O1)");
+                eprintln!("unknown argument `{arg}`; usage: [-O0|-O1|-O2] (default -O1)");
                 std::process::exit(2);
             }
         }
@@ -70,7 +70,7 @@ impl BenchArgs {
                 args.corpus = true;
             } else if arg.starts_with('-') {
                 eprintln!(
-                    "unknown argument `{arg}`; usage: [-O0|-O1] [--json] [--corpus] [benchmark...]"
+                    "unknown argument `{arg}`; usage: [-O0|-O1|-O2] [--json] [--corpus] [benchmark...]"
                 );
                 std::process::exit(2);
             } else {
@@ -202,8 +202,10 @@ pub struct BudgetNumbers {
     pub c: usize,
     /// Decoupled interfaces.
     pub d: usize,
-    /// Scratchpad interfaces.
+    /// Scratchpad-family interfaces (plain, banked, double-buffered).
     pub s: usize,
+    /// Line-buffer interfaces.
+    pub lb: usize,
     /// Merging area saving, percent.
     pub area_saving_pct: f64,
     /// Average regions per reusable accelerator.
@@ -262,6 +264,7 @@ pub fn table2_row_with(w: &Workload, analyse: &AnalyseOptions) -> Table2Row {
                 c: rep.c,
                 d: rep.d,
                 s: rep.s,
+                lb: rep.lb,
                 area_saving_pct: rep.area_saving_pct,
                 avg_regions_per_reusable: rep.avg_regions_per_reusable,
             }
@@ -341,6 +344,7 @@ pub fn average_row(rows: &[Table2Row]) -> Table2Row {
                 c: (get(&|b| b.c as f64)).round() as usize,
                 d: (get(&|b| b.d as f64)).round() as usize,
                 s: (get(&|b| b.s as f64)).round() as usize,
+                lb: (get(&|b| b.lb as f64)).round() as usize,
                 area_saving_pct: get(&|b| b.area_saving_pct),
                 avg_regions_per_reusable: get(&|b| b.avg_regions_per_reusable),
             }

@@ -33,6 +33,18 @@ impl AnalyseOptions {
             ..AnalyseOptions::default()
         }
     }
+
+    /// Options with the analysis-side `-O2` canonicalization enabled: the
+    /// *executed* module is still the `-O1` body (profiles and observable
+    /// behavior are bit-identical to `-O1`), but access/dependence analysis
+    /// runs over an identity-preserving strength-reduce + LICM shadow of
+    /// each function, so SCEV proves strides the raw body hides.
+    pub fn o2() -> Self {
+        AnalyseOptions {
+            opt_level: OptLevel::O2,
+            ..AnalyseOptions::default()
+        }
+    }
 }
 
 /// A verified, profiled and analysed application — the paper's "profiling
@@ -61,7 +73,9 @@ pub struct Application {
     pub normalize_stats: PipelineStats,
     /// Per-function content fingerprints of the *normalized* functions —
     /// the content keys the incremental store and the selection-front/design
-    /// caches are addressed by.
+    /// caches are addressed by. At `-O2` a function whose analysis shadow
+    /// differs from its executed body carries a mix of both fingerprints,
+    /// so cached designs/fronts never conflate the two levels' facts.
     pub content_fps: Vec<u64>,
 }
 

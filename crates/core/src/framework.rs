@@ -47,8 +47,10 @@ pub struct BudgetReport {
     pub c: usize,
     /// Decoupled interfaces (#D).
     pub d: usize,
-    /// Scratchpad interfaces (#S).
+    /// Scratchpad-family interfaces (#S: plain, banked, double-buffered).
     pub s: usize,
+    /// Line-buffer interfaces (#LB).
+    pub lb: usize,
     /// Area saving from accelerator merging, percent.
     pub area_saving_pct: f64,
     /// Number of reusable (merged) accelerators.
@@ -231,7 +233,7 @@ impl Framework {
         let sol = selection.best_under(budget);
         let merged = self.merge(sol);
         let (sb, pr) = sol.sb_pr();
-        let (c, d, s) = sol.iface_counts();
+        let (c, d, s, lb) = sol.iface_counts();
         BudgetReport {
             budget_frac,
             speedup: self.speedup(sol),
@@ -242,6 +244,7 @@ impl Framework {
             c,
             d,
             s,
+            lb,
             area_saving_pct: merged.saving_fraction() * 100.0,
             reusable: merged.reusable.len(),
             avg_regions_per_reusable: merged.avg_regions_per_reusable(),

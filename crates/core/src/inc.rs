@@ -8,13 +8,27 @@
 //! |---|---|---|
 //! | verify | raw module fp | () |
 //! | normalize | (raw fn fp, arrays fp, level, verify-each) | normalized `Function` + stats |
+//! | shadow | (normalized fn fp, arrays fp) | address-canonicalized `Function` |
 //! | structure | normalized fn fp | `FuncCtx` + `RegionTree` |
 //! | decode | (normalized fn fp, arrays fp) | decoded interpreter function |
 //! | exec | (normalized module fp, memory fp) | `ExecProfile` |
-//! | dataflow | (normalized fn fp, arrays fp) | accesses + loop deps |
+//! | dataflow | (analysis fn fp, arrays fp) | accesses + loop deps |
 //! | trips | (normalized fn fp, arrays fp, block-count fp) | trip counts |
 //! | app | (raw module fp, memory fp, analyse opts) | `Arc<Application>` |
 //! | select | (app key, model fp, α, prune) | `Arc<SelectionResult>` |
+//!
+//! At `-O2` the *executed* module is still normalized at `-O1` — structure,
+//! decode, exec and trips all key off the `-O1` fingerprints, so profiles
+//! and observable behavior are bit-identical across the two levels and
+//! those caches are shared between them. The extra **shadow** query runs
+//! [`PassManager::address_canon`] (strength reduction + LICM, `InstrId`-
+//! and CFG-preserving) over a clone of each normalized function; the
+//! dataflow query then analyses the shadow, and its facts map back onto the
+//! executed body by instruction id. A function's *analysis fingerprint* is
+//! its `-O1` fingerprint when canonicalization was a no-op (sharing the
+//! dataflow cache with `-O1`), otherwise a mix of the `-O1` and shadow
+//! fingerprints — design caches and selection fronts absorb the extra
+//! precision through the same content keys as any other edit.
 //!
 //! Keys are **content fingerprints** ([`cayman_ir::fingerprint_function`]
 //! and friends), not revision counters: dirtiness is implicit — an edit
@@ -48,7 +62,7 @@ use cayman_analysis::regions::RegionTree;
 use cayman_analysis::scev::Scev;
 use cayman_analysis::wpst::Wpst;
 use cayman_ir::interp::{DecodedFunction, ExecProfile, Interp, Memory};
-use cayman_ir::transform::{normalize_function, OptLevel, PipelineStats};
+use cayman_ir::transform::{normalize_function, OptLevel, PassManager, PipelineStats};
 use cayman_ir::verify::VerifyError;
 use cayman_ir::{
     decode_function, fingerprint_arrays, fingerprint_function, fingerprint_memory,
@@ -100,6 +114,8 @@ pub struct IncStats {
     pub verify: QueryCounter,
     /// Per-function normalization query.
     pub normalize: QueryCounter,
+    /// Per-function address-canonicalization shadow query (`-O2` only).
+    pub shadow: QueryCounter,
     /// Per-function CFG/dominator/region-structure query.
     pub structure: QueryCounter,
     /// Per-function interpreter-decode query.
@@ -136,6 +152,20 @@ struct NormResult {
 struct DecodeKey {
     norm_fp: u64,
     arrays_fp: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct ShadowKey {
+    norm_fp: u64,
+    arrays_fp: u64,
+}
+
+struct ShadowResult {
+    /// The address-canonicalized clone of the normalized function. Same
+    /// `InstrId`s/`ValueId`s/blocks/terminators as the executed body.
+    func: Function,
+    shadow_fp: u64,
+    stats: PipelineStats,
 }
 
 struct FuncStructure {
@@ -195,6 +225,7 @@ struct SelectKey {
 pub struct QueryStore {
     verified: HashSet<u64>,
     normalize: HashMap<NormKey, Arc<NormResult>>,
+    shadow: HashMap<ShadowKey, Arc<ShadowResult>>,
     structure: HashMap<u64, Arc<FuncStructure>>,
     decode: HashMap<DecodeKey, Arc<Option<DecodedFunction>>>,
     exec: HashMap<ExecKey, Arc<ExecResult>>,
@@ -260,20 +291,27 @@ pub(crate) fn assemble(
         }
     }
 
-    // Stage 2: normalize, one keyed query per function.
+    // Stage 2: normalize, one keyed query per function. `-O2` *executes*
+    // the `-O1` body (the extra canonicalization lives in analysis shadows,
+    // stage 2b), so the normalize/structure/decode/exec caches are shared
+    // between the two levels and observable behavior is bit-identical.
+    let exec_level = match opts.opt_level {
+        OptLevel::O2 => OptLevel::O1,
+        lvl => lvl,
+    };
     let mut working = module.clone();
     let mut norm_fps: Vec<u64> = Vec::with_capacity(working.functions.len());
     let mut normalize_stats = PipelineStats::default();
     {
         let _s = cayman_obs::span!("analyse.normalize");
-        if opts.opt_level == OptLevel::O0 {
+        if exec_level == OptLevel::O0 {
             norm_fps.extend_from_slice(raw_fps);
         } else {
             for f in module.function_ids() {
                 let key = NormKey {
                     raw_fp: raw_fps[f.index()],
                     arrays_fp,
-                    level: opts.opt_level,
+                    level: exec_level,
                     verify_each: opts.verify_each_pass,
                 };
                 let cached = match store.normalize.get(&key) {
@@ -284,12 +322,8 @@ pub(crate) fn assemble(
                     None => {
                         store.stats.normalize.miss("inc.query.normalize.miss");
                         let _q = cayman_obs::span!("inc.query.normalize", func = f.index());
-                        let stats = normalize_function(
-                            &mut working,
-                            f,
-                            opts.opt_level,
-                            opts.verify_each_pass,
-                        )?;
+                        let stats =
+                            normalize_function(&mut working, f, exec_level, opts.verify_each_pass)?;
                         let func = working.functions[f.index()].clone();
                         let norm_fp = fingerprint_function(&func);
                         let res = Arc::new(NormResult {
@@ -308,6 +342,57 @@ pub(crate) fn assemble(
         }
     }
     let norm_module_fp = fingerprint_module_from_parts(&working.name, &norm_fps, arrays_fp);
+
+    // Stage 2b (`-O2` only): per-function address-canonicalization shadows.
+    // The shadow never executes — verification happens on the whole module
+    // in stage 1, and `address_canon`'s identity contract (pinned by the
+    // workload differential suite) keeps every memory/phi/call instruction
+    // in place — so the query runs on a single-function clone.
+    let mut shadows: Vec<Option<Arc<ShadowResult>>> = vec![None; working.functions.len()];
+    let mut analysis_fps = norm_fps.clone();
+    if opts.opt_level == OptLevel::O2 {
+        let _s = cayman_obs::span!("analyse.shadow");
+        for f in working.function_ids() {
+            let key = ShadowKey {
+                norm_fp: norm_fps[f.index()],
+                arrays_fp,
+            };
+            let cached = match store.shadow.get(&key) {
+                Some(hit) => {
+                    store.stats.shadow.hit("inc.query.shadow.hit");
+                    Arc::clone(hit)
+                }
+                None => {
+                    store.stats.shadow.miss("inc.query.shadow.miss");
+                    let _q = cayman_obs::span!("inc.query.shadow", func = f.index());
+                    let mut tmp = Module {
+                        name: working.name.clone(),
+                        functions: vec![working.functions[f.index()].clone()],
+                        arrays: working.arrays.clone(),
+                    };
+                    let stats = PassManager::address_canon()
+                        .run_function(&mut tmp, FuncId(0))
+                        .expect("address_canon never verifies, so never fails");
+                    let func = tmp.functions.pop().expect("one function");
+                    let shadow_fp = fingerprint_function(&func);
+                    let res = Arc::new(ShadowResult {
+                        func,
+                        shadow_fp,
+                        stats,
+                    });
+                    store.shadow.insert(key, Arc::clone(&res));
+                    res
+                }
+            };
+            normalize_stats.merge(&cached.stats);
+            if cached.shadow_fp != norm_fps[f.index()] {
+                // Analysis facts now depend on both bodies: the executed
+                // `-O1` one (schedules, profiles) and the shadow (SCEV).
+                analysis_fps[f.index()] = fnv_u64s(&[norm_fps[f.index()], cached.shadow_fp]);
+            }
+            shadows[f.index()] = Some(cached);
+        }
+    }
 
     // Stage 3: profile — wPST from per-function structure queries, then the
     // whole-module execution query.
@@ -398,7 +483,7 @@ pub(crate) fn assemble(
             let func = working.function(f);
             let ctx = &wpst.func_ctxs[f.index()];
             let dkey = DataflowKey {
-                norm_fp: norm_fps[f.index()],
+                norm_fp: analysis_fps[f.index()],
                 arrays_fp,
             };
             let df = match store.dataflow.get(&dkey) {
@@ -409,9 +494,23 @@ pub(crate) fn assemble(
                 None => {
                     store.stats.dataflow.miss("inc.query.dataflow.miss");
                     let _q = cayman_obs::span!("inc.query.dataflow", func = f.index());
-                    let mut scev = Scev::new(func, ctx);
-                    let aa = AccessAnalysis::run(&working, func, ctx, &mut scev);
-                    let dd = analyse_loop_deps(func, ctx, &mut scev, &aa);
+                    // At `-O2` with a changed shadow, analyse the shadow:
+                    // identical CFG/loops (so `LoopId`s/`InstrId`s map back
+                    // onto the executed body), but hoisted + strength-reduced
+                    // address arithmetic that SCEV can linearize. The shadow
+                    // moves pure ops between blocks, so it needs its own
+                    // instruction→block snapshot.
+                    let shadow_ctx;
+                    let (afunc, actx) = match shadows[f.index()].as_deref() {
+                        Some(s) if s.shadow_fp != norm_fps[f.index()] => {
+                            shadow_ctx = FuncCtx::compute(&s.func);
+                            (&s.func, &shadow_ctx)
+                        }
+                        _ => (func, ctx),
+                    };
+                    let mut scev = Scev::new(afunc, actx);
+                    let aa = AccessAnalysis::run(&working, afunc, actx, &mut scev);
+                    let dd = analyse_loop_deps(afunc, actx, &mut scev, &aa);
                     let df = Arc::new(FuncDataflow {
                         accesses: aa,
                         deps: dd,
@@ -459,7 +558,7 @@ pub(crate) fn assemble(
         trips,
         profiling_engine: exec_res.engine,
         normalize_stats,
-        content_fps: norm_fps,
+        content_fps: analysis_fps,
     });
     store.apps.insert(app_key, Arc::clone(&app));
     Ok(app)
@@ -865,6 +964,98 @@ mod tests {
         let app = inc2.analyse().expect("renumbered module analyses");
         assert_eq!(app.module.functions.len(), 2);
         assert!(app.total_cycles() > 0);
+    }
+
+    /// A kernel whose address arithmetic hides its stream-ness from `-O1`:
+    /// the base offset is an opaque (load-derived) but loop-invariant
+    /// product computed *inside* the loop, so only the `-O2` shadow's LICM
+    /// moves the symbol definition out of the region and lets
+    /// [`AccessInfo::is_stream_within`] prove the access a stream.
+    fn invariant_product_module() -> Module {
+        let mut mb = ModuleBuilder::new("o2");
+        let dims = mb.array("dims", Type::I64, &[2]);
+        let x = mb.array("x", Type::F64, &[64]);
+        let y = mb.array("y", Type::F64, &[64]);
+        mb.function("main", &[], None, |fb| {
+            let zero = fb.iconst(0);
+            let one = fb.iconst(1);
+            let a = fb.load_idx_ty(dims, &[zero], Type::I64);
+            let b = fb.load_idx_ty(dims, &[one], Type::I64);
+            fb.counted_loop(0, 8, 1, |fb, i| {
+                let base = fb.mul(a, b); // invariant, but defined in-loop
+                let idx = fb.add(base, i);
+                let v = fb.load_idx(x, &[idx]);
+                fb.store_idx(y, &[i], v);
+            });
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn o2_shares_execution_with_o1_and_shadows_analysis() {
+        let m = invariant_product_module();
+        let mut inc = IncrementalApp::new(m.clone(), None, AnalyseOptions::default());
+        let o1 = inc.analyse().expect("O1 analyses");
+        assert_eq!(inc.stats().shadow.misses, 0, "no shadows at O1");
+
+        inc.apply(Edit::SetOptLevel(OptLevel::O2)).expect("applies");
+        let o2 = inc.analyse().expect("O2 analyses");
+        // The executed body is the -O1 one: normalization and execution are
+        // answered from the O1 run's caches, bit-identically.
+        assert_eq!(inc.stats().normalize.hits, 1, "O1 normalize reused");
+        assert_eq!(inc.stats().exec.hits, 1, "O1 execution reused");
+        assert_eq!(o1.module.to_text(), o2.module.to_text());
+        assert_eq!(o1.profile.block_counts, o2.profile.block_counts);
+        assert_eq!(o1.profile.total_cycles, o2.profile.total_cycles);
+        assert_eq!(o1.exec.return_value, o2.exec.return_value);
+        // ...but the shadow ran, changed the function, and re-keyed both the
+        // dataflow query and the function's content fingerprint.
+        assert_eq!(inc.stats().shadow.misses, 1, "one function shadowed");
+        assert_ne!(o1.content_fps[0], o2.content_fps[0], "analysis fp mixed");
+        assert_eq!(inc.stats().dataflow.misses, 2, "shadow dataflow re-ran");
+
+        // LICM moved `a*b` out of the loop in the shadow, so the x-load is a
+        // stream within the loop at -O2 but not at -O1.
+        let l = o2.wpst.func_ctxs[0].forest.ids().next().expect("one loop");
+        let blocks = o2.wpst.func_ctxs[0].forest.get(l).blocks.clone();
+        let x_load_streams = |app: &Application| {
+            app.accesses[0]
+                .accesses
+                .iter()
+                .find(|a| !a.is_store && a.array.index() == 1)
+                .expect("x load analysed")
+                .is_stream_within(&blocks)
+        };
+        assert!(x_load_streams(&o2), "shadow proves the stream");
+        assert!(!x_load_streams(&o1), "-O1 cannot prove it");
+
+        // Round-tripping back to -O1 is a pure app-level cache hit.
+        inc.apply(Edit::SetOptLevel(OptLevel::O1)).expect("applies");
+        let before = *inc.stats();
+        let o1b = inc.analyse().expect("O1 again");
+        assert_eq!(inc.stats().app.hits - before.app.hits, 1);
+        assert!(Arc::ptr_eq(&o1, &o1b));
+    }
+
+    #[test]
+    fn o2_shadow_is_a_noop_on_canonical_functions() {
+        // Builder-canonical kernels (plain `load_idx(x, &[i])`) have nothing
+        // for the shadow to rewrite: analysis fingerprints stay the -O1
+        // fingerprints and the dataflow cache is shared across levels.
+        let m = two_kernel_module();
+        let mut inc = IncrementalApp::new(m, None, AnalyseOptions::default());
+        let o1 = inc.analyse().expect("O1");
+        let df_misses = inc.stats().dataflow.misses;
+        inc.apply(Edit::SetOptLevel(OptLevel::O2)).expect("applies");
+        let o2 = inc.analyse().expect("O2");
+        assert_eq!(o1.content_fps, o2.content_fps, "no-op shadow keeps fps");
+        assert_eq!(
+            inc.stats().dataflow.misses,
+            df_misses,
+            "dataflow shared with O1"
+        );
+        assert_eq!(inc.stats().shadow.misses, 3);
     }
 
     #[test]

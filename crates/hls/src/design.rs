@@ -14,16 +14,33 @@
 //! the access count exceeds β × footprint, *decoupled* for stream accesses in
 //! pipelined loops, *coupled* otherwise.
 //!
+//! When [`ModelOptions::extended`] is set, every configuration additionally
+//! enumerates **memory plans** that upgrade the heuristic assignment where
+//! the analyzer can prove legality:
+//!
+//! * **line buffers** for arrays whose loads form a stencil window
+//!   ([`cayman_analysis::banking::stencil_window`]) — one off-chip fetch per
+//!   iteration instead of one per tap, no DMA, cheap taps;
+//! * **banked scratchpads** where every unrolled access stride is proven
+//!   conflict-free ([`cayman_analysis::banking::bank_conflict_free`]) —
+//!   more ports than the heuristic partitioning, lowering resMII;
+//! * **double-buffered scratchpads** when the candidate is entered more than
+//!   once — the DMA fill of entry *n+1* hides behind the compute of entry
+//!   *n*, so only the first fill is exposed, for twice the buffer area.
+//!
+//! All plans of a configuration are emitted; Pareto pruning upstream keeps
+//! the useful ones.
+//!
 //! Estimation decomposes the candidate into pipelined loop regions `P` and
 //! sequential basic blocks `B` (the paper's bottom-up scheme): pipelined
 //! loops contribute `entries · (depth + II·(iters−1))`, sequential blocks
 //! contribute `executions · schedule_length`, and every candidate entry pays
-//! offload synchronisation plus scratchpad DMA fill/drain.
+//! offload synchronisation plus scratchpad DMA fill/drain and line-buffer
+//! warm-up.
 
 use crate::inputs::{Candidate, FuncInputs};
 use crate::interface::{
-    InterfaceKind, ModelOptions, COUPLED_LSU_AREA, DMA_AREA, DMA_BYTES_PER_CYCLE,
-    SPAD_BANK_OVERHEAD, SPAD_BYTE_AREA,
+    InterfaceKind, InterfaceSpec, ModelOptions, COUPLED_LSU_AREA, DMA_AREA, DMA_BYTES_PER_CYCLE,
 };
 use crate::oplib::{
     dedicated_area, fu_area, fu_class, ACCEL_FREQ_HZ, FSM_STATE_AREA, OFFLOAD_SYNC_CYCLES, REG_AREA,
@@ -31,6 +48,7 @@ use crate::oplib::{
 use crate::pipeline::{loop_body_instrs, pipeline_loop};
 use crate::schedule::schedule_block;
 use cayman_analysis::access::footprint;
+use cayman_analysis::banking::{bank_conflict_free, stencil_window};
 use cayman_ir::cpu_model::CPU_FREQ_HZ;
 use cayman_ir::instr::Instr;
 use cayman_ir::loops::LoopId;
@@ -52,7 +70,7 @@ pub struct AcceleratorDesign {
     /// consumed by the merging pass to extract datapath units.
     pub pipelined_detail: Vec<(LoopId, Vec<BlockId>, u32)>,
     /// Interface assignment per memory access instruction.
-    pub interfaces: Vec<(InstrId, InterfaceKind)>,
+    pub interfaces: Vec<(InstrId, InterfaceSpec)>,
     /// Number of sequential basic blocks synthesised (`#SB` contribution).
     pub seq_blocks: usize,
     /// Total accelerator cycles over the program run (`Cycle_cand` share).
@@ -82,18 +100,36 @@ impl AcceleratorDesign {
         self.accel_cycles_total / ACCEL_FREQ_HZ
     }
 
-    /// `(coupled, decoupled, scratchpad)` interface counts (#C, #D, #S).
-    pub fn iface_counts(&self) -> (usize, usize, usize) {
-        let mut c = (0, 0, 0);
-        for (_, k) in &self.interfaces {
-            match k {
+    /// `(coupled, decoupled, scratchpad-family, line-buffer)` interface
+    /// counts (#C, #D, #S, #LB). The scratchpad-family bucket covers plain,
+    /// banked and double-buffered scratchpads.
+    pub fn iface_counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for (_, spec) in &self.interfaces {
+            match spec.kind {
                 InterfaceKind::Coupled => c.0 += 1,
                 InterfaceKind::Decoupled => c.1 += 1,
-                InterfaceKind::Scratchpad => c.2 += 1,
+                InterfaceKind::Scratchpad
+                | InterfaceKind::BankedScratchpad
+                | InterfaceKind::DoubleBuffered => c.2 += 1,
+                InterfaceKind::LineBuffer => c.3 += 1,
             }
         }
         c
     }
+}
+
+/// One interface assignment for a configuration: the per-access spec map
+/// plus the line-buffer storage each array needs (which is a window
+/// property, not a footprint).
+struct MemPlan {
+    map: HashMap<InstrId, InterfaceSpec>,
+    /// Array id → line-buffer storage bytes (`(rows − 1) · row_stride ·
+    /// elem_bytes`).
+    lb_bytes: BTreeMap<u32, f64>,
+    /// Line-buffer warm-up cycles per candidate entry (rows that must
+    /// stream in before the first full window).
+    lb_warmup: f64,
 }
 
 /// Generates the candidate's accelerator configurations (the `accel(v, R)`
@@ -112,7 +148,7 @@ pub fn generate_designs(
     let mut designs = Vec::new();
 
     // Sequential configuration (always available).
-    designs.push(estimate_design(inputs, cand, opts, &[], 1, 1));
+    designs.extend(estimate_design(inputs, cand, opts, &[], 1, 1));
 
     if !innermost.is_empty() {
         // Pipelined configurations: inner unroll × outer duplication.
@@ -134,7 +170,7 @@ pub fn generate_designs(
                 if u.saturating_mul(d) > 16 {
                     continue;
                 }
-                designs.push(estimate_design(inputs, cand, opts, &innermost, u, d));
+                designs.extend(estimate_design(inputs, cand, opts, &innermost, u, d));
             }
         }
     }
@@ -159,7 +195,9 @@ fn dup_parent_eligible(inputs: &FuncInputs<'_>, cand: &Candidate, l: LoopId, d: 
     within && !inputs.deps[p.index()].has_carried() && inputs.trip(p) >= f64::from(d)
 }
 
-/// Builds and estimates one configuration.
+/// Builds one configuration and estimates every memory plan of it. The
+/// heuristic 3-kind plan always comes first; extended plans follow when
+/// enabled and legal.
 fn estimate_design(
     inputs: &FuncInputs<'_>,
     cand: &Candidate,
@@ -167,7 +205,7 @@ fn estimate_design(
     pipelined: &[LoopId],
     unroll: u32,
     dup: u32,
-) -> AcceleratorDesign {
+) -> Vec<AcceleratorDesign> {
     let func = inputs.func();
     let ctx = inputs.ctx;
 
@@ -189,8 +227,18 @@ fn estimate_design(
     let loops_trips: Vec<(LoopId, f64)> =
         loops_within.iter().map(|&l| (l, inputs.trip(l))).collect();
 
-    // ---- interface assignment ---------------------------------------------
-    let mut iface_map: HashMap<InstrId, InterfaceKind> = HashMap::new();
+    // The innermost *pipelined* loop covering an access, if any.
+    let pipelined_loop_of = |b: BlockId| -> Option<LoopId> {
+        ctx.forest.innermost_loop(b).and_then(|l| {
+            pipelined
+                .iter()
+                .find(|&&p| p == l || ctx.forest.contains(p, l))
+                .map(|_| l)
+        })
+    };
+
+    // ---- phase 1: classic 3-kind heuristic ---------------------------------
+    let mut kind_map: HashMap<InstrId, InterfaceKind> = HashMap::new();
     for a in inputs.accesses.within(&cand.blocks) {
         let kind = if opts.coupled_only {
             InterfaceKind::Coupled
@@ -198,13 +246,7 @@ fn estimate_design(
             let total_count = inputs.count(a.block) as f64 / cand.entries as f64;
             let fp = footprint(a, &cand.blocks, &loops_trips);
             let elem_bytes = inputs.module.array(a.array).elem.byte_width() as f64;
-            let in_pipelined = ctx
-                .forest
-                .innermost_loop(a.block)
-                .map(|l| {
-                    pipelined.contains(&l) || pipelined.iter().any(|&p| ctx.forest.contains(p, l))
-                })
-                .unwrap_or(false);
+            let in_pipelined = pipelined_loop_of(a.block).is_some();
             match fp {
                 Some(fp)
                     if total_count >= opts.beta * fp && fp * elem_bytes <= opts.spad_max_bytes =>
@@ -217,9 +259,8 @@ fn estimate_design(
                 _ => InterfaceKind::Coupled,
             }
         };
-        iface_map.insert(a.instr, kind);
+        kind_map.insert(a.instr, kind);
     }
-    let iface = |i: InstrId| iface_map.get(&i).copied();
 
     // Effective duplication per pipelined loop: parallel pipeline instances
     // fed by unrolling a dependence-free parent loop. Coupled accesses
@@ -231,7 +272,7 @@ fn estimate_design(
         let has_coupled = ctx.forest.get(l).blocks.iter().any(|b| {
             func.block(*b).instrs.iter().any(|i| {
                 matches!(func.instr(*i), Instr::Load { .. } | Instr::Store { .. })
-                    && iface_map.get(i) == Some(&InterfaceKind::Coupled)
+                    && kind_map.get(i) == Some(&InterfaceKind::Coupled)
             })
         });
         if has_coupled {
@@ -240,6 +281,251 @@ fn estimate_design(
             dup
         }
     };
+
+    // ---- phase 2: base specs -----------------------------------------------
+    // Scratchpad partitions per array: unroll × duplication of the access's
+    // pipelined loop (parallel unroll copies need parallel banks). Taking
+    // the per-array max keeps one buffer per array.
+    let mut spad_parts: BTreeMap<u32, u32> = BTreeMap::new();
+    for a in inputs.accesses.within(&cand.blocks) {
+        if kind_map.get(&a.instr) == Some(&InterfaceKind::Scratchpad) {
+            let p = pipelined_loop_of(a.block)
+                .map(|l| unroll_of(l) * dup_of(l))
+                .unwrap_or(1);
+            let e = spad_parts.entry(a.array.0).or_insert(1);
+            *e = (*e).max(p);
+        }
+    }
+    let mut base: HashMap<InstrId, InterfaceSpec> = HashMap::new();
+    for a in inputs.accesses.within(&cand.blocks) {
+        let Some(kind) = kind_map.get(&a.instr) else {
+            continue;
+        };
+        let spec = match kind {
+            InterfaceKind::Coupled => InterfaceSpec::coupled(),
+            InterfaceKind::Decoupled => InterfaceSpec::decoupled(),
+            _ => InterfaceSpec::scratchpad(spad_parts.get(&a.array.0).copied().unwrap_or(1)),
+        };
+        base.insert(a.instr, spec);
+    }
+
+    // ---- extended memory plans ---------------------------------------------
+    let mut plans: Vec<MemPlan> = vec![MemPlan {
+        map: base.clone(),
+        lb_bytes: BTreeMap::new(),
+        lb_warmup: 0.0,
+    }];
+    if opts.extended && !opts.coupled_only {
+        if let Some(p) = line_buffer_plan(inputs, cand, opts, pipelined, &base) {
+            plans.push(p);
+        }
+        if let Some(p) = banked_plan(inputs, cand, opts, pipelined, &base, &spad_parts, &|l| {
+            unroll_of(l) * dup_of(l)
+        }) {
+            plans.push(p);
+        }
+        if cand.entries > 1 && !spad_parts.is_empty() {
+            // Ping-pong every scratchpad buffer: only the first fill shows.
+            let map = base
+                .iter()
+                .map(|(&i, &s)| {
+                    let s = if s.kind == InterfaceKind::Scratchpad {
+                        InterfaceSpec::double_buffered(u32::from(s.banks))
+                    } else {
+                        s
+                    };
+                    (i, s)
+                })
+                .collect();
+            plans.push(MemPlan {
+                map,
+                lb_bytes: BTreeMap::new(),
+                lb_warmup: 0.0,
+            });
+        }
+    }
+
+    plans
+        .into_iter()
+        .map(|plan| {
+            estimate_plan(
+                inputs,
+                cand,
+                pipelined,
+                unroll,
+                &unroll_of,
+                &dup_of,
+                &pipelined_loop_of,
+                &loops_trips,
+                plan,
+            )
+        })
+        .collect()
+}
+
+/// A plan replacing stencil loads by line-buffer taps, when any pipelined
+/// loop nest carries a provable window.
+fn line_buffer_plan(
+    inputs: &FuncInputs<'_>,
+    cand: &Candidate,
+    opts: &ModelOptions,
+    pipelined: &[LoopId],
+    base: &HashMap<InstrId, InterfaceSpec>,
+) -> Option<MemPlan> {
+    let ctx = inputs.ctx;
+    let mut map = base.clone();
+    let mut lb_bytes = BTreeMap::new();
+    let mut lb_warmup = 0.0f64;
+    let mut changed = false;
+    for &l in pipelined {
+        // The row loop must also run inside the candidate, or the buffered
+        // rows are thrown away at every entry.
+        let Some(row) = ctx.forest.get(l).parent else {
+            continue;
+        };
+        if !ctx
+            .forest
+            .get(row)
+            .blocks
+            .iter()
+            .all(|b| cand.blocks.contains(b))
+        {
+            continue;
+        }
+        let blocks = &ctx.forest.get(l).blocks;
+        // Group this loop's loads by array; stores to the array anywhere in
+        // the candidate invalidate the buffered rows.
+        let mut loads: BTreeMap<u32, Vec<&cayman_analysis::access::AccessInfo>> = BTreeMap::new();
+        let mut stored: std::collections::BTreeSet<u32> = Default::default();
+        for a in inputs.accesses.within(&cand.blocks) {
+            if a.is_store {
+                stored.insert(a.array.0);
+            } else if blocks.contains(&a.block) {
+                loads.entry(a.array.0).or_default().push(a);
+            }
+        }
+        for (arr, accs) in &loads {
+            if stored.contains(arr) {
+                continue;
+            }
+            let Some(addrs): Option<Vec<_>> = accs.iter().map(|a| a.addr.clone()).collect() else {
+                continue;
+            };
+            let Some(win) = stencil_window(&addrs, row, l) else {
+                continue;
+            };
+            if win.rows > opts.lb_max_rows {
+                continue;
+            }
+            let elem_bytes = inputs
+                .module
+                .array(cayman_ir::ArrayId(*arr))
+                .elem
+                .byte_width() as f64;
+            let spec = InterfaceSpec::line_buffer(win.rows);
+            for a in accs {
+                map.insert(a.instr, spec);
+            }
+            lb_bytes.insert(
+                *arr,
+                (win.rows as f64 - 1.0) * win.row_stride as f64 * elem_bytes,
+            );
+            lb_warmup += (win.rows as f64 - 1.0) * win.row_stride as f64 + win.cols as f64;
+            changed = true;
+        }
+    }
+    changed.then_some(MemPlan {
+        map,
+        lb_bytes,
+        lb_warmup,
+    })
+}
+
+/// A plan replacing heuristically partitioned scratchpads by conflict-proven
+/// banked ones with strictly more ports, where every unrolled access stride
+/// admits it.
+fn banked_plan(
+    inputs: &FuncInputs<'_>,
+    cand: &Candidate,
+    opts: &ModelOptions,
+    pipelined: &[LoopId],
+    base: &HashMap<InstrId, InterfaceSpec>,
+    spad_parts: &BTreeMap<u32, u32>,
+    eff_unroll: &dyn Fn(LoopId) -> u32,
+) -> Option<MemPlan> {
+    let ctx = inputs.ctx;
+    let mut banks_of: BTreeMap<u32, u32> = BTreeMap::new();
+    for (&arr, &parts) in spad_parts {
+        let mut best: Option<u32> = None;
+        'factor: for &b in &opts.bank_factors {
+            if b <= parts {
+                continue; // no new ports over the heuristic partitioning
+            }
+            for a in inputs.accesses.within(&cand.blocks) {
+                if a.array.0 != arr
+                    || base.get(&a.instr).map(|s| s.kind) != Some(InterfaceKind::Scratchpad)
+                {
+                    continue;
+                }
+                let Some(l) = ctx.forest.innermost_loop(a.block).filter(|l| {
+                    pipelined
+                        .iter()
+                        .any(|&p| p == *l || ctx.forest.contains(p, *l))
+                }) else {
+                    continue; // not in a pipelined loop: one copy, no conflict
+                };
+                let u = eff_unroll(l);
+                if u <= 1 {
+                    continue;
+                }
+                let Some(stride) = a.addr.as_ref().map(|e| e.coeff(l)) else {
+                    continue 'factor; // unknown stride: unprovable at this (or any) factor
+                };
+                if !bank_conflict_free(stride, b, u) {
+                    continue 'factor;
+                }
+            }
+            best = Some(b);
+        }
+        if let Some(b) = best {
+            banks_of.insert(arr, b);
+        }
+    }
+    if banks_of.is_empty() {
+        return None;
+    }
+    let mut map = base.clone();
+    for a in inputs.accesses.within(&cand.blocks) {
+        if let Some(&b) = banks_of.get(&a.array.0) {
+            if base.get(&a.instr).map(|s| s.kind) == Some(InterfaceKind::Scratchpad) {
+                map.insert(a.instr, InterfaceSpec::banked(b));
+            }
+        }
+    }
+    Some(MemPlan {
+        map,
+        lb_bytes: BTreeMap::new(),
+        lb_warmup: 0.0,
+    })
+}
+
+/// Estimates one configuration under one memory plan.
+#[allow(clippy::too_many_arguments)]
+fn estimate_plan(
+    inputs: &FuncInputs<'_>,
+    cand: &Candidate,
+    pipelined: &[LoopId],
+    unroll: u32,
+    unroll_of: &dyn Fn(LoopId) -> u32,
+    dup_of: &dyn Fn(LoopId) -> u32,
+    pipelined_loop_of: &dyn Fn(BlockId) -> Option<LoopId>,
+    loops_trips: &[(LoopId, f64)],
+    plan: MemPlan,
+) -> AcceleratorDesign {
+    let func = inputs.func();
+    let ctx = inputs.ctx;
+    let iface_map = plan.map;
+    let iface = |i: InstrId| iface_map.get(&i).copied();
 
     // ---- performance --------------------------------------------------------
     let mut pipelined_blocks: Vec<BlockId> = Vec::new();
@@ -279,7 +565,7 @@ fn estimate_design(
     let mut seq_classes: BTreeMap<crate::oplib::FuClass, f64> = BTreeMap::new();
     let mut seq_reg_area = 0.0f64;
     for &b in &seq {
-        let sched = schedule_block(func, b, &iface, 1, 2);
+        let sched = schedule_block(func, b, &iface, 1);
         accel_cycles += inputs.count(b) as f64 * sched.length as f64;
         seq_states += sched.length;
         let nontrivial = func
@@ -301,68 +587,48 @@ fn estimate_design(
     }
 
     // ---- interface performance & area costs --------------------------------
-    // Scratchpad groups per array: buffer sized by the max footprint.
+    // One buffer per DMA-filled array, sized by the max footprint, with the
+    // spec the plan assigned to that array's accesses.
     let mut spad_bytes_per_array: BTreeMap<u32, f64> = BTreeMap::new();
-    let mut spad_fill_bytes = 0.0f64; // loaded arrays: DMA fill
-    let mut spad_drain_bytes = 0.0f64; // stored arrays: DMA drain
+    let mut spad_spec_per_array: BTreeMap<u32, InterfaceSpec> = BTreeMap::new();
     let mut n_coupled = 0usize;
     let mut iface_area = 0.0f64;
-    let mut spad_partitions: BTreeMap<u32, u32> = BTreeMap::new();
     for a in inputs.accesses.within(&cand.blocks) {
-        let Some(kind) = iface_map.get(&a.instr) else {
+        let Some(&spec) = iface_map.get(&a.instr) else {
             continue;
         };
         // The enclosing pipelined loop's duplication factor replicates the
         // access's interface hardware.
-        let acc_dup = ctx
-            .forest
-            .innermost_loop(a.block)
-            .and_then(|l| {
-                pipelined
-                    .iter()
-                    .find(|&&p| p == l || ctx.forest.contains(p, l))
-                    .copied()
-            })
-            .map(&dup_of)
-            .unwrap_or(1);
-        iface_area += kind.per_access_area() * f64::from(acc_dup);
-        match kind {
+        let acc_dup = pipelined_loop_of(a.block).map(dup_of).unwrap_or(1);
+        iface_area += spec.per_access_area() * f64::from(acc_dup);
+        match spec.kind {
             InterfaceKind::Coupled => n_coupled += 1,
-            InterfaceKind::Decoupled => {}
-            InterfaceKind::Scratchpad => {
-                let fp = footprint(a, &cand.blocks, &loops_trips).unwrap_or(1.0);
+            _ if spec.needs_dma() => {
+                let fp = footprint(a, &cand.blocks, loops_trips).unwrap_or(1.0);
                 let bytes = fp * inputs.module.array(a.array).elem.byte_width() as f64;
                 let e = spad_bytes_per_array.entry(a.array.0).or_insert(0.0);
                 *e = e.max(bytes);
-                if a.is_store {
-                    spad_drain_bytes = spad_drain_bytes.max(bytes);
-                } else {
-                    spad_fill_bytes = spad_fill_bytes.max(bytes);
-                }
-                // Partition count: unroll × duplication of the access's
-                // pipelined loop (parallel instances need parallel banks).
-                let p = ctx
-                    .forest
-                    .innermost_loop(a.block)
-                    .filter(|l| pipelined.contains(l))
-                    .map(|l| unroll_of(l) * dup_of(l))
-                    .unwrap_or(1);
-                let e = spad_partitions.entry(a.array.0).or_insert(1);
-                *e = (*e).max(p);
+                spad_spec_per_array.insert(a.array.0, spec);
             }
+            _ => {}
         }
     }
-    let n_spad = iface_map
-        .values()
-        .filter(|k| **k == InterfaceKind::Scratchpad)
-        .count();
 
-    // DMA fill/drain per candidate entry.
-    let dma_cycles_per_entry: f64 = spad_bytes_per_array
-        .values()
-        .map(|b| b / DMA_BYTES_PER_CYCLE)
-        .sum();
-    accel_cycles += cand.entries as f64 * (OFFLOAD_SYNC_CYCLES + dma_cycles_per_entry);
+    // DMA fill/drain: per candidate entry, except double-buffered arrays,
+    // whose refill hides behind the previous entry's compute — only the
+    // first fill is exposed.
+    let mut dma_per_entry = 0.0f64;
+    let mut dma_once = 0.0f64;
+    for (arr, bytes) in &spad_bytes_per_array {
+        let cycles = bytes / DMA_BYTES_PER_CYCLE;
+        if spad_spec_per_array[arr].kind == InterfaceKind::DoubleBuffered {
+            dma_once += cycles;
+        } else {
+            dma_per_entry += cycles;
+        }
+    }
+    accel_cycles +=
+        cand.entries as f64 * (OFFLOAD_SYNC_CYCLES + dma_per_entry + plan.lb_warmup) + dma_once;
 
     // ---- area roll-up --------------------------------------------------------
     let mut area = pipe_area + seq_classes.values().sum::<f64>() + seq_reg_area + iface_area;
@@ -370,12 +636,14 @@ fn estimate_design(
     if n_coupled > 0 {
         area += COUPLED_LSU_AREA;
     }
-    if n_spad > 0 {
+    if !spad_bytes_per_array.is_empty() {
         area += DMA_AREA;
         for (arr, bytes) in &spad_bytes_per_array {
-            let parts = f64::from(spad_partitions.get(arr).copied().unwrap_or(1));
-            area += bytes * SPAD_BYTE_AREA * (1.0 + SPAD_BANK_OVERHEAD * (parts - 1.0));
+            area += spad_spec_per_array[arr].buffer_area(*bytes);
         }
+    }
+    for bytes in plan.lb_bytes.values() {
+        area += InterfaceSpec::line_buffer(2).buffer_area(*bytes);
     }
 
     AcceleratorDesign {
@@ -385,7 +653,7 @@ fn estimate_design(
         pipelined: pipelined.to_vec(),
         pipelined_detail,
         interfaces: {
-            let mut v: Vec<(InstrId, InterfaceKind)> = iface_map.into_iter().collect();
+            let mut v: Vec<(InstrId, InterfaceSpec)> = iface_map.into_iter().collect();
             v.sort_unstable_by_key(|(i, _)| *i);
             v
         },
@@ -489,6 +757,31 @@ mod tests {
         mb.finish()
     }
 
+    /// A 3×3 convolution over `h × w` — the canonical line-buffer shape.
+    fn conv3x3_kernel(h: i64, w: i64) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let src = mb.array("src", Type::F64, &[h as usize, w as usize]);
+        let dst = mb.array("dst", Type::F64, &[h as usize, w as usize]);
+        mb.function("main", &[], None, |fb| {
+            fb.counted_loop(1, h - 1, 1, |fb, r| {
+                fb.counted_loop(1, w - 1, 1, |fb, c| {
+                    let mut acc = fb.fconst(0.0);
+                    for dr in -1..=1i64 {
+                        for dc in -1..=1i64 {
+                            let rr = fb.add(r, fb.iconst(dr));
+                            let cc = fb.add(c, fb.iconst(dc));
+                            let v = fb.load_idx(src, &[rr, cc]);
+                            acc = fb.fadd(acc, v);
+                        }
+                    }
+                    fb.store_idx(dst, &[r, c], acc);
+                });
+            });
+            fb.ret(None);
+        });
+        mb.finish()
+    }
+
     #[test]
     fn pipelined_designs_beat_sequential() {
         let o = prepare(streaming_kernel(256));
@@ -496,10 +789,14 @@ mod tests {
         let cand = loop_candidate(&o, &inp);
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         assert!(designs.len() >= 3, "seq + several unrolls");
-        let seq = &designs[0];
-        let pipe = &designs[1];
-        assert!(seq.pipelined.is_empty());
-        assert!(!pipe.pipelined.is_empty());
+        let seq = designs
+            .iter()
+            .find(|d| d.pipelined.is_empty())
+            .expect("seq");
+        let pipe = designs
+            .iter()
+            .find(|d| !d.pipelined.is_empty())
+            .expect("pipelined");
         assert!(
             pipe.accel_cycles_total < seq.accel_cycles_total,
             "pipelining helps: {} vs {}",
@@ -532,8 +829,8 @@ mod tests {
         );
         // every interface in the ablation is coupled
         for d in &coupled {
-            let (c, de, s) = d.iface_counts();
-            assert_eq!((de, s), (0, 0));
+            let (c, de, s, lb) = d.iface_counts();
+            assert_eq!((de, s, lb), (0, 0, 0));
             assert!(c > 0);
         }
     }
@@ -546,8 +843,11 @@ mod tests {
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         // pipelined design: stream accesses with footprint = trip count get
         // decoupled (count == footprint < β·footprint)
-        let pipe = &designs[1];
-        let (_, d, _) = pipe.iface_counts();
+        let pipe = designs
+            .iter()
+            .find(|d| !d.pipelined.is_empty())
+            .expect("pipelined");
+        let (_, d, _, _) = pipe.iface_counts();
         assert!(d >= 2, "x load and y store should be decoupled: {pipe:?}");
     }
 
@@ -588,6 +888,125 @@ mod tests {
         let designs = generate_designs(&inp, &cand, &ModelOptions::default());
         let any_spad = designs.iter().any(|d| d.iface_counts().2 > 0);
         assert!(any_spad, "w should be cached in a scratchpad");
+    }
+
+    #[test]
+    fn stencil_loads_get_a_line_buffer_plan() {
+        let o = prepare(conv3x3_kernel(16, 16));
+        let trips: Vec<f64> = o.ctx.forest.ids().map(|_| 14.0).collect();
+        let inp = inputs(&o, &trips);
+        let cand = loop_candidate(&o, &inp);
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        let lb: Vec<&AcceleratorDesign> =
+            designs.iter().filter(|d| d.iface_counts().3 > 0).collect();
+        assert!(!lb.is_empty(), "conv3x3 should produce line-buffer plans");
+        // All nine src taps go through the line buffer.
+        assert!(lb.iter().any(|d| d.iface_counts().3 == 9), "{lb:?}");
+        // The baseline 3-kind model never emits one.
+        let base = generate_designs(&inp, &cand, &ModelOptions::baseline3());
+        assert!(base.iter().all(|d| d.iface_counts().3 == 0));
+        // And the line-buffer plan strictly Pareto-improves over every
+        // baseline design: fewer modeled cycles at equal-or-lower area.
+        let improves = lb.iter().any(|d| {
+            let twins: Vec<_> = base
+                .iter()
+                .filter(|b| b.unroll == d.unroll && b.pipelined_detail == d.pipelined_detail)
+                .collect();
+            !twins.is_empty()
+                && twins
+                    .iter()
+                    .all(|b| d.accel_cycles_total < b.accel_cycles_total && d.area <= b.area)
+        });
+        assert!(improves, "line buffer should dominate its baseline config");
+    }
+
+    #[test]
+    fn double_buffering_hides_refill_on_reentry() {
+        // Outer-entered candidate: the inner loop region is entered 64
+        // times, each entry refilling the w scratchpad.
+        let o = prepare({
+            let mut mb = ModuleBuilder::new("t");
+            let w = mb.array("w", Type::F64, &[8]);
+            let y = mb.array("y", Type::F64, &[64]);
+            mb.function("main", &[], None, |fb| {
+                fb.counted_loop(0, 64, 1, |fb, i| {
+                    fb.counted_loop(0, 8, 1, |fb, j| {
+                        let wv = fb.load_idx(w, &[j]);
+                        let p = fb.fmul(wv, fb.fconst(2.0));
+                        fb.store_idx(y, &[i], p);
+                    });
+                });
+                fb.ret(None);
+            });
+            mb.finish()
+        });
+        let trips: Vec<f64> = o
+            .ctx
+            .forest
+            .ids()
+            .map(|l| {
+                if o.ctx.forest.get(l).depth == 1 {
+                    64.0
+                } else {
+                    8.0
+                }
+            })
+            .collect();
+        let inp = inputs(&o, &trips);
+        // Candidate = the inner loop only, entered once per outer iteration.
+        let l = o
+            .ctx
+            .forest
+            .ids()
+            .find(|&l| o.ctx.forest.get(l).depth == 2)
+            .expect("inner loop");
+        let lp = o.ctx.forest.get(l);
+        let back: u64 = lp.latches.iter().map(|&b| inp.count(b)).sum();
+        let entries = inp.count(lp.header) - back;
+        let cpu: u64 = lp
+            .blocks
+            .iter()
+            .map(|&b| inp.count(b) * cayman_ir::cpu_model::block_cycles(inp.func(), b))
+            .sum();
+        let cand = Candidate {
+            func: FuncId(0),
+            blocks: lp.blocks.clone(),
+            entries,
+            cpu_cycles: cpu,
+            is_bb: false,
+            content_fp: inp.content_fp,
+        };
+        assert!(cand.entries > 1);
+        let designs = generate_designs(&inp, &cand, &ModelOptions::default());
+        let dbl: Vec<&AcceleratorDesign> = designs
+            .iter()
+            .filter(|d| {
+                d.interfaces
+                    .iter()
+                    .any(|(_, s)| s.kind == InterfaceKind::DoubleBuffered)
+            })
+            .collect();
+        if dbl.is_empty() {
+            // The heuristic found no scratchpad at all — nothing to hide.
+            assert!(designs.iter().all(|d| d.iface_counts().2 == 0));
+            return;
+        }
+        // A double-buffered twin exists for some base design: fewer cycles,
+        // more buffer area.
+        let improves = dbl.iter().any(|d| {
+            designs
+                .iter()
+                .filter(|b| {
+                    b.pipelined == d.pipelined
+                        && b.unroll == d.unroll
+                        && b.interfaces
+                            .iter()
+                            .all(|(_, s)| s.kind != InterfaceKind::DoubleBuffered)
+                        && b.iface_counts().2 > 0
+                })
+                .any(|b| d.accel_cycles_total < b.accel_cycles_total && d.area > b.area)
+        });
+        assert!(improves, "double buffering trades area for hidden refills");
     }
 
     #[test]

@@ -6,15 +6,18 @@
 //! * **recMII** from loop-carried dependence cycles (memory and scalar
 //!   recurrences reported by `cayman-analysis::memdep`): the summed
 //!   accelerator latency around the cycle divided by the dependence distance,
-//! * **resMII** from memory-port contention: coupled accesses share one LSU
-//!   port; scratchpad accesses share `partitions × 2` ports; decoupled
-//!   accesses have private AGU+FIFO channels and never constrain II — this
-//!   is exactly why Fig. 4's pipelined loop reaches II = 1 with the
-//!   decoupled interface but II = 3 with the coupled one.
+//! * **resMII** from memory contention: coupled accesses share one LSU
+//!   port; each buffered array's accesses share the ports its
+//!   [`InterfaceSpec`] exposes (`banks × 2` for scratchpads); decoupled
+//!   FIFOs and line-buffer fills have private channels but share the
+//!   off-chip stream bandwidth — one word per decoupled access, one word
+//!   per line-buffered *array*. This is why Fig. 4's pipelined loop reaches
+//!   II = 1 with the decoupled interface but II = 3 with the coupled one,
+//!   and why a line buffer beats a bundle of decoupled taps on a stencil.
 
 use crate::inputs::FuncInputs;
-use crate::interface::{InterfaceKind, SPAD_PORTS_PER_PARTITION};
-use crate::schedule::{asap_schedule, latency_with_iface, IfaceOf};
+use crate::interface::{InterfaceKind, InterfaceSpec, STREAM_WORDS_PER_CYCLE};
+use crate::schedule::{access_array, asap_schedule, latency_with_iface, IfaceOf};
 use cayman_ir::instr::Instr;
 use cayman_ir::loops::LoopId;
 use cayman_ir::InstrId;
@@ -82,31 +85,50 @@ pub fn rec_mii(inputs: &FuncInputs<'_>, l: LoopId, iface: &IfaceOf<'_>) -> u64 {
     mii
 }
 
-/// Resource-constrained minimum II from memory-port contention.
-pub fn res_mii(
-    inputs: &FuncInputs<'_>,
-    body: &[InstrId],
-    iface: &IfaceOf<'_>,
-    unroll: u32,
-    spad_partitions: u32,
-) -> u64 {
+/// Resource-constrained minimum II from memory contention.
+///
+/// Unrolling multiplies every access by `unroll`. Three resources bound the
+/// issue rate:
+///
+/// * the single shared **coupled** port,
+/// * each buffered array's **ports** (from its spec),
+/// * the off-chip **stream bandwidth** shared by decoupled FIFOs and
+///   line-buffer fills — a line buffer pulls one new word per iteration per
+///   array, a decoupled bundle one word per access.
+pub fn res_mii(inputs: &FuncInputs<'_>, body: &[InstrId], iface: &IfaceOf<'_>, unroll: u32) -> u64 {
     let func = inputs.func();
     let mut coupled = 0u64;
-    let mut spad = 0u64;
+    let mut stream_words = 0u64;
+    let mut per_array: std::collections::HashMap<u32, (u64, u64)> = Default::default();
+    let mut lb_arrays: std::collections::HashSet<u32> = Default::default();
     for &i in body {
         if matches!(func.instr(i), Instr::Load { .. } | Instr::Store { .. }) {
-            match iface(i).unwrap_or(InterfaceKind::Coupled) {
+            let spec = iface(i).unwrap_or_else(InterfaceSpec::coupled);
+            match spec.kind {
                 InterfaceKind::Coupled => coupled += 1,
-                InterfaceKind::Scratchpad => spad += 1,
-                InterfaceKind::Decoupled => {}
+                InterfaceKind::Decoupled => stream_words += 1,
+                InterfaceKind::LineBuffer => {
+                    lb_arrays.insert(access_array(func, i).unwrap_or(u32::MAX));
+                }
+                _ => {
+                    if let Some(p) = spec.mem_ports() {
+                        let arr = access_array(func, i).unwrap_or(u32::MAX);
+                        let e = per_array.entry(arr).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 = e.1.max(p);
+                    }
+                }
             }
         }
     }
+    stream_words += lb_arrays.len() as u64; // one fill stream per buffered array
     let u = u64::from(unroll.max(1));
-    let spad_ports = u64::from(spad_partitions.max(1)) * SPAD_PORTS_PER_PARTITION;
-    let coupled_bound = coupled * u; // one shared port
-    let spad_bound = (spad * u).div_ceil(spad_ports);
-    coupled_bound.max(spad_bound).max(1)
+    let mut ii = (coupled * u).max(1); // one shared coupled port
+    ii = ii.max((stream_words * u).div_ceil(STREAM_WORDS_PER_CYCLE));
+    for &(uses, ports) in per_array.values() {
+        ii = ii.max((uses * u).div_ceil(ports.max(1)));
+    }
+    ii
 }
 
 /// Pipelines loop `l` with the given unroll factor and interface assignment.
@@ -122,9 +144,9 @@ pub fn pipeline_loop(
 ) -> PipelineEstimate {
     let func = inputs.func();
     let body = loop_body_instrs(inputs, l);
-    let sched = asap_schedule(func, &body, iface, 1, 0);
+    let sched = asap_schedule(func, &body, iface, 1, false);
     let depth = sched.critical_path.max(1);
-    let ii = rec_mii(inputs, l, iface).max(res_mii(inputs, &body, iface, unroll, unroll));
+    let ii = rec_mii(inputs, l, iface).max(res_mii(inputs, &body, iface, unroll));
     let trips = inputs.trip(l).max(1.0);
     let iters = (trips / f64::from(unroll.max(1))).ceil().max(1.0);
     PipelineEstimate {
@@ -205,13 +227,13 @@ mod tests {
         let o = prepare(saxpy());
         let inp = inputs(&o, &[64.0]);
         let l = o.ctx.forest.ids().next().expect("loop");
-        let coupled = |_: InstrId| Some(InterfaceKind::Coupled);
+        let coupled = |_: InstrId| Some(InterfaceSpec::coupled());
         let dec = |i: InstrId| {
             let f = inp.func();
             if matches!(f.instr(i), Instr::Load { .. } | Instr::Store { .. }) {
-                Some(InterfaceKind::Decoupled)
+                Some(InterfaceSpec::decoupled())
             } else {
-                Some(InterfaceKind::Coupled)
+                Some(InterfaceSpec::coupled())
             }
         };
         let pc = pipeline_loop(&inp, l, 1, &coupled);
@@ -242,7 +264,7 @@ mod tests {
         let o = prepare(mb.finish());
         let inp = inputs(&o, &[64.0]);
         let l = o.ctx.forest.ids().next().expect("loop");
-        let dec = |_: InstrId| Some(InterfaceKind::Decoupled);
+        let dec = |_: InstrId| Some(InterfaceSpec::decoupled());
         let p = pipeline_loop(&inp, l, 1, &dec);
         // chain: load z (1) + fadd (2) + store z (1) = 4 → II ≥ 4.
         assert!(p.ii >= 4, "II {}", p.ii);
@@ -253,16 +275,21 @@ mod tests {
         let o = prepare(saxpy());
         let inp = inputs(&o, &[64.0]);
         let l = o.ctx.forest.ids().next().expect("loop");
-        let spad = |i: InstrId| {
-            let f = inp.func();
-            if matches!(f.instr(i), Instr::Load { .. } | Instr::Store { .. }) {
-                Some(InterfaceKind::Scratchpad)
-            } else {
-                Some(InterfaceKind::Coupled)
+        // Partitioning follows unroll: the design layer assigns
+        // `scratchpad(u)` to accesses in a loop unrolled by `u`.
+        let spad = |parts: u32| {
+            let inp = &inp;
+            move |i: InstrId| {
+                let f = inp.func();
+                if matches!(f.instr(i), Instr::Load { .. } | Instr::Store { .. }) {
+                    Some(InterfaceSpec::scratchpad(parts))
+                } else {
+                    Some(InterfaceSpec::coupled())
+                }
             }
         };
-        let p1 = pipeline_loop(&inp, l, 1, &spad);
-        let p4 = pipeline_loop(&inp, l, 4, &spad);
+        let p1 = pipeline_loop(&inp, l, 1, &spad(1));
+        let p4 = pipeline_loop(&inp, l, 4, &spad(4));
         assert_eq!(p1.iters, 64.0);
         assert_eq!(p4.iters, 16.0);
         // scratchpad ports scale with partitions = unroll, so II stays low

@@ -10,10 +10,12 @@
 //!   operations"),
 //! * memory-ordering edges (stores serialise against other accesses to the
 //!   same array),
-//! * memory-port capacity (coupled accesses share one LSU port; scratchpad
-//!   partitions provide limited ports).
+//! * memory-port capacity (coupled accesses share one LSU port; each
+//!   buffered array exposes the ports its [`InterfaceSpec`] declares —
+//!   `banks × 2` for scratchpads — while stream interfaces (decoupled,
+//!   line buffer) never contend).
 
-use crate::interface::InterfaceKind;
+use crate::interface::{InterfaceKind, InterfaceSpec};
 use crate::oplib;
 use cayman_ir::instr::{Instr, Operand};
 use cayman_ir::module::ValueDef;
@@ -21,7 +23,7 @@ use cayman_ir::{Function, InstrId};
 use std::collections::HashMap;
 
 /// Interface assignment lookup used by the scheduler.
-pub type IfaceOf<'a> = dyn Fn(InstrId) -> Option<InterfaceKind> + 'a;
+pub type IfaceOf<'a> = dyn Fn(InstrId) -> Option<InterfaceSpec> + 'a;
 
 /// Outcome of scheduling one instruction set.
 #[derive(Debug, Clone)]
@@ -37,22 +39,29 @@ pub struct Schedule {
 /// Latency of one instruction given its interface assignment.
 pub fn latency_with_iface(func: &Function, iid: InstrId, iface: &IfaceOf<'_>) -> u64 {
     match func.instr(iid) {
-        Instr::Load { .. } => iface(iid).unwrap_or(InterfaceKind::Coupled).load_latency(),
-        Instr::Store { .. } => iface(iid).unwrap_or(InterfaceKind::Coupled).store_latency(),
+        Instr::Load { .. } => iface(iid)
+            .unwrap_or_else(InterfaceSpec::coupled)
+            .load_latency(),
+        Instr::Store { .. } => iface(iid)
+            .unwrap_or_else(InterfaceSpec::coupled)
+            .store_latency(),
         other => oplib::accel_latency(other),
     }
 }
 
 /// ASAP-schedules `instrs` (in program order) and returns the schedule.
 ///
-/// `spad_ports` is the number of scratchpad ports available per cycle
-/// (partitions × ports-per-partition); `coupled_ports` is normally 1.
+/// `coupled_ports` is the size of the shared LSU port pool (normally 1).
+/// With `bound_mem_ports`, buffered (scratchpad-family) accesses are
+/// additionally bounded per array by the ports their [`InterfaceSpec`]
+/// exposes; pipelined loop bodies pass `false` because the II model prices
+/// port contention itself (`resMII`).
 pub fn asap_schedule(
     func: &Function,
     instrs: &[InstrId],
     iface: &IfaceOf<'_>,
     coupled_ports: u64,
-    spad_ports: u64,
+    bound_mem_ports: bool,
 ) -> Schedule {
     let in_set: HashMap<InstrId, usize> = instrs.iter().enumerate().map(|(i, &x)| (x, i)).collect();
 
@@ -114,15 +123,24 @@ pub fn asap_schedule(
         critical_path = critical_path.max(ready + latency_with_iface(func, iid, iface));
     }
 
-    // Port-constrained lower bounds.
+    // Port-constrained lower bounds: one shared pool for coupled accesses,
+    // and per-array bounds for buffered interfaces (every array's buffer
+    // has its own ports, so arrays do not contend with each other).
     let mut coupled_uses = 0u64;
-    let mut spad_uses = 0u64;
+    let mut per_array: HashMap<u32, (u64, u64)> = HashMap::new(); // (uses, ports)
     for &iid in instrs {
         if matches!(func.instr(iid), Instr::Load { .. } | Instr::Store { .. }) {
-            match iface(iid).unwrap_or(InterfaceKind::Coupled) {
+            let spec = iface(iid).unwrap_or_else(InterfaceSpec::coupled);
+            match spec.kind {
                 InterfaceKind::Coupled => coupled_uses += 1,
-                InterfaceKind::Scratchpad => spad_uses += 1,
-                InterfaceKind::Decoupled => {}
+                _ => {
+                    if let Some(p) = spec.mem_ports() {
+                        let arr = access_array(func, iid).unwrap_or(u32::MAX);
+                        let e = per_array.entry(arr).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 = e.1.max(p);
+                    }
+                }
             }
         }
     }
@@ -130,8 +148,12 @@ pub fn asap_schedule(
     if coupled_ports > 0 {
         length = length.max(coupled_uses.div_ceil(coupled_ports));
     }
-    if spad_ports > 0 {
-        length = length.max(spad_uses.div_ceil(spad_ports));
+    if bound_mem_ports {
+        for &(uses, ports) in per_array.values() {
+            if ports > 0 {
+                length = length.max(uses.div_ceil(ports));
+            }
+        }
     }
 
     Schedule {
@@ -219,15 +241,8 @@ pub fn schedule_block(
     b: cayman_ir::BlockId,
     iface: &IfaceOf<'_>,
     coupled_ports: u64,
-    spad_ports: u64,
 ) -> Schedule {
-    asap_schedule(
-        func,
-        &func.block(b).instrs,
-        iface,
-        coupled_ports,
-        spad_ports,
-    )
+    asap_schedule(func, &func.block(b).instrs, iface, coupled_ports, true)
 }
 
 #[cfg(test)]
@@ -236,11 +251,11 @@ mod tests {
     use cayman_ir::builder::ModuleBuilder;
     use cayman_ir::{FuncId, Type};
 
-    fn coupled(_: InstrId) -> Option<InterfaceKind> {
-        Some(InterfaceKind::Coupled)
+    fn coupled(_: InstrId) -> Option<InterfaceSpec> {
+        Some(InterfaceSpec::coupled())
     }
-    fn decoupled(_: InstrId) -> Option<InterfaceKind> {
-        Some(InterfaceKind::Decoupled)
+    fn decoupled(_: InstrId) -> Option<InterfaceSpec> {
+        Some(InterfaceSpec::decoupled())
     }
 
     /// Builds `y[i] = k*x[i]+b` body and returns (module, body block).
@@ -266,8 +281,8 @@ mod tests {
     fn decoupled_shortens_critical_path() {
         let (m, body) = saxpy_body();
         let f = m.function(FuncId(0));
-        let s_coupled = schedule_block(f, body, &coupled, 1, 2);
-        let s_dec = schedule_block(f, body, &decoupled, 1, 2);
+        let s_coupled = schedule_block(f, body, &coupled, 1);
+        let s_dec = schedule_block(f, body, &decoupled, 1);
         // gep(1) + load(4 vs 1) + fmul(4) + fadd(3) + gep+store(1)
         assert!(
             s_dec.critical_path + 3 == s_coupled.critical_path,
@@ -298,7 +313,7 @@ mod tests {
         });
         let m = mb.finish();
         let f = m.function(FuncId(0));
-        let s = schedule_block(f, cayman_ir::BlockId(0), &coupled, 1, 2);
+        let s = schedule_block(f, cayman_ir::BlockId(0), &coupled, 1);
         assert!(s.length >= 9, "8 loads + 1 store on one port: {}", s.length);
     }
 
@@ -315,7 +330,7 @@ mod tests {
         });
         let m = mb.finish();
         let f = m.function(FuncId(0));
-        let s = schedule_block(f, cayman_ir::BlockId(0), &coupled, 1, 2);
+        let s = schedule_block(f, cayman_ir::BlockId(0), &coupled, 1);
         // load at ≥1 (after gep), store only after load completes (4 cycles).
         let block = &f.block(cayman_ir::BlockId(0)).instrs;
         let load = block[1];
@@ -329,7 +344,7 @@ mod tests {
         mb.function("f", &[], None, |fb| fb.ret(None));
         let m = mb.finish();
         let f = m.function(FuncId(0));
-        let s = schedule_block(f, cayman_ir::BlockId(0), &coupled, 1, 2);
+        let s = schedule_block(f, cayman_ir::BlockId(0), &coupled, 1);
         assert_eq!(s.length, 1);
     }
 }

@@ -1,4 +1,4 @@
-//! IR normalization: a pass manager and the standard `-O1` pipeline.
+//! IR normalization: a pass manager and the standard `-O1`/`-O2` pipelines.
 //!
 //! Builder-generated (and especially parser-generated) modules carry
 //! redundancy — constant subexpressions, duplicate address computations,
@@ -8,9 +8,20 @@
 //! reproduction's equivalent: a small pipeline of semantics-preserving
 //! rewrites run before profiling and region analysis.
 //!
-//! The pipeline ([`normalize`]) iterates four passes to a fixed point —
-//! [`SimplifyCfg`], [`ConstFold`], [`Gvn`], [`Dce`] — then runs [`Compact`]
-//! to rebuild the instruction arena without the dropped instructions.
+//! The `-O1` pipeline ([`normalize`]) iterates four passes to a fixed point
+//! — [`SimplifyCfg`], [`ConstFold`], [`Gvn`], [`Dce`] — then runs
+//! [`Compact`] to rebuild the instruction arena without the dropped
+//! instructions. `-O2` adds the loop pipeline, [`StrengthReduce`] and
+//! [`Licm`], whose job is to canonicalize gep address arithmetic (shifts to
+//! multiplies, subtracts to adds, folded constant chains) and hoist the
+//! loop-invariant parts, so the analysis crate's SCEV sees clean affine
+//! induction expressions.
+//!
+//! [`address_canon`] packages just that loop pipeline with a guarantee the
+//! full `-O2` pipeline does not make: it preserves `InstrId`s/`ValueId`s
+//! and the CFG exactly (no [`Compact`], no deletions). `cayman-core` runs
+//! it on per-function analysis *shadows* and maps the resulting facts back
+//! onto the executed `-O1` body by instruction id.
 //!
 //! ## Semantics contract
 //!
@@ -35,12 +46,16 @@
 mod constfold;
 mod dce;
 mod gvn;
+mod licm;
 mod simplify_cfg;
+mod strength_reduce;
 
 pub use constfold::ConstFold;
 pub use dce::Dce;
 pub use gvn::Gvn;
+pub use licm::Licm;
 pub use simplify_cfg::SimplifyCfg;
+pub use strength_reduce::StrengthReduce;
 
 use crate::instr::Operand;
 use crate::module::{FuncId, Function, InstrId, Module, ValueDef, ValueId};
@@ -103,14 +118,18 @@ pub enum OptLevel {
     /// iterated to a fixed point, then arena compaction.
     #[default]
     O1,
+    /// `-O1` plus the loop pipeline: strength reduction of address
+    /// arithmetic and loop-invariant code motion.
+    O2,
 }
 
 impl OptLevel {
-    /// Parses `"O0"` / `"-O0"` / `"O1"` / `"-O1"`.
+    /// Parses `"O0"` / `"-O0"` / `"O1"` / `"-O1"` / `"O2"` / `"-O2"`.
     pub fn parse(s: &str) -> Option<Self> {
         match s.trim_start_matches('-') {
             "O0" => Some(OptLevel::O0),
             "O1" => Some(OptLevel::O1),
+            "O2" => Some(OptLevel::O2),
             _ => None,
         }
     }
@@ -121,6 +140,7 @@ impl fmt::Display for OptLevel {
         match self {
             OptLevel::O0 => write!(f, "O0"),
             OptLevel::O1 => write!(f, "O1"),
+            OptLevel::O2 => write!(f, "O2"),
         }
     }
 }
@@ -228,6 +248,34 @@ impl PassManager {
             .add(Gvn)
             .add(Dce)
             .add(Compact)
+            .fixpoint(10)
+    }
+
+    /// The standard `-O2` pipeline: `-O1` with strength reduction and LICM
+    /// slotted in before compaction, iterated to a fixed point. The extra
+    /// passes let GVN and DCE clean up the chains the rewrites strand.
+    pub fn standard_o2() -> Self {
+        PassManager::new()
+            .add(SimplifyCfg)
+            .add(ConstFold)
+            .add(StrengthReduce)
+            .add(Licm)
+            .add(Gvn)
+            .add(Dce)
+            .add(Compact)
+            .fixpoint(10)
+    }
+
+    /// The identity-preserving address-canonicalization pipeline:
+    /// strength reduction + LICM to a fixed point, **without** compaction or
+    /// any deleting pass. `InstrId`s, `ValueId`s, block set and terminators
+    /// are exactly those of the input — only instruction operands/opcodes
+    /// and block membership of pure scalar ops change. This is the pipeline
+    /// `cayman-core` runs on per-function analysis shadows at `-O2`.
+    pub fn address_canon() -> Self {
+        PassManager::new()
+            .add(StrengthReduce)
+            .add(Licm)
             .fixpoint(10)
     }
 
@@ -392,6 +440,9 @@ pub fn normalize(
         OptLevel::O1 => PassManager::standard()
             .verify_each_pass(verify_each_pass)
             .run(module),
+        OptLevel::O2 => PassManager::standard_o2()
+            .verify_each_pass(verify_each_pass)
+            .run(module),
     }
 }
 
@@ -407,6 +458,9 @@ pub fn normalize_function(
     match level {
         OptLevel::O0 => Ok(PipelineStats::default()),
         OptLevel::O1 => PassManager::standard()
+            .verify_each_pass(verify_each_pass)
+            .run_function(module, func),
+        OptLevel::O2 => PassManager::standard_o2()
             .verify_each_pass(verify_each_pass)
             .run_function(module, func),
     }

@@ -14,7 +14,7 @@
 //! reconfiguration-bit register (the paper's reconfigurable datapath).
 
 use cayman_hls::design::AcceleratorDesign;
-use cayman_hls::interface::InterfaceKind;
+use cayman_hls::interface::{InterfaceKind, InterfaceSpec};
 use cayman_hls::oplib::{fu_area, fu_class, FuClass, CONFIG_BIT_AREA, MUX_INPUT_AREA};
 use cayman_ir::instr::Instr;
 use cayman_ir::{BlockId, InstrId, Module};
@@ -68,7 +68,16 @@ pub fn units_of_design(
     design: &AcceleratorDesign,
 ) -> Vec<DatapathUnit> {
     let func = module.function(design.func);
-    let iface: HashMap<InstrId, InterfaceKind> = design.interfaces.iter().copied().collect();
+    let iface: HashMap<InstrId, InterfaceSpec> = design.interfaces.iter().copied().collect();
+    // Stream-channel interfaces own an AGU/FIFO-like unit per access: a full
+    // AGU+FIFO for decoupled, the (cheaper, but structurally shareable)
+    // tap-and-shift channel for line buffers.
+    let is_stream_channel = |iid: &InstrId| {
+        matches!(
+            iface.get(iid).map(|s| s.kind),
+            Some(InterfaceKind::Decoupled) | Some(InterfaceKind::LineBuffer)
+        )
+    };
     let mut units = Vec::new();
 
     let mut pipelined_blocks: Vec<BlockId> = Vec::new();
@@ -82,7 +91,7 @@ pub fn units_of_design(
                 }
                 // every op instance owns an output register (dedicated_area)
                 *classes.entry(FuClass::Reg).or_insert(0) += factor;
-                if iface.get(&iid) == Some(&InterfaceKind::Decoupled) {
+                if is_stream_channel(&iid) {
                     *classes.entry(FuClass::AguFifo).or_insert(0) += factor;
                 }
             }
@@ -110,7 +119,7 @@ pub fn units_of_design(
                 }
             }
             *seq_classes.entry(FuClass::Reg).or_insert(0) += 1;
-            if iface.get(&iid) == Some(&InterfaceKind::Decoupled) {
+            if is_stream_channel(&iid) {
                 *seq_classes.entry(FuClass::AguFifo).or_insert(0) += 1;
             }
         }

@@ -77,14 +77,16 @@ impl Solution {
         (sb, pr)
     }
 
-    /// Aggregate interface counts `(#C, #D, #S)` over all kernels.
-    pub fn iface_counts(&self) -> (usize, usize, usize) {
-        let mut t = (0, 0, 0);
+    /// Aggregate interface counts `(#C, #D, #S, #LB)` over all kernels.
+    /// `#S` covers the scratchpad family (plain, banked, double-buffered).
+    pub fn iface_counts(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
         for k in &self.kernels {
-            let (c, d, s) = k.design.iface_counts();
+            let (c, d, s, lb) = k.design.iface_counts();
             t.0 += c;
             t.1 += d;
             t.2 += s;
+            t.3 += lb;
         }
         t
     }

@@ -6,7 +6,8 @@
 //! the point of normalization — so only the observable outputs are compared.
 
 use cayman_ir::interp::{Interp, Value};
-use cayman_ir::transform::{normalize, OptLevel};
+use cayman_ir::transform::{normalize, OptLevel, PassManager};
+use cayman_ir::Instr;
 
 fn values_bit_equal(a: &Option<Value>, b: &Option<Value>) -> bool {
     match (a, b) {
@@ -72,6 +73,118 @@ fn o1_matches_o0_on_all_benchmarks() {
         checked += 1;
     }
     assert_eq!(checked, 28, "expected the full 28-benchmark evaluation set");
+}
+
+/// The `-O2` pipeline (strength reduction + LICM on top of `-O1`) is
+/// observationally equivalent to `-O0` on the full 132-kernel workload set:
+/// bit-identical return value and final memory image, never more dynamic
+/// instructions.
+#[test]
+fn o2_matches_o0_on_all_workloads() {
+    let mut checked = 0;
+    for w in cayman_workloads::full() {
+        let mut raw = Interp::new(&w.module);
+        raw.memory = w.memory();
+        let raw_profile = raw
+            .run(&[])
+            .unwrap_or_else(|e| panic!("{}: -O0 run failed: {e}", w.name));
+        let raw_instrs = raw_profile.dynamic_instrs(&w.module);
+
+        let mut opt_module = w.module.clone();
+        normalize(&mut opt_module, OptLevel::O2, true)
+            .unwrap_or_else(|e| panic!("{}: -O2 normalize failed: {e}", w.name));
+
+        let mut opt = Interp::new(&opt_module);
+        opt.memory = w.memory();
+        let opt_profile = opt
+            .run(&[])
+            .unwrap_or_else(|e| panic!("{}: -O2 run failed: {e}", w.name));
+        let opt_instrs = opt_profile.dynamic_instrs(&opt_module);
+
+        assert!(
+            values_bit_equal(&raw_profile.return_value, &opt_profile.return_value),
+            "{}: return values diverge at -O2: {:?} vs {:?}",
+            w.name,
+            raw_profile.return_value,
+            opt_profile.return_value
+        );
+        assert!(
+            cells_bit_equal(raw.memory.cells(), opt.memory.cells()),
+            "{}: final memory diverges at -O2",
+            w.name
+        );
+        assert!(
+            opt_instrs <= raw_instrs,
+            "{}: -O2 executes more instructions ({opt_instrs} > {raw_instrs})",
+            w.name
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 132, "expected the full 132-kernel workload set");
+}
+
+/// The shadow pipeline ([`PassManager::address_canon`]) keeps its
+/// identity-preservation contract on every workload: same arena sizes, same
+/// blocks and terminators, every memory/phi/call instruction untouched and
+/// in its original block — and the module still computes the same thing.
+#[test]
+fn address_canon_preserves_identity_on_all_workloads() {
+    for w in cayman_workloads::full() {
+        let mut o1 = w.module.clone();
+        normalize(&mut o1, OptLevel::O1, false).expect("O1 normalize");
+        let base = o1.clone();
+        PassManager::address_canon()
+            .verify_each_pass(true)
+            .run(&mut o1)
+            .unwrap_or_else(|e| panic!("{}: address_canon failed: {e}", w.name));
+
+        assert_eq!(base.functions.len(), o1.functions.len());
+        for (bf, sf) in base.functions.iter().zip(&o1.functions) {
+            assert_eq!(bf.instrs.len(), sf.instrs.len(), "{}: arena grew", w.name);
+            assert_eq!(bf.values.len(), sf.values.len(), "{}: values grew", w.name);
+            assert_eq!(bf.blocks.len(), sf.blocks.len(), "{}: blocks", w.name);
+            for (bb, sb) in bf.blocks.iter().zip(&sf.blocks) {
+                assert_eq!(bb.term, sb.term, "{}: terminator changed", w.name);
+            }
+            for (i, instr) in bf.instrs.iter().enumerate() {
+                let pinned = !matches!(
+                    instr,
+                    Instr::Binary { .. }
+                        | Instr::Unary { .. }
+                        | Instr::Cmp { .. }
+                        | Instr::Select { .. }
+                );
+                if pinned {
+                    let iid = cayman_ir::InstrId(i as u32);
+                    assert_eq!(instr, &sf.instrs[i], "{}: pinned instr rewritten", w.name);
+                    assert_eq!(
+                        bf.containing_block(iid),
+                        sf.containing_block(iid),
+                        "{}: pinned instr moved blocks",
+                        w.name
+                    );
+                }
+            }
+        }
+
+        // Same observables as the O1 module it shadows.
+        let mut a = Interp::new(&base);
+        a.memory = w.memory();
+        let pa = a.run(&[]).expect("O1 runs");
+        let mut b = Interp::new(&o1);
+        b.memory = w.memory();
+        let pb = b.run(&[]).expect("shadow runs");
+        assert!(
+            values_bit_equal(&pa.return_value, &pb.return_value),
+            "{}: shadow return diverges",
+            w.name
+        );
+        assert!(
+            cells_bit_equal(a.memory.cells(), b.memory.cells()),
+            "{}: shadow memory diverges",
+            w.name
+        );
+    }
 }
 
 /// Normalization is idempotent: a second `-O1` run changes nothing.

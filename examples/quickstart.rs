@@ -85,9 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for sol in &selection.pareto {
         let (sb, pr) = sol.sb_pr();
-        let (c, d, s) = sol.iface_counts();
+        let (c, d, s, lb) = sol.iface_counts();
         println!(
-            "  area {:>7.0} ({:>5.1}% tile)  speedup {:>6.2}x  kernels {}  #SB {sb} #PR {pr}  #C {c} #D {d} #S {s}",
+            "  area {:>7.0} ({:>5.1}% tile)  speedup {:>6.2}x  kernels {}  #SB {sb} #PR {pr}  #C {c} #D {d} #S {s} #LB {lb}",
             sol.area,
             100.0 * sol.area / CVA6_TILE_AREA,
             fw.speedup(sol),

@@ -24,7 +24,10 @@ cargo bench -p cayman-bench --bench selection --offline -- --smoke
 echo "== incremental re-analysis (smoke: fronts bit-identical, warm toggles cache-hit) =="
 cargo bench -p cayman-bench --bench incremental --offline -- --smoke
 
-echo "== differential fuzz (smoke: 50 seeded programs + corpus gate + incremental equivalence) =="
+echo "== interface ablation (smoke: extended model strictly improves >=5 stencil kernels) =="
+cargo bench -p cayman-bench --bench interfaces --offline -- --smoke
+
+echo "== differential fuzz (smoke: 50 seeded programs + corpus gate + O1-vs-O2 staging + incremental equivalence) =="
 cargo run -q --release -p cayman-bench --offline --bin fuzz -- \
   --seed 0xCA11 --count 50 --corpus-gate --incremental --incremental-corpus 20
 

@@ -131,3 +131,75 @@ fn determinism_across_runs() {
         assert_eq!(a.saved_seconds, b.saved_seconds);
     }
 }
+
+/// The `-O2` staging contract, end to end, over the full 132-kernel corpus:
+/// the executed module is the `-O1` body (the shadow only feeds analysis),
+/// so profiles and interpreter results are bit-identical — and so are the
+/// selected Pareto fronts, kernel for kernel, bit for bit. A corpus kernel
+/// whose analysis shadow differs from its executed body would change its
+/// content fingerprints (and may legitimately refine its front); this test
+/// additionally pins that the checked-in corpus is canonical enough that
+/// this never happens silently.
+#[test]
+fn o2_is_bit_identical_to_o1_on_the_full_corpus() {
+    use cayman::AnalyseOptions;
+    let mut checked = 0;
+    for w in cayman::workloads::full() {
+        let o1 = Framework::from_workload_with(&w, &AnalyseOptions::default())
+            .unwrap_or_else(|e| panic!("{}: -O1 pipeline failed: {e}", w.name));
+        let o2 = Framework::from_workload_with(&w, &AnalyseOptions::o2())
+            .unwrap_or_else(|e| panic!("{}: -O2 pipeline failed: {e}", w.name));
+
+        // Identical executed program and profile: -O2 never changes what runs.
+        assert_eq!(
+            o1.app.module.to_text(),
+            o2.app.module.to_text(),
+            "{}: -O2 executed module is not the -O1 body",
+            w.name
+        );
+        assert_eq!(
+            o1.app.profile.block_counts, o2.app.profile.block_counts,
+            "{}: block counts diverge",
+            w.name
+        );
+        assert_eq!(
+            o1.app.total_cycles(),
+            o2.app.total_cycles(),
+            "{}: cycle totals diverge",
+            w.name
+        );
+        let same_value = match (&o1.app.exec.return_value, &o2.app.exec.return_value) {
+            (Some(cayman::ir::interp::Value::F(x)), Some(cayman::ir::interp::Value::F(y))) => {
+                x.to_bits() == y.to_bits()
+            }
+            (x, y) => x == y,
+        };
+        assert!(same_value, "{}: return values diverge", w.name);
+
+        // Bit-identical fronts, kernel for kernel.
+        let s1 = o1.select(&SelectOptions::default());
+        let s2 = o2.select(&SelectOptions::default());
+        assert_eq!(s1.pareto.len(), s2.pareto.len(), "{}: front size", w.name);
+        for (a, b) in s1.pareto.iter().zip(&s2.pareto) {
+            assert_eq!(a.area.to_bits(), b.area.to_bits(), "{}: area", w.name);
+            assert_eq!(
+                a.saved_seconds.to_bits(),
+                b.saved_seconds.to_bits(),
+                "{}: savings",
+                w.name
+            );
+            assert_eq!(a.kernels.len(), b.kernels.len(), "{}: kernel count", w.name);
+            for (x, y) in a.kernels.iter().zip(&b.kernels) {
+                assert_eq!(x.node, y.node, "{}: selected vertex", w.name);
+                assert_eq!(x.design.blocks, y.design.blocks, "{}: blocks", w.name);
+                assert_eq!(
+                    x.design.interfaces, y.design.interfaces,
+                    "{}: interface assignment",
+                    w.name
+                );
+            }
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 132, "expected the full 132-kernel workload set");
+}
