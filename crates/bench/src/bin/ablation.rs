@@ -20,7 +20,7 @@
 //! emits one machine-readable document on stdout instead of the table.
 
 use cayman::{Framework, ModelOptions, SelectOptions, CVA6_TILE_AREA};
-use cayman_bench::{json, BenchArgs};
+use cayman_bench::{framework_for, json, BenchArgs};
 
 const PICKS: [&str; 6] = ["3mm", "atax", "jacobi-2d", "spmv", "epic", "nnet-test"];
 
@@ -60,7 +60,7 @@ fn main() {
     let mut rows = Vec::new();
     for name in args.select_names(&PICKS) {
         let w = cayman::workloads::by_name(name).expect("benchmark exists");
-        let fw = Framework::from_workload_with(&w, &args.analyse).expect("analyses");
+        let fw = framework_for(&w, &args.analyse);
 
         // The full-model pass is the cold one: keep its result so the top-k
         // accel(v, R) cost breakdown (populated only when the model actually

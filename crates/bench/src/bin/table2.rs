@@ -60,6 +60,25 @@ fn json_row(o: &mut json::Obj, r: &Table2Row) {
     o.f64("runtime_s", r.runtime_s, 6);
     o.f64("runtime_warm_s", r.runtime_warm_s, 6);
     o.f64("cache_hit_rate", r.stats.cache_hit_rate(), 3);
+    o.obj("cache", |o| {
+        o.u64("hits", r.cache.hits());
+        o.u64("misses", r.cache.misses());
+        o.u64("inserts", r.cache.inserts());
+        o.u64("entries", r.cache.entries() as u64);
+        o.u64("stripes_used", r.cache.stripes_used() as u64);
+        o.u64("disk_hits", r.cache.disk_hits);
+        o.u64("disk_misses", r.cache.disk_misses);
+        o.arr("stripes", |a| {
+            for s in &r.cache.stripes {
+                a.obj(|o| {
+                    o.u64("hits", s.hits);
+                    o.u64("misses", s.misses);
+                    o.u64("inserts", s.inserts);
+                    o.u64("entries", s.entries as u64);
+                });
+            }
+        });
+    });
     o.arr("budgets", |a| {
         for b in &r.budgets {
             a.obj(|o| {
@@ -115,6 +134,19 @@ fn main() {
                     });
                 }
             });
+            if let Some(store) = cayman_bench::env_design_store() {
+                let s = store.stats();
+                o.obj("store", |o| {
+                    o.str("dir", &store.dir().display().to_string());
+                    o.u64("hits", s.hits);
+                    o.u64("misses", s.misses);
+                    o.u64("writes", s.writes);
+                    o.u64("corrupt", s.corrupt);
+                    o.u64("version_skew", s.version_skew);
+                    o.u64("key_mismatches", s.key_mismatches);
+                    o.u64("evictions", s.evictions);
+                });
+            }
         });
         print!("{doc}");
         cayman_bench::flush_obs_outputs();
@@ -159,6 +191,26 @@ fn main() {
         warm * 1e3,
         cold / warm.max(1e-12)
     );
+    println!(
+        "design cache stripes: {} entries over {} of 16 stripes, {} hits / {} misses / {} inserts",
+        avg.cache.entries(),
+        avg.cache.stripes_used(),
+        avg.cache.hits(),
+        avg.cache.misses(),
+        avg.cache.inserts(),
+    );
+    if let Some(store) = cayman_bench::env_design_store() {
+        let s = store.stats();
+        println!(
+            "design store {}: {} disk hits / {} misses this run, {} writes, {} corrupt, {} evicted",
+            store.dir().display(),
+            s.hits,
+            s.misses,
+            s.writes,
+            s.corrupt,
+            s.evictions,
+        );
+    }
 
     // Where the model time goes: the globally most expensive accel(v, R)
     // invocations across all cold runs.

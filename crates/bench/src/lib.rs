@@ -16,8 +16,11 @@
 
 use cayman::workloads::Workload;
 use cayman::{
-    AnalyseOptions, Framework, ModelOptions, OptLevel, SelectOptions, SelectStats, CVA6_TILE_AREA,
+    AnalyseOptions, CacheStats, Framework, ModelOptions, OptLevel, SelectOptions, SelectStats,
+    CVA6_TILE_AREA,
 };
+use cayman_store::DiskStore;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 pub mod diff;
@@ -138,6 +141,45 @@ pub fn flush_obs_outputs() {
     }
 }
 
+/// The process-wide persistent design store named by `CAYMAN_STORE_DIR`,
+/// opened once and shared by every framework this process builds — `None`
+/// when the variable is unset. An unusable directory is reported once on
+/// stderr and treated as unset (the store is an optimisation layer; a bad
+/// path must not take a table run down).
+pub fn env_design_store() -> Option<Arc<DiskStore>> {
+    static STORE: OnceLock<Option<Arc<DiskStore>>> = OnceLock::new();
+    STORE
+        .get_or_init(|| match DiskStore::from_env() {
+            Some(Ok(store)) => Some(Arc::new(store)),
+            Some(Err(e)) => {
+                eprintln!(
+                    "{}: cannot open design store: {e}",
+                    cayman_store::STORE_DIR_ENV
+                );
+                None
+            }
+            None => None,
+        })
+        .clone()
+}
+
+/// Builds the framework every bench binary uses: analyse the workload, then
+/// back its design cache with the [`env_design_store`] when one is
+/// configured — a second run over the same workload set is then served
+/// disk-warm, with zero model evaluations.
+///
+/// # Panics
+///
+/// Panics if the workload fails to verify or execute (CI runs every
+/// workload; a failure here is a kernel bug).
+pub fn framework_for(w: &Workload, analyse: &AnalyseOptions) -> Framework {
+    let mut fw = Framework::from_workload_with(w, analyse).expect("workload analyses");
+    if let Some(store) = env_design_store() {
+        fw.set_design_store(store as _);
+    }
+    fw
+}
+
 /// Selection options for the Table II protocol: the thread count comes from
 /// `CAYMAN_SELECT_THREADS`, defaulting to the host parallelism clamped to
 /// `2..=4` so the work-stealing scheduler — and its per-worker trace lanes —
@@ -181,6 +223,10 @@ pub struct Table2Row {
     /// `top_accel` breakdown is populated (the warm run never invokes the
     /// model, so it has no calls to rank).
     pub cold_stats: SelectStats,
+    /// Design-cache counter snapshot after all of the row's selection runs:
+    /// per-stripe hit/miss/insert counts plus store-level (disk) hits and
+    /// misses when `CAYMAN_STORE_DIR` backs the cache.
+    pub cache: CacheStats,
 }
 
 /// The per-budget column group of Table II.
@@ -231,7 +277,7 @@ pub fn table2_row(w: &Workload) -> Table2Row {
 ///
 /// Panics if the workload fails to verify or execute.
 pub fn table2_row_with(w: &Workload, analyse: &AnalyseOptions) -> Table2Row {
-    let fw = Framework::from_workload_with(w, analyse).expect("workload analyses");
+    let fw = framework_for(w, analyse);
     let opts = select_options_from_env();
 
     let t0 = Instant::now();
@@ -279,6 +325,7 @@ pub fn table2_row_with(w: &Workload, analyse: &AnalyseOptions) -> Table2Row {
         runtime_warm_s,
         stats: warm.stats,
         cold_stats: cayman.stats.clone(),
+        cache: fw.cache_stats(),
     }
 }
 
@@ -377,6 +424,10 @@ pub fn average_row(rows: &[Table2Row]) -> Table2Row {
         stats.worker_busy_nanos.sort_unstable_by(|a, b| b.cmp(a));
         stats
     };
+    let mut cache = CacheStats::default();
+    for r in rows {
+        cache.merge(&r.cache);
+    }
     Table2Row {
         suite: String::new(),
         name: "average".into(),
@@ -385,6 +436,7 @@ pub fn average_row(rows: &[Table2Row]) -> Table2Row {
         runtime_warm_s: rows.iter().map(|r| r.runtime_warm_s).sum::<f64>() / n,
         stats: merge(&|r| &r.stats),
         cold_stats: merge(&|r| &r.cold_stats),
+        cache,
     }
 }
 
@@ -440,7 +492,7 @@ pub struct Fig6Series {
 ///
 /// Panics if the workload fails to analyse.
 pub fn fig6_series(w: &Workload) -> Fig6Series {
-    let fw = Framework::from_workload(w).expect("workload analyses");
+    let fw = framework_for(w, &AnalyseOptions::default());
     let opts = SelectOptions::default();
     let coupled_opts = SelectOptions {
         model: ModelOptions::coupled_only(),

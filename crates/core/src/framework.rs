@@ -8,10 +8,11 @@ use cayman_baselines::{NoviaModel, QsCoresModel};
 use cayman_hls::CVA6_TILE_AREA;
 use cayman_merge::{merge_solution, MergeResult};
 use cayman_select::{
-    run_selection_cached, AccelModel, CaymanModel, DesignCache, SelectOptions, SelectionResult,
-    Solution,
+    run_selection_cached, AccelModel, CacheStats, CaymanModel, DesignCache, DesignStoreBackend,
+    SelectOptions, SelectionResult, Solution,
 };
 use cayman_workloads::Workload;
+use std::sync::Arc;
 
 /// The framework: owns an analysed [`Application`] and runs selection,
 /// merging and baseline comparisons against it.
@@ -161,14 +162,39 @@ impl Framework {
         self.select_with(opts, &QsCoresModel)
     }
 
+    /// Backs the design cache with a persistent second level (typically
+    /// `cayman-store`'s content-addressed disk store): inserts write
+    /// through, memory misses consult the store. Call before the first
+    /// selection run so cold evaluations are persisted from the start.
+    pub fn set_design_store(&mut self, store: Arc<dyn DesignStoreBackend>) {
+        self.cache.set_backing(store);
+    }
+
+    /// Whether a persistent design store is attached.
+    pub fn has_design_store(&self) -> bool {
+        self.cache.has_backing()
+    }
+
     /// Lifetime `(hits, misses)` of the framework's design cache.
     pub fn cache_totals(&self) -> (u64, u64) {
         self.cache.totals()
     }
 
+    /// Per-stripe + store-level counter snapshot of the design cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Number of memoised candidate entries in the design cache.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Drops every memoised design and resets the cache counters, keeping
+    /// the persistent backing store (and its contents) attached. The next
+    /// selection re-loads designs from the store instead of the model.
+    pub fn clear_design_cache(&self) {
+        self.cache.clear();
     }
 
     /// Speedup of a solution for this application (Eq. (1)).

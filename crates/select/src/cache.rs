@@ -17,6 +17,17 @@
 //! module + profile): the keys do not capture `FuncInputs`. Owners that
 //! re-analyse must start from a fresh cache (the `cayman` facade ties one
 //! cache to one `Framework`, which owns exactly one analysed application).
+//!
+//! ## Two levels
+//!
+//! The in-memory stripes can be backed by a persistent second level through
+//! [`DesignStoreBackend`] (implemented by `cayman-store`'s content-addressed
+//! disk store). The cache is **write-through**: every insert is forwarded to
+//! the backing store, and a memory miss consults the store before reporting
+//! a miss, promoting disk hits into the missing stripe. Keys carry a content
+//! fingerprint of the analysed function, so a persistent entry is valid for
+//! every process that analyses the same function with the same model — which
+//! is exactly what makes the store shareable across processes.
 
 use cayman_hls::design::AcceleratorDesign;
 use cayman_hls::inputs::CandidateKey;
@@ -43,6 +54,22 @@ pub struct DesignKey {
     pub model: ModelId,
     /// Which candidate they were produced for.
     pub candidate: CandidateKey,
+}
+
+/// A persistent second level under the in-memory stripes.
+///
+/// Implementations must be corruption-tolerant (a bad entry is a miss,
+/// never a panic) and safe for concurrent use from many threads and many
+/// processes. `save` is called with the designs the model just produced;
+/// models are deterministic, so concurrent saves of the same key write
+/// identical bytes and last-writer-wins is safe.
+pub trait DesignStoreBackend: Send + Sync + std::fmt::Debug {
+    /// Loads the memoised designs for `key`, or `None` on any kind of miss
+    /// (absent, corrupt, version-mismatched, hash-collided).
+    fn load(&self, key: &DesignKey) -> Option<Vec<AcceleratorDesign>>;
+    /// Persists `designs` under `key`. Failures are swallowed (the store is
+    /// an optimisation, not a source of truth).
+    fn save(&self, key: &DesignKey, designs: &[AcceleratorDesign]);
 }
 
 /// Number of independent lock stripes. A power of two so the stripe pick is
@@ -81,64 +108,177 @@ fn stripe_of(key: &DesignKey) -> usize {
     (z as usize) & (STRIPES - 1)
 }
 
+/// One lock stripe: its map plus lifetime counters, bumped outside the
+/// critical section.
+#[derive(Debug, Default)]
+struct Stripe {
+    map: Mutex<HashMap<DesignKey, Arc<Vec<AcceleratorDesign>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+/// Lifetime counters of one stripe, snapshotted by [`DesignCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StripeStats {
+    /// Lookups answered from this stripe's map.
+    pub hits: u64,
+    /// Lookups that missed this stripe's map (disk hits still count a
+    /// memory-level miss here; see [`CacheStats::disk_hits`]).
+    pub misses: u64,
+    /// Map writes (model inserts and disk-hit promotions).
+    pub inserts: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+/// A consistent-enough snapshot of the cache's lifetime counters, per
+/// stripe plus the store level — memory-level and store-level hit rates are
+/// separately computable (`table2 --json` prints this).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Per-stripe counters, in stripe order (length [`STRIPES`]).
+    pub stripes: Vec<StripeStats>,
+    /// Memory-level misses answered by the backing store.
+    pub disk_hits: u64,
+    /// Memory-level misses the backing store also missed.
+    pub disk_misses: u64,
+}
+
+impl CacheStats {
+    /// Total memory-level hits over all stripes.
+    pub fn hits(&self) -> u64 {
+        self.stripes.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total memory-level misses over all stripes.
+    pub fn misses(&self) -> u64 {
+        self.stripes.iter().map(|s| s.misses).sum()
+    }
+
+    /// Total map writes over all stripes.
+    pub fn inserts(&self) -> u64 {
+        self.stripes.iter().map(|s| s.inserts).sum()
+    }
+
+    /// Total entries currently held.
+    pub fn entries(&self) -> usize {
+        self.stripes.iter().map(|s| s.entries).sum()
+    }
+
+    /// Number of stripes holding at least one entry (spread indicator).
+    pub fn stripes_used(&self) -> usize {
+        self.stripes.iter().filter(|s| s.entries > 0).count()
+    }
+
+    /// Accumulates another snapshot into this one (summary rows over many
+    /// frameworks).
+    pub fn merge(&mut self, other: &CacheStats) {
+        if self.stripes.len() < other.stripes.len() {
+            self.stripes
+                .resize(other.stripes.len(), StripeStats::default());
+        }
+        for (a, b) in self.stripes.iter_mut().zip(&other.stripes) {
+            a.hits += b.hits;
+            a.misses += b.misses;
+            a.inserts += b.inserts;
+            a.entries += b.entries;
+        }
+        self.disk_hits += other.disk_hits;
+        self.disk_misses += other.disk_misses;
+    }
+}
+
 /// Memoised `accel(v, R)` results, shareable across selection runs and
 /// across threads within a run.
 ///
 /// Entries are `Arc`ed so hits hand out cheap clones of the design vector.
 /// The table is sharded into [`STRIPES`] independently locked stripes keyed
 /// by a deterministic hash of the [`DesignKey`], so parallel workers probing
-/// different candidates do not serialise on one global lock. Hit/miss
-/// counters are global to the cache (lifetime totals) and are bumped outside
-/// the critical section; per-run counts are tracked by the DP's own stats.
-#[derive(Debug)]
+/// different candidates do not serialise on one global lock. Hit/miss/insert
+/// counters are per stripe (lifetime totals) and are bumped outside the
+/// critical section; per-run counts are tracked by the DP's own stats.
+///
+/// An optional [`DesignStoreBackend`] turns the cache into the first level
+/// of a two-level hierarchy (see the module docs).
+#[derive(Debug, Default)]
 pub struct DesignCache {
-    stripes: [Mutex<HashMap<DesignKey, Arc<Vec<AcceleratorDesign>>>>; STRIPES],
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-impl Default for DesignCache {
-    fn default() -> Self {
-        DesignCache {
-            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
+    stripes: [Stripe; STRIPES],
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    backing: Option<Arc<dyn DesignStoreBackend>>,
 }
 
 impl DesignCache {
-    /// An empty cache.
+    /// An empty cache with no backing store.
     pub fn new() -> Self {
         DesignCache::default()
     }
 
-    /// Looks up memoised designs, counting a hit or a miss. Only the key's
-    /// stripe is locked, and only for the probe itself.
-    pub fn lookup(&self, key: &DesignKey) -> Option<Arc<Vec<AcceleratorDesign>>> {
-        let found = {
-            let stripe = self.stripes[stripe_of(key)]
-                .lock()
-                .expect("design cache poisoned");
-            stripe.get(key).cloned()
-        };
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// Attaches a persistent second level. Subsequent inserts write through
+    /// to it and memory misses consult it. Intended to be called once,
+    /// before the cache warms.
+    pub fn set_backing(&mut self, backing: Arc<dyn DesignStoreBackend>) {
+        self.backing = Some(backing);
     }
 
-    /// Memoises `designs` under `key`. Concurrent inserts of the same key
-    /// are benign: models are deterministic, so both values are identical
-    /// and last-writer-wins is safe.
+    /// Whether a backing store is attached.
+    pub fn has_backing(&self) -> bool {
+        self.backing.is_some()
+    }
+
+    /// Looks up memoised designs, counting a hit or a miss. Only the key's
+    /// stripe is locked, and only for the probe itself. On a memory miss
+    /// the backing store (when attached) is consulted and a disk hit is
+    /// promoted into the stripe.
+    pub fn lookup(&self, key: &DesignKey) -> Option<Arc<Vec<AcceleratorDesign>>> {
+        let stripe = &self.stripes[stripe_of(key)];
+        let found = {
+            let map = stripe.map.lock().expect("design cache poisoned");
+            map.get(key).cloned()
+        };
+        if let Some(designs) = found {
+            stripe.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(designs);
+        }
+        stripe.misses.fetch_add(1, Ordering::Relaxed);
+        let backing = self.backing.as_ref()?;
+        match backing.load(key) {
+            Some(designs) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let arc = Arc::new(designs);
+                stripe.inserts.fetch_add(1, Ordering::Relaxed);
+                stripe
+                    .map
+                    .lock()
+                    .expect("design cache poisoned")
+                    .insert(key.clone(), Arc::clone(&arc));
+                Some(arc)
+            }
+            None => {
+                self.disk_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Memoises `designs` under `key`, writing through to the backing store
+    /// when one is attached. Concurrent inserts of the same key are benign:
+    /// models are deterministic, so both values are identical and
+    /// last-writer-wins is safe.
     pub fn insert(
         &self,
         key: DesignKey,
         designs: Vec<AcceleratorDesign>,
     ) -> Arc<Vec<AcceleratorDesign>> {
+        if let Some(backing) = &self.backing {
+            backing.save(&key, &designs);
+        }
         let arc = Arc::new(designs);
-        self.stripes[stripe_of(&key)]
+        let stripe = &self.stripes[stripe_of(&key)];
+        stripe.inserts.fetch_add(1, Ordering::Relaxed);
+        stripe
+            .map
             .lock()
             .expect("design cache poisoned")
             .insert(key, Arc::clone(&arc));
@@ -149,7 +289,7 @@ impl DesignCache {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("design cache poisoned").len())
+            .map(|s| s.map.lock().expect("design cache poisoned").len())
             .sum()
     }
 
@@ -158,21 +298,51 @@ impl DesignCache {
         self.len() == 0
     }
 
-    /// Lifetime `(hits, misses)` over all lookups.
+    /// Lifetime `(hits, misses)` over all lookups. A lookup answered by the
+    /// backing store counts as a memory-level miss here (the caller still
+    /// received designs; see [`DesignCache::stats`] to tell the levels
+    /// apart).
     pub fn totals(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in &self.stripes {
+            hits += s.hits.load(Ordering::Relaxed);
+            misses += s.misses.load(Ordering::Relaxed);
+        }
+        (hits, misses)
     }
 
-    /// Drops all entries and resets the lifetime counters.
+    /// Snapshot of every stripe's lifetime counters plus the store-level
+    /// hit/miss totals.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            stripes: self
+                .stripes
+                .iter()
+                .map(|s| StripeStats {
+                    hits: s.hits.load(Ordering::Relaxed),
+                    misses: s.misses.load(Ordering::Relaxed),
+                    inserts: s.inserts.load(Ordering::Relaxed),
+                    entries: s.map.lock().expect("design cache poisoned").len(),
+                })
+                .collect(),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all in-memory entries and resets the lifetime counters. The
+    /// backing store (when attached) keeps its entries: clearing memory is
+    /// a per-process operation, the store is shared.
     pub fn clear(&self) {
         for stripe in &self.stripes {
-            stripe.lock().expect("design cache poisoned").clear();
+            stripe.map.lock().expect("design cache poisoned").clear();
+            stripe.hits.store(0, Ordering::Relaxed);
+            stripe.misses.store(0, Ordering::Relaxed);
+            stripe.inserts.store(0, Ordering::Relaxed);
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.disk_misses.store(0, Ordering::Relaxed);
     }
 }
 
@@ -272,5 +442,84 @@ mod tests {
         assert_eq!((hits, misses), (4 * 64, 0));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stats_snapshot_sums_match_totals() {
+        let cache = DesignCache::new();
+        for i in 0..32 {
+            cache.lookup(&key(i, 1));
+            cache.insert(key(i, 1), Vec::new());
+            cache.lookup(&key(i, 1));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.stripes.len(), STRIPES);
+        assert_eq!((stats.hits(), stats.misses()), cache.totals());
+        assert_eq!(stats.hits(), 32);
+        assert_eq!(stats.misses(), 32);
+        assert_eq!(stats.inserts(), 32);
+        assert_eq!(stats.entries(), cache.len());
+        assert!(stats.stripes_used() > 1, "32 keys spread over stripes");
+        assert_eq!((stats.disk_hits, stats.disk_misses), (0, 0));
+        let mut merged = stats.clone();
+        merged.merge(&stats);
+        assert_eq!(merged.hits(), 64);
+        assert_eq!(merged.entries(), 2 * cache.len());
+    }
+
+    /// An in-memory [`DesignStoreBackend`] for exercising the write-through
+    /// and promote paths without touching disk.
+    #[derive(Debug, Default)]
+    struct MapStore {
+        entries: Mutex<HashMap<DesignKey, Vec<AcceleratorDesign>>>,
+        loads: AtomicU64,
+        saves: AtomicU64,
+    }
+
+    impl DesignStoreBackend for MapStore {
+        fn load(&self, key: &DesignKey) -> Option<Vec<AcceleratorDesign>> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            self.entries.lock().unwrap().get(key).cloned()
+        }
+
+        fn save(&self, key: &DesignKey, designs: &[AcceleratorDesign]) {
+            self.saves.fetch_add(1, Ordering::Relaxed);
+            self.entries
+                .lock()
+                .unwrap()
+                .insert(key.clone(), designs.to_vec());
+        }
+    }
+
+    #[test]
+    fn write_through_backing_promotes_on_memory_miss() {
+        let store = Arc::new(MapStore::default());
+        let mut warm = DesignCache::new();
+        warm.set_backing(Arc::clone(&store) as Arc<dyn DesignStoreBackend>);
+        assert!(warm.has_backing());
+
+        // miss both levels, then write through
+        assert!(warm.lookup(&key(0, 1)).is_none());
+        warm.insert(key(0, 1), Vec::new());
+        assert_eq!(store.saves.load(Ordering::Relaxed), 1);
+        assert_eq!(warm.stats().disk_misses, 1);
+
+        // a fresh cache over the same store: memory misses, store hits,
+        // entry promoted so the second lookup never reaches the store
+        let mut fresh = DesignCache::new();
+        fresh.set_backing(Arc::clone(&store) as Arc<dyn DesignStoreBackend>);
+        assert!(fresh.lookup(&key(0, 1)).is_some(), "disk hit serves lookup");
+        let loads_after_promote = store.loads.load(Ordering::Relaxed);
+        assert!(fresh.lookup(&key(0, 1)).is_some());
+        assert_eq!(
+            store.loads.load(Ordering::Relaxed),
+            loads_after_promote,
+            "promoted entry answers from memory"
+        );
+        let stats = fresh.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses(), 1, "only the first probe missed memory");
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.entries(), 1);
     }
 }

@@ -25,7 +25,7 @@ pub mod pareto;
 pub mod sched;
 pub mod stats;
 
-pub use cache::{DesignCache, DesignKey, ModelId};
+pub use cache::{CacheStats, DesignCache, DesignKey, DesignStoreBackend, ModelId, StripeStats};
 pub use dp::{
     run_selection, run_selection_cached, run_selection_with, run_selection_with_fronts, AccelModel,
     CaymanModel, FrontKey, FrontStore, SelectOptions, SelectionResult,

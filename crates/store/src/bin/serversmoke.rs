@@ -1,0 +1,125 @@
+//! CI smoke for the server + store (ISSUE 9 satellite): boots `caymand`
+//! in-process on a Unix socket with a fresh store directory, submits a
+//! corpus kernel over the socket, and asserts
+//!
+//! 1. the served front is **bit-identical** to an in-process
+//!    `Framework::from_text` + `select` on the same text,
+//! 2. a repeat request on the warm server reuses the framework and runs
+//!    **zero** model evaluations (memory-warm),
+//! 3. a *restarted* server on the same store directory still serves the
+//!    bit-identical front with **zero cold `accel(v, R)` evaluations** —
+//!    the designs come off disk (disk-warm), proven by the request
+//!    counters and the store's hit counter.
+//!
+//! Exits non-zero (panics) on any violation; prints one OK line otherwise.
+
+use cayman::{Framework, SelectOptions};
+use cayman_store::{fronts_bits_equal, serve, Client, Endpoint, ServerOptions};
+use std::path::Path;
+
+fn main() {
+    cayman_obs::init_from_env();
+    let tmp = std::env::temp_dir().join(format!("cayman-serversmoke-{}", std::process::id()));
+    let store_dir = tmp.join("store");
+    std::fs::create_dir_all(&tmp).expect("create smoke dir");
+
+    // one real corpus kernel, submitted as text exactly as a client would
+    let corpus = cayman::workloads::corpus::corpus();
+    let w = corpus.first().expect("corpus is non-empty");
+    let text = w.module.to_text();
+
+    // the in-process reference the server must match bit-for-bit
+    let reference = Framework::from_text(&text)
+        .expect("corpus kernel analyses")
+        .select(&SelectOptions::default());
+
+    // ---- phase 1: cold server, cold store ----
+    let server = serve(
+        Endpoint::Unix(tmp.join("caymand-a.sock")),
+        ServerOptions {
+            store_dir: Some(store_dir.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("server starts");
+    let mut client = Client::connect(server.endpoint()).expect("connects");
+    client.ping().expect("pings");
+
+    let cold = client.select_text(&text).expect("cold select");
+    assert!(
+        fronts_bits_equal(&cold.front, &reference.pareto),
+        "{}: served front diverges from in-process selection",
+        w.name
+    );
+    assert!(cold.model_evals > 0, "cold request must run the model");
+    assert!(
+        !cold.framework_reused,
+        "first request analyses from scratch"
+    );
+
+    let warm = client.select_text(&text).expect("memory-warm select");
+    assert!(fronts_bits_equal(&warm.front, &reference.pareto));
+    assert!(warm.framework_reused, "repeat request reuses the framework");
+    assert_eq!(warm.model_evals, 0, "memory-warm request skips the model");
+
+    let stats = client.stats().expect("stats");
+    let store_stats = stats.store.expect("store attached");
+    assert!(store_stats.writes > 0, "cold run persisted designs");
+    client.shutdown_server().expect("shuts down");
+    server.wait();
+
+    // ---- phase 2: fresh server, warm store ----
+    let server = serve(
+        Endpoint::Unix(tmp.join("caymand-b.sock")),
+        ServerOptions {
+            store_dir: Some(store_dir.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("server restarts");
+    let mut client = Client::connect(server.endpoint()).expect("reconnects");
+    let disk_warm = client.select_text(&text).expect("disk-warm select");
+    assert!(
+        !disk_warm.framework_reused,
+        "restarted server re-analyses the module"
+    );
+    assert!(
+        fronts_bits_equal(&disk_warm.front, &reference.pareto),
+        "{}: disk-served front diverges from in-process selection",
+        w.name
+    );
+    assert_eq!(
+        disk_warm.model_evals, 0,
+        "disk-warm request must run zero cold accel(v, R) evaluations"
+    );
+    assert!(
+        disk_warm.disk_hits > 0,
+        "designs must come off the disk store"
+    );
+    let stats = client.stats().expect("stats");
+    let store_stats = stats.store.expect("store attached");
+    assert!(store_stats.hits > 0, "store served hits");
+    assert_eq!(store_stats.corrupt, 0, "no corruption in a clean store");
+    client.shutdown_server().expect("shuts down");
+    server.wait();
+
+    let entries = walk_count(&store_dir);
+    let _ = std::fs::remove_dir_all(&tmp);
+    println!(
+        "serversmoke: OK ({}: front bit-identical cold/memory-warm/disk-warm, \
+         {} model evals cold, {} disk hits warm, {entries} store entries)",
+        w.name, cold.model_evals, disk_warm.disk_hits
+    );
+}
+
+fn walk_count(dir: &Path) -> usize {
+    let mut n = 0;
+    if let Ok(shards) = std::fs::read_dir(dir.join("objects")) {
+        for shard in shards.flatten() {
+            if let Ok(files) = std::fs::read_dir(shard.path()) {
+                n += files.flatten().count();
+            }
+        }
+    }
+    n
+}

@@ -1,0 +1,87 @@
+//! A minimal blocking client for the `caymand` wire protocol.
+
+use crate::server::{Endpoint, Stream};
+use crate::wire::{self, Request, Response, SelectReply, StatsReply, WireError};
+use std::io;
+
+/// One connection to a running server. Requests are serial per client;
+/// open more clients for concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            stream: endpoint.connect()?,
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, WireError> {
+        wire::write_frame(&mut self.stream, &wire::encode_request(req))?;
+        let payload = wire::read_frame(&mut self.stream)?
+            .ok_or(WireError::Protocol("server closed before replying"))?;
+        wire::decode_response(&payload)
+    }
+
+    /// Submits a textual IR module for analyse + select; returns the
+    /// bit-exact Pareto front plus warm/cold counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors or a server-side parse/analysis error.
+    pub fn select_text(&mut self, module_text: &str) -> Result<SelectReply, WireError> {
+        match self.roundtrip(&Request::Select {
+            module_text: module_text.to_string(),
+        })? {
+            Response::Select(reply) => Ok(reply),
+            Response::Error(msg) => Err(WireError::Server(msg)),
+            _ => Err(WireError::Protocol("unexpected response to SELECT")),
+        }
+    }
+
+    /// Fetches the server's lifetime counters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors.
+    pub fn stats(&mut self) -> Result<StatsReply, WireError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(reply) => Ok(reply),
+            Response::Error(msg) => Err(WireError::Server(msg)),
+            _ => Err(WireError::Protocol("unexpected response to STATS")),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(msg) => Err(WireError::Server(msg)),
+            _ => Err(WireError::Protocol("unexpected response to PING")),
+        }
+    }
+
+    /// Asks the server to shut down; returns once it acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors.
+    pub fn shutdown_server(&mut self) -> Result<(), WireError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error(msg) => Err(WireError::Server(msg)),
+            _ => Err(WireError::Protocol("unexpected response to SHUTDOWN")),
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The long-running batch analyse/select server (`caymand`).
+//!
+//! One process owns one shared state: a bounded LRU map of analysed
+//! [`Framework`]s keyed by the content hash of the submitted module text,
+//! plus (optionally) one shared [`DiskStore`] backing every framework's
+//! design cache. Concurrent connections each get a thread, but identical
+//! module texts batch onto the *same* warm `Arc<Framework>` — selection is
+//! `&self` and the design cache is thread-safe, so N clients asking for the
+//! same kernel cost one analysis and one model warm-up, and *different*
+//! kernels still share model results through the store.
+//!
+//! Determinism: the served front is produced by exactly the same
+//! `Framework::select` the in-process tools run, so a served front is
+//! bit-identical to a locally computed one (asserted end-to-end by
+//! `serversmoke` in ci.sh).
+
+use crate::disk::DiskStore;
+use crate::wire::{self, Request, Response, SelectReply, StatsReply, WireError};
+use cayman::{CaymanError, Framework, SelectOptions};
+use cayman_select::DesignStoreBackend;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Where a server listens (and a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`; port 0 binds an ephemeral port, resolved
+    /// in [`ServerHandle::endpoint`]).
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Connects a client stream to this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path)?),
+            Endpoint::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr.as_str())?),
+        })
+    }
+}
+
+/// A connected socket of either family.
+#[derive(Debug)]
+pub enum Stream {
+    /// Unix-domain connection.
+    Unix(UnixStream),
+    /// TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Stream> {
+        Ok(match self {
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+        })
+    }
+}
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Back every framework's design cache with this store directory.
+    pub store_dir: Option<PathBuf>,
+    /// Selection options used for every SELECT (fronts are bit-identical
+    /// for every thread count, so this only affects latency).
+    pub select: SelectOptions,
+    /// At most this many analysed frameworks are kept warm (LRU).
+    pub max_frameworks: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            store_dir: None,
+            select: SelectOptions::default(),
+            max_frameworks: 64,
+        }
+    }
+}
+
+/// The warm-framework LRU: module-text hash → analysed framework.
+struct FwCache {
+    map: HashMap<u64, (Arc<Framework>, u64)>,
+    tick: u64,
+}
+
+struct Shared {
+    endpoint: Endpoint,
+    store: Option<Arc<DiskStore>>,
+    select: SelectOptions,
+    max_frameworks: usize,
+    frameworks: Mutex<FwCache>,
+    requests: AtomicU64,
+    fw_hits: AtomicU64,
+    fw_misses: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The warm framework for `text`, analysing (outside any lock) on a
+    /// miss. The bool is true when an already-analysed framework was
+    /// reused.
+    fn framework_for(&self, text: &str) -> Result<(Arc<Framework>, bool), CaymanError> {
+        let fp = crate::codec::fnv1a(text.as_bytes());
+        {
+            let mut cache = self.frameworks.lock().expect("framework cache poisoned");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some((fw, used)) = cache.map.get_mut(&fp) {
+                *used = tick;
+                self.fw_hits.fetch_add(1, Ordering::Relaxed);
+                cayman_obs::counter("server.fw.hit", 1);
+                return Ok((Arc::clone(fw), true));
+            }
+        }
+        self.fw_misses.fetch_add(1, Ordering::Relaxed);
+        cayman_obs::counter("server.fw.miss", 1);
+        let span = cayman_obs::timed("server.analyse");
+        let mut fw = Framework::from_text(text)?;
+        if let Some(store) = &self.store {
+            fw.set_design_store(Arc::clone(store) as Arc<dyn DesignStoreBackend>);
+        }
+        span.finish();
+        let fw = Arc::new(fw);
+        let mut cache = self.frameworks.lock().expect("framework cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        // a racing connection may have analysed the same text meanwhile;
+        // keep whichever landed first so everyone shares one warm cache
+        let entry = cache
+            .map
+            .entry(fp)
+            .or_insert_with(|| (Arc::clone(&fw), tick));
+        entry.1 = tick;
+        let fw = Arc::clone(&entry.0);
+        if cache.map.len() > self.max_frameworks {
+            if let Some((&evict, _)) = cache.map.iter().min_by_key(|(_, (_, used))| *used) {
+                cache.map.remove(&evict);
+                cayman_obs::counter("server.fw.evict", 1);
+            }
+        }
+        Ok((fw, false))
+    }
+
+    fn handle(&self, req: Request) -> (Response, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Select { module_text } => {
+                let span = cayman_obs::timed("server.select");
+                let resp = match self.framework_for(&module_text) {
+                    Err(e) => Response::Error(e.to_string()),
+                    Ok((fw, framework_reused)) => {
+                        let disk_before = fw.cache_stats().disk_hits;
+                        let res = fw.select(&self.select);
+                        let disk_after = fw.cache_stats().disk_hits;
+                        if res.stats.configs_evaluated == 0 {
+                            cayman_obs::counter("server.select.warm", 1);
+                        } else {
+                            cayman_obs::counter("server.select.cold", 1);
+                        }
+                        Response::Select(SelectReply {
+                            front: res.pareto,
+                            framework_reused,
+                            model_evals: res.stats.configs_evaluated as u64,
+                            cache_hits: res.stats.cache_hits,
+                            cache_misses: res.stats.cache_misses,
+                            disk_hits: disk_after - disk_before,
+                        })
+                    }
+                };
+                span.finish();
+                (resp, false)
+            }
+            Request::Stats => (
+                Response::Stats(StatsReply {
+                    requests: self.requests.load(Ordering::Relaxed),
+                    fw_cached: self
+                        .frameworks
+                        .lock()
+                        .expect("framework cache poisoned")
+                        .map
+                        .len() as u64,
+                    fw_hits: self.fw_hits.load(Ordering::Relaxed),
+                    fw_misses: self.fw_misses.load(Ordering::Relaxed),
+                    store: self.store.as_ref().map(|s| s.stats()),
+                }),
+                false,
+            ),
+            Request::Ping => (Response::Pong, false),
+            Request::Shutdown => (Response::ShuttingDown, true),
+        }
+    }
+}
+
+fn handle_conn(shared: &Shared, mut stream: Stream) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // clean close or broken peer
+        };
+        let (resp, shutdown) = match wire::decode_request(&payload) {
+            Ok(req) => shared.handle(req),
+            // a malformed request poisons the framing; answer and close
+            Err(e) => {
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &wire::encode_response(&Response::Error(e.to_string())),
+                );
+                return;
+            }
+        };
+        if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            // unblock the acceptor so it observes the flag
+            let _ = shared.endpoint.connect();
+            return;
+        }
+    }
+}
+
+/// A running server: its resolved endpoint plus the acceptor thread.
+pub struct ServerHandle {
+    endpoint: Endpoint,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Where the server actually listens (TCP port 0 resolved).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The shared disk store, when one is attached.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.shared.store.as_ref()
+    }
+
+    /// Blocks until the server shuts down (a SHUTDOWN request).
+    pub fn wait(self) {
+        let _ = self.acceptor.join();
+    }
+
+    /// Initiates shutdown and waits for the acceptor to exit.
+    pub fn stop(self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        let _ = self.endpoint.connect();
+        let _ = self.acceptor.join();
+    }
+}
+
+/// Binds `endpoint` and serves until shutdown. Returns immediately; the
+/// accept loop runs on its own thread, one more thread per connection.
+///
+/// # Errors
+///
+/// Fails when the socket cannot be bound or the store directory cannot be
+/// opened.
+pub fn serve(endpoint: Endpoint, opts: ServerOptions) -> Result<ServerHandle, WireError> {
+    let store = match &opts.store_dir {
+        Some(dir) => Some(Arc::new(DiskStore::open(dir)?)),
+        None => None,
+    };
+    let (listener, endpoint) = match endpoint {
+        Endpoint::Unix(path) => {
+            // a stale socket file from a crashed server blocks bind
+            let _ = std::fs::remove_file(&path);
+            (
+                Listener::Unix(UnixListener::bind(&path)?),
+                Endpoint::Unix(path),
+            )
+        }
+        Endpoint::Tcp(addr) => {
+            let l = TcpListener::bind(addr.as_str())?;
+            let resolved = l.local_addr()?.to_string();
+            (Listener::Tcp(l), Endpoint::Tcp(resolved))
+        }
+    };
+    let shared = Arc::new(Shared {
+        endpoint: endpoint.clone(),
+        store,
+        select: opts.select,
+        max_frameworks: opts.max_frameworks.max(1),
+        frameworks: Mutex::new(FwCache {
+            map: HashMap::new(),
+            tick: 0,
+        }),
+        requests: AtomicU64::new(0),
+        fw_hits: AtomicU64::new(0),
+        fw_misses: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = listener.accept() else {
+                    break;
+                };
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_conn(&shared, stream));
+            }
+            if let Endpoint::Unix(path) = &shared.endpoint {
+                let _ = std::fs::remove_file(path);
+            }
+        })
+    };
+    Ok(ServerHandle {
+        endpoint,
+        shared,
+        acceptor,
+    })
+}

@@ -1,0 +1,477 @@
+//! Length-prefixed framing and the request/response wire protocol spoken
+//! between [`crate::server`] and [`crate::client`].
+//!
+//! ## Framing
+//!
+//! Every message is one frame: a `u32` little-endian payload length, then
+//! the payload. Frames above [`MAX_FRAME`] bytes are rejected (a corrupt or
+//! hostile peer must not drive allocations). A clean EOF *between* frames
+//! is a normal connection close.
+//!
+//! ## Payloads
+//!
+//! Requests open with `version u8, opcode u8`:
+//!
+//! | opcode | body |
+//! |---|---|
+//! | `1` SELECT   | module text (length-prefixed UTF-8, the `ir::parse` surface) |
+//! | `2` STATS    | empty |
+//! | `3` PING     | empty |
+//! | `4` SHUTDOWN | empty |
+//!
+//! Responses open with `version u8, status u8` (`0` ok / `1` error). An
+//! error body is a length-prefixed message. A SELECT ok body carries
+//! `framework_reused u8`, per-request counters (`model_evals`,
+//! `cache_hits`, `cache_misses`, `disk_hits` as `u64`s) and the encoded
+//! Pareto front ([`crate::codec::encode_front`] — bit-exact `f64`s). A
+//! STATS ok body carries the server's lifetime counters and, when a store
+//! is attached, its [`StoreStats`].
+
+use crate::codec::{self, Dec, DecodeError, Enc, VERSION};
+use crate::disk::StoreStats;
+use cayman_select::Solution;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame payload (64 MiB — far above any real module or
+/// front, far below an allocation bomb).
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Request opcodes.
+pub mod opcode {
+    /// Analyse + select a textual IR module.
+    pub const SELECT: u8 = 1;
+    /// Server + store counter snapshot.
+    pub const STATS: u8 = 2;
+    /// Liveness probe.
+    pub const PING: u8 = 3;
+    /// Orderly server shutdown.
+    pub const SHUTDOWN: u8 = 4;
+}
+
+/// Anything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Payload failed to decode.
+    Decode(DecodeError),
+    /// Peer announced a frame above [`MAX_FRAME`].
+    FrameTooLarge(u32),
+    /// Structurally valid bytes that violate the protocol.
+    Protocol(&'static str),
+    /// The server answered with an error message.
+    Server(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io: {e}"),
+            WireError::Decode(e) => write!(f, "decode: {e}"),
+            WireError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            WireError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            WireError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket write failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF before any length byte — the
+/// peer closed between frames.
+///
+/// # Errors
+///
+/// Fails on socket errors, mid-frame EOF, or an oversized announcement.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Analyse + select this textual IR module.
+    Select {
+        /// The module in the `ir::parse` surface syntax.
+        module_text: String,
+    },
+    /// Counter snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Orderly shutdown.
+    Shutdown,
+}
+
+/// Per-SELECT reply: the front plus enough counters to tell a cold request
+/// from a memory-warm or disk-warm one.
+#[derive(Debug, Clone)]
+pub struct SelectReply {
+    /// The selection Pareto front, bit-exact.
+    pub front: Vec<Solution>,
+    /// Whether the server reused an already-analysed `Framework` for this
+    /// module text (memory-warm).
+    pub framework_reused: bool,
+    /// `accel(v, R)` model evaluations this request ran (0 ⇒ fully warm).
+    pub model_evals: u64,
+    /// Design-cache hits during this request's selection.
+    pub cache_hits: u64,
+    /// Design-cache memory-level misses during this request's selection.
+    pub cache_misses: u64,
+    /// Misses answered by the disk store during this request.
+    pub disk_hits: u64,
+}
+
+/// STATS reply: server lifetime counters plus the store's, when attached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Total requests served (all opcodes).
+    pub requests: u64,
+    /// Analysed frameworks currently cached.
+    pub fw_cached: u64,
+    /// SELECTs that reused a cached framework.
+    pub fw_hits: u64,
+    /// SELECTs that had to analyse from scratch.
+    pub fw_misses: u64,
+    /// Disk-store counters, when a store is attached.
+    pub store: Option<StoreStats>,
+}
+
+/// One server response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// SELECT succeeded.
+    Select(SelectReply),
+    /// STATS succeeded.
+    Stats(StatsReply),
+    /// PING succeeded.
+    Pong,
+    /// SHUTDOWN acknowledged (the server exits after sending this).
+    ShuttingDown,
+    /// The request failed (parse error, analysis error, bad opcode…).
+    Error(String),
+}
+
+const STATUS_OK: u8 = 0;
+const STATUS_ERR: u8 = 1;
+
+// ok-body tags, so responses are self-describing independent of request
+// pipelining
+const BODY_SELECT: u8 = 1;
+const BODY_STATS: u8 = 2;
+const BODY_PONG: u8 = 3;
+const BODY_SHUTDOWN: u8 = 4;
+
+/// Serializes a request payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(VERSION);
+    match req {
+        Request::Select { module_text } => {
+            e.u8(opcode::SELECT);
+            e.blob(module_text.as_bytes());
+        }
+        Request::Stats => e.u8(opcode::STATS),
+        Request::Ping => e.u8(opcode::PING),
+        Request::Shutdown => e.u8(opcode::SHUTDOWN),
+    }
+    e.finish()
+}
+
+/// Parses a request payload.
+///
+/// # Errors
+///
+/// Fails on version skew, unknown opcodes, or malformed bodies.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut d = Dec::new(payload);
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(WireError::Protocol("request version mismatch"));
+    }
+    let req = match d.u8()? {
+        opcode::SELECT => Request::Select {
+            module_text: String::from_utf8(d.blob()?.to_vec())
+                .map_err(|_| WireError::Protocol("module text is not UTF-8"))?,
+        },
+        opcode::STATS => Request::Stats,
+        opcode::PING => Request::Ping,
+        opcode::SHUTDOWN => Request::Shutdown,
+        _ => return Err(WireError::Protocol("unknown opcode")),
+    };
+    if d.remaining() != 0 {
+        return Err(WireError::Protocol("trailing bytes after request"));
+    }
+    Ok(req)
+}
+
+fn encode_store_stats(e: &mut Enc, stats: &StoreStats) {
+    e.u64(stats.hits);
+    e.u64(stats.misses);
+    e.u64(stats.corrupt);
+    e.u64(stats.version_skew);
+    e.u64(stats.key_mismatches);
+    e.u64(stats.writes);
+    e.u64(stats.evictions);
+    e.u64(stats.evicted_bytes);
+}
+
+fn decode_store_stats(d: &mut Dec) -> Result<StoreStats, DecodeError> {
+    Ok(StoreStats {
+        hits: d.u64()?,
+        misses: d.u64()?,
+        corrupt: d.u64()?,
+        version_skew: d.u64()?,
+        key_mismatches: d.u64()?,
+        writes: d.u64()?,
+        evictions: d.u64()?,
+        evicted_bytes: d.u64()?,
+    })
+}
+
+/// Serializes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(VERSION);
+    match resp {
+        Response::Error(msg) => {
+            e.u8(STATUS_ERR);
+            e.blob(msg.as_bytes());
+        }
+        Response::Select(r) => {
+            e.u8(STATUS_OK);
+            e.u8(BODY_SELECT);
+            e.u8(u8::from(r.framework_reused));
+            e.u64(r.model_evals);
+            e.u64(r.cache_hits);
+            e.u64(r.cache_misses);
+            e.u64(r.disk_hits);
+            codec::encode_front(&mut e, &r.front);
+        }
+        Response::Stats(r) => {
+            e.u8(STATUS_OK);
+            e.u8(BODY_STATS);
+            e.u64(r.requests);
+            e.u64(r.fw_cached);
+            e.u64(r.fw_hits);
+            e.u64(r.fw_misses);
+            match &r.store {
+                Some(s) => {
+                    e.u8(1);
+                    encode_store_stats(&mut e, s);
+                }
+                None => e.u8(0),
+            }
+        }
+        Response::Pong => {
+            e.u8(STATUS_OK);
+            e.u8(BODY_PONG);
+        }
+        Response::ShuttingDown => {
+            e.u8(STATUS_OK);
+            e.u8(BODY_SHUTDOWN);
+        }
+    }
+    e.finish()
+}
+
+/// Parses a response payload.
+///
+/// # Errors
+///
+/// Fails on version skew or malformed bodies. A server-reported error
+/// becomes [`WireError::Server`] at the call site, not here — it decodes
+/// into [`Response::Error`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut d = Dec::new(payload);
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(WireError::Protocol("response version mismatch"));
+    }
+    match d.u8()? {
+        STATUS_ERR => Ok(Response::Error(
+            String::from_utf8_lossy(d.blob()?).into_owned(),
+        )),
+        STATUS_OK => match d.u8()? {
+            BODY_SELECT => {
+                let framework_reused = d.u8()? != 0;
+                let model_evals = d.u64()?;
+                let cache_hits = d.u64()?;
+                let cache_misses = d.u64()?;
+                let disk_hits = d.u64()?;
+                let front = codec::decode_front(&mut d)?;
+                Ok(Response::Select(SelectReply {
+                    front,
+                    framework_reused,
+                    model_evals,
+                    cache_hits,
+                    cache_misses,
+                    disk_hits,
+                }))
+            }
+            BODY_STATS => {
+                let requests = d.u64()?;
+                let fw_cached = d.u64()?;
+                let fw_hits = d.u64()?;
+                let fw_misses = d.u64()?;
+                let store = if d.u8()? != 0 {
+                    Some(decode_store_stats(&mut d)?)
+                } else {
+                    None
+                };
+                Ok(Response::Stats(StatsReply {
+                    requests,
+                    fw_cached,
+                    fw_hits,
+                    fw_misses,
+                    store,
+                }))
+            }
+            BODY_PONG => Ok(Response::Pong),
+            BODY_SHUTDOWN => Ok(Response::ShuttingDown),
+            _ => Err(WireError::Protocol("unknown response body tag")),
+        },
+        _ => Err(WireError::Protocol("unknown response status")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_and_eof_is_clean() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated-frame").unwrap();
+        buf.truncate(7);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(WireError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Select {
+                module_text: "func @f() { ... }".into(),
+            },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let reply = Response::Select(SelectReply {
+            front: vec![Solution::default()],
+            framework_reused: true,
+            model_evals: 7,
+            cache_hits: 9,
+            cache_misses: 3,
+            disk_hits: 2,
+        });
+        match decode_response(&encode_response(&reply)).unwrap() {
+            Response::Select(r) => {
+                assert!(r.framework_reused);
+                assert_eq!((r.model_evals, r.cache_hits, r.cache_misses), (7, 9, 3));
+                assert_eq!(r.disk_hits, 2);
+                assert_eq!(r.front.len(), 1);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let stats = Response::Stats(StatsReply {
+            requests: 5,
+            fw_cached: 2,
+            fw_hits: 3,
+            fw_misses: 2,
+            store: Some(StoreStats {
+                hits: 1,
+                ..Default::default()
+            }),
+        });
+        match decode_response(&encode_response(&stats)).unwrap() {
+            Response::Stats(r) => {
+                assert_eq!(r.requests, 5);
+                assert_eq!(r.store.unwrap().hits, 1);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        match decode_response(&encode_response(&Response::Error("boom".into()))).unwrap() {
+            Response::Error(msg) => assert_eq!(msg, "boom"),
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_a_protocol_error() {
+        let mut e = Enc::new();
+        e.u8(VERSION);
+        e.u8(99);
+        assert!(matches!(
+            decode_request(&e.finish()),
+            Err(WireError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end server tests: Unix and TCP endpoints, request batching onto
+//! shared warm frameworks, concurrent clients receiving bit-identical
+//! fronts, error replies for malformed modules, stats, and clean shutdown.
+
+use cayman::{Framework, SelectOptions};
+use cayman_store::{fronts_bits_equal, serve, Client, Endpoint, ServerOptions};
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cayman-e2e-{}-{tag}", std::process::id()))
+}
+
+fn corpus_text(i: usize) -> (String, &'static str) {
+    let corpus = cayman::workloads::corpus::corpus();
+    let w = &corpus[i % corpus.len()];
+    (w.module.to_text(), w.name)
+}
+
+#[test]
+fn unix_server_serves_bit_identical_fronts_and_batches() {
+    let sock = tmp_path("unix.sock");
+    let server = serve(Endpoint::Unix(sock), ServerOptions::default()).expect("serve");
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    client.ping().expect("ping");
+
+    let (text, name) = corpus_text(0);
+    let reference = Framework::from_text(&text)
+        .expect("analyses")
+        .select(&SelectOptions::default());
+
+    let cold = client.select_text(&text).expect("cold select");
+    assert!(
+        fronts_bits_equal(&cold.front, &reference.pareto),
+        "{name}: served front diverges from in-process selection"
+    );
+    assert!(!cold.framework_reused);
+    assert!(cold.model_evals > 0);
+
+    // a second connection batches onto the same warm framework
+    let mut other = Client::connect(server.endpoint()).expect("second connect");
+    let warm = other.select_text(&text).expect("warm select");
+    assert!(warm.framework_reused, "identical text reuses the framework");
+    assert_eq!(warm.model_evals, 0, "warm request skips the model");
+    assert!(fronts_bits_equal(&warm.front, &reference.pareto));
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.requests >= 3);
+    assert_eq!(stats.fw_cached, 1);
+    assert_eq!(stats.fw_hits, 1);
+    assert_eq!(stats.fw_misses, 1);
+    assert!(stats.store.is_none(), "no store attached by default");
+
+    client.shutdown_server().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn tcp_server_roundtrips() {
+    let server = serve(
+        Endpoint::Tcp("127.0.0.1:0".into()),
+        ServerOptions::default(),
+    )
+    .expect("serve tcp");
+    let Endpoint::Tcp(addr) = server.endpoint() else {
+        panic!("tcp endpoint expected");
+    };
+    assert!(!addr.ends_with(":0"), "port 0 must resolve, got {addr}");
+
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    client.ping().expect("ping");
+    let (text, name) = corpus_text(1);
+    let reference = Framework::from_text(&text)
+        .expect("analyses")
+        .select(&SelectOptions::default());
+    let reply = client.select_text(&text).expect("select");
+    assert!(
+        fronts_bits_equal(&reply.front, &reference.pareto),
+        "{name}: tcp-served front diverges"
+    );
+    client.shutdown_server().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_fronts() {
+    let sock = tmp_path("concurrent.sock");
+    let server = serve(Endpoint::Unix(sock), ServerOptions::default()).expect("serve");
+    let (text, name) = corpus_text(2);
+    let reference = Framework::from_text(&text)
+        .expect("analyses")
+        .select(&SelectOptions::default());
+
+    let fronts: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let endpoint = server.endpoint().clone();
+                let text = &text;
+                s.spawn(move || {
+                    let mut c = Client::connect(&endpoint).expect("connect");
+                    c.select_text(text).expect("select").front
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    for front in &fronts {
+        assert!(
+            fronts_bits_equal(front, &reference.pareto),
+            "{name}: a concurrent client saw a diverging front"
+        );
+    }
+    // 4 clients, identical text: exactly one analysis happened
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.fw_misses, 1, "identical text analyses exactly once");
+    client.shutdown_server().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn malformed_module_gets_an_error_reply_not_a_dead_server() {
+    let sock = tmp_path("err.sock");
+    let server = serve(Endpoint::Unix(sock), ServerOptions::default()).expect("serve");
+    let mut client = Client::connect(server.endpoint()).expect("connect");
+
+    let err = client
+        .select_text("this is not a cir module")
+        .expect_err("garbage must be rejected");
+    let msg = err.to_string();
+    assert!(!msg.is_empty(), "error reply carries a message");
+
+    // the connection (and server) survive an application-level error
+    client.ping().expect("server alive after error reply");
+    let (text, _) = corpus_text(3);
+    client
+        .select_text(&text)
+        .expect("still serves good modules");
+    client.shutdown_server().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn stop_terminates_without_a_client() {
+    let sock = tmp_path("stop.sock");
+    let server = serve(Endpoint::Unix(sock.clone()), ServerOptions::default()).expect("serve");
+    server.stop();
+    assert!(!sock.exists(), "unix socket file removed on exit");
+}

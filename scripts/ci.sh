@@ -27,6 +27,22 @@ cargo bench -p cayman-bench --bench incremental --offline -- --smoke
 echo "== interface ablation (smoke: extended model strictly improves >=5 stencil kernels) =="
 cargo bench -p cayman-bench --bench interfaces --offline -- --smoke
 
+echo "== design store (smoke: fronts bit-identical cold/disk-warm, zero model evals warm) =="
+cargo bench -p cayman-bench --bench store --offline -- --smoke
+
+echo "== store server (smoke: served front bit-identical, restart serves disk-warm with zero cold evals) =="
+cargo run -q --release -p cayman-store --offline --bin serversmoke
+
+echo "== warm store directory serves table2 with zero cold accel evaluations =="
+store_dir="$(mktemp -d /tmp/cayman-store.XXXXXX)"
+CAYMAN_STORE_DIR="$store_dir" cargo run -q --release -p cayman-bench --offline --bin table2 -- --json trisolv bicg >/dev/null
+warm_json="$(CAYMAN_STORE_DIR="$store_dir" cargo run -q --release -p cayman-bench --offline --bin table2 -- --json trisolv bicg)"
+echo "$warm_json" | grep -q '"corrupt": 0' || { echo "error: store reported corruption" >&2; exit 1; }
+# cold_stats.configs_evaluated shows up in cache disk hits: the warm run must
+# have answered every model query from the store (no writes beyond run 1).
+echo "$warm_json" | grep -q '"writes": 0' || { echo "error: warm table2 re-ran the model (store writes > 0)" >&2; exit 1; }
+rm -rf "$store_dir"
+
 echo "== differential fuzz (smoke: 50 seeded programs + corpus gate + O1-vs-O2 staging + incremental equivalence) =="
 cargo run -q --release -p cayman-bench --offline --bin fuzz -- \
   --seed 0xCA11 --count 50 --corpus-gate --incremental --incremental-corpus 20
