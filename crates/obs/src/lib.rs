@@ -14,6 +14,13 @@
 //!   counter tracks and instant markers.
 //! * **Lanes** — [`lane`] names the calling thread (one lane per
 //!   work-stealing worker in the trace viewer).
+//! * **Histograms & metrics** — [`hist`] provides fixed-size log-bucketed
+//!   (HDR-style) latency histograms whose record path is lock- and
+//!   allocation-free, mergeable across threads and queryable for
+//!   p50/p90/p99/max; [`registry`] holds the *always-on* named
+//!   counter/gauge/histogram registry behind the Prometheus-style text
+//!   exposition ([`registry::MetricsSnapshot::to_prometheus`]), and
+//!   [`promtext`] parses/validates that exposition for CI gates.
 //! * **Sinks** — [`drain`] freezes everything into a [`Trace`], exportable
 //!   as (a) a human summary, (b) JSONL events, and (c) a Chrome
 //!   trace-format file loadable in `chrome://tracing` / Perfetto.
@@ -36,8 +43,11 @@
 //! with tracing on or off.
 
 mod export;
+pub mod hist;
 pub mod pool;
+pub mod promtext;
 mod recorder;
+pub mod registry;
 pub mod time;
 pub mod trace;
 

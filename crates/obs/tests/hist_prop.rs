@@ -1,0 +1,105 @@
+//! Property tests for the log-bucketed histogram (ISSUE 10 satellite):
+//! sharded recording + [`HistSnapshot::merge`] must answer every quantile
+//! **identically** to one histogram that saw all samples, and both must
+//! land within one bucket's relative error (≤ 1/2³) of the true sample
+//! quantile.
+
+use cayman_obs::hist::{bucket_index, HistSnapshot, Histogram, SUB_BITS};
+use cayman_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+/// Draws a sample skewed across magnitudes: latencies live anywhere from
+/// single nanoseconds to minutes, so exercise every octave band.
+fn draw_value(rng: &mut cayman_testkit::Rng) -> u64 {
+    let magnitude = rng.range_u32(0, 40);
+    let base = 1u64 << magnitude;
+    base + rng.next_u64() % base.max(1)
+}
+
+#[test]
+fn merged_shards_answer_quantiles_like_one_histogram() {
+    prop_check!(cases = 200, |rng| {
+        let shards = rng.range_usize(1, 9);
+        let n = rng.range_usize(1, 400);
+        let whole = Histogram::new();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = draw_value(rng);
+            samples.push(v);
+            whole.record(v);
+            parts[i % shards].record(v);
+        }
+
+        // merge in arbitrary (rotated) order — merge is commutative
+        let start = rng.range_usize(0, shards);
+        let mut merged = HistSnapshot::default();
+        for i in 0..shards {
+            merged.merge(&parts[(start + i) % shards].snapshot());
+        }
+
+        let reference = whole.snapshot();
+        prop_assert!(
+            merged == reference,
+            "sharded+merged snapshot diverges from single-histogram snapshot"
+        );
+        prop_assert_eq!(merged.count(), n as u64);
+        prop_assert_eq!(merged.sum(), samples.iter().sum::<u64>());
+
+        // quantile answers agree exactly, and land in the bucket of the
+        // true sample quantile (i.e. within one bucket's relative error,
+        // 2^-SUB_BITS for values past the linear range)
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let m = merged.quantile(q);
+            let r = reference.quantile(q);
+            prop_assert!(m == r, "merged vs whole disagree at q={q}: {m} vs {r}");
+            let rank = ((q * n as f64).ceil() as usize).max(1).min(n);
+            let truth = sorted[rank - 1];
+            prop_assert!(
+                bucket_index(m) == bucket_index(truth),
+                "q={q} estimate {m} not in the bucket of true quantile {truth} \
+                 (relative error bound 1/{})",
+                1u64 << SUB_BITS
+            );
+            prop_assert!(
+                m >= truth,
+                "bucket-upper-bound estimate {} below truth {}",
+                m,
+                truth
+            );
+        }
+        prop_assert_eq!(merged.quantile(1.0), merged.max());
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_is_associative_and_identity_on_empty() {
+    prop_check!(cases = 100, |rng| {
+        let mk = |rng: &mut cayman_testkit::Rng| {
+            let h = Histogram::new();
+            for _ in 0..rng.range_usize(0, 50) {
+                h.record(draw_value(rng));
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(rng), mk(rng), mk(rng));
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert!(left == right, "merge is not associative");
+
+        // empty is the identity
+        let mut with_empty = a.clone();
+        with_empty.merge(&HistSnapshot::default());
+        prop_assert!(with_empty == a, "merging an empty snapshot changed state");
+        Ok(())
+    });
+}

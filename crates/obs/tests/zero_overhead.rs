@@ -1,7 +1,9 @@
 //! Verifies the disabled-tracing cost model: the selection hot path's obs
 //! calls (`span!` with args, `counter`, `timed`) must not allocate at all
-//! when tracing is off. A counting global allocator makes "no allocations"
-//! a hard assertion rather than a benchmark judgement call.
+//! when tracing is off — and neither may [`cayman_obs::hist::Histogram::record`],
+//! which is *always on* (the server records every request through it). A
+//! counting global allocator makes "no allocations" a hard assertion
+//! rather than a benchmark judgement call.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -66,6 +68,10 @@ fn disabled_tracing_allocates_nothing_on_the_hot_path() {
     );
 }
 
+// The server's per-request histogram: recording is always on, so the
+// record path must be allocation-free regardless of the tracing flag.
+static HIST: cayman_obs::hist::Histogram = cayman_obs::hist::Histogram::new();
+
 fn hot_path_iteration(i: usize) {
     let _g = cayman_obs::span!("select.task.bb", vertex = i);
     cayman_obs::counter("select.cache.hit", 1);
@@ -73,6 +79,7 @@ fn hot_path_iteration(i: usize) {
     let t = cayman_obs::timed("model.accel");
     let nanos = t.finish();
     std::hint::black_box(nanos);
+    HIST.record(std::hint::black_box(i as u64 * 977));
     cayman_obs::instant("select.steal");
     cayman_obs::diag("interp.fallback", || format!("vertex {i}"));
     cayman_obs::lane(|| format!("select.worker.{i}"));

@@ -171,6 +171,21 @@ impl CacheStats {
         self.stripes.iter().filter(|s| s.entries > 0).count()
     }
 
+    /// The snapshot as named counter series, in the shape the metrics
+    /// exposition wants (`caymand`'s `Request::Metrics` pushes these
+    /// verbatim; `cache.entries` is a point-in-time value but rendered as
+    /// a counter series for uniformity of the aggregated snapshot).
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("cache.mem.hits", self.hits()),
+            ("cache.mem.misses", self.misses()),
+            ("cache.mem.inserts", self.inserts()),
+            ("cache.entries", self.entries() as u64),
+            ("cache.disk.hits", self.disk_hits),
+            ("cache.disk.misses", self.disk_misses),
+        ]
+    }
+
     /// Accumulates another snapshot into this one (summary rows over many
     /// frameworks).
     pub fn merge(&mut self, other: &CacheStats) {

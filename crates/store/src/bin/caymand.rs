@@ -3,10 +3,16 @@
 //! ```text
 //! caymand --unix /run/caymand.sock [--store DIR] [--threads N] [--max-frameworks N]
 //! caymand --tcp 127.0.0.1:7164    [--store DIR] [--threads N] [--max-frameworks N]
+//!         [--metrics-file PATH]
 //! ```
 //!
 //! `--store` defaults to `CAYMAN_STORE_DIR` when set; without either the
-//! server runs memory-only. The process exits on a SHUTDOWN request
+//! server runs memory-only. `--metrics-file` periodically dumps the
+//! Prometheus-style metrics exposition to PATH (interval
+//! `CAYMAN_METRICS_INTERVAL_MS`, default 2000) for scrape-less setups —
+//! the same text `Request::Metrics` serves. The slow-request log is
+//! controlled by `CAYMAN_SLOW_REQ_MS`, the per-connection idle timeout by
+//! `CAYMAN_REQ_TIMEOUT_MS`. The process exits on a SHUTDOWN request
 //! (`Client::shutdown_server`). Tracing flows through the usual
 //! `CAYMAN_TRACE` / `CAYMAN_OBS_*` environment sinks.
 
@@ -16,7 +22,8 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: caymand (--unix PATH | --tcp ADDR) [--store DIR] [--threads N] [--max-frameworks N]"
+        "usage: caymand (--unix PATH | --tcp ADDR) [--store DIR] [--threads N] \
+         [--max-frameworks N] [--metrics-file PATH]"
     );
     std::process::exit(2);
 }
@@ -49,6 +56,7 @@ fn main() {
             "--max-frameworks" => {
                 opts.max_frameworks = value("a count").parse().unwrap_or_else(|_| usage())
             }
+            "--metrics-file" => opts.metrics_file = Some(PathBuf::from(value("a file path"))),
             _ => usage(),
         }
     }

@@ -9,7 +9,13 @@
 //! 3. a *restarted* server on the same store directory still serves the
 //!    bit-identical front with **zero cold `accel(v, R)` evaluations** —
 //!    the designs come off disk (disk-warm), proven by the request
-//!    counters and the store's hit counter.
+//!    counters and the store's hit counter,
+//! 4. (ISSUE 10) the telemetry surface works end-to-end: HEALTH and
+//!    METRICS round-trip, the exposition **validates** (no duplicate
+//!    series, monotone histogram buckets) and carries the per-phase
+//!    request histograms, reply request ids are the server's sequence,
+//!    and the slow-request log (forced on with a 0ms threshold) names
+//!    the same ids in its stable `slow-req id=…` format.
 //!
 //! Exits non-zero (panics) on any violation; prints one OK line otherwise.
 
@@ -38,14 +44,19 @@ fn main() {
         Endpoint::Unix(tmp.join("caymand-a.sock")),
         ServerOptions {
             store_dir: Some(store_dir.clone()),
+            // threshold 0: every request is "slow", so the log is testable
+            slow_req_ms: Some(0),
             ..Default::default()
         },
     )
     .expect("server starts");
     let mut client = Client::connect(server.endpoint()).expect("connects");
     client.ping().expect("pings");
+    assert_eq!(client.last_request_id(), 1, "ids are a sequence from 1");
 
     let cold = client.select_text(&text).expect("cold select");
+    assert_eq!(cold.request_id, 2, "second request gets id 2");
+    assert_eq!(client.last_request_id(), 2, "client tracks the reply id");
     assert!(
         fronts_bits_equal(&cold.front, &reference.pareto),
         "{}: served front diverges from in-process selection",
@@ -65,6 +76,76 @@ fn main() {
     let stats = client.stats().expect("stats");
     let store_stats = stats.store.expect("store attached");
     assert!(store_stats.writes > 0, "cold run persisted designs");
+
+    // ---- telemetry surface (ISSUE 10) ----
+    let health = client.health().expect("health");
+    assert!(health.healthy, "server reports healthy");
+    assert!(health.uptime_nanos > 0, "uptime advances");
+    assert!(health.requests >= 4, "health sees the earlier requests");
+    assert_eq!(
+        health.request_id,
+        client.last_request_id(),
+        "health reply carries its own request id"
+    );
+
+    let metrics = client.metrics().expect("metrics");
+    assert_eq!(metrics.request_id, client.last_request_id());
+    let exp = cayman_obs::promtext::validate(&metrics.text)
+        .expect("exposition parses and validates (no duplicate series, monotone buckets)");
+    for phase in ["decode", "warm", "select", "encode", "total"] {
+        let name = format!("cayman_req_{phase}_nanos");
+        assert!(
+            exp.histogram_names().contains(&name.as_str()),
+            "exposition misses the {phase} phase histogram"
+        );
+        let count = exp
+            .value(&format!("{name}_count"))
+            .expect("histogram has _count");
+        let sum = exp
+            .value(&format!("{name}_sum"))
+            .expect("histogram has _sum");
+        assert!(count >= 1.0, "{name}: at least one request recorded");
+        assert!(sum >= 0.0, "{name}: sum is non-negative");
+    }
+    assert!(
+        exp.value("cayman_server_requests").unwrap_or(0.0) >= 5.0,
+        "server request counter is exported"
+    );
+    assert!(
+        exp.value("cayman_cache_mem_inserts").unwrap_or(0.0) > 0.0,
+        "design-cache counters are exported"
+    );
+    assert!(
+        exp.value("cayman_store_writes").unwrap_or(0.0) > 0.0,
+        "store counters are exported"
+    );
+
+    // the slow-request log (threshold 0) named every request by its id,
+    // in the stable machine-splittable format
+    let slow = server.slow_log();
+    assert!(!slow.is_empty(), "slow log captured requests");
+    for line in &slow {
+        assert!(line.starts_with("slow-req id="), "slow line format: {line}");
+        for key in [
+            "op=",
+            "total_us=",
+            "decode_us=",
+            "warm_us=",
+            "select_us=",
+            "encode_us=",
+        ] {
+            assert!(line.contains(key), "slow line misses {key}: {line}");
+        }
+    }
+    let select_line = slow
+        .iter()
+        .find(|l| l.contains(&format!("id={} ", cold.request_id)))
+        .expect("the cold select shows up in the slow log under its reply id");
+    assert!(
+        select_line.contains("op=select"),
+        "slow line names the op: {select_line}"
+    );
+
     client.shutdown_server().expect("shuts down");
     server.wait();
 
@@ -107,8 +188,12 @@ fn main() {
     let _ = std::fs::remove_dir_all(&tmp);
     println!(
         "serversmoke: OK ({}: front bit-identical cold/memory-warm/disk-warm, \
-         {} model evals cold, {} disk hits warm, {entries} store entries)",
-        w.name, cold.model_evals, disk_warm.disk_hits
+         {} model evals cold, {} disk hits warm, {entries} store entries, \
+         exposition valid, {} slow-log lines)",
+        w.name,
+        cold.model_evals,
+        disk_warm.disk_hits,
+        slow.len()
     );
 }
 

@@ -1,7 +1,9 @@
 //! A minimal blocking client for the `caymand` wire protocol.
 
 use crate::server::{Endpoint, Stream};
-use crate::wire::{self, Request, Response, SelectReply, StatsReply, WireError};
+use crate::wire::{
+    self, HealthReply, MetricsReply, Request, Response, SelectReply, StatsReply, WireError,
+};
 use std::io;
 
 /// One connection to a running server. Requests are serial per client;
@@ -9,6 +11,7 @@ use std::io;
 #[derive(Debug)]
 pub struct Client {
     stream: Stream,
+    last_request_id: u64,
 }
 
 impl Client {
@@ -20,14 +23,25 @@ impl Client {
     pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
         Ok(Client {
             stream: endpoint.connect()?,
+            last_request_id: 0,
         })
+    }
+
+    /// The server-assigned request id of the most recent reply (0 before
+    /// any round-trip, or when talking to a pre-telemetry server). This is
+    /// the id the server's slow-request log and request span tree use, so
+    /// a client-side observation can be joined with the server's.
+    pub fn last_request_id(&self) -> u64 {
+        self.last_request_id
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Response, WireError> {
         wire::write_frame(&mut self.stream, &wire::encode_request(req))?;
         let payload = wire::read_frame(&mut self.stream)?
             .ok_or(WireError::Protocol("server closed before replying"))?;
-        wire::decode_response(&payload)
+        let decoded = wire::decode_response(&payload)?;
+        self.last_request_id = decoded.request_id;
+        Ok(decoded.response)
     }
 
     /// Submits a textual IR module for analyse + select; returns the
@@ -69,6 +83,32 @@ impl Client {
             Response::Pong => Ok(()),
             Response::Error(msg) => Err(WireError::Server(msg)),
             _ => Err(WireError::Protocol("unexpected response to PING")),
+        }
+    }
+
+    /// Health probe: uptime and request count alongside liveness.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors.
+    pub fn health(&mut self) -> Result<HealthReply, WireError> {
+        match self.roundtrip(&Request::Health)? {
+            Response::Health(reply) => Ok(reply),
+            Response::Error(msg) => Err(WireError::Server(msg)),
+            _ => Err(WireError::Protocol("unexpected response to HEALTH")),
+        }
+    }
+
+    /// Fetches the server's Prometheus-style metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Fails on wire errors.
+    pub fn metrics(&mut self) -> Result<MetricsReply, WireError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(reply) => Ok(reply),
+            Response::Error(msg) => Err(WireError::Server(msg)),
+            _ => Err(WireError::Protocol("unexpected response to METRICS")),
         }
     }
 

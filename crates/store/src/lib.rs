@@ -11,7 +11,10 @@
 //!   mtime-LRU size-bounded eviction, shared safely across processes),
 //! * [`wire`] — length-prefixed framing and the request/response protocol,
 //! * [`server`] — the `caymand` accept loop batching concurrent clients
-//!   through shared warm `Framework`s + one shared store,
+//!   through shared warm `Framework`s + one shared store, with
+//!   request-scoped telemetry (server-assigned request ids, per-phase
+//!   latency histograms, a slow-request log) and a metrics/health wire
+//!   surface (DESIGN.md §12),
 //! * [`client`] — a minimal blocking client.
 //!
 //! The store plugs in under any `Framework` via
@@ -28,5 +31,8 @@ pub mod wire;
 pub use client::Client;
 pub use codec::{designs_bits_equal, fronts_bits_equal, DecodeError};
 pub use disk::{DiskStore, StoreOptions, StoreStats, STORE_DIR_ENV, STORE_MAX_BYTES_ENV};
-pub use server::{serve, Endpoint, ServerHandle, ServerOptions};
-pub use wire::{SelectReply, StatsReply, WireError};
+pub use server::{
+    serve, Endpoint, ServerHandle, ServerOptions, METRICS_INTERVAL_MS_ENV, REQ_TIMEOUT_MS_ENV,
+    SLOW_REQ_MS_ENV,
+};
+pub use wire::{HealthReply, MetricsReply, SelectReply, StatsReply, WireError};

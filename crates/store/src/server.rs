@@ -13,12 +13,31 @@
 //! `Framework::select` the in-process tools run, so a served front is
 //! bit-identical to a locally computed one (asserted end-to-end by
 //! `serversmoke` in ci.sh).
+//!
+//! ## Request-scoped telemetry
+//!
+//! Every frame the server reads is assigned a **request id** (a process
+//! lifetime sequence starting at 1) that travels back to the client as the
+//! response-frame trailer, tags the request's span tree
+//! (`server.req` → `server.req.{decode,warm,select,encode}`), and names
+//! the request in the **slow-request log** (threshold
+//! `CAYMAN_SLOW_REQ_MS`; lines go to stderr and a bounded in-process ring
+//! read by [`ServerHandle::slow_log`]). Each phase also records into an
+//! always-on latency histogram (`req.decode.nanos`, `req.warm.nanos`,
+//! `req.select.nanos`, `req.encode.nanos`, `req.total.nanos` in
+//! `cayman_obs::registry`), and the whole registry plus server, design
+//! cache and store counters is served as a Prometheus-style text
+//! exposition by `Request::Metrics` (and periodically dumped to
+//! [`ServerOptions::metrics_file`] for scrape-less setups).
 
 use crate::disk::DiskStore;
-use crate::wire::{self, Request, Response, SelectReply, StatsReply, WireError};
+use crate::wire::{
+    self, HealthReply, MetricsReply, Request, Response, SelectReply, StatsReply, WireError,
+};
 use cayman::{CaymanError, Framework, SelectOptions};
-use cayman_select::DesignStoreBackend;
-use std::collections::HashMap;
+use cayman_obs::hist::Histogram;
+use cayman_select::{CacheStats, DesignStoreBackend};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -26,6 +45,22 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Environment variable naming the slow-request threshold in milliseconds
+/// (`0` logs every request; unset disables the log).
+pub const SLOW_REQ_MS_ENV: &str = "CAYMAN_SLOW_REQ_MS";
+
+/// Environment variable naming the per-connection read/idle timeout in
+/// milliseconds (unset means connections may idle forever).
+pub const REQ_TIMEOUT_MS_ENV: &str = "CAYMAN_REQ_TIMEOUT_MS";
+
+/// Environment variable naming the metrics-file dump interval in
+/// milliseconds (default 2000).
+pub const METRICS_INTERVAL_MS_ENV: &str = "CAYMAN_METRICS_INTERVAL_MS";
+
+/// Most recent slow-request lines kept for [`ServerHandle::slow_log`].
+const SLOW_LOG_CAP: usize = 64;
 
 /// Where a server listens (and a client connects).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +129,17 @@ impl Write for Stream {
     }
 }
 
+impl Stream {
+    /// Applies a read timeout (both socket families support one). `None`
+    /// blocks forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
 enum Listener {
     Unix(UnixListener),
     Tcp(TcpListener),
@@ -118,6 +164,25 @@ pub struct ServerOptions {
     pub select: SelectOptions,
     /// At most this many analysed frameworks are kept warm (LRU).
     pub max_frameworks: usize,
+    /// Requests whose total handling time is at least this many
+    /// milliseconds are written to the slow-request log (`0` logs every
+    /// request, `None` disables). Default: [`SLOW_REQ_MS_ENV`].
+    pub slow_req_ms: Option<u64>,
+    /// Per-connection read/idle timeout in milliseconds: a connection that
+    /// sends no frame for this long is closed (and counted under
+    /// `server.timeout`) instead of pinning its thread forever. Default:
+    /// [`REQ_TIMEOUT_MS_ENV`].
+    pub req_timeout_ms: Option<u64>,
+    /// Periodically dump the metrics exposition to this file (atomic
+    /// tmp+rename), for scrape-less setups (`caymand --metrics-file`).
+    pub metrics_file: Option<PathBuf>,
+    /// Dump interval for [`ServerOptions::metrics_file`] in milliseconds.
+    /// Default: [`METRICS_INTERVAL_MS_ENV`] or 2000.
+    pub metrics_interval_ms: u64,
+}
+
+fn env_ms(var: &str) -> Option<u64> {
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
 }
 
 impl Default for ServerOptions {
@@ -126,6 +191,10 @@ impl Default for ServerOptions {
             store_dir: None,
             select: SelectOptions::default(),
             max_frameworks: 64,
+            slow_req_ms: env_ms(SLOW_REQ_MS_ENV),
+            req_timeout_ms: env_ms(REQ_TIMEOUT_MS_ENV),
+            metrics_file: None,
+            metrics_interval_ms: env_ms(METRICS_INTERVAL_MS_ENV).unwrap_or(2000),
         }
     }
 }
@@ -136,15 +205,57 @@ struct FwCache {
     tick: u64,
 }
 
+/// Always-on per-phase request histogram handles. The handles point into
+/// the process-global `cayman_obs::registry`, so two servers in one
+/// process share distributions — counts only ever grow.
+struct PhaseHists {
+    decode: &'static Histogram,
+    warm: &'static Histogram,
+    select: &'static Histogram,
+    encode: &'static Histogram,
+    total: &'static Histogram,
+}
+
+impl PhaseHists {
+    fn register() -> PhaseHists {
+        PhaseHists {
+            decode: cayman_obs::registry::hist("req.decode.nanos"),
+            warm: cayman_obs::registry::hist("req.warm.nanos"),
+            select: cayman_obs::registry::hist("req.select.nanos"),
+            encode: cayman_obs::registry::hist("req.encode.nanos"),
+            total: cayman_obs::registry::hist("req.total.nanos"),
+        }
+    }
+}
+
+/// Phase timings of one handled request, for the slow-request log.
+#[derive(Default, Clone, Copy)]
+struct Phases {
+    op: &'static str,
+    decode_nanos: u64,
+    warm_nanos: u64,
+    select_nanos: u64,
+    encode_nanos: u64,
+    framework_reused: bool,
+}
+
 struct Shared {
     endpoint: Endpoint,
     store: Option<Arc<DiskStore>>,
     select: SelectOptions,
     max_frameworks: usize,
+    slow_req_ms: Option<u64>,
+    req_timeout: Option<Duration>,
+    started: Instant,
     frameworks: Mutex<FwCache>,
     requests: AtomicU64,
     fw_hits: AtomicU64,
     fw_misses: AtomicU64,
+    timeouts: AtomicU64,
+    slow: AtomicU64,
+    next_request_id: AtomicU64,
+    slow_lines: Mutex<VecDeque<String>>,
+    hists: PhaseHists,
     shutdown: AtomicBool,
 }
 
@@ -194,77 +305,265 @@ impl Shared {
         Ok((fw, false))
     }
 
-    fn handle(&self, req: Request) -> (Response, bool) {
+    /// Handles one decoded request. Returns the response, whether the
+    /// server should shut down, and the phase timings recorded so far.
+    fn handle(&self, req: Request, request_id: u64) -> (Response, bool, Phases) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut phases = Phases::default();
         match req {
             Request::Select { module_text } => {
+                phases.op = "select";
                 let span = cayman_obs::timed("server.select");
-                let resp = match self.framework_for(&module_text) {
-                    Err(e) => Response::Error(e.to_string()),
-                    Ok((fw, framework_reused)) => {
-                        let disk_before = fw.cache_stats().disk_hits;
-                        let res = fw.select(&self.select);
-                        let disk_after = fw.cache_stats().disk_hits;
-                        if res.stats.configs_evaluated == 0 {
-                            cayman_obs::counter("server.select.warm", 1);
-                        } else {
-                            cayman_obs::counter("server.select.cold", 1);
+                let resp = {
+                    let warm_t = Instant::now();
+                    let fw = self.framework_for(&module_text);
+                    phases.warm_nanos = warm_t.elapsed().as_nanos() as u64;
+                    self.hists.warm.record(phases.warm_nanos);
+                    match fw {
+                        Err(e) => Response::Error(e.to_string()),
+                        Ok((fw, framework_reused)) => {
+                            phases.framework_reused = framework_reused;
+                            let select_t = Instant::now();
+                            let disk_before = fw.cache_stats().disk_hits;
+                            let res = fw.select(&self.select);
+                            let disk_after = fw.cache_stats().disk_hits;
+                            phases.select_nanos = select_t.elapsed().as_nanos() as u64;
+                            self.hists.select.record(phases.select_nanos);
+                            if res.stats.configs_evaluated == 0 {
+                                cayman_obs::counter("server.select.warm", 1);
+                            } else {
+                                cayman_obs::counter("server.select.cold", 1);
+                            }
+                            Response::Select(SelectReply {
+                                request_id,
+                                front: res.pareto,
+                                framework_reused,
+                                model_evals: res.stats.configs_evaluated as u64,
+                                cache_hits: res.stats.cache_hits,
+                                cache_misses: res.stats.cache_misses,
+                                disk_hits: disk_after - disk_before,
+                            })
                         }
-                        Response::Select(SelectReply {
-                            front: res.pareto,
-                            framework_reused,
-                            model_evals: res.stats.configs_evaluated as u64,
-                            cache_hits: res.stats.cache_hits,
-                            cache_misses: res.stats.cache_misses,
-                            disk_hits: disk_after - disk_before,
-                        })
                     }
                 };
                 span.finish();
-                (resp, false)
+                (resp, false, phases)
             }
-            Request::Stats => (
-                Response::Stats(StatsReply {
-                    requests: self.requests.load(Ordering::Relaxed),
-                    fw_cached: self
-                        .frameworks
-                        .lock()
-                        .expect("framework cache poisoned")
-                        .map
-                        .len() as u64,
-                    fw_hits: self.fw_hits.load(Ordering::Relaxed),
-                    fw_misses: self.fw_misses.load(Ordering::Relaxed),
-                    store: self.store.as_ref().map(|s| s.stats()),
-                }),
-                false,
-            ),
-            Request::Ping => (Response::Pong, false),
-            Request::Shutdown => (Response::ShuttingDown, true),
+            Request::Stats => {
+                phases.op = "stats";
+                (
+                    Response::Stats(StatsReply {
+                        request_id,
+                        requests: self.requests.load(Ordering::Relaxed),
+                        fw_cached: self
+                            .frameworks
+                            .lock()
+                            .expect("framework cache poisoned")
+                            .map
+                            .len() as u64,
+                        fw_hits: self.fw_hits.load(Ordering::Relaxed),
+                        fw_misses: self.fw_misses.load(Ordering::Relaxed),
+                        store: self.store.as_ref().map(|s| s.stats()),
+                    }),
+                    false,
+                    phases,
+                )
+            }
+            Request::Ping => {
+                phases.op = "ping";
+                (Response::Pong, false, phases)
+            }
+            Request::Shutdown => {
+                phases.op = "shutdown";
+                (Response::ShuttingDown, true, phases)
+            }
+            Request::Health => {
+                phases.op = "health";
+                (
+                    Response::Health(HealthReply {
+                        request_id,
+                        healthy: true,
+                        uptime_nanos: self.started.elapsed().as_nanos() as u64,
+                        requests: self.requests.load(Ordering::Relaxed),
+                    }),
+                    false,
+                    phases,
+                )
+            }
+            Request::Metrics => {
+                phases.op = "metrics";
+                (
+                    Response::Metrics(MetricsReply {
+                        request_id,
+                        text: self.metrics_text(),
+                    }),
+                    false,
+                    phases,
+                )
+            }
         }
+    }
+
+    /// Assembles the Prometheus-style exposition: the global metric
+    /// registry (per-phase request histograms) plus server lifetime
+    /// counters, the design-cache counters aggregated over every warm
+    /// framework, and the store's counters when one is attached.
+    fn metrics_text(&self) -> String {
+        let mut snap = cayman_obs::registry::snapshot();
+        snap.push_counter("server.requests", self.requests.load(Ordering::Relaxed));
+        snap.push_counter("server.fw.hits", self.fw_hits.load(Ordering::Relaxed));
+        snap.push_counter("server.fw.misses", self.fw_misses.load(Ordering::Relaxed));
+        snap.push_counter("server.timeout", self.timeouts.load(Ordering::Relaxed));
+        snap.push_counter("server.slow", self.slow.load(Ordering::Relaxed));
+        snap.push_gauge(
+            "server.uptime.seconds",
+            self.started.elapsed().as_secs_f64(),
+        );
+        let cache = {
+            let fws = self.frameworks.lock().expect("framework cache poisoned");
+            snap.push_gauge("server.fw.cached", fws.map.len() as f64);
+            let mut agg = CacheStats::default();
+            for (fw, _) in fws.map.values() {
+                agg.merge(&fw.cache_stats());
+            }
+            agg
+        };
+        for (name, value) in cache.counters() {
+            snap.push_counter(name, value);
+        }
+        if let Some(store) = &self.store {
+            let s = store.stats();
+            snap.push_counter("store.hits", s.hits);
+            snap.push_counter("store.misses", s.misses);
+            snap.push_counter("store.corrupt", s.corrupt);
+            snap.push_counter("store.version_skew", s.version_skew);
+            snap.push_counter("store.key_mismatches", s.key_mismatches);
+            snap.push_counter("store.writes", s.writes);
+            snap.push_counter("store.evictions", s.evictions);
+            snap.push_counter("store.evicted_bytes", s.evicted_bytes);
+        }
+        snap.to_prometheus()
+    }
+
+    /// Atomically dumps the exposition to `path` (tmp + rename, like the
+    /// disk store's writes).
+    fn dump_metrics(&self, path: &std::path::Path) {
+        let text = self.metrics_text();
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, text).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
+    }
+
+    /// Records a finished request into the total histogram and, when it
+    /// crossed the slow threshold, the slow-request log.
+    fn finish_request(&self, request_id: u64, phases: Phases, total_nanos: u64) {
+        self.hists.total.record(total_nanos);
+        let Some(threshold_ms) = self.slow_req_ms else {
+            return;
+        };
+        if total_nanos < threshold_ms.saturating_mul(1_000_000) {
+            return;
+        }
+        self.slow.fetch_add(1, Ordering::Relaxed);
+        let line = format_slow_line(request_id, phases, total_nanos);
+        eprintln!("{line}");
+        cayman_obs::instant_with("server.req.slow", || {
+            vec![
+                ("id", cayman_obs::ArgValue::U64(request_id)),
+                ("total_nanos", cayman_obs::ArgValue::U64(total_nanos)),
+            ]
+        });
+        let mut lines = self.slow_lines.lock().expect("slow log poisoned");
+        if lines.len() == SLOW_LOG_CAP {
+            lines.pop_front();
+        }
+        lines.push_back(line);
     }
 }
 
+/// Renders one slow-request log line. The format is stable and
+/// machine-splittable: space-separated `key=value` pairs opening with
+/// `slow-req id=<request id>` — the same id the client received in the
+/// response-frame trailer, so client- and server-side observations line
+/// up.
+fn format_slow_line(request_id: u64, phases: Phases, total_nanos: u64) -> String {
+    format!(
+        "slow-req id={} op={} total_us={} decode_us={} warm_us={} select_us={} encode_us={} \
+         reused={}",
+        request_id,
+        if phases.op.is_empty() {
+            "unknown"
+        } else {
+            phases.op
+        },
+        total_nanos / 1_000,
+        phases.decode_nanos / 1_000,
+        phases.warm_nanos / 1_000,
+        phases.select_nanos / 1_000,
+        phases.encode_nanos / 1_000,
+        phases.framework_reused,
+    )
+}
+
 fn handle_conn(shared: &Shared, mut stream: Stream) {
+    if let Some(ms) = shared.req_timeout {
+        // a stalled or vanished client must not pin this thread forever
+        let _ = stream.set_read_timeout(Some(ms));
+    }
     loop {
         if shared.shutdown.load(Ordering::Relaxed) {
             return;
         }
         let payload = match wire::read_frame(&mut stream) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => return, // clean close or broken peer
+            Ok(None) => return, // clean close
+            Err(WireError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                shared.timeouts.fetch_add(1, Ordering::Relaxed);
+                cayman_obs::counter("server.timeout", 1);
+                return;
+            }
+            Err(_) => return, // broken peer
         };
-        let (resp, shutdown) = match wire::decode_request(&payload) {
-            Ok(req) => shared.handle(req),
+        // request work starts once a full frame is in hand (blocking on
+        // read_frame is client think-time, not server latency)
+        let request_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let total_t = Instant::now();
+        let mut phases;
+        let decode_t = Instant::now();
+        let decoded = wire::decode_request(&payload);
+        let decode_nanos = decode_t.elapsed().as_nanos() as u64;
+        shared.hists.decode.record(decode_nanos);
+        let (resp, shutdown) = match decoded {
+            Ok(req) => {
+                let _g = cayman_obs::span!("server.req", id = request_id);
+                let (resp, shutdown, p) = shared.handle(req, request_id);
+                phases = p;
+                (resp, shutdown)
+            }
             // a malformed request poisons the framing; answer and close
             Err(e) => {
                 let _ = wire::write_frame(
                     &mut stream,
-                    &wire::encode_response(&Response::Error(e.to_string())),
+                    &wire::encode_response(&Response::Error(e.to_string()), request_id),
                 );
                 return;
             }
         };
-        if wire::write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+        phases.decode_nanos = decode_nanos;
+        let encode_t = Instant::now();
+        let frame = wire::encode_response(&resp, request_id);
+        phases.encode_nanos = encode_t.elapsed().as_nanos() as u64;
+        shared.hists.encode.record(phases.encode_nanos);
+        // record BEFORE writing: once a client sees the reply, a metrics
+        // scrape is guaranteed to count the request (no in-flight gap)
+        shared.finish_request(request_id, phases, total_t.elapsed().as_nanos() as u64);
+        if wire::write_frame(&mut stream, &frame).is_err() {
             return;
         }
         if shutdown {
@@ -281,6 +580,7 @@ pub struct ServerHandle {
     endpoint: Endpoint,
     shared: Arc<Shared>,
     acceptor: JoinHandle<()>,
+    metrics_dumper: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -294,9 +594,29 @@ impl ServerHandle {
         self.shared.store.as_ref()
     }
 
+    /// The current metrics exposition, exactly as `Request::Metrics`
+    /// serves it.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics_text()
+    }
+
+    /// The most recent slow-request log lines (oldest first, bounded).
+    pub fn slow_log(&self) -> Vec<String> {
+        self.shared
+            .slow_lines
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
     /// Blocks until the server shuts down (a SHUTDOWN request).
     pub fn wait(self) {
         let _ = self.acceptor.join();
+        if let Some(d) = self.metrics_dumper {
+            let _ = d.join();
+        }
     }
 
     /// Initiates shutdown and waits for the acceptor to exit.
@@ -304,6 +624,9 @@ impl ServerHandle {
         self.shared.shutdown.store(true, Ordering::Relaxed);
         let _ = self.endpoint.connect();
         let _ = self.acceptor.join();
+        if let Some(d) = self.metrics_dumper {
+            let _ = d.join();
+        }
     }
 }
 
@@ -339,6 +662,9 @@ pub fn serve(endpoint: Endpoint, opts: ServerOptions) -> Result<ServerHandle, Wi
         store,
         select: opts.select,
         max_frameworks: opts.max_frameworks.max(1),
+        slow_req_ms: opts.slow_req_ms,
+        req_timeout: opts.req_timeout_ms.map(Duration::from_millis),
+        started: Instant::now(),
         frameworks: Mutex::new(FwCache {
             map: HashMap::new(),
             tick: 0,
@@ -346,6 +672,11 @@ pub fn serve(endpoint: Endpoint, opts: ServerOptions) -> Result<ServerHandle, Wi
         requests: AtomicU64::new(0),
         fw_hits: AtomicU64::new(0),
         fw_misses: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+        slow: AtomicU64::new(0),
+        next_request_id: AtomicU64::new(0),
+        slow_lines: Mutex::new(VecDeque::new()),
+        hists: PhaseHists::register(),
         shutdown: AtomicBool::new(false),
     });
     let acceptor = {
@@ -369,9 +700,28 @@ pub fn serve(endpoint: Endpoint, opts: ServerOptions) -> Result<ServerHandle, Wi
             }
         })
     };
+    let metrics_dumper = opts.metrics_file.map(|path| {
+        let shared = Arc::clone(&shared);
+        let interval = Duration::from_millis(opts.metrics_interval_ms.max(1));
+        std::thread::spawn(move || {
+            let mut last = Instant::now();
+            shared.dump_metrics(&path);
+            while !shared.shutdown.load(Ordering::Relaxed) {
+                // poll the shutdown flag often so stop() never waits a
+                // full interval
+                std::thread::sleep(Duration::from_millis(50).min(interval));
+                if last.elapsed() >= interval {
+                    shared.dump_metrics(&path);
+                    last = Instant::now();
+                }
+            }
+            shared.dump_metrics(&path); // final state for post-mortems
+        })
+    });
     Ok(ServerHandle {
         endpoint,
         shared,
         acceptor,
+        metrics_dumper,
     })
 }

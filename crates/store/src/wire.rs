@@ -18,6 +18,8 @@
 //! | `2` STATS    | empty |
 //! | `3` PING     | empty |
 //! | `4` SHUTDOWN | empty |
+//! | `5` HEALTH   | empty |
+//! | `6` METRICS  | empty |
 //!
 //! Responses open with `version u8, status u8` (`0` ok / `1` error). An
 //! error body is a length-prefixed message. A SELECT ok body carries
@@ -25,7 +27,19 @@
 //! `cache_hits`, `cache_misses`, `disk_hits` as `u64`s) and the encoded
 //! Pareto front ([`crate::codec::encode_front`] — bit-exact `f64`s). A
 //! STATS ok body carries the server's lifetime counters and, when a store
-//! is attached, its [`StoreStats`].
+//! is attached, its [`StoreStats`]. A HEALTH ok body carries a liveness
+//! triple; a METRICS ok body carries the Prometheus-style text exposition
+//! as a length-prefixed UTF-8 blob.
+//!
+//! ## Request ids (additive evolution)
+//!
+//! Every response frame ends with a trailing `u64`: the **server-assigned
+//! request id**, also tagged on the server's spans and slow-request log so
+//! a client-side stall can be correlated with the server-side trace.
+//! Evolution is strictly additive: requests are unchanged (old frames
+//! decode and get served — pinned by `tests/wire_compat.rs`), and decoders
+//! that predate the trailer ignore trailing bytes while new decoders treat
+//! a missing trailer as id `0`.
 
 use crate::codec::{self, Dec, DecodeError, Enc, VERSION};
 use crate::disk::StoreStats;
@@ -47,6 +61,10 @@ pub mod opcode {
     pub const PING: u8 = 3;
     /// Orderly server shutdown.
     pub const SHUTDOWN: u8 = 4;
+    /// Health summary (liveness + uptime + request count).
+    pub const HEALTH: u8 = 5;
+    /// Prometheus-style metrics exposition.
+    pub const METRICS: u8 = 6;
 }
 
 /// Anything that can go wrong on the wire.
@@ -136,12 +154,19 @@ pub enum Request {
     Ping,
     /// Orderly shutdown.
     Shutdown,
+    /// Health summary.
+    Health,
+    /// Metrics exposition.
+    Metrics,
 }
 
 /// Per-SELECT reply: the front plus enough counters to tell a cold request
 /// from a memory-warm or disk-warm one.
 #[derive(Debug, Clone)]
 pub struct SelectReply {
+    /// Server-assigned request id (frame trailer; `0` from a pre-telemetry
+    /// server). Matches the id on the server's spans and slow-request log.
+    pub request_id: u64,
     /// The selection Pareto front, bit-exact.
     pub front: Vec<Solution>,
     /// Whether the server reused an already-analysed `Framework` for this
@@ -160,6 +185,8 @@ pub struct SelectReply {
 /// STATS reply: server lifetime counters plus the store's, when attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsReply {
+    /// Server-assigned request id (frame trailer; not part of the body).
+    pub request_id: u64,
     /// Total requests served (all opcodes).
     pub requests: u64,
     /// Analysed frameworks currently cached.
@@ -170,6 +197,30 @@ pub struct StatsReply {
     pub fw_misses: u64,
     /// Disk-store counters, when a store is attached.
     pub store: Option<StoreStats>,
+}
+
+/// HEALTH reply: the minimum a load balancer or probe needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReply {
+    /// Server-assigned request id (frame trailer; not part of the body).
+    pub request_id: u64,
+    /// Whether the server considers itself serviceable (currently always
+    /// true when it can answer at all; reserved for load-shedding states).
+    pub healthy: bool,
+    /// Nanoseconds since the server started.
+    pub uptime_nanos: u64,
+    /// Total requests served (all opcodes).
+    pub requests: u64,
+}
+
+/// METRICS reply: the Prometheus-style text exposition (see
+/// `cayman_obs::registry::MetricsSnapshot::to_prometheus`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReply {
+    /// Server-assigned request id (frame trailer; not part of the body).
+    pub request_id: u64,
+    /// The exposition text.
+    pub text: String,
 }
 
 /// One server response.
@@ -183,6 +234,10 @@ pub enum Response {
     Pong,
     /// SHUTDOWN acknowledged (the server exits after sending this).
     ShuttingDown,
+    /// HEALTH succeeded.
+    Health(HealthReply),
+    /// METRICS succeeded.
+    Metrics(MetricsReply),
     /// The request failed (parse error, analysis error, bad opcode…).
     Error(String),
 }
@@ -196,6 +251,8 @@ const BODY_SELECT: u8 = 1;
 const BODY_STATS: u8 = 2;
 const BODY_PONG: u8 = 3;
 const BODY_SHUTDOWN: u8 = 4;
+const BODY_HEALTH: u8 = 5;
+const BODY_METRICS: u8 = 6;
 
 /// Serializes a request payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -209,6 +266,8 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Stats => e.u8(opcode::STATS),
         Request::Ping => e.u8(opcode::PING),
         Request::Shutdown => e.u8(opcode::SHUTDOWN),
+        Request::Health => e.u8(opcode::HEALTH),
+        Request::Metrics => e.u8(opcode::METRICS),
     }
     e.finish()
 }
@@ -232,6 +291,8 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         opcode::STATS => Request::Stats,
         opcode::PING => Request::Ping,
         opcode::SHUTDOWN => Request::Shutdown,
+        opcode::HEALTH => Request::Health,
+        opcode::METRICS => Request::Metrics,
         _ => return Err(WireError::Protocol("unknown opcode")),
     };
     if d.remaining() != 0 {
@@ -264,8 +325,11 @@ fn decode_store_stats(d: &mut Dec) -> Result<StoreStats, DecodeError> {
     })
 }
 
-/// Serializes a response payload.
-pub fn encode_response(resp: &Response) -> Vec<u8> {
+/// Serializes a response payload, appending `request_id` as the frame
+/// trailer. The ids carried *inside* reply structs are ignored here — the
+/// trailer is the single source of truth and [`decode_response`] copies it
+/// back into the decoded reply.
+pub fn encode_response(resp: &Response, request_id: u64) -> Vec<u8> {
     let mut e = Enc::new();
     e.u8(VERSION);
     match resp {
@@ -306,8 +370,32 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             e.u8(STATUS_OK);
             e.u8(BODY_SHUTDOWN);
         }
+        Response::Health(r) => {
+            e.u8(STATUS_OK);
+            e.u8(BODY_HEALTH);
+            e.u8(u8::from(r.healthy));
+            e.u64(r.uptime_nanos);
+            e.u64(r.requests);
+        }
+        Response::Metrics(r) => {
+            e.u8(STATUS_OK);
+            e.u8(BODY_METRICS);
+            e.blob(r.text.as_bytes());
+        }
     }
+    e.u64(request_id);
     e.finish()
+}
+
+/// A decoded response plus its frame-trailer request id (`0` when the
+/// sender predates request ids — the trailer is strictly additive).
+#[derive(Debug, Clone)]
+pub struct DecodedResponse {
+    /// The response body.
+    pub response: Response,
+    /// Server-assigned request id, also copied into the reply structs that
+    /// carry one.
+    pub request_id: u64,
 }
 
 /// Parses a response payload.
@@ -317,16 +405,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
 /// Fails on version skew or malformed bodies. A server-reported error
 /// becomes [`WireError::Server`] at the call site, not here — it decodes
 /// into [`Response::Error`].
-pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+pub fn decode_response(payload: &[u8]) -> Result<DecodedResponse, WireError> {
     let mut d = Dec::new(payload);
     let version = d.u8()?;
     if version != VERSION {
         return Err(WireError::Protocol("response version mismatch"));
     }
-    match d.u8()? {
-        STATUS_ERR => Ok(Response::Error(
-            String::from_utf8_lossy(d.blob()?).into_owned(),
-        )),
+    let mut response = match d.u8()? {
+        STATUS_ERR => Response::Error(String::from_utf8_lossy(d.blob()?).into_owned()),
         STATUS_OK => match d.u8()? {
             BODY_SELECT => {
                 let framework_reused = d.u8()? != 0;
@@ -335,14 +421,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 let cache_misses = d.u64()?;
                 let disk_hits = d.u64()?;
                 let front = codec::decode_front(&mut d)?;
-                Ok(Response::Select(SelectReply {
+                Response::Select(SelectReply {
+                    request_id: 0,
                     front,
                     framework_reused,
                     model_evals,
                     cache_hits,
                     cache_misses,
                     disk_hits,
-                }))
+                })
             }
             BODY_STATS => {
                 let requests = d.u64()?;
@@ -354,20 +441,46 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 } else {
                     None
                 };
-                Ok(Response::Stats(StatsReply {
+                Response::Stats(StatsReply {
+                    request_id: 0,
                     requests,
                     fw_cached,
                     fw_hits,
                     fw_misses,
                     store,
-                }))
+                })
             }
-            BODY_PONG => Ok(Response::Pong),
-            BODY_SHUTDOWN => Ok(Response::ShuttingDown),
-            _ => Err(WireError::Protocol("unknown response body tag")),
+            BODY_PONG => Response::Pong,
+            BODY_SHUTDOWN => Response::ShuttingDown,
+            BODY_HEALTH => Response::Health(HealthReply {
+                request_id: 0,
+                healthy: d.u8()? != 0,
+                uptime_nanos: d.u64()?,
+                requests: d.u64()?,
+            }),
+            BODY_METRICS => Response::Metrics(MetricsReply {
+                request_id: 0,
+                text: String::from_utf8(d.blob()?.to_vec())
+                    .map_err(|_| WireError::Protocol("metrics text is not UTF-8"))?,
+            }),
+            _ => return Err(WireError::Protocol("unknown response body tag")),
         },
-        _ => Err(WireError::Protocol("unknown response status")),
+        _ => return Err(WireError::Protocol("unknown response status")),
+    };
+    // the additive request-id trailer; absent in frames from pre-telemetry
+    // senders, which decode as id 0
+    let request_id = if d.remaining() >= 8 { d.u64()? } else { 0 };
+    match &mut response {
+        Response::Select(r) => r.request_id = request_id,
+        Response::Stats(r) => r.request_id = request_id,
+        Response::Health(r) => r.request_id = request_id,
+        Response::Metrics(r) => r.request_id = request_id,
+        Response::Pong | Response::ShuttingDown | Response::Error(_) => {}
     }
+    Ok(DecodedResponse {
+        response,
+        request_id,
+    })
 }
 
 #[cfg(test)]
@@ -415,6 +528,8 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::Health,
+            Request::Metrics,
         ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
@@ -423,6 +538,7 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         let reply = Response::Select(SelectReply {
+            request_id: 0,
             front: vec![Solution::default()],
             framework_reused: true,
             model_evals: 7,
@@ -430,17 +546,21 @@ mod tests {
             cache_misses: 3,
             disk_hits: 2,
         });
-        match decode_response(&encode_response(&reply)).unwrap() {
+        let decoded = decode_response(&encode_response(&reply, 41)).unwrap();
+        assert_eq!(decoded.request_id, 41);
+        match decoded.response {
             Response::Select(r) => {
                 assert!(r.framework_reused);
                 assert_eq!((r.model_evals, r.cache_hits, r.cache_misses), (7, 9, 3));
                 assert_eq!(r.disk_hits, 2);
                 assert_eq!(r.front.len(), 1);
+                assert_eq!(r.request_id, 41, "trailer id copied into the reply");
             }
             other => panic!("wrong body: {other:?}"),
         }
 
         let stats = Response::Stats(StatsReply {
+            request_id: 0,
             requests: 5,
             fw_cached: 2,
             fw_hits: 3,
@@ -450,18 +570,69 @@ mod tests {
                 ..Default::default()
             }),
         });
-        match decode_response(&encode_response(&stats)).unwrap() {
+        match decode_response(&encode_response(&stats, 7))
+            .unwrap()
+            .response
+        {
             Response::Stats(r) => {
                 assert_eq!(r.requests, 5);
                 assert_eq!(r.store.unwrap().hits, 1);
+                assert_eq!(r.request_id, 7);
             }
             other => panic!("wrong body: {other:?}"),
         }
 
-        match decode_response(&encode_response(&Response::Error("boom".into()))).unwrap() {
+        let health = Response::Health(HealthReply {
+            request_id: 0,
+            healthy: true,
+            uptime_nanos: 123,
+            requests: 9,
+        });
+        match decode_response(&encode_response(&health, 8))
+            .unwrap()
+            .response
+        {
+            Response::Health(r) => {
+                assert!(r.healthy);
+                assert_eq!((r.uptime_nanos, r.requests, r.request_id), (123, 9, 8));
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        let metrics = Response::Metrics(MetricsReply {
+            request_id: 0,
+            text: "# TYPE cayman_x counter\ncayman_x 1\n".into(),
+        });
+        match decode_response(&encode_response(&metrics, 9))
+            .unwrap()
+            .response
+        {
+            Response::Metrics(r) => {
+                assert!(r.text.contains("cayman_x 1"));
+                assert_eq!(r.request_id, 9);
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+
+        match decode_response(&encode_response(&Response::Error("boom".into()), 3))
+            .unwrap()
+            .response
+        {
             Response::Error(msg) => assert_eq!(msg, "boom"),
             other => panic!("wrong body: {other:?}"),
         }
+    }
+
+    #[test]
+    fn responses_without_the_id_trailer_decode_as_id_zero() {
+        // a pre-telemetry PONG frame: version, status, body tag — no trailer
+        let mut e = Enc::new();
+        e.u8(VERSION);
+        e.u8(STATUS_OK);
+        e.u8(BODY_PONG);
+        let decoded = decode_response(&e.finish()).unwrap();
+        assert!(matches!(decoded.response, Response::Pong));
+        assert_eq!(decoded.request_id, 0, "missing trailer reads as id 0");
     }
 
     #[test]

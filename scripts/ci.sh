@@ -33,6 +33,12 @@ cargo bench -p cayman-bench --bench store --offline -- --smoke
 echo "== store server (smoke: served front bit-identical, restart serves disk-warm with zero cold evals) =="
 cargo run -q --release -p cayman-store --offline --bin serversmoke
 
+echo "== service latency (smoke: concurrent clients, merged histogram quantiles ordered) =="
+cargo bench -p cayman-bench --bench service --offline -- --smoke
+
+echo "== metrics surface (smoke: concurrent clients, exposition validates — no duplicate series, monotone buckets) =="
+cargo run -q --release -p cayman-store --offline --bin metricsmoke
+
 echo "== warm store directory serves table2 with zero cold accel evaluations =="
 store_dir="$(mktemp -d /tmp/cayman-store.XXXXXX)"
 CAYMAN_STORE_DIR="$store_dir" cargo run -q --release -p cayman-bench --offline --bin table2 -- --json trisolv bicg >/dev/null
